@@ -1,0 +1,65 @@
+// Ablation — explicit Euler-Maruyama (paper eq. 18) vs implicit
+// (stochastic backward Euler).
+//
+// DESIGN.md question: what does the paper's explicit scheme cost in
+// stability?  The study sweeps the step size through the explicit
+// stability limit dt = 2 tau on the noisy RC bed: the explicit scheme
+// blows up past it, the implicit variant stays bounded; below the limit
+// the two agree.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ref_circuits.hpp"
+#include "engines/em_engine.hpp"
+#include "mna/mna.hpp"
+
+using namespace nanosim;
+
+int main() {
+    bench::banner("Ablation: EM scheme",
+                  "explicit Euler-Maruyama (eq. 18) vs implicit "
+                  "backward-Euler variant — stability across step sizes");
+
+    // tau = R C = 1 ns; drive to 1 V; mild noise.
+    Circuit ckt = refckt::noisy_rc(1e3, 1e-12, 1e-3, 2e-9);
+    const mna::MnaAssembler assembler(ckt);
+    constexpr double tau = 1e-9;
+    constexpr double t_stop = 50e-9;
+
+    analysis::Table t({"dt/tau", "explicit |V(end)|", "implicit |V(end)|",
+                       "explicit bounded?"});
+    for (const double ratio : {0.1, 0.5, 1.0, 1.9, 2.1, 2.5}) {
+        const double dt = ratio * tau;
+        engines::EmOptions opt;
+        opt.t_stop = t_stop;
+        opt.dt = dt;
+
+        opt.scheme = engines::EmScheme::explicit_em;
+        const engines::EmEngine exp_engine(assembler, opt);
+        stochastic::Rng rng_a(5);
+        const double v_exp = exp_engine.run_path(rng_a)
+                                 .node_waves[0]
+                                 .value()
+                                 .back();
+
+        opt.scheme = engines::EmScheme::implicit_be;
+        const engines::EmEngine imp_engine(assembler, opt);
+        stochastic::Rng rng_b(5);
+        const double v_imp = imp_engine.run_path(rng_b)
+                                 .node_waves[0]
+                                 .value()
+                                 .back();
+
+        t.add_row({analysis::Table::num(ratio, 3),
+                   analysis::Table::num(std::abs(v_exp), 4),
+                   analysis::Table::num(std::abs(v_imp), 4),
+                   std::abs(v_exp) < 5.0 ? "yes" : "NO (unstable)"});
+    }
+    t.print(std::cout);
+    std::cout << "\nShape to check: the explicit rows diverge once "
+                 "dt/tau > 2 (the forward-Euler stability limit); the "
+                 "implicit rows stay near the 1 V steady state at every "
+                 "step size.\n";
+    return 0;
+}

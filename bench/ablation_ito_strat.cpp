@@ -1,0 +1,55 @@
+// Ablation — Ito vs Stratonovich sums (paper eqs. 15 and 16).
+//
+// Paper Sec. 4.2: "Equation (15) and (16) give markedly different
+// answers.  Even with dt -> 0, the mismatch of the two equations does
+// not go away."  The study integrates W dW with both conventions over a
+// refinement ladder: the per-convention estimates converge to their OWN
+// closed forms, and the gap converges to T/2 instead of vanishing.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stochastic/ito.hpp"
+#include "stochastic/stats.hpp"
+
+using namespace nanosim;
+using namespace nanosim::stochastic;
+
+int main() {
+    bench::banner("Ablation: eq. (15) vs eq. (16)",
+                  "Ito (left-endpoint) vs Stratonovich (midpoint) "
+                  "stochastic sums of W dW over a dt-refinement ladder");
+
+    constexpr double horizon = 1.0;
+    constexpr int reps = 600;
+
+    analysis::Table t({"steps N", "E[Ito - closed form]",
+                       "E[Strat - closed form]", "E[Strat - Ito]",
+                       "expected gap"});
+    for (const std::size_t steps : {64u, 256u, 1024u, 4096u}) {
+        RunningStats ito_err;
+        RunningStats strat_err;
+        RunningStats gap;
+        Rng rng(42);
+        for (int rep = 0; rep < reps; ++rep) {
+            const WienerPath w(rng, horizon, steps);
+            const auto r = integrate_w_dw(w);
+            ito_err.add(r.ito - r.ito_exact);
+            strat_err.add(r.stratonovich - r.stratonovich_exact);
+            gap.add(r.stratonovich - r.ito);
+        }
+        t.add_row({std::to_string(steps),
+                   analysis::Table::num(ito_err.mean(), 3),
+                   analysis::Table::num(strat_err.mean(), 3),
+                   analysis::Table::num(gap.mean(), 4),
+                   analysis::Table::num(horizon / 2.0, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\nShape to check: the first two columns shrink toward 0 "
+                 "with N (each convention converges to its own closed "
+                 "form) while the gap column stays at T/2 = 0.5 — the "
+                 "paper's point that the sampling convention changes the "
+                 "answer, which is why Nano-Sim pins the EM engine to "
+                 "the Ito convention of eq. (15).\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 1 — I-V curves for (a) a resonant tunneling transistor and
+// (b) a carbon nanotube / quantum nanowire.
+//
+// Paper: "The resulting I-V characteristics exhibits multiple peaks with
+// a staircase contour" (RTT) and "the staircase characteristics of the
+// conductance signal confirms that the carbon nanotubes behave as
+// quantum wires" (CNT).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "devices/nanowire.hpp"
+#include "devices/rtt.hpp"
+#include "util/constants.hpp"
+
+using namespace nanosim;
+
+namespace {
+
+void rtt_curve() {
+    bench::section("Fig. 1(a): RTT collector current vs V_CE (V_BE = 2 V)");
+    const Rtt rtt("RTT1", 1, 2, 0);
+    analysis::Waveform iv("I_C [mA]");
+    analysis::Waveform gv("dI/dV [mS]");
+    int peaks = 0;
+    double prev = 0.0;
+    bool rising = true;
+    for (double v = 0.0; v <= 5.0 + 1e-9; v += 0.02) {
+        const double i = rtt.collector_current(v, 2.0);
+        iv.append(v == 0.0 ? 1e-12 : v, i * 1e3);
+        gv.append(v == 0.0 ? 1e-12 : v, rtt.gce(v, 2.0) * 1e3);
+        if (rising && i < prev) {
+            ++peaks;
+            rising = false;
+        } else if (!rising && i > prev) {
+            rising = true;
+        }
+        prev = i;
+    }
+    bench::plot({iv}, "RTT I-V: multiple resonance peaks", "V_CE [V]",
+                "I_C [mA]");
+    std::cout << "resonance peaks found in 0-5 V: " << peaks
+              << " (paper: multiple peaks with a staircase contour)\n";
+}
+
+void cnt_curve() {
+    bench::section("Fig. 1(b): nanowire/CNT I-V and conductance staircase");
+    NanowireParams p;
+    p.channels = 4;
+    p.v_step = 0.5;
+    p.smear = 0.03;
+    const Nanowire nw("NW1", 1, 0, p);
+    analysis::Waveform iv("I [uA]");
+    analysis::Waveform g("G/G0");
+    for (double v = -2.0; v <= 2.0 + 1e-9; v += 0.02) {
+        iv.append(v, nw.current(v) * 1e6);
+        g.append(v, nw.didv(v) / phys::g0_quantum);
+    }
+    bench::plot({iv}, "CNT I-V (odd, piecewise-linear staircase)", "V [V]",
+                "I [uA]");
+    bench::plot({g}, "CNT conductance in units of G0 = 2e^2/h", "V [V]",
+                "G/G0");
+
+    analysis::Table t({"plateau bias [V]", "G/G0 (measured)",
+                       "G/G0 (expected)"});
+    const double checks[4][2] = {
+        {0.25, 1.0}, {0.75, 2.0}, {1.25, 3.0}, {1.75, 4.0}};
+    for (const auto& c : checks) {
+        t.add_row({analysis::Table::num(c[0]),
+                   analysis::Table::num(nw.didv(c[0]) / phys::g0_quantum, 4),
+                   analysis::Table::num(c[1], 2)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int main() {
+    bench::banner("Figure 1",
+                  "Anticipated nanodevice I-V characteristics: RTT "
+                  "multi-peak staircase and CNT conductance quantisation");
+    rtt_curve();
+    cnt_curve();
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6 + eqs. (10)-(12) — adaptive time-step control study.
+//
+// The paper derives per-device and per-node step bounds from a target
+// local error eps and takes their minimum (eq. 12).  This bench sweeps
+// eps on the FET-RTD inverter and reports, for each target: the steps
+// taken, the measured a-posteriori local error (eq. 10), and the
+// waveform error against a fine-step reference — plus the fixed-step
+// ablation, which needs far more steps for the same accuracy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ref_circuits.hpp"
+#include "engines/tran_swec.hpp"
+#include "mna/mna.hpp"
+
+using namespace nanosim;
+
+int main() {
+    bench::banner("Figure 6 / eqs. 10-12",
+                  "Adaptive time-step control: error target vs cost on "
+                  "the FET-RTD inverter");
+
+    Circuit ckt = refckt::fet_rtd_inverter();
+    const mna::MnaAssembler assembler(ckt);
+
+    engines::SwecTranOptions ref_opt;
+    ref_opt.t_stop = 200e-9;
+    ref_opt.adaptive = false;
+    ref_opt.dt_init = 0.05e-9;
+    const auto ref = engines::run_tran_swec(assembler, ref_opt);
+    const auto& ref_out = ref.node(ckt, "out");
+    std::cout << "reference: fixed dt = 0.05 ns, "
+              << ref.steps_accepted << " steps\n";
+
+    analysis::Table t({"mode", "eps target", "steps", "flops",
+                       "mean eq.(10) err", "max eq.(10) err",
+                       "waveform err [V]"});
+    for (const double eps : {0.02, 0.05, 0.1, 0.2}) {
+        engines::SwecTranOptions opt;
+        opt.t_stop = 200e-9;
+        opt.eps = eps;
+        const auto r = engines::run_tran_swec(assembler, opt);
+        t.add_row({"adaptive (eq. 12)", analysis::Table::num(eps),
+                   std::to_string(r.steps_accepted),
+                   std::to_string(r.flops.total()),
+                   analysis::Table::num(r.avg_local_error, 3),
+                   analysis::Table::num(r.max_local_error, 3),
+                   analysis::Table::num(
+                       analysis::measure::max_abs_error(
+                           r.node(ckt, "out"), ref_out),
+                       3)});
+    }
+    for (const double dt : {2e-9, 0.5e-9, 0.2e-9}) {
+        engines::SwecTranOptions opt;
+        opt.t_stop = 200e-9;
+        opt.adaptive = false;
+        opt.dt_init = dt;
+        const auto r = engines::run_tran_swec(assembler, opt);
+        t.add_row({"fixed dt=" + analysis::Table::num(dt * 1e9, 2) + "ns",
+                   "-", std::to_string(r.steps_accepted),
+                   std::to_string(r.flops.total()),
+                   analysis::Table::num(r.avg_local_error, 3),
+                   analysis::Table::num(r.max_local_error, 3),
+                   analysis::Table::num(
+                       analysis::measure::max_abs_error(
+                           r.node(ckt, "out"), ref_out),
+                       3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(max eq.(10) spikes at regenerative MOBILE switching "
+                 "events, where the node accelerates faster than any "
+                 "history-based estimate for one step; the mean tracks "
+                 "ordinary step control.)\n";
+    std::cout << "\nShape to check: smaller eps -> more steps and smaller "
+                 "waveform error; the adaptive rows beat fixed-step rows "
+                 "of similar accuracy on step count.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+// Nano-Sim example — RTD D-flip-flop (clocked MOBILE latch, paper Fig. 9).
+//
+//   $ ./rtd_flipflop
+//
+// Shows a sequential nanocircuit: the data input switches mid-cycle and
+// the output responds only at the next rising clock edge.  Demonstrates
+// waveform measurements (edge timing) on simulation output.
+#include <cmath>
+#include <iostream>
+
+#include "core/nanosim.hpp"
+#include "core/ref_circuits.hpp"
+
+using namespace nanosim;
+
+int main() {
+    refckt::DffSpec spec; // D switches at 300 ns; clock period 100 ns
+    Circuit ckt = refckt::rtd_dff(spec);
+    const mna::MnaAssembler assembler(ckt);
+
+    engines::SwecTranOptions opt;
+    opt.t_stop = 500e-9;
+    const auto res = engines::run_tran_swec(assembler, opt);
+
+    analysis::PlotOptions plot;
+    plot.title = "RTD D-flip-flop: clock, data, output";
+    plot.x_label = "t [s]";
+    analysis::ascii_plot(std::cout,
+                         {res.node(ckt, "clk"), res.node(ckt, "d"),
+                          res.node(ckt, "q")},
+                         plot);
+
+    // When did D switch, and when did Q respond?
+    const auto& d = res.node(ckt, "d");
+    const auto& q = res.node(ckt, "q");
+    const double t_d = analysis::measure::crossing_time(d, 2.5, true);
+    // Q is return-to-zero: compare its level in successive clock-high
+    // windows to find the cycle where the latched value changed.
+    double t_q_change = std::nan("");
+    for (double w0 = 55e-9; w0 + 40e-9 < 500e-9; w0 += 100e-9) {
+        double level = 0.0;
+        for (int i = 0; i < 16; ++i) {
+            level += q.at(w0 + 2.5e-9 * i) / 16.0;
+        }
+        if (w0 > t_d && level < 1.0) {
+            t_q_change = w0;
+            break;
+        }
+    }
+    std::cout << "\nD rising edge at " << t_d * 1e9 << " ns\n"
+              << "first clock-high window with the new Q value begins at "
+              << t_q_change * 1e9 << " ns (paper: the output switches at "
+              << "the 350 ns rising clock edge)\n";
+    std::cout << "SWEC: " << res.steps_accepted
+              << " steps, 0 nonlinear iterations\n";
+    return 0;
+}

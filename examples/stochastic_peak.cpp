@@ -1,0 +1,71 @@
+// Nano-Sim example — stochastic performance prediction (paper Sec. 4).
+//
+//   $ ./stochastic_peak
+//
+// The paper's closing idea: "Following the Black-Scholes approach we can
+// predict the peak performance within certain time window."  This
+// example runs the Euler-Maruyama engine on the Fig. 10 circuit (a
+// time-variant transistor with parasitic RC and a white-noise input) and
+// reports the distribution of the per-path peak voltage over 0-1 ns —
+// exactly the quantity a signal-integrity check needs ("even though the
+// average voltage drop is zero, if the transient voltage drop at a
+// certain time point exceeds certain constraints, the whole design is
+// still going to fail").
+#include <iostream>
+
+#include "core/nanosim.hpp"
+#include "core/ref_circuits.hpp"
+
+using namespace nanosim;
+
+int main() {
+    Circuit ckt = refckt::fig10_noisy_transistor();
+    const mna::MnaAssembler assembler(ckt);
+
+    engines::EmOptions opt;
+    opt.t_stop = 1e-9;
+    opt.dt = 2e-12;
+    const engines::EmEngine engine(assembler, opt);
+
+    stochastic::Rng rng(12345);
+    const auto ens = engine.run_ensemble(1000, rng,
+                                         ckt.find_node("n1"));
+
+    analysis::PlotOptions plot;
+    plot.title = "ensemble mean and +1 sigma of V(n1)";
+    plot.x_label = "t [s]";
+    analysis::Waveform hi("mean+sigma");
+    for (std::size_t j = 0; j < ens.grid.size(); ++j) {
+        hi.append(ens.grid[j] + (j == 0 ? 1e-18 : 0.0),
+                  ens.stats.at(j).mean() + ens.stats.at(j).stddev());
+    }
+    analysis::ascii_plot(std::cout, {ens.mean, hi}, plot);
+
+    const auto& peaks = ens.stats.peaks();
+    std::cout << "\npeak voltage within 0-1 ns over " << peaks.size()
+              << " paths:\n"
+              << "  mean  : " << ens.stats.peak_stats().mean() << " V\n"
+              << "  sigma : " << ens.stats.peak_stats().stddev() << " V\n"
+              << "  p50   : " << stochastic::percentile(peaks, 50) << " V\n"
+              << "  p95   : " << stochastic::percentile(peaks, 95) << " V\n"
+              << "  p99   : " << stochastic::percentile(peaks, 99) << " V\n"
+              << "  max   : " << ens.stats.peak_stats().max() << " V\n";
+
+    // Histogram of the peak distribution.
+    stochastic::Histogram hist(0.3, 0.9, 24);
+    for (const double p : peaks) {
+        hist.add(p);
+    }
+    std::cout << "\npeak histogram (0.3-0.9 V):\n";
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+        std::cout << "  " << hist.bin_center(b) << " V | "
+                  << std::string(hist.count(b) / 4, '#') << ' '
+                  << hist.count(b) << '\n';
+    }
+
+    std::cout << "\nIf the design constraint were V(n1) <= 0.7 V, the "
+                 "mean waveform alone would pass, while the p99 peak "
+                 "tells the real story — the paper's argument for "
+                 "transient (not just expected-value) prediction.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim::analysis {
+
+void ascii_plot(std::ostream& os, const std::vector<Waveform>& waves,
+                const PlotOptions& options) {
+    if (waves.empty()) {
+        throw AnalysisError("ascii_plot: no waveforms");
+    }
+    for (const auto& w : waves) {
+        if (w.size() < 2) {
+            throw AnalysisError("ascii_plot: waveform '" + w.label() +
+                                "' has fewer than 2 samples");
+        }
+    }
+    const int width = std::max(options.width, 16);
+    const int height = std::max(options.height, 4);
+
+    double t0 = std::numeric_limits<double>::infinity();
+    double t1 = -std::numeric_limits<double>::infinity();
+    double v0 = std::numeric_limits<double>::infinity();
+    double v1 = -std::numeric_limits<double>::infinity();
+    for (const auto& w : waves) {
+        t0 = std::min(t0, w.t_begin());
+        t1 = std::max(t1, w.t_end());
+        v0 = std::min(v0, w.min_value());
+        v1 = std::max(v1, w.max_value());
+    }
+    if (v1 == v0) { // flat line: open a window around it
+        v0 -= 1.0;
+        v1 += 1.0;
+    }
+
+    static constexpr char glyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+    for (std::size_t s = 0; s < waves.size(); ++s) {
+        const char glyph = glyphs[s % sizeof(glyphs)];
+        const auto& w = waves[s];
+        for (int col = 0; col < width; ++col) {
+            const double t =
+                t0 + (t1 - t0) * col / static_cast<double>(width - 1);
+            if (t < w.t_begin() || t > w.t_end()) {
+                continue;
+            }
+            const double v = w.at(t);
+            const double f = (v - v0) / (v1 - v0);
+            int row = static_cast<int>(std::lround(
+                (1.0 - f) * static_cast<double>(height - 1)));
+            row = std::clamp(row, 0, height - 1);
+            grid[static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col)] = glyph;
+        }
+    }
+
+    if (!options.title.empty()) {
+        os << options.title << '\n';
+    }
+    std::ostringstream top;
+    top << std::setprecision(4) << v1;
+    std::ostringstream bottom;
+    bottom << std::setprecision(4) << v0;
+    const std::size_t label_w = std::max(top.str().size(),
+                                         bottom.str().size());
+    for (int r = 0; r < height; ++r) {
+        std::string label(label_w, ' ');
+        if (r == 0) {
+            label = top.str();
+        } else if (r == height - 1) {
+            label = bottom.str();
+        }
+        os << std::right << std::setw(static_cast<int>(label_w)) << label
+           << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+    }
+    os << std::string(label_w + 1, ' ') << '+'
+       << std::string(static_cast<std::size_t>(width), '-') << '\n';
+    std::ostringstream xl;
+    xl << std::setprecision(4) << t0;
+    std::ostringstream xr;
+    xr << std::setprecision(4) << t1;
+    const int pad = width - static_cast<int>(xl.str().size()) -
+                    static_cast<int>(xr.str().size());
+    os << std::string(label_w + 2, ' ') << xl.str()
+       << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ')
+       << xr.str() << "   [" << options.x_label << "]\n";
+    std::size_t gi = 0;
+    for (const auto& w : waves) {
+        os << "    " << glyphs[gi % sizeof(glyphs)] << " = "
+           << (w.label().empty() ? "series" : w.label()) << '\n';
+        ++gi;
+    }
+}
+
+} // namespace nanosim::analysis

@@ -1,0 +1,34 @@
+// Nano-Sim — ASCII waveform rendering.
+//
+// The bench binaries regenerate the paper's *figures*; since the harness
+// is terminal-only, each figure is emitted both as a CSV series and as an
+// ASCII plot so the shape (peaks, NDR valley, switching edges) is
+// directly visible in bench_output.txt.
+#ifndef NANOSIM_ANALYSIS_ASCII_PLOT_HPP
+#define NANOSIM_ANALYSIS_ASCII_PLOT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/waveform.hpp"
+
+namespace nanosim::analysis {
+
+/// Plot options.
+struct PlotOptions {
+    int width = 72;   ///< plot columns
+    int height = 20;  ///< plot rows
+    std::string title;
+    std::string x_label = "x";
+    std::string y_label = "y";
+};
+
+/// Render one or more waveforms on a shared axis; each series gets its
+/// own glyph (*, +, o, x, ...).  Throws AnalysisError on empty input.
+void ascii_plot(std::ostream& os, const std::vector<Waveform>& waves,
+                const PlotOptions& options = {});
+
+} // namespace nanosim::analysis
+
+#endif // NANOSIM_ANALYSIS_ASCII_PLOT_HPP

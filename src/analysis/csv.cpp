@@ -1,0 +1,100 @@
+#include "analysis/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim::analysis {
+
+void write_csv(std::ostream& os, const std::vector<Waveform>& waves,
+               const std::string& time_header) {
+    if (waves.empty() || waves.front().empty()) {
+        throw AnalysisError("write_csv: no data");
+    }
+    os << time_header;
+    for (const auto& w : waves) {
+        os << ',' << (w.label().empty() ? "value" : w.label());
+    }
+    os << '\n';
+    os << std::setprecision(12);
+    const auto& t = waves.front().time();
+    for (const double tt : t) {
+        os << tt;
+        for (const auto& w : waves) {
+            os << ',' << w.at(tt);
+        }
+        os << '\n';
+    }
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<Waveform>& waves,
+                    const std::string& time_header) {
+    std::ofstream os(path);
+    if (!os) {
+        throw IoError("write_csv_file: cannot open '" + path + "'");
+    }
+    write_csv(os, waves, time_header);
+}
+
+std::vector<Waveform> read_csv(std::istream& is) {
+    std::string header;
+    if (!std::getline(is, header)) {
+        throw AnalysisError("read_csv: empty input");
+    }
+    std::vector<std::string> labels;
+    {
+        std::istringstream hs(header);
+        std::string cell;
+        while (std::getline(hs, cell, ',')) {
+            labels.push_back(cell);
+        }
+    }
+    if (labels.size() < 2) {
+        throw AnalysisError("read_csv: need a time column and one series");
+    }
+    std::vector<Waveform> waves;
+    waves.reserve(labels.size() - 1);
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+        waves.emplace_back(labels[i]);
+    }
+    std::string line;
+    int line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string cell;
+        std::vector<double> row;
+        while (std::getline(ls, cell, ',')) {
+            try {
+                row.push_back(std::stod(cell));
+            } catch (const std::exception&) {
+                throw AnalysisError("read_csv: bad number at line " +
+                                    std::to_string(line_no));
+            }
+        }
+        if (row.size() != labels.size()) {
+            throw AnalysisError("read_csv: wrong column count at line " +
+                                std::to_string(line_no));
+        }
+        for (std::size_t i = 1; i < row.size(); ++i) {
+            waves[i - 1].append(row[0], row[i]);
+        }
+    }
+    return waves;
+}
+
+std::vector<Waveform> read_csv_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) {
+        throw IoError("read_csv_file: cannot open '" + path + "'");
+    }
+    return read_csv(is);
+}
+
+} // namespace nanosim::analysis

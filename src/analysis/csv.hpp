@@ -1,0 +1,34 @@
+// Nano-Sim — CSV export/import of waveforms.
+//
+// Bench binaries write their series next to the printed tables so the
+// figures can be re-plotted with any external tool.
+#ifndef NANOSIM_ANALYSIS_CSV_HPP
+#define NANOSIM_ANALYSIS_CSV_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/waveform.hpp"
+
+namespace nanosim::analysis {
+
+/// Write waveforms as CSV columns: first column is the time axis of the
+/// first waveform; other waveforms are interpolated onto it.  Throws
+/// AnalysisError on an empty list.
+void write_csv(std::ostream& os, const std::vector<Waveform>& waves,
+               const std::string& time_header = "time");
+
+/// Write to a file (IoError on failure).
+void write_csv_file(const std::string& path,
+                    const std::vector<Waveform>& waves,
+                    const std::string& time_header = "time");
+
+/// Read a CSV produced by write_csv: returns one waveform per non-time
+/// column.  Throws IoError / AnalysisError on malformed input.
+[[nodiscard]] std::vector<Waveform> read_csv(std::istream& is);
+[[nodiscard]] std::vector<Waveform> read_csv_file(const std::string& path);
+
+} // namespace nanosim::analysis
+
+#endif // NANOSIM_ANALYSIS_CSV_HPP

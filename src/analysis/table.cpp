@@ -1,0 +1,66 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw AnalysisError("Table: needs at least one column");
+    }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw AnalysisError("Table::add_row: cell count mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    const auto rule = [&]() {
+        os << '+';
+        for (const std::size_t w : width) {
+            os << std::string(w + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    const auto line = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c] << " |";
+        }
+        os << '\n';
+    };
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) {
+        line(row);
+    }
+    rule();
+}
+
+} // namespace nanosim::analysis

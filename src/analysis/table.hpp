@@ -1,0 +1,39 @@
+// Nano-Sim — fixed-width ASCII table rendering for bench output.
+//
+// The bench binaries print paper-style tables (Table I and the per-figure
+// data series) to stdout; this formatter keeps them aligned and readable
+// without any external dependency.
+#ifndef NANOSIM_ANALYSIS_TABLE_HPP
+#define NANOSIM_ANALYSIS_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nanosim::analysis {
+
+/// Column-aligned ASCII table.
+class Table {
+public:
+    /// Create with column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a row (must match the header count; throws AnalysisError).
+    void add_row(std::vector<std::string> cells);
+
+    /// Helper: format a double with `precision` significant digits.
+    [[nodiscard]] static std::string num(double v, int precision = 5);
+
+    /// Render with box-drawing rules.
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nanosim::analysis
+
+#endif // NANOSIM_ANALYSIS_TABLE_HPP

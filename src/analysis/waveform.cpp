@@ -1,0 +1,165 @@
+#include "analysis/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace nanosim::analysis {
+
+Waveform::Waveform(std::string label, std::vector<double> time,
+                   std::vector<double> value)
+    : label_(std::move(label)),
+      time_(std::move(time)),
+      value_(std::move(value)) {
+    if (time_.size() != value_.size()) {
+        throw AnalysisError("Waveform: time/value length mismatch");
+    }
+    for (std::size_t i = 1; i < time_.size(); ++i) {
+        if (time_[i] <= time_[i - 1]) {
+            throw AnalysisError("Waveform: time must be strictly increasing");
+        }
+    }
+}
+
+void Waveform::append(double t, double v) {
+    if (!time_.empty() && t <= time_.back()) {
+        throw AnalysisError("Waveform::append: non-increasing time");
+    }
+    time_.push_back(t);
+    value_.push_back(v);
+}
+
+double Waveform::at(double t) const {
+    if (empty()) {
+        throw AnalysisError("Waveform::at: empty waveform");
+    }
+    if (t <= time_.front()) {
+        return value_.front();
+    }
+    if (t >= time_.back()) {
+        return value_.back();
+    }
+    const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+    const auto hi = static_cast<std::size_t>(it - time_.begin());
+    const std::size_t lo = hi - 1;
+    const double f = (t - time_[lo]) / (time_[hi] - time_[lo]);
+    return value_[lo] + f * (value_[hi] - value_[lo]);
+}
+
+Waveform Waveform::resampled(std::size_t n) const {
+    if (empty() || n < 2) {
+        throw AnalysisError("Waveform::resampled: need data and n >= 2");
+    }
+    Waveform out(label_);
+    const double t0 = t_begin();
+    const double t1 = t_end();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t =
+            t0 + (t1 - t0) * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+        out.append(t, at(t));
+    }
+    return out;
+}
+
+double Waveform::max_value() const {
+    if (empty()) {
+        throw AnalysisError("Waveform::max_value: empty waveform");
+    }
+    return *std::max_element(value_.begin(), value_.end());
+}
+
+double Waveform::min_value() const {
+    if (empty()) {
+        throw AnalysisError("Waveform::min_value: empty waveform");
+    }
+    return *std::min_element(value_.begin(), value_.end());
+}
+
+namespace measure {
+
+double crossing_time(const Waveform& w, double level, bool rising,
+                     double after) {
+    for (std::size_t i = 1; i < w.size(); ++i) {
+        const double t0 = w.time_at(i - 1);
+        const double t1 = w.time_at(i);
+        if (t1 < after) {
+            continue;
+        }
+        const double v0 = w.value_at(i - 1);
+        const double v1 = w.value_at(i);
+        const bool crossed =
+            rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+        if (!crossed) {
+            continue;
+        }
+        const double f = (level - v0) / (v1 - v0);
+        const double tc = t0 + f * (t1 - t0);
+        if (tc >= after) {
+            return tc;
+        }
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double peak_time(const Waveform& w) {
+    if (w.empty()) {
+        throw AnalysisError("peak_time: empty waveform");
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+        if (w.value_at(i) > w.value_at(best)) {
+            best = i;
+        }
+    }
+    return w.time_at(best);
+}
+
+double rms(const Waveform& w) {
+    if (w.size() < 2) {
+        throw AnalysisError("rms: need at least two samples");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+        const double dt = w.time_at(i) - w.time_at(i - 1);
+        const double v0 = w.value_at(i - 1);
+        const double v1 = w.value_at(i);
+        acc += dt * (v0 * v0 + v1 * v1) / 2.0;
+    }
+    return std::sqrt(acc / (w.t_end() - w.t_begin()));
+}
+
+double max_abs_error(const Waveform& a, const Waveform& b) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        worst = std::max(worst,
+                         std::abs(a.value_at(i) - b.at(a.time_at(i))));
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        worst = std::max(worst,
+                         std::abs(b.value_at(i) - a.at(b.time_at(i))));
+    }
+    return worst;
+}
+
+double rms_error(const Waveform& a, const Waveform& b, std::size_t n) {
+    const double t0 = std::max(a.t_begin(), b.t_begin());
+    const double t1 = std::min(a.t_end(), b.t_end());
+    if (!(t1 > t0) || n < 2) {
+        throw AnalysisError("rms_error: waveforms do not overlap");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                                  static_cast<double>(n - 1);
+        const double d = a.at(t) - b.at(t);
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+}
+
+} // namespace measure
+
+} // namespace nanosim::analysis

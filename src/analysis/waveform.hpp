@@ -1,0 +1,93 @@
+// Nano-Sim — waveform container and interpolation.
+//
+// A Waveform is a (time, value) series produced by an engine for one
+// circuit quantity.  Time points may be non-uniform (adaptive stepping),
+// so value() interpolates linearly and resampled() maps onto a uniform
+// grid for comparison between engines that chose different step
+// sequences.
+#ifndef NANOSIM_ANALYSIS_WAVEFORM_HPP
+#define NANOSIM_ANALYSIS_WAVEFORM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nanosim::analysis {
+
+/// Sampled scalar signal over time (or over a sweep variable).
+class Waveform {
+public:
+    Waveform() = default;
+
+    /// Named waveform ("v(out)", "i(RTD1)").
+    explicit Waveform(std::string label) : label_(std::move(label)) {}
+
+    /// Construct from parallel vectors (must be equal length, time
+    /// strictly increasing; throws AnalysisError).
+    Waveform(std::string label, std::vector<double> time,
+             std::vector<double> value);
+
+    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+    void set_label(std::string label) { label_ = std::move(label); }
+
+    /// Append one sample; time must exceed the previous sample's time.
+    void append(double t, double v);
+
+    [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
+    [[nodiscard]] const std::vector<double>& time() const noexcept {
+        return time_;
+    }
+    [[nodiscard]] const std::vector<double>& value() const noexcept {
+        return value_;
+    }
+    [[nodiscard]] double time_at(std::size_t i) const { return time_[i]; }
+    [[nodiscard]] double value_at(std::size_t i) const { return value_[i]; }
+
+    [[nodiscard]] double t_begin() const { return time_.front(); }
+    [[nodiscard]] double t_end() const { return time_.back(); }
+
+    /// Linear interpolation at time t (clamped to the end values outside
+    /// the record).  Throws AnalysisError on an empty waveform.
+    [[nodiscard]] double at(double t) const;
+
+    /// Uniform resampling with n >= 2 points across [t_begin, t_end].
+    [[nodiscard]] Waveform resampled(std::size_t n) const;
+
+    /// Global extrema of the recorded samples.
+    [[nodiscard]] double max_value() const;
+    [[nodiscard]] double min_value() const;
+
+private:
+    std::string label_;
+    std::vector<double> time_;
+    std::vector<double> value_;
+};
+
+/// Measurements on waveforms (delay, crossings, peaks, error norms).
+namespace measure {
+
+/// First time the waveform crosses `level` in the given direction after
+/// `after`.  rising = upward crossing.  Returns NaN when never crossed.
+[[nodiscard]] double crossing_time(const Waveform& w, double level,
+                                   bool rising, double after = 0.0);
+
+/// Time of the global maximum.
+[[nodiscard]] double peak_time(const Waveform& w);
+
+/// RMS of the samples (trapezoidal weighting over time).
+[[nodiscard]] double rms(const Waveform& w);
+
+/// Max |a - b| over the union time range, comparing by interpolation at
+/// a's time points and b's time points.
+[[nodiscard]] double max_abs_error(const Waveform& a, const Waveform& b);
+
+/// RMS of (a - b) sampled on a uniform n-point grid over the overlap.
+[[nodiscard]] double rms_error(const Waveform& a, const Waveform& b,
+                               std::size_t n = 512);
+
+} // namespace measure
+
+} // namespace nanosim::analysis
+
+#endif // NANOSIM_ANALYSIS_WAVEFORM_HPP

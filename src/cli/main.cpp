@@ -1,0 +1,226 @@
+// nanosim — command-line batch simulator.
+//
+//   nanosim [options] deck.cir
+//
+//   --engine swec|nr|mla|pwl   transient/DC engine (default: swec)
+//   --csv PREFIX               write waveforms/sweeps to PREFIX_*.csv
+//   --quiet                    suppress ASCII plots
+//   --verbose                  raise log level to info
+//   --version                  print version and exit
+//
+// Runs every analysis card in the deck (.op, .dc, .tran) with the
+// selected engine and prints results in SPICE-batch style.  Exit code 0
+// on success, 1 on simulation failure, 2 on usage errors.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "core/nanosim.hpp"
+
+using namespace nanosim;
+
+namespace {
+
+struct CliOptions {
+    std::string deck_path;
+    DcEngine dc_engine = DcEngine::swec;
+    TranEngine tran_engine = TranEngine::swec;
+    std::string engine_name = "swec";
+    std::optional<std::string> csv_prefix;
+    bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+    os << "usage: nanosim [options] deck.cir\n"
+          "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
+          "  --csv PREFIX               export results as PREFIX_*.csv\n"
+          "  --quiet                    no ASCII plots\n"
+          "  --verbose                  info-level logging\n"
+          "  --version                  print version\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--version") {
+            std::cout << "nanosim " << version_string() << '\n';
+            std::exit(0);
+        }
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        }
+        if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--verbose") {
+            log::set_level(log::Level::info);
+        } else if (arg == "--engine") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            const std::string e = argv[i];
+            opt.engine_name = e;
+            if (e == "swec") {
+                opt.dc_engine = DcEngine::swec;
+                opt.tran_engine = TranEngine::swec;
+            } else if (e == "nr") {
+                opt.dc_engine = DcEngine::newton_raphson;
+                opt.tran_engine = TranEngine::newton_raphson;
+            } else if (e == "mla") {
+                opt.dc_engine = DcEngine::mla;
+                opt.tran_engine = TranEngine::swec; // no MLA transient
+            } else if (e == "pwl") {
+                opt.dc_engine = DcEngine::swec;
+                opt.tran_engine = TranEngine::pwl;
+            } else {
+                return std::nullopt;
+            }
+        } else if (arg == "--csv") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.csv_prefix = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return std::nullopt;
+        } else if (opt.deck_path.empty()) {
+            opt.deck_path = arg;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (opt.deck_path.empty()) {
+        return std::nullopt;
+    }
+    return opt;
+}
+
+void maybe_plot(const CliOptions& cli,
+                const std::vector<analysis::Waveform>& waves,
+                const std::string& title, const std::string& x_label) {
+    if (cli.quiet || waves.empty()) {
+        return;
+    }
+    analysis::PlotOptions plot;
+    plot.title = title;
+    plot.x_label = x_label;
+    analysis::ascii_plot(std::cout, waves, plot);
+}
+
+int run_op(Simulator& sim, const CliOptions& cli, int index) {
+    std::cout << "\n* analysis " << index << ": .op (engine "
+              << cli.engine_name << ")\n";
+    const auto op = sim.operating_point(cli.dc_engine);
+    if (!op.converged) {
+        std::cout << "  OPERATING POINT DID NOT CONVERGE after "
+                  << op.iterations << " iterations (residual "
+                  << op.residual << ")\n";
+        return 1;
+    }
+    const auto v = sim.assembler().view(op.x);
+    for (NodeId n = 1; n <= sim.circuit().num_nodes(); ++n) {
+        std::cout << "  v(" << sim.circuit().node_name(n)
+                  << ") = " << v(n) << " V\n";
+    }
+    std::cout << "  [" << op.iterations << " iterations/steps, "
+              << op.flops.total() << " flops]\n";
+    return 0;
+}
+
+int run_dc(Simulator& sim, const CliOptions& cli, const DcCard& card,
+           int index) {
+    std::cout << "\n* analysis " << index << ": .dc " << card.source
+              << ' ' << card.start << " -> " << card.stop << " step "
+              << card.step << " (engine " << cli.engine_name << ")\n";
+    const auto sweep = sim.dc_sweep(card.source, card.start, card.stop,
+                                    card.step, cli.dc_engine);
+    std::cout << "  " << sweep.values.size() << " points, "
+              << sweep.failures() << " failures, "
+              << sweep.flops.total() << " flops\n";
+
+    // One waveform per node, indexed by the sweep value.
+    std::vector<analysis::Waveform> waves;
+    for (NodeId n = 1; n <= sim.circuit().num_nodes(); ++n) {
+        analysis::Waveform w("v(" + sim.circuit().node_name(n) + ")");
+        for (std::size_t k = 0; k < sweep.values.size(); ++k) {
+            if (w.empty() || sweep.values[k] > w.time().back()) {
+                w.append(sweep.values[k],
+                         sim.assembler().view(sweep.solutions[k])(n));
+            }
+        }
+        waves.push_back(std::move(w));
+    }
+    maybe_plot(cli, waves, "DC sweep", card.source + " [V]");
+    if (cli.csv_prefix) {
+        const std::string path =
+            *cli.csv_prefix + "_dc" + std::to_string(index) + ".csv";
+        analysis::write_csv_file(path, waves, card.source);
+        std::cout << "  wrote " << path << '\n';
+    }
+    return sweep.failures() == 0 ? 0 : 1;
+}
+
+int run_tran(Simulator& sim, const CliOptions& cli, const TranCard& card,
+             int index) {
+    std::cout << "\n* analysis " << index << ": .tran " << card.tstep
+              << ' ' << card.tstop << " (engine " << cli.engine_name
+              << ")\n";
+    engines::SwecTranOptions opt;
+    opt.t_stop = card.tstop;
+    opt.dt_init = card.tstep;
+    const auto res = sim.transient(opt, cli.tran_engine);
+    std::cout << "  " << res.steps_accepted << " steps ("
+              << res.steps_rejected << " rejected), "
+              << res.nr_iterations << " nonlinear iterations, "
+              << res.nonconverged_steps << " non-converged, "
+              << res.flops.total() << " flops\n";
+    maybe_plot(cli, res.node_waves, "transient", "t [s]");
+    if (cli.csv_prefix) {
+        const std::string path =
+            *cli.csv_prefix + "_tran" + std::to_string(index) + ".csv";
+        analysis::write_csv_file(path, res.node_waves);
+        std::cout << "  wrote " << path << '\n';
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto cli = parse_args(argc, argv);
+    if (!cli) {
+        usage(std::cerr);
+        return 2;
+    }
+    try {
+        Simulator sim = Simulator::from_deck_file(cli->deck_path);
+        std::cout << "nanosim " << version_string() << " | "
+                  << cli->deck_path << " | "
+                  << sim.circuit().device_count() << " devices, "
+                  << sim.circuit().num_nodes() << " nodes, "
+                  << sim.assembler().unknowns() << " unknowns\n";
+        if (sim.deck_analyses().empty()) {
+            std::cout << "deck has no analysis cards (.op/.dc/.tran); "
+                         "nothing to do\n";
+            return 0;
+        }
+        int rc = 0;
+        int index = 0;
+        for (const auto& card : sim.deck_analyses()) {
+            ++index;
+            if (std::holds_alternative<OpCard>(card)) {
+                rc |= run_op(sim, *cli, index);
+            } else if (const auto* dc = std::get_if<DcCard>(&card)) {
+                rc |= run_dc(sim, *cli, *dc, index);
+            } else if (const auto* tran = std::get_if<TranCard>(&card)) {
+                rc |= run_tran(sim, *cli, *tran, index);
+            }
+        }
+        return rc;
+    } catch (const SimError& e) {
+        std::cerr << "nanosim: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,52 @@
+// Nano-Sim — umbrella header.
+//
+// Include this to get the whole public API: device models, netlist
+// parser, MNA assembly, every engine, the stochastic toolkit, analysis
+// utilities and the Simulator facade.
+#ifndef NANOSIM_CORE_NANOSIM_HPP
+#define NANOSIM_CORE_NANOSIM_HPP
+
+#include "analysis/ascii_plot.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/table.hpp"
+#include "analysis/waveform.hpp"
+#include "core/simulator.hpp"
+#include "core/version.hpp"
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/nanowire.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/rtt.hpp"
+#include "devices/sources.hpp"
+#include "devices/tv_conductor.hpp"
+#include "devices/waveform.hpp"
+#include "engines/dc_mla.hpp"
+#include "engines/dc_nr.hpp"
+#include "engines/dc_swec.hpp"
+#include "engines/em_engine.hpp"
+#include "engines/monte_carlo.hpp"
+#include "engines/ou_exact.hpp"
+#include "engines/step_control.hpp"
+#include "engines/tran_nr.hpp"
+#include "engines/tran_pwl.hpp"
+#include "engines/tran_swec.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "linalg/vecops.hpp"
+#include "mna/mna.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/parser.hpp"
+#include "stochastic/ito.hpp"
+#include "stochastic/rng.hpp"
+#include "stochastic/stats.hpp"
+#include "stochastic/wiener.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/flops.hpp"
+#include "util/log.hpp"
+
+#endif // NANOSIM_CORE_NANOSIM_HPP

@@ -1,0 +1,186 @@
+#include "core/ref_circuits.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "devices/mosfet.hpp"
+#include "devices/passives.hpp"
+#include "devices/sources.hpp"
+#include "devices/tv_conductor.hpp"
+
+namespace nanosim::refckt {
+
+namespace {
+
+/// Scale an RTD's area: both current terms scale with device area.
+RtdParams scaled_area(RtdParams p, double area) {
+    p.a *= area;
+    p.h *= area;
+    return p;
+}
+
+/// Sinusoidally modulated conductance waveform for the Fig. 10 device.
+class ModulatedG final : public Waveform {
+public:
+    ModulatedG(double g0, double depth, double freq)
+        : g0_(g0), depth_(depth), freq_(freq) {}
+
+    [[nodiscard]] double value(double t) const override {
+        const double w = 2.0 * std::numbers::pi * freq_;
+        return g0_ * (1.0 + depth_ * std::sin(w * t));
+    }
+    [[nodiscard]] double slope(double t) const override {
+        const double w = 2.0 * std::numbers::pi * freq_;
+        return g0_ * depth_ * w * std::cos(w * t);
+    }
+    [[nodiscard]] std::string describe() const override {
+        return "G(t) modulated";
+    }
+
+private:
+    double g0_, depth_, freq_;
+};
+
+} // namespace
+
+Circuit rtd_divider(double r, const RtdParams& rtd) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, k_ground, 0.0);
+    ckt.add<Resistor>("R1", in, out, r);
+    ckt.add<Rtd>("RTD1", out, k_ground, rtd);
+    return ckt;
+}
+
+Circuit nanowire_divider(double r, const NanowireParams& nw) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, k_ground, 0.0);
+    ckt.add<Resistor>("R1", in, out, r);
+    ckt.add<Nanowire>("NW1", out, k_ground, nw);
+    return ckt;
+}
+
+Circuit fet_rtd_inverter(const InverterSpec& spec) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+
+    ckt.add<VSource>("VDD", vdd, k_ground, spec.v_dd);
+    ckt.add<VSource>(
+        "VIN", in, k_ground,
+        std::make_shared<PulseWave>(0.0, spec.v_dd, spec.period / 4.0,
+                                    spec.edge, spec.edge,
+                                    spec.period / 2.0 - spec.edge,
+                                    spec.period));
+    ckt.add<Rtd>("RTDL", vdd, out, scaled_area(spec.rtd, spec.load_area));
+    ckt.add<Rtd>("RTDD", out, k_ground, spec.rtd);
+
+    MosfetParams mos;
+    mos.vth = 1.0;
+    mos.k = 2e-3; // strong pull-down: sinks well past the RTD peak current
+    mos.w = 20e-6;
+    mos.l = 1e-6;
+    ckt.add<Mosfet>("M1", out, in, k_ground, mos);
+    ckt.add<Capacitor>("COUT", out, k_ground, spec.c_out);
+    // Gate loading keeps the input node well-posed for all engines.
+    ckt.add<Capacitor>("CIN", in, k_ground, spec.c_out / 10.0);
+    return ckt;
+}
+
+Circuit rtd_dff(const DffSpec& spec) {
+    Circuit ckt;
+    const NodeId clk = ckt.node("clk");
+    const NodeId d = ckt.node("d");
+    const NodeId q = ckt.node("q");
+
+    // Clock: rising edge completes at clock_delay + edge (~55 ns), then
+    // every clock_period.
+    const double width = spec.clock_period / 2.0 - spec.edge;
+    ckt.add<VSource>("VCLK", clk, k_ground,
+                     std::make_shared<PulseWave>(0.0, spec.v_high,
+                                                 spec.clock_delay, spec.edge,
+                                                 spec.edge, width,
+                                                 spec.clock_period));
+    // Data: low, switching high at d_switch_time.
+    ckt.add<VSource>(
+        "VD", d, k_ground,
+        std::make_shared<PwlWave>(std::vector<std::pair<double, double>>{
+            {0.0, 0.0},
+            {spec.d_switch_time, 0.0},
+            {spec.d_switch_time + spec.edge, spec.v_high}}));
+
+    // MOBILE pair biased by the clock: load RTD clk->q, drive RTD q->gnd.
+    ckt.add<Rtd>("RTDL", clk, q, scaled_area(spec.rtd, spec.load_area));
+    ckt.add<Rtd>("RTDD", q, k_ground, spec.rtd);
+
+    // Data transistor unbalances the pair at the latching moment.
+    MosfetParams mos;
+    mos.vth = 1.0;
+    mos.k = 2e-3; // strong pull-down: sinks well past the RTD peak current
+    mos.w = 20e-6;
+    mos.l = 1e-6;
+    ckt.add<Mosfet>("M1", q, d, k_ground, mos);
+    ckt.add<Capacitor>("CQ", q, k_ground, spec.c_q);
+    ckt.add<Capacitor>("CD", d, k_ground, spec.c_q / 10.0);
+    return ckt;
+}
+
+Circuit fig10_noisy_transistor(const Fig10Spec& spec) {
+    Circuit ckt;
+    const NodeId n1 = ckt.node("n1");
+    ckt.add<ISource>("IDRV", k_ground, n1, spec.i_drive); // inject into n1
+    ckt.add<Capacitor>("C1", n1, k_ground, spec.c);
+    ckt.add<TimeVaryingConductor>(
+        "GTV", n1, k_ground,
+        std::make_shared<ModulatedG>(spec.g0, spec.depth, spec.freq));
+    ckt.add<NoiseCurrentSource>("NOISE1", k_ground, n1, spec.sigma);
+    return ckt;
+}
+
+Circuit noisy_rc(double r, double c, double i_dc, double sigma) {
+    Circuit ckt;
+    const NodeId n1 = ckt.node("n1");
+    ckt.add<ISource>("I1", k_ground, n1, i_dc); // inject into n1
+    ckt.add<Resistor>("R1", n1, k_ground, r);
+    ckt.add<Capacitor>("C1", n1, k_ground, c);
+    ckt.add<NoiseCurrentSource>("NOISE1", k_ground, n1, sigma);
+    return ckt;
+}
+
+Circuit rtd_chain(const ChainSpec& spec) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>(
+        "V1", in, k_ground,
+        std::make_shared<PulseWave>(0.0, spec.v_high, spec.period / 4.0,
+                                    spec.edge, spec.edge,
+                                    spec.period / 2.0 - spec.edge,
+                                    spec.period));
+    NodeId prev = in;
+    for (int i = 1; i <= spec.stages; ++i) {
+        const std::string tag = std::to_string(i);
+        const NodeId node = ckt.node("n" + tag);
+        ckt.add<Resistor>("R" + tag, prev, node, spec.r);
+        ckt.add<Rtd>("RTD" + tag, node, k_ground, spec.rtd);
+        ckt.add<Capacitor>("C" + tag, node, k_ground, spec.c);
+        prev = node;
+    }
+    return ckt;
+}
+
+Circuit rc_lowpass(double r, double c, double v_step) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, k_ground, v_step);
+    ckt.add<Resistor>("R1", in, out, r);
+    ckt.add<Capacitor>("C1", out, k_ground, c);
+    return ckt;
+}
+
+} // namespace nanosim::refckt

@@ -1,0 +1,111 @@
+// Nano-Sim — reference circuits from the paper's evaluation (Sec. 5).
+//
+// Every experiment circuit is built here exactly once and reused by the
+// test suite, the bench harness and the examples:
+//
+//   * rtd_divider        — series R + RTD across a voltage source; the
+//                          DC test vehicle of Fig. 7(a) and Table I.
+//   * nanowire_divider   — series R + nanowire; Fig. 7(b).
+//   * fet_rtd_inverter   — MOBILE-style inverter: two series RTDs with a
+//                          parallel NMOS driver; Fig. 8.
+//   * rtd_dff            — clocked MOBILE latch used as a D flip-flop;
+//                          Fig. 9 (D switches at 300 ns, Q at the next
+//                          rising clock edge, 350 ns).
+//   * fig10_noisy_transistor — time-variant transistor conductance with
+//                          parasitic RC and a white-noise input; the EM
+//                          vs analytic experiment of Fig. 10 (0-1 ns,
+//                          peak ~0.6 V).
+//   * noisy_rc           — minimal RC + white-noise current (test bed for
+//                          the stochastic engines; exact OU reference).
+//   * rtd_chain          — ladder of N RC-loaded RTD stages driven by a
+//                          pulse; the scaling workload of the speedup
+//                          claim (Sec. 1: "20-30 times speedup").
+//   * rc_lowpass         — plain RC divider for linear-engine validation.
+#ifndef NANOSIM_CORE_REF_CIRCUITS_HPP
+#define NANOSIM_CORE_REF_CIRCUITS_HPP
+
+#include "devices/nanowire.hpp"
+#include "devices/rtd.hpp"
+#include "netlist/circuit.hpp"
+
+namespace nanosim::refckt {
+
+/// Series R + RTD divider: V1 drives "in"; the RTD sits between "out"
+/// and ground.  Sweep V1 to trace the RTD I-V (Fig. 7(a)).
+[[nodiscard]] Circuit rtd_divider(double r = 50.0,
+                                  const RtdParams& rtd = RtdParams::date05());
+
+/// Series R + nanowire divider (Fig. 7(b)); nanowire between "out" and
+/// ground.
+[[nodiscard]] Circuit nanowire_divider(double r = 1e3,
+                                       const NanowireParams& nw = {});
+
+/// MOBILE-style FET-RTD inverter (Fig. 8).  Nodes: "in", "out", "vdd".
+/// The load RTD (vdd->out) has `load_area` times the drive RTD's area;
+/// the NMOS pulls "out" low when "in" is high.  `v_dd` is the supply,
+/// the input source "VIN" is a 0<->v_dd pulse with the given period.
+struct InverterSpec {
+    double v_dd = 5.0;
+    double load_area = 3.0;
+    double c_out = 100e-12;   ///< output node capacitance [F]
+    double period = 200e-9;   ///< input pulse period [s]
+    double edge = 5e-9;       ///< input rise/fall [s]
+    RtdParams rtd = RtdParams::date05();
+};
+[[nodiscard]] Circuit fet_rtd_inverter(const InverterSpec& spec = {});
+
+/// Clocked MOBILE latch / D flip-flop (Fig. 9).  Nodes: "clk", "d", "q".
+/// Clock rising edges at 50 ns + k*100 ns; the D source switches at
+/// `d_switch_time`.  Q is valid while the clock is high (return-to-zero
+/// MOBILE logic) and INVERTS D, switching only on a rising clock edge.
+struct DffSpec {
+    double v_high = 5.0;
+    double clock_period = 100e-9;
+    double clock_delay = 45e-9;  ///< first rising edge ~50 ns
+    double edge = 10e-9;
+    double d_switch_time = 300e-9;
+    double load_area = 3.0;
+    double c_q = 100e-12;
+    RtdParams rtd = RtdParams::date05();
+};
+[[nodiscard]] Circuit rtd_dff(const DffSpec& spec = {});
+
+/// Fig. 10: node "n1" with parasitic C to ground, driven by a DC current,
+/// loaded by a *time-variant* transistor conductance
+/// G(t) = g0 (1 + depth sin(2 pi f t)) and perturbed by a white-noise
+/// current of intensity sigma.  Defaults give a ~0.6 V peak in 0-1 ns.
+struct Fig10Spec {
+    double c = 0.4e-12;      ///< parasitic capacitance [F] (tau = 0.4 ns)
+    double g0 = 1e-3;        ///< mean channel conductance [S]
+    double depth = 0.35;     ///< conductance modulation depth
+    double freq = 1.5e9;     ///< modulation frequency [Hz]
+    double i_drive = 0.55e-3;///< drive current [A]
+    double sigma = 2.5e-9;   ///< noise intensity [A sqrt(s)]
+};
+[[nodiscard]] Circuit fig10_noisy_transistor(const Fig10Spec& spec = {});
+
+/// Minimal stochastic test bed: I_DC + R + C + white noise on node "n1".
+[[nodiscard]] Circuit noisy_rc(double r = 1e3, double c = 1e-12,
+                               double i_dc = 1e-3, double sigma = 5e-9);
+
+/// Pulse-driven ladder of `stages` RTD stages ("n1".."n<stages>"), each
+/// with a series resistor, an RTD to ground and a node capacitor — the
+/// scaling workload for the speedup benchmarks.
+struct ChainSpec {
+    int stages = 8;
+    double r = 100.0;
+    double c = 100e-12;
+    double v_high = 5.0;
+    double period = 200e-9;
+    double edge = 5e-9;
+    RtdParams rtd = RtdParams::date05();
+};
+[[nodiscard]] Circuit rtd_chain(const ChainSpec& spec = {});
+
+/// V1 -> R -> "out" -> C -> gnd; the canonical linear validation vehicle.
+[[nodiscard]] Circuit rc_lowpass(double r = 1e3, double c = 1e-9,
+                                 double v_step = 1.0);
+
+} // namespace nanosim::refckt
+
+#endif // NANOSIM_CORE_REF_CIRCUITS_HPP

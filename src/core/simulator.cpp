@@ -1,0 +1,111 @@
+#include "core/simulator.hpp"
+
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+
+Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
+    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
+}
+
+Simulator::Simulator(ParsedDeck deck)
+    : circuit_(std::move(deck.circuit)),
+      deck_analyses_(std::move(deck.analyses)) {
+    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
+}
+
+Simulator Simulator::from_deck(const std::string& deck_text) {
+    return Simulator(parse_deck(deck_text));
+}
+
+Simulator Simulator::from_deck_file(const std::string& path) {
+    return Simulator(parse_deck_file(path));
+}
+
+void Simulator::reassemble() {
+    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
+}
+
+engines::DcResult Simulator::operating_point(DcEngine engine) const {
+    switch (engine) {
+    case DcEngine::swec:
+        return engines::solve_op_swec(*assembler_);
+    case DcEngine::newton_raphson:
+        return engines::solve_op_nr(*assembler_);
+    case DcEngine::mla:
+        return engines::solve_op_mla(*assembler_);
+    }
+    throw AnalysisError("operating_point: unknown engine");
+}
+
+engines::SweepResult Simulator::dc_sweep(const std::string& source,
+                                         double start, double stop,
+                                         double step, DcEngine engine) {
+    if (step == 0.0 || (stop - start) * step < 0.0) {
+        throw AnalysisError("dc_sweep: inconsistent start/stop/step");
+    }
+    const auto count =
+        static_cast<std::size_t>(std::abs((stop - start) / step)) + 1;
+    const linalg::Vector values = linalg::linspace(start, stop, count);
+    switch (engine) {
+    case DcEngine::swec:
+        return engines::dc_sweep_swec(circuit_, source, values);
+    case DcEngine::newton_raphson:
+        return engines::dc_sweep_nr(circuit_, source, values);
+    case DcEngine::mla:
+        return engines::dc_sweep_mla(circuit_, source, values);
+    }
+    throw AnalysisError("dc_sweep: unknown engine");
+}
+
+engines::TranResult
+Simulator::transient(const engines::SwecTranOptions& options,
+                     TranEngine engine) const {
+    switch (engine) {
+    case TranEngine::swec:
+        return engines::run_tran_swec(*assembler_, options);
+    case TranEngine::newton_raphson: {
+        engines::NrTranOptions nr;
+        nr.t_stop = options.t_stop;
+        nr.dt_init = options.dt_init;
+        nr.dt_min = options.dt_min;
+        nr.dt_max = options.dt_max;
+        nr.start_from_dc = options.start_from_dc;
+        nr.initial = options.initial;
+        nr.noise = options.noise;
+        return engines::run_tran_nr(*assembler_, nr);
+    }
+    case TranEngine::pwl: {
+        engines::PwlTranOptions pwl;
+        pwl.t_stop = options.t_stop;
+        pwl.dt_init = options.dt_init;
+        pwl.dt_min = options.dt_min;
+        pwl.dt_max = options.dt_max;
+        pwl.start_from_dc = options.start_from_dc;
+        pwl.initial = options.initial;
+        pwl.noise = options.noise;
+        return engines::run_tran_pwl(*assembler_, pwl);
+    }
+    }
+    throw AnalysisError("transient: unknown engine");
+}
+
+engines::EmEnsembleResult
+Simulator::stochastic_ensemble(const engines::EmOptions& options, int paths,
+                               const std::string& node,
+                               std::uint64_t seed) const {
+    const engines::EmEngine engine(*assembler_, options);
+    stochastic::Rng rng(seed);
+    return engine.run_ensemble(paths, rng, circuit_.find_node(node));
+}
+
+engines::McResult Simulator::monte_carlo(const engines::McOptions& options,
+                                         const std::string& node,
+                                         std::uint64_t seed) const {
+    stochastic::Rng rng(seed);
+    return engines::run_monte_carlo(*assembler_, options, rng,
+                                    circuit_.find_node(node));
+}
+
+} // namespace nanosim

@@ -1,0 +1,111 @@
+// Nano-Sim — top-level simulator facade.
+//
+// One object that owns a circuit (built programmatically or parsed from a
+// SPICE-like deck), assembles it once, and exposes every analysis the
+// library implements behind a single engine-selection enum:
+//
+//     nanosim::Simulator sim = nanosim::Simulator::from_deck_file("x.cir");
+//     auto tran = sim.transient({.t_stop = 1e-6});             // SWEC
+//     auto tran_spice = sim.transient({.t_stop = 1e-6},
+//                                     nanosim::DcEngine::newton_raphson);
+//
+// The facade is a convenience layer: everything it does is available from
+// the engines directly, and power users (the benches) use those APIs.
+#ifndef NANOSIM_CORE_SIMULATOR_HPP
+#define NANOSIM_CORE_SIMULATOR_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engines/dc_mla.hpp"
+#include "engines/dc_nr.hpp"
+#include "engines/dc_swec.hpp"
+#include "engines/em_engine.hpp"
+#include "engines/monte_carlo.hpp"
+#include "engines/results.hpp"
+#include "engines/tran_nr.hpp"
+#include "engines/tran_pwl.hpp"
+#include "engines/tran_swec.hpp"
+#include "mna/mna.hpp"
+#include "netlist/parser.hpp"
+
+namespace nanosim {
+
+/// DC solver selection.
+enum class DcEngine {
+    swec,           ///< pseudo-transient SWEC (default; paper Sec. 5.1)
+    newton_raphson, ///< plain NR (SPICE behaviour, incl. NDR failures)
+    mla,            ///< Bhattacharya-Mazumder limited NR baseline
+};
+
+/// Transient solver selection.
+enum class TranEngine {
+    swec,           ///< SWEC (default; paper Sec. 3)
+    newton_raphson, ///< SPICE3-like companion-model NR
+    pwl,            ///< ACES-like piecewise linear
+};
+
+/// Facade over circuit + assembler + engines.
+class Simulator {
+public:
+    /// Take ownership of a programmatically built circuit.
+    explicit Simulator(Circuit circuit);
+
+    /// Build from deck text / file (see netlist/parser.hpp for grammar).
+    [[nodiscard]] static Simulator from_deck(const std::string& deck_text);
+    [[nodiscard]] static Simulator from_deck_file(const std::string& path);
+
+    [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+    [[nodiscard]] Circuit& circuit() noexcept { return circuit_; }
+    [[nodiscard]] const mna::MnaAssembler& assembler() const {
+        return *assembler_;
+    }
+
+    /// Analyses requested by the deck (.op/.dc/.tran cards), if parsed.
+    [[nodiscard]] const std::vector<AnalysisCard>& deck_analyses() const {
+        return deck_analyses_;
+    }
+
+    /// Re-assemble after mutating the circuit (source swaps etc.).
+    void reassemble();
+
+    // ---- analyses ----
+
+    /// DC operating point with the selected engine.
+    [[nodiscard]] engines::DcResult
+    operating_point(DcEngine engine = DcEngine::swec) const;
+
+    /// DC sweep of a named V/I source.
+    [[nodiscard]] engines::SweepResult
+    dc_sweep(const std::string& source, double start, double stop,
+             double step, DcEngine engine = DcEngine::swec);
+
+    /// Transient with the selected engine.  For non-SWEC engines the
+    /// SWEC-specific options map onto the equivalents (dt limits, IC).
+    [[nodiscard]] engines::TranResult
+    transient(const engines::SwecTranOptions& options,
+              TranEngine engine = TranEngine::swec) const;
+
+    /// Euler-Maruyama stochastic ensemble on a node.
+    [[nodiscard]] engines::EmEnsembleResult
+    stochastic_ensemble(const engines::EmOptions& options, int paths,
+                        const std::string& node,
+                        std::uint64_t seed = 1) const;
+
+    /// Monte-Carlo baseline on a node.
+    [[nodiscard]] engines::McResult
+    monte_carlo(const engines::McOptions& options, const std::string& node,
+                std::uint64_t seed = 1) const;
+
+private:
+    Simulator(ParsedDeck deck);
+
+    Circuit circuit_;
+    std::vector<AnalysisCard> deck_analyses_;
+    std::unique_ptr<mna::MnaAssembler> assembler_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_CORE_SIMULATOR_HPP

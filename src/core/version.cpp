@@ -1,0 +1,7 @@
+#include "core/version.hpp"
+
+namespace nanosim {
+
+const char* version_string() noexcept { return "1.0.0"; }
+
+} // namespace nanosim

@@ -1,0 +1,16 @@
+// Nano-Sim — version information.
+#ifndef NANOSIM_CORE_VERSION_HPP
+#define NANOSIM_CORE_VERSION_HPP
+
+namespace nanosim {
+
+inline constexpr int k_version_major = 1;
+inline constexpr int k_version_minor = 0;
+inline constexpr int k_version_patch = 0;
+
+/// "1.0.0"
+[[nodiscard]] const char* version_string() noexcept;
+
+} // namespace nanosim
+
+#endif // NANOSIM_CORE_VERSION_HPP

@@ -1,0 +1,154 @@
+#include "devices/device.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+namespace {
+
+/// Voltage window below which the chord I(V)/V switches to its analytic
+/// limit dI/dV(0) to avoid 0/0.  Device voltages of interest are O(1) V.
+constexpr double k_chord_v_eps = 1e-9;
+
+} // namespace
+
+const char* to_string(DeviceKind kind) noexcept {
+    switch (kind) {
+    case DeviceKind::resistor: return "resistor";
+    case DeviceKind::capacitor: return "capacitor";
+    case DeviceKind::inductor: return "inductor";
+    case DeviceKind::vsource: return "vsource";
+    case DeviceKind::isource: return "isource";
+    case DeviceKind::noise_source: return "noise_source";
+    case DeviceKind::diode: return "diode";
+    case DeviceKind::mosfet: return "mosfet";
+    case DeviceKind::rtd: return "rtd";
+    case DeviceKind::rtt: return "rtt";
+    case DeviceKind::nanowire: return "nanowire";
+    case DeviceKind::tv_conductor: return "tv_conductor";
+    }
+    return "unknown";
+}
+
+void Device::stamp_static(Stamper&, int) const {}
+void Device::stamp_reactive(Stamper&, int) const {}
+void Device::stamp_rhs(Stamper&, int, double) const {}
+void Device::stamp_time_varying(Stamper&, int, double) const {}
+
+void Device::stamp_nr(Stamper&, int, const NodeVoltages&) const {
+    throw SimError("device '" + name() + "': stamp_nr not supported");
+}
+
+void Device::stamp_swec(Stamper&, int, double) const {
+    throw SimError("device '" + name() + "': stamp_swec not supported");
+}
+
+double Device::swec_conductance(const NodeVoltages&) const {
+    throw SimError("device '" + name() + "': swec_conductance not supported");
+}
+
+double Device::swec_conductance_rate(const NodeVoltages&,
+                                     const NodeVoltages&) const {
+    throw SimError("device '" + name() +
+                   "': swec_conductance_rate not supported");
+}
+
+double Device::step_limit(const NodeVoltages&, const NodeVoltages&,
+                          double) const {
+    return std::numeric_limits<double>::infinity();
+}
+
+double Device::branch_current(const NodeVoltages&) const {
+    throw SimError("device '" + name() + "': branch_current not supported");
+}
+
+// ---------------------------------------------------------------------------
+// TwoTerminalNonlinear
+// ---------------------------------------------------------------------------
+
+double TwoTerminalNonlinear::chord_conductance(double v) const {
+    if (std::abs(v) < k_chord_v_eps) {
+        // lim_{V->0} I(V)/V = dI/dV(0) by l'Hopital (I(0)=0 for all our
+        // two-terminal models).
+        return didv(0.0);
+    }
+    count_div();
+    return current(v) / v;
+}
+
+double TwoTerminalNonlinear::chord_conductance_dv(double v) const {
+    if (std::abs(v) < k_chord_v_eps) {
+        // lim_{V->0} d/dV [I/V] = I''(0)/2; estimate I''(0) by central
+        // difference of the (analytic) first derivative, then halve.
+        const double h = 1e-6;
+        count_div(2);
+        return (didv(h) - didv(-h)) / (4.0 * h);
+    }
+    // d/dV [I(V)/V] = (V I'(V) - I(V)) / V^2     (paper eq. 8 in closed
+    // form for the RTD; this generic quotient rule is its model-agnostic
+    // equivalent).
+    count_mul(2);
+    count_add(1);
+    count_div(1);
+    return (v * didv(v) - current(v)) / (v * v);
+}
+
+void TwoTerminalNonlinear::stamp_nr(Stamper& stamper, int,
+                                    const NodeVoltages& nv) const {
+    const double v = nv(pos_) - nv(neg_);
+    const double g = didv(v);
+    const double i0 = current(v);
+    // Norton companion: I ~ g*V + (I0 - g*V0).
+    const double ieq = i0 - g * v;
+    stamper.conductance(pos_, neg_, g);
+    stamper.rhs_current(pos_, -ieq);
+    stamper.rhs_current(neg_, +ieq);
+    count_mul(2);
+    count_add(2);
+}
+
+void TwoTerminalNonlinear::stamp_swec(Stamper& stamper, int,
+                                      double geq) const {
+    stamper.conductance(pos_, neg_, geq);
+}
+
+double TwoTerminalNonlinear::swec_conductance(const NodeVoltages& nv) const {
+    return chord_conductance(nv(pos_) - nv(neg_));
+}
+
+double
+TwoTerminalNonlinear::swec_conductance_rate(const NodeVoltages& nv,
+                                            const NodeVoltages& dvdt) const {
+    const double v = nv(pos_) - nv(neg_);
+    const double vdot = dvdt(pos_) - dvdt(neg_);
+    count_mul(1);
+    count_add(2);
+    return chord_conductance_dv(v) * vdot; // paper eq. 7
+}
+
+double TwoTerminalNonlinear::step_limit(const NodeVoltages& nv,
+                                        const NodeVoltages& dvdt,
+                                        double eps) const {
+    // Bound the per-step relative change of the chord conductance:
+    //   h <= eps * G_eq / |dG_eq/dt|
+    // — the RTD/nanowire analogue of the paper's MOSFET bound (eq. 12),
+    // derived from the same requirement that the equivalent conductance
+    // stay representative across the step.
+    const double g = swec_conductance(nv);
+    const double gdot = std::abs(swec_conductance_rate(nv, dvdt));
+    if (gdot <= 0.0 || g <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    count_div();
+    count_mul();
+    return eps * g / gdot;
+}
+
+double TwoTerminalNonlinear::branch_current(const NodeVoltages& nv) const {
+    return current(nv(pos_) - nv(neg_));
+}
+
+} // namespace nanosim

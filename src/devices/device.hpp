@@ -1,0 +1,175 @@
+// Nano-Sim — abstract device interface.
+//
+// Devices are *stateless evaluators*: all simulation state (previous
+// voltages, predicted SWEC conductances, ...) lives in the engines, keyed
+// by device index.  This keeps a single Circuit safely shareable by many
+// engines at once — the Monte-Carlo wrapper runs hundreds of transients
+// over one netlist.
+//
+// A device participates in up to four views of the circuit:
+//  * static      — time-invariant conductances (resistors, branch rows),
+//  * reactive    — C-matrix entries (capacitors, inductor -L terms),
+//  * rhs(t)      — independent source values at time t,
+//  * nonlinear   — either a Newton-Raphson linearisation at a trial point
+//                  (stamp_nr) or a SWEC chord conductance (stamp_swec).
+#ifndef NANOSIM_DEVICES_DEVICE_HPP
+#define NANOSIM_DEVICES_DEVICE_HPP
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "devices/stamp.hpp"
+
+namespace nanosim {
+
+/// Broad device classification (used by parsers, engines and reports).
+enum class DeviceKind {
+    resistor,
+    capacitor,
+    inductor,
+    vsource,
+    isource,
+    noise_source,
+    diode,
+    mosfet,
+    rtd,
+    rtt,
+    nanowire,
+    tv_conductor,
+};
+
+/// Printable name of a DeviceKind.
+[[nodiscard]] const char* to_string(DeviceKind kind) noexcept;
+
+/// Base class of every circuit element.
+class Device {
+public:
+    explicit Device(std::string name) : name_(std::move(name)) {}
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    /// Instance name, unique within a Circuit (enforced by Circuit).
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] virtual DeviceKind kind() const noexcept = 0;
+
+    /// The node ids this device touches (for connectivity checks).
+    [[nodiscard]] virtual std::vector<NodeId> terminals() const = 0;
+
+    /// Number of extra MNA unknowns (branch currents) this device needs.
+    [[nodiscard]] virtual int branch_count() const noexcept { return 0; }
+
+    /// True for devices whose I-V relation is nonlinear (diode, MOSFET,
+    /// RTD, RTT, nanowire).  Engines iterate only over these.
+    [[nodiscard]] virtual bool nonlinear() const noexcept { return false; }
+
+    /// True for linear devices whose G entries depend on (known) time —
+    /// e.g. the "time-variant nanoscale transistor" of paper Fig. 10.
+    /// Engines re-stamp them each step via stamp_time_varying().
+    [[nodiscard]] virtual bool time_varying() const noexcept { return false; }
+
+    // ---- stamping (see file comment).  branch_base is the index of this
+    //      device's first branch unknown (ignored when branch_count()==0).
+    virtual void stamp_static(Stamper& stamper, int branch_base) const;
+    virtual void stamp_reactive(Stamper& stamper, int branch_base) const;
+    virtual void stamp_rhs(Stamper& stamper, int branch_base, double t) const;
+
+    /// Time-dependent G entries (only when time_varying()).
+    virtual void stamp_time_varying(Stamper& stamper, int branch_base,
+                                    double t) const;
+
+    /// Newton-Raphson linearisation about operating point `v`
+    /// (tangent/differential conductance + Norton current).  Only
+    /// meaningful when nonlinear().
+    virtual void stamp_nr(Stamper& stamper, int branch_base,
+                          const NodeVoltages& v) const;
+
+    /// SWEC stamp: the engine supplies the (predicted) chord conductance
+    /// for this device; the device knows which nodes it spans.
+    virtual void stamp_swec(Stamper& stamper, int branch_base,
+                            double geq) const;
+
+    // ---- SWEC evaluation (paper eqs. 3, 5-9) ----
+
+    /// Chord (secant-through-origin) equivalent conductance at the
+    /// operating point `v`:  G_eq = I(V)/V (paper eq. 6); always >= 0 for
+    /// devices whose current shares the sign of the branch voltage.
+    [[nodiscard]] virtual double swec_conductance(const NodeVoltages& v) const;
+
+    /// Time derivative of the chord conductance, dG_eq/dt =
+    /// dG_eq/dV * dV/dt (paper eq. 7), given the node-voltage slopes.
+    [[nodiscard]] virtual double
+    swec_conductance_rate(const NodeVoltages& v,
+                          const NodeVoltages& dvdt) const;
+
+    /// Device-specific time-step bound for the adaptive controller
+    /// (paper eqs. 11-12).  Default: no constraint.
+    [[nodiscard]] virtual double step_limit(const NodeVoltages& v,
+                                            const NodeVoltages& dvdt,
+                                            double eps) const;
+
+    /// Current through the device's principal branch at `v` (for
+    /// measurement/plotting; positive from first to second terminal).
+    [[nodiscard]] virtual double branch_current(const NodeVoltages& v) const;
+
+private:
+    std::string name_;
+};
+
+/// Convenience base for two-terminal nonlinear elements (diode, RTD,
+/// nanowire).  Derived classes implement `current(v)` and `didv(v)`; this
+/// base supplies numerically-safe chord conductance, its derivatives, and
+/// the generic NR / SWEC stamps.
+class TwoTerminalNonlinear : public Device {
+public:
+    TwoTerminalNonlinear(std::string name, NodeId pos, NodeId neg)
+        : Device(std::move(name)), pos_(pos), neg_(neg) {}
+
+    [[nodiscard]] NodeId pos() const noexcept { return pos_; }
+    [[nodiscard]] NodeId neg() const noexcept { return neg_; }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {pos_, neg_};
+    }
+    [[nodiscard]] bool nonlinear() const noexcept override { return true; }
+
+    /// Branch current I(V) with V the pos-to-neg voltage.
+    [[nodiscard]] virtual double current(double v) const = 0;
+
+    /// Differential (tangent) conductance dI/dV — the quantity SPICE uses,
+    /// which goes NEGATIVE inside an NDR region.
+    [[nodiscard]] virtual double didv(double v) const = 0;
+
+    /// Chord conductance I(V)/V, with the analytic V->0 limit dI/dV(0).
+    [[nodiscard]] double chord_conductance(double v) const;
+
+    /// d(chord conductance)/dV = (V dI/dV - I)/V^2, with its V->0 limit.
+    /// Overridable where an analytic closed form exists (RTD, eq. 8).
+    [[nodiscard]] virtual double chord_conductance_dv(double v) const;
+
+    // Device interface:
+    void stamp_nr(Stamper& stamper, int branch_base,
+                  const NodeVoltages& v) const override;
+    void stamp_swec(Stamper& stamper, int branch_base,
+                    double geq) const override;
+    [[nodiscard]] double
+    swec_conductance(const NodeVoltages& v) const override;
+    [[nodiscard]] double
+    swec_conductance_rate(const NodeVoltages& v,
+                          const NodeVoltages& dvdt) const override;
+    [[nodiscard]] double step_limit(const NodeVoltages& v,
+                                    const NodeVoltages& dvdt,
+                                    double eps) const override;
+    [[nodiscard]] double
+    branch_current(const NodeVoltages& v) const override;
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_DEVICE_HPP

@@ -1,0 +1,44 @@
+#include "devices/diode.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+Diode::Diode(std::string name, NodeId pos, NodeId neg,
+             const DiodeParams& params)
+    : TwoTerminalNonlinear(std::move(name), pos, neg), params_(params) {
+    if (params_.i_sat <= 0.0 || params_.emission <= 0.0 ||
+        params_.temp <= 0.0) {
+        throw AnalysisError("diode '" + this->name() +
+                            "': i_sat, emission and temp must be positive");
+    }
+    // Continue the exponential linearly once it exceeds ~1 kA-equivalent
+    // slope; keeps Newton iterates finite without changing the physical
+    // operating region of any test circuit.
+    v_crit_ = params_.vt() * std::log(1e3 / params_.i_sat);
+}
+
+double Diode::current(double v) const {
+    const double vt = params_.vt();
+    current_flops().device_eval += 5;
+    count_special();
+    if (v <= v_crit_) {
+        return params_.i_sat * std::expm1(v / vt);
+    }
+    const double i_crit = params_.i_sat * std::expm1(v_crit_ / vt);
+    const double g_crit = params_.i_sat / vt * std::exp(v_crit_ / vt);
+    return i_crit + g_crit * (v - v_crit_);
+}
+
+double Diode::didv(double v) const {
+    const double vt = params_.vt();
+    current_flops().device_eval += 5;
+    count_special();
+    const double vc = std::min(v, v_crit_);
+    return params_.i_sat / vt * std::exp(vc / vt);
+}
+
+} // namespace nanosim

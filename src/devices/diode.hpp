@@ -1,0 +1,50 @@
+// Nano-Sim — junction diode (ideal exponential law).
+//
+// Not a nanodevice, but a standard nonlinear element used by the test
+// suite to validate the Newton-Raphson engine against closed-form
+// solutions, and by decks that need clamps.  Current is limited by a
+// linearised continuation above `v_crit` to keep NR iterates finite
+// (the classic SPICE junction-limiting trick).
+#ifndef NANOSIM_DEVICES_DIODE_HPP
+#define NANOSIM_DEVICES_DIODE_HPP
+
+#include "devices/device.hpp"
+#include "util/constants.hpp"
+
+namespace nanosim {
+
+/// Diode model parameters.
+struct DiodeParams {
+    double i_sat = 1e-14;         ///< saturation current [A]
+    double emission = 1.0;        ///< ideality factor n
+    double temp = phys::t_room;   ///< junction temperature [K]
+
+    [[nodiscard]] double vt() const noexcept {
+        return emission * phys::thermal_voltage(temp);
+    }
+};
+
+/// Exponential diode, anode = pos, cathode = neg.
+class Diode : public TwoTerminalNonlinear {
+public:
+    Diode(std::string name, NodeId pos, NodeId neg,
+          const DiodeParams& params = {});
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::diode;
+    }
+    [[nodiscard]] const DiodeParams& params() const noexcept {
+        return params_;
+    }
+
+    [[nodiscard]] double current(double v) const override;
+    [[nodiscard]] double didv(double v) const override;
+
+private:
+    DiodeParams params_;
+    double v_crit_; ///< voltage beyond which I(V) continues linearly
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_DIODE_HPP

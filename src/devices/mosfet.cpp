@@ -1,0 +1,256 @@
+#include "devices/mosfet.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+namespace {
+
+constexpr double k_vds_eps = 1e-9;
+
+} // namespace
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+               const MosfetParams& params)
+    : Device(std::move(name)),
+      drain_(drain),
+      gate_(gate),
+      source_(source),
+      params_(params) {
+    if (params_.k <= 0.0 || params_.w <= 0.0 || params_.l <= 0.0) {
+        throw AnalysisError("mosfet '" + this->name() +
+                            "': k, W and L must be positive");
+    }
+    if (params_.lambda < 0.0) {
+        throw AnalysisError("mosfet '" + this->name() +
+                            "': lambda must be non-negative");
+    }
+}
+
+double Mosfet::ids_normalised(double v_gs, double v_ds) const {
+    // Pre-condition: v_ds >= 0, NMOS orientation.
+    const double vov = v_gs - params_.vth;
+    current_flops().device_eval += 6;
+    if (vov <= 0.0) {
+        return 0.0; // cutoff
+    }
+    const double kp = params_.kp();
+    const double clm = 1.0 + params_.lambda * v_ds;
+    count_mul(4);
+    count_add(3);
+    if (v_ds < vov) {
+        return kp * (vov * v_ds - 0.5 * v_ds * v_ds) * clm; // triode
+    }
+    return 0.5 * kp * vov * vov * clm; // saturation
+}
+
+double Mosfet::drain_current(double v_gs, double v_ds) const {
+    double sign = 1.0;
+    double g = v_gs;
+    double d = v_ds;
+    if (params_.polarity == MosPolarity::pmos) {
+        g = -g;
+        d = -d;
+        sign = -sign;
+    }
+    if (d < 0.0) { // symmetric device: exchange drain and source
+        g = g - d;
+        d = -d;
+        sign = -sign;
+    }
+    return sign * ids_normalised(g, d);
+}
+
+Mosfet::Derivs Mosfet::derivatives(double v_gs, double v_ds) const {
+    // Track the linear fold g = alpha v_gs + beta v_ds, d = gamma v_ds so
+    // the chain rule back to (v_gs, v_ds) stays exact.
+    double sign = 1.0;
+    double alpha = 1.0;
+    double beta = 0.0;
+    double gamma = 1.0;
+    double g = v_gs;
+    double d = v_ds;
+    if (params_.polarity == MosPolarity::pmos) {
+        g = -g;
+        d = -d;
+        sign = -sign;
+        alpha = -alpha;
+        gamma = -gamma;
+    }
+    if (d < 0.0) {
+        g = g - d;
+        beta = beta - gamma; // dg/dv_ds picks up -dd/dv_ds
+        d = -d;
+        gamma = -gamma;
+        sign = -sign;
+    }
+
+    // Partials of the normalised current wrt its own (g, d).
+    const double vov = g - params_.vth;
+    double f1 = 0.0;
+    double f2 = 0.0;
+    if (vov > 0.0) {
+        const double kp = params_.kp();
+        const double clm = 1.0 + params_.lambda * d;
+        if (d < vov) { // triode
+            const double ids0 = kp * (vov * d - 0.5 * d * d);
+            f1 = kp * d * clm;
+            f2 = kp * (vov - d) * clm + ids0 * params_.lambda;
+        } else { // saturation
+            const double ids0 = 0.5 * kp * vov * vov;
+            f1 = kp * vov * clm;
+            f2 = ids0 * params_.lambda;
+        }
+    }
+    count_mul(10);
+    count_add(6);
+    current_flops().device_eval += 16;
+    return Derivs{sign * f1 * alpha, sign * (f1 * beta + f2 * gamma)};
+}
+
+double Mosfet::chord_conductance(double v_gs, double v_ds) const {
+    if (std::abs(v_ds) < k_vds_eps) {
+        // lim_{V_DS -> 0} I_D / V_DS = dI_D/dV_DS at the origin.
+        return derivatives(v_gs, 0.0).gds;
+    }
+    count_div();
+    return drain_current(v_gs, v_ds) / v_ds;
+}
+
+void Mosfet::stamp_nr(Stamper& stamper, int, const NodeVoltages& nv) const {
+    const double v_gs = nv(gate_) - nv(source_);
+    const double v_ds = nv(drain_) - nv(source_);
+    const double i0 = drain_current(v_gs, v_ds);
+    const auto [gm, gds] = derivatives(v_gs, v_ds);
+
+    // KCL row drain: +I_D; row source: -I_D, with
+    // I_D ~ i0 + gm (v_gs - v_gs0) + gds (v_ds - v_ds0).
+    stamper.conductance_entry(drain_, gate_, gm);
+    stamper.conductance_entry(drain_, source_, -gm - gds);
+    stamper.conductance_entry(drain_, drain_, gds);
+    stamper.conductance_entry(source_, gate_, -gm);
+    stamper.conductance_entry(source_, source_, gm + gds);
+    stamper.conductance_entry(source_, drain_, -gds);
+
+    const double ieq = i0 - gm * v_gs - gds * v_ds;
+    stamper.rhs_current(drain_, -ieq);
+    stamper.rhs_current(source_, +ieq);
+    count_mul(2);
+    count_add(4);
+}
+
+void Mosfet::stamp_swec(Stamper& stamper, int, double geq) const {
+    stamper.conductance(drain_, source_, geq);
+}
+
+double Mosfet::swec_conductance(const NodeVoltages& nv) const {
+    const double v_gs = nv(gate_) - nv(source_);
+    const double v_ds = nv(drain_) - nv(source_);
+    return chord_conductance(v_gs, v_ds);
+}
+
+double Mosfet::swec_conductance_rate(const NodeVoltages& nv,
+                                     const NodeVoltages& dvdt) const {
+    const double v_gs = nv(gate_) - nv(source_);
+    const double v_ds = nv(drain_) - nv(source_);
+    const double dgs = dvdt(gate_) - dvdt(source_);
+    const double dds = dvdt(drain_) - dvdt(source_);
+
+    // dG/dt = dG/dv_gs * dv_gs/dt + dG/dv_ds * dv_ds/dt.  The chord
+    // G = I/V_DS is fold-invariant (I and V_DS flip sign together), so
+    // with the normalised current f(g, d) and the linear fold
+    // g = alpha v_gs + beta v_ds, d = gamma v_ds (see derivatives()):
+    //   G = f/d,   dG/dg = f1/d,   dG/dd = (f2 d - f) / d^2.
+    if (std::abs(v_ds) < 1e-6) {
+        // Near the fold kink at V_DS = 0 the analytic quotient loses
+        // digits; fall back to a one-sided difference (rarely hit, and
+        // the rate only feeds the eq. 5 predictor).
+        const double h = 1e-6;
+        const double dg_dvgs = (chord_conductance(v_gs + h, v_ds) -
+                                chord_conductance(v_gs - h, v_ds)) /
+                               (2.0 * h);
+        const double dg_dvds = (chord_conductance(v_gs, v_ds + h) -
+                                chord_conductance(v_gs, v_ds - h)) /
+                               (2.0 * h);
+        return dg_dvgs * dgs + dg_dvds * dds;
+    }
+
+    double sign = 1.0;
+    double alpha = 1.0;
+    double beta = 0.0;
+    double gamma = 1.0;
+    double g = v_gs;
+    double d = v_ds;
+    if (params_.polarity == MosPolarity::pmos) {
+        g = -g;
+        d = -d;
+        sign = -sign;
+        alpha = -alpha;
+        gamma = -gamma;
+    }
+    if (d < 0.0) {
+        g = g - d;
+        beta = beta - gamma;
+        d = -d;
+        gamma = -gamma;
+        sign = -sign;
+    }
+    (void)sign; // the chord is fold-invariant; sign cancels in f/d
+
+    const double f = ids_normalised(g, d);
+    const double vov = g - params_.vth;
+    double f1 = 0.0;
+    double f2 = 0.0;
+    if (vov > 0.0) {
+        const double kp = params_.kp();
+        const double clm = 1.0 + params_.lambda * d;
+        if (d < vov) {
+            const double ids0 = kp * (vov * d - 0.5 * d * d);
+            f1 = kp * d * clm;
+            f2 = kp * (vov - d) * clm + ids0 * params_.lambda;
+        } else {
+            const double ids0 = 0.5 * kp * vov * vov;
+            f1 = kp * vov * clm;
+            f2 = ids0 * params_.lambda;
+        }
+    }
+    const double dg_chord = f1 / d;                 // dG/dg
+    const double dd_chord = (f2 * d - f) / (d * d); // dG/dd
+    const double dg_dvgs = dg_chord * alpha;
+    const double dg_dvds = dg_chord * beta + dd_chord * gamma;
+    count_mul(10);
+    count_add(8);
+    count_div(3);
+    current_flops().device_eval += 20;
+    return dg_dvgs * dgs + dg_dvds * dds;
+}
+
+double Mosfet::step_limit(const NodeVoltages& nv, const NodeVoltages& dvdt,
+                          double eps) const {
+    // Paper eq. (12), transistor term: h <= eps * 2 (V_GS - V_th) / alpha
+    // with alpha = |dV_GS/dt|, applied to conducting transistors only.
+    double v_gs = nv(gate_) - nv(source_);
+    double slope = dvdt(gate_) - dvdt(source_);
+    if (params_.polarity == MosPolarity::pmos) {
+        v_gs = -v_gs;
+        slope = -slope;
+    }
+    const double vov = v_gs - params_.vth;
+    const double alpha = std::abs(slope);
+    if (vov <= 0.0 || alpha <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    count_mul(2);
+    count_div(1);
+    return eps * 2.0 * vov / alpha;
+}
+
+double Mosfet::branch_current(const NodeVoltages& nv) const {
+    return drain_current(nv(gate_) - nv(source_), nv(drain_) - nv(source_));
+}
+
+} // namespace nanosim

@@ -1,0 +1,107 @@
+// Nano-Sim — MOSFET, Shichman-Hodges level-1 square-law model.
+//
+// This is the model the paper quotes (eq. 2) and whose step-wise
+// equivalent conductance it derives (eq. 3):
+//
+//   triode (V_DS <= V_GS - V_th):
+//       I_D = k W/L [ (V_GS - V_th) V_DS - V_DS^2 / 2 ]
+//       G_eq = I_D / V_DS = k W/L (V_GS - V_th - V_DS/2)
+//   saturation (V_DS > V_GS - V_th):
+//       I_D = k W/(2L) (V_GS - V_th)^2
+//       G_eq = I_D / V_DS
+//   cutoff (V_GS <= V_th): I_D = 0, G_eq = 0.
+//
+// The device is symmetric: for V_DS < 0 the roles of drain and source are
+// exchanged.  PMOS is the usual polarity mirror.  An optional
+// channel-length-modulation term (lambda) is included for realistic
+// output conductance in the NR baseline; the paper's equations correspond
+// to lambda = 0.
+#ifndef NANOSIM_DEVICES_MOSFET_HPP
+#define NANOSIM_DEVICES_MOSFET_HPP
+
+#include "devices/device.hpp"
+
+namespace nanosim {
+
+/// N- or P-channel.
+enum class MosPolarity { nmos, pmos };
+
+/// Level-1 parameters.
+struct MosfetParams {
+    MosPolarity polarity = MosPolarity::nmos;
+    double vth = 1.0;     ///< threshold voltage [V] (positive for both types)
+    double k = 2e-5;      ///< transconductance k' = mu Cox [A/V^2]
+    double w = 10e-6;     ///< channel width [m]
+    double l = 1e-6;      ///< channel length [m]
+    double lambda = 0.0;  ///< channel-length modulation [1/V]
+
+    /// k W / L, the factor in eq. (2).
+    [[nodiscard]] double kp() const noexcept { return k * w / l; }
+};
+
+/// Three-terminal MOSFET (drain, gate, source; bulk tied to source).
+class Mosfet : public Device {
+public:
+    Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source,
+           const MosfetParams& params = {});
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::mosfet;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {drain_, gate_, source_};
+    }
+    [[nodiscard]] bool nonlinear() const noexcept override { return true; }
+    [[nodiscard]] const MosfetParams& params() const noexcept {
+        return params_;
+    }
+    [[nodiscard]] NodeId drain() const noexcept { return drain_; }
+    [[nodiscard]] NodeId gate() const noexcept { return gate_; }
+    [[nodiscard]] NodeId source() const noexcept { return source_; }
+
+    /// Drain current I_D(v_gs, v_ds); handles both V_DS signs and both
+    /// polarities.  Positive current flows drain -> source.
+    [[nodiscard]] double drain_current(double v_gs, double v_ds) const;
+
+    /// Partial derivatives (gm, gds) of drain_current.
+    struct Derivs {
+        double gm;   ///< dI_D/dV_GS
+        double gds;  ///< dI_D/dV_DS
+    };
+    [[nodiscard]] Derivs derivatives(double v_gs, double v_ds) const;
+
+    /// Chord conductance of eq. (3): I_D / V_DS, with V_DS -> 0 limit.
+    [[nodiscard]] double chord_conductance(double v_gs, double v_ds) const;
+
+    // Device interface.
+    void stamp_nr(Stamper& stamper, int branch_base,
+                  const NodeVoltages& v) const override;
+    void stamp_swec(Stamper& stamper, int branch_base,
+                    double geq) const override;
+    [[nodiscard]] double
+    swec_conductance(const NodeVoltages& v) const override;
+    [[nodiscard]] double
+    swec_conductance_rate(const NodeVoltages& v,
+                          const NodeVoltages& dvdt) const override;
+    /// Paper eq. (12) first bound: eps * 2 (V_GS - V_th) / |dV_GS/dt|
+    /// for a conducting transistor.
+    [[nodiscard]] double step_limit(const NodeVoltages& v,
+                                    const NodeVoltages& dvdt,
+                                    double eps) const override;
+    [[nodiscard]] double
+    branch_current(const NodeVoltages& v) const override;
+
+private:
+    /// Normalised (NMOS-with-vds>=0) current and derivatives; the public
+    /// functions fold polarity and V_DS sign.
+    [[nodiscard]] double ids_normalised(double v_gs, double v_ds) const;
+
+    NodeId drain_;
+    NodeId gate_;
+    NodeId source_;
+    MosfetParams params_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_MOSFET_HPP

@@ -1,0 +1,78 @@
+#include "devices/nanowire.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+namespace {
+
+double logistic(double x) noexcept {
+    if (x >= 0.0) {
+        return 1.0 / (1.0 + std::exp(-x));
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+}
+
+/// softplus(x) = integral of logistic; overflow-safe.
+double softplus(double x) noexcept {
+    if (x > 0.0) {
+        return x + std::log1p(std::exp(-x));
+    }
+    return std::log1p(std::exp(x));
+}
+
+} // namespace
+
+Nanowire::Nanowire(std::string name, NodeId pos, NodeId neg,
+                   const NanowireParams& params)
+    : TwoTerminalNonlinear(std::move(name), pos, neg), params_(params) {
+    if (params_.channels < 1) {
+        throw AnalysisError("nanowire '" + this->name() +
+                            "': needs at least one channel");
+    }
+    if (params_.v_step <= 0.0 || params_.smear <= 0.0 || params_.g0 <= 0.0) {
+        throw AnalysisError("nanowire '" + this->name() +
+                            "': v_step, smear and g0 must be positive");
+    }
+}
+
+double Nanowire::current(double v) const {
+    const double sign = v < 0.0 ? -1.0 : 1.0;
+    const double va = std::abs(v);
+    // integral_0^{va} g = G0 [ va + sum_k smear (softplus((va - Vk)/s)
+    //                                            - softplus(-Vk/s)) ].
+    double acc = va;
+    for (int k = 1; k < params_.channels; ++k) {
+        const double vk = params_.v_step * k;
+        acc += params_.smear * (softplus((va - vk) / params_.smear) -
+                                softplus(-vk / params_.smear));
+        count_special(2);
+        count_mul(2);
+        count_add(3);
+        count_div(2);
+    }
+    current_flops().device_eval += 6 * static_cast<std::uint64_t>(
+                                           params_.channels);
+    return sign * params_.g0 * acc;
+}
+
+double Nanowire::didv(double v) const {
+    const double va = std::abs(v);
+    double g = 1.0; // first subband always open
+    for (int k = 1; k < params_.channels; ++k) {
+        const double vk = params_.v_step * k;
+        g += logistic((va - vk) / params_.smear);
+        count_special(1);
+        count_add(2);
+        count_div(1);
+    }
+    current_flops().device_eval += 4 * static_cast<std::uint64_t>(
+                                           params_.channels);
+    return params_.g0 * g;
+}
+
+} // namespace nanosim

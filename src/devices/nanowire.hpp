@@ -1,0 +1,55 @@
+// Nano-Sim — nanowire / carbon-nanotube quantum wire.
+//
+// A ballistic 1-D conductor carries current in discrete conduction
+// channels, each contributing one conductance quantum G0 = 2e^2/h.  As
+// the bias opens successive channels the conductance climbs a staircase —
+// the behaviour of paper Fig. 1(b) ("the staircase characteristics of the
+// conductance signal confirms that the carbon nanotubes behave as quantum
+// wires").
+//
+// Model: channel k >= 1 opens around |V| = k * v_step with thermal
+// smearing width `smear`;  channel 0 (the first subband) is always open:
+//
+//   g(V)  = G0 * [ 1 + sum_{k=1..channels-1} sigma((|V| - k v_step)/smear) ]
+//   I(V)  = sign(V) * integral_0^{|V|} g  — odd in V, so I and V share
+//           sign and the SWEC chord conductance is strictly positive.
+#ifndef NANOSIM_DEVICES_NANOWIRE_HPP
+#define NANOSIM_DEVICES_NANOWIRE_HPP
+
+#include "devices/device.hpp"
+#include "util/constants.hpp"
+
+namespace nanosim {
+
+/// Quantum-wire parameters.
+struct NanowireParams {
+    int channels = 4;        ///< total conduction channels (incl. k = 0)
+    double v_step = 0.5;     ///< channel opening spacing [V]
+    double smear = 0.05;     ///< thermal smearing width [V]
+    double g0 = phys::g0_quantum; ///< per-channel conductance [S]
+};
+
+/// Two-terminal quantum wire element.
+class Nanowire : public TwoTerminalNonlinear {
+public:
+    Nanowire(std::string name, NodeId pos, NodeId neg,
+             const NanowireParams& params = {});
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::nanowire;
+    }
+    [[nodiscard]] const NanowireParams& params() const noexcept {
+        return params_;
+    }
+
+    [[nodiscard]] double current(double v) const override;
+    /// Differential conductance = the staircase g(V); never negative.
+    [[nodiscard]] double didv(double v) const override;
+
+private:
+    NanowireParams params_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_NANOWIRE_HPP

@@ -1,0 +1,59 @@
+#include "devices/passives.hpp"
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+    if (!(resistance > 0.0)) {
+        throw AnalysisError("resistor '" + this->name() +
+                            "': resistance must be positive");
+    }
+}
+
+void Resistor::stamp_static(Stamper& stamper, int) const {
+    stamper.conductance(a_, b_, conductance());
+}
+
+double Resistor::branch_current(const NodeVoltages& v) const {
+    count_div();
+    return (v(a_) - v(b_)) / resistance_;
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
+    : Device(std::move(name)), a_(a), b_(b), capacitance_(capacitance) {
+    if (!(capacitance > 0.0)) {
+        throw AnalysisError("capacitor '" + this->name() +
+                            "': capacitance must be positive");
+    }
+}
+
+void Capacitor::stamp_reactive(Stamper& stamper, int) const {
+    stamper.capacitance(a_, b_, capacitance_);
+}
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), inductance_(inductance) {
+    if (!(inductance > 0.0)) {
+        throw AnalysisError("inductor '" + this->name() +
+                            "': inductance must be positive");
+    }
+}
+
+void Inductor::stamp_static(Stamper& stamper, int branch_base) const {
+    // KCL: branch current leaves a, enters b.
+    stamper.branch_incidence(a_, branch_base, +1.0);
+    stamper.branch_incidence(b_, branch_base, -1.0);
+    // Branch row: V(a) - V(b) - L dI/dt = 0 (the -L dI/dt part is
+    // reactive, stamped below).
+    stamper.branch_voltage_coeff(branch_base, a_, +1.0);
+    stamper.branch_voltage_coeff(branch_base, b_, -1.0);
+}
+
+void Inductor::stamp_reactive(Stamper& stamper, int branch_base) const {
+    stamper.branch_reactive(branch_base, branch_base, -inductance_);
+}
+
+} // namespace nanosim

@@ -1,0 +1,85 @@
+// Nano-Sim — linear passive elements: resistor, capacitor, inductor.
+#ifndef NANOSIM_DEVICES_PASSIVES_HPP
+#define NANOSIM_DEVICES_PASSIVES_HPP
+
+#include "devices/device.hpp"
+
+namespace nanosim {
+
+/// Linear resistor between nodes a and b.
+class Resistor : public Device {
+public:
+    /// Throws AnalysisError for non-positive resistance.
+    Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::resistor;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {a_, b_};
+    }
+    [[nodiscard]] double resistance() const noexcept { return resistance_; }
+    [[nodiscard]] double conductance() const noexcept {
+        return 1.0 / resistance_;
+    }
+
+    void stamp_static(Stamper& stamper, int branch_base) const override;
+    [[nodiscard]] double
+    branch_current(const NodeVoltages& v) const override;
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double resistance_;
+};
+
+/// Linear capacitor between nodes a and b.
+class Capacitor : public Device {
+public:
+    /// Throws AnalysisError for non-positive capacitance.
+    Capacitor(std::string name, NodeId a, NodeId b, double capacitance);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::capacitor;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {a_, b_};
+    }
+    [[nodiscard]] double capacitance() const noexcept { return capacitance_; }
+
+    void stamp_reactive(Stamper& stamper, int branch_base) const override;
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double capacitance_;
+};
+
+/// Linear inductor between nodes a and b.  Introduces one branch unknown
+/// (the inductor current) with branch equation V(a) - V(b) - L dI/dt = 0.
+class Inductor : public Device {
+public:
+    /// Throws AnalysisError for non-positive inductance.
+    Inductor(std::string name, NodeId a, NodeId b, double inductance);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::inductor;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {a_, b_};
+    }
+    [[nodiscard]] int branch_count() const noexcept override { return 1; }
+    [[nodiscard]] double inductance() const noexcept { return inductance_; }
+
+    void stamp_static(Stamper& stamper, int branch_base) const override;
+    void stamp_reactive(Stamper& stamper, int branch_base) const override;
+
+private:
+    NodeId a_;
+    NodeId b_;
+    double inductance_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_PASSIVES_HPP

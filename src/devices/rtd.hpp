@@ -1,0 +1,117 @@
+// Nano-Sim — resonant tunneling diode (RTD).
+//
+// Physics-based I-V equation of Schulman, De Los Santos and Chow
+// ("Physics-based RTD Current-Voltage Equations", IEEE EDL 1996), as used
+// by the paper (eq. 4):
+//
+//   J1(V) = A * ln[ (1 + e^{q(B - C + n1 V)/kT}) /
+//                   (1 + e^{q(B - C - n1 V)/kT}) ]
+//              * [ pi/2 + atan((C - n1 V)/D) ]
+//   J2(V) = H * (e^{q n2 V / kT} - 1)
+//   J(V)  = J1(V) + J2(V)
+//
+// The curve has a first positive-differential-resistance region (PDR1), a
+// negative-differential-resistance region (NDR) past the resonance peak,
+// and a second rise (PDR2) where J2 takes over — the non-monotonic shape
+// that breaks Newton-Raphson in SPICE-like simulators.
+//
+// SWEC view (paper eqs. 6-8): the chord conductance G_eq = J(V)/V is
+// strictly positive for V != 0 because J and V share sign; its voltage
+// derivative dG_eq/dV (eq. 8) is implemented in closed form.
+#ifndef NANOSIM_DEVICES_RTD_HPP
+#define NANOSIM_DEVICES_RTD_HPP
+
+#include "devices/device.hpp"
+#include "util/constants.hpp"
+
+namespace nanosim {
+
+/// Parameters of the Schulman RTD equation.  Units: A in amperes (the
+/// device is treated as a lumped element: J is the device current), B, C,
+/// D in volts, n1/n2 dimensionless, H in amperes, temp in kelvin.
+struct RtdParams {
+    double a = 1e-4;
+    double b = 2.0;
+    double c = 1.5;
+    double d = 0.3;
+    double n1 = 0.35;
+    double n2 = 0.0172;
+    double h = 1.43e-8;
+    double temp = phys::t_room;
+
+    /// The exact parameter set the paper lists for its transient
+    /// experiments (Sec. 5.2).
+    [[nodiscard]] static RtdParams date05() noexcept { return {}; }
+
+    /// Demo set whose PDR1/NDR/PDR2 regions all fall inside 0..7 V, used
+    /// to render the textbook three-region curve of Fig. 4 (the paper's
+    /// own n2/H keep J2 negligible below ~10 V).  Documented in DESIGN.md.
+    [[nodiscard]] static RtdParams three_region_demo() noexcept {
+        RtdParams p;
+        p.n2 = 0.06;
+        return p;
+    }
+
+    /// q/kT for this device temperature [1/V].
+    [[nodiscard]] double beta() const noexcept {
+        return 1.0 / phys::thermal_voltage(temp);
+    }
+};
+
+/// Free-function evaluation of the Schulman equation (shared with the RTT
+/// model, which sums several resonance terms).
+namespace rtd_math {
+
+/// Resonance term J1(V).
+[[nodiscard]] double j1(const RtdParams& p, double v) noexcept;
+
+/// Thermionic/excess term J2(V).
+[[nodiscard]] double j2(const RtdParams& p, double v) noexcept;
+
+/// Total current J(V) = J1 + J2.
+[[nodiscard]] double current(const RtdParams& p, double v) noexcept;
+
+/// Differential conductance dJ/dV (analytic).
+[[nodiscard]] double didv(const RtdParams& p, double v) noexcept;
+
+/// Chord conductance J(V)/V with the analytic V->0 limit.
+[[nodiscard]] double chord(const RtdParams& p, double v) noexcept;
+
+/// d(chord)/dV in closed form (paper eq. 8): (V J' - J)/V^2.
+[[nodiscard]] double chord_dv(const RtdParams& p, double v) noexcept;
+
+/// Locate the resonance peak (first local max of J) and valley (following
+/// local min) by golden-section refinement of a coarse scan over
+/// [0, v_max].  Returns {v_peak, v_valley}; the valley equals v_max when
+/// no NDR region exists below v_max.
+struct PeakValley {
+    double v_peak;
+    double v_valley;
+};
+[[nodiscard]] PeakValley find_peak_valley(const RtdParams& p, double v_max);
+
+} // namespace rtd_math
+
+/// Two-terminal RTD circuit element.
+class Rtd : public TwoTerminalNonlinear {
+public:
+    Rtd(std::string name, NodeId pos, NodeId neg,
+        const RtdParams& params = RtdParams::date05());
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::rtd;
+    }
+    [[nodiscard]] const RtdParams& params() const noexcept { return params_; }
+
+    [[nodiscard]] double current(double v) const override;
+    [[nodiscard]] double didv(double v) const override;
+    /// Closed-form eq. (8) instead of the generic quotient rule.
+    [[nodiscard]] double chord_conductance_dv(double v) const override;
+
+private:
+    RtdParams params_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_RTD_HPP

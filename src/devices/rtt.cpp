@@ -1,0 +1,156 @@
+#include "devices/rtt.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+namespace {
+
+double logistic(double x) noexcept {
+    if (x >= 0.0) {
+        return 1.0 / (1.0 + std::exp(-x));
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+}
+
+constexpr double k_vce_eps = 1e-9;
+
+} // namespace
+
+Rtt::Rtt(std::string name, NodeId collector, NodeId base, NodeId emitter,
+         const RttParams& params)
+    : Device(std::move(name)),
+      collector_(collector),
+      base_(base),
+      emitter_(emitter),
+      params_(params) {
+    if (params_.levels < 1) {
+        throw AnalysisError("rtt '" + this->name() +
+                            "': needs at least one level");
+    }
+    if (params_.level_spacing <= 0.0 || params_.v_gate_width <= 0.0) {
+        throw AnalysisError(
+            "rtt '" + this->name() +
+            "': level_spacing and v_gate_width must be positive");
+    }
+    level_params_.reserve(static_cast<std::size_t>(params_.levels));
+    for (int k = 0; k < params_.levels; ++k) {
+        RtdParams lp = params_.base;
+        // Only the resonance centre C shifts per level; B stays fixed, so
+        // level k's term switches ON near V = (C_k - B)/n1 and dies near
+        // V = C_k/n1 — a localized resonance bump.  The sum of bumps is
+        // the multi-peak staircase of Fig. 1(a).
+        lp.c = params_.base.c + params_.level_spacing * k;
+        level_params_.push_back(lp);
+    }
+}
+
+double Rtt::gate(double v_be) const {
+    count_special();
+    return logistic((v_be - params_.v_on) / params_.v_gate_width);
+}
+
+double Rtt::collector_current(double v_ce, double v_be) const {
+    double sum = 0.0;
+    for (const auto& lp : level_params_) {
+        sum += rtd_math::current(lp, v_ce);
+    }
+    count_add(level_params_.size());
+    count_mul(1);
+    return gate(v_be) * sum;
+}
+
+double Rtt::gce(double v_ce, double v_be) const {
+    double sum = 0.0;
+    for (const auto& lp : level_params_) {
+        sum += rtd_math::didv(lp, v_ce);
+    }
+    count_add(level_params_.size());
+    count_mul(1);
+    return gate(v_be) * sum;
+}
+
+double Rtt::chord(double v_ce, double v_be) const {
+    if (std::abs(v_ce) < k_vce_eps) {
+        return gce(0.0, v_be);
+    }
+    count_div();
+    return collector_current(v_ce, v_be) / v_ce;
+}
+
+void Rtt::stamp_nr(Stamper& stamper, int, const NodeVoltages& nv) const {
+    const double v_ce = nv(collector_) - nv(emitter_);
+    const double v_be = nv(base_) - nv(emitter_);
+    const double i0 = collector_current(v_ce, v_be);
+    const double g_ce = gce(v_ce, v_be);
+    // Transconductance wrt the base drive: dI/dV_BE = gate'(v_be) * sum.
+    const double h = 1e-7;
+    const double g_m =
+        (collector_current(v_ce, v_be + h) - collector_current(v_ce, v_be - h)) /
+        (2.0 * h);
+
+    stamper.conductance_entry(collector_, collector_, g_ce);
+    stamper.conductance_entry(collector_, emitter_, -g_ce - g_m);
+    stamper.conductance_entry(collector_, base_, g_m);
+    stamper.conductance_entry(emitter_, collector_, -g_ce);
+    stamper.conductance_entry(emitter_, emitter_, g_ce + g_m);
+    stamper.conductance_entry(emitter_, base_, -g_m);
+
+    const double ieq = i0 - g_ce * v_ce - g_m * v_be;
+    stamper.rhs_current(collector_, -ieq);
+    stamper.rhs_current(emitter_, +ieq);
+    count_mul(3);
+    count_add(5);
+    count_div(1);
+}
+
+void Rtt::stamp_swec(Stamper& stamper, int, double geq) const {
+    stamper.conductance(collector_, emitter_, geq);
+}
+
+double Rtt::swec_conductance(const NodeVoltages& nv) const {
+    return chord(nv(collector_) - nv(emitter_), nv(base_) - nv(emitter_));
+}
+
+double Rtt::swec_conductance_rate(const NodeVoltages& nv,
+                                  const NodeVoltages& dvdt) const {
+    const double v_ce = nv(collector_) - nv(emitter_);
+    const double v_be = nv(base_) - nv(emitter_);
+    const double dce = dvdt(collector_) - dvdt(emitter_);
+    const double dbe = dvdt(base_) - dvdt(emitter_);
+    const double h = 1e-7;
+    const double dg_dvce =
+        (chord(v_ce + h, v_be) - chord(v_ce - h, v_be)) / (2.0 * h);
+    const double dg_dvbe =
+        (chord(v_ce, v_be + h) - chord(v_ce, v_be - h)) / (2.0 * h);
+    count_mul(2);
+    count_add(5);
+    count_div(2);
+    return dg_dvce * dce + dg_dvbe * dbe;
+}
+
+double Rtt::step_limit(const NodeVoltages& nv, const NodeVoltages& dvdt,
+                       double eps) const {
+    // Same conductance-rate bound as two-terminal devices:
+    // h <= eps * G_eq / |dG_eq/dt|.
+    const double g = swec_conductance(nv);
+    const double gdot = std::abs(swec_conductance_rate(nv, dvdt));
+    if (g <= 0.0 || gdot <= 0.0) {
+        return std::numeric_limits<double>::infinity();
+    }
+    count_mul(1);
+    count_div(1);
+    return eps * g / gdot;
+}
+
+double Rtt::branch_current(const NodeVoltages& nv) const {
+    return collector_current(nv(collector_) - nv(emitter_),
+                             nv(base_) - nv(emitter_));
+}
+
+} // namespace nanosim

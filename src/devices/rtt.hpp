@@ -1,0 +1,96 @@
+// Nano-Sim — resonant tunneling transistor (RTT).
+//
+// Three-terminal device for paper Fig. 1(a): the collector current versus
+// collector-emitter voltage exhibits *multiple* resonance peaks with a
+// staircase contour ("the different discrete energy levels of each
+// material within the transistor terminals act as barriers to current
+// flow.  Current flows only when a modulated voltage aligns these energy
+// levels").
+//
+// Model: a sum of Schulman-type resonance terms, one per quantised energy
+// level, with resonance centres C_k = c0 + k * level_spacing, all gated by
+// the base-emitter drive through a logistic turn-on:
+//
+//   I_C(V_CE, V_BE) = gate(V_BE) * sum_k J_schulman(V_CE; C_k)
+//   gate(V_BE)      = sigma((V_BE - v_on) / v_gate_width)
+//
+// Reuses rtd_math for each resonance term, so the per-term I-V and its
+// derivative inherit the validated RTD implementation.
+#ifndef NANOSIM_DEVICES_RTT_HPP
+#define NANOSIM_DEVICES_RTT_HPP
+
+#include <vector>
+
+#include "devices/device.hpp"
+#include "devices/rtd.hpp"
+
+namespace nanosim {
+
+/// RTT parameters: base Schulman set plus level structure and gate.
+/// Defaults place the first resonance peaks near 2 V and 4 V of V_CE so
+/// the multi-peak staircase is visible in a 0-5 V sweep (Fig. 1(a)).
+struct RttParams {
+    RttParams() {
+        base.b = 1.2;
+        base.c = 0.7;
+    }
+    RtdParams base = RtdParams::date05(); ///< per-level resonance template
+    int levels = 3;              ///< number of resonance peaks
+    double level_spacing = 0.7;  ///< spacing of resonance centres C_k [V]
+    double v_on = 0.7;           ///< base-emitter turn-on voltage [V]
+    double v_gate_width = 0.1;   ///< gate transition width [V]
+};
+
+/// Three-terminal RTT (collector, base, emitter).
+class Rtt : public Device {
+public:
+    Rtt(std::string name, NodeId collector, NodeId base, NodeId emitter,
+        const RttParams& params = {});
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::rtt;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {collector_, base_, emitter_};
+    }
+    [[nodiscard]] bool nonlinear() const noexcept override { return true; }
+    [[nodiscard]] const RttParams& params() const noexcept { return params_; }
+
+    /// Collector current for given terminal voltages.
+    [[nodiscard]] double collector_current(double v_ce, double v_be) const;
+
+    /// d I_C / d V_CE (analytic, from rtd_math::didv per level).
+    [[nodiscard]] double gce(double v_ce, double v_be) const;
+
+    /// Base-emitter gate factor in [0, 1].
+    [[nodiscard]] double gate(double v_be) const;
+
+    // Device interface.
+    void stamp_nr(Stamper& stamper, int branch_base,
+                  const NodeVoltages& v) const override;
+    void stamp_swec(Stamper& stamper, int branch_base,
+                    double geq) const override;
+    [[nodiscard]] double
+    swec_conductance(const NodeVoltages& v) const override;
+    [[nodiscard]] double
+    swec_conductance_rate(const NodeVoltages& v,
+                          const NodeVoltages& dvdt) const override;
+    [[nodiscard]] double step_limit(const NodeVoltages& v,
+                                    const NodeVoltages& dvdt,
+                                    double eps) const override;
+    [[nodiscard]] double
+    branch_current(const NodeVoltages& v) const override;
+
+private:
+    [[nodiscard]] double chord(double v_ce, double v_be) const;
+
+    NodeId collector_;
+    NodeId base_;
+    NodeId emitter_;
+    RttParams params_;
+    std::vector<RtdParams> level_params_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_RTT_HPP

@@ -1,0 +1,72 @@
+#include "devices/sources.hpp"
+
+#include "util/error.hpp"
+
+namespace nanosim {
+
+VSource::VSource(std::string name, NodeId pos, NodeId neg, WaveformPtr wave)
+    : Device(std::move(name)), pos_(pos), neg_(neg), wave_(std::move(wave)) {
+    if (wave_ == nullptr) {
+        throw AnalysisError("vsource '" + this->name() + "': null waveform");
+    }
+}
+
+VSource::VSource(std::string name, NodeId pos, NodeId neg, double dc_value)
+    : VSource(std::move(name), pos, neg,
+              std::make_shared<DcWave>(dc_value)) {}
+
+void VSource::set_wave(WaveformPtr wave) {
+    if (wave == nullptr) {
+        throw AnalysisError("vsource '" + name() + "': null waveform");
+    }
+    wave_ = std::move(wave);
+}
+
+void VSource::stamp_static(Stamper& stamper, int branch_base) const {
+    // Branch current leaves pos, enters neg.
+    stamper.branch_incidence(pos_, branch_base, +1.0);
+    stamper.branch_incidence(neg_, branch_base, -1.0);
+    // Branch row: V(pos) - V(neg) = E(t)  (rhs filled in stamp_rhs).
+    stamper.branch_voltage_coeff(branch_base, pos_, +1.0);
+    stamper.branch_voltage_coeff(branch_base, neg_, -1.0);
+}
+
+void VSource::stamp_rhs(Stamper& stamper, int branch_base, double t) const {
+    stamper.branch_rhs(branch_base, wave_->value(t));
+}
+
+ISource::ISource(std::string name, NodeId pos, NodeId neg, WaveformPtr wave)
+    : Device(std::move(name)), pos_(pos), neg_(neg), wave_(std::move(wave)) {
+    if (wave_ == nullptr) {
+        throw AnalysisError("isource '" + this->name() + "': null waveform");
+    }
+}
+
+ISource::ISource(std::string name, NodeId pos, NodeId neg, double dc_value)
+    : ISource(std::move(name), pos, neg,
+              std::make_shared<DcWave>(dc_value)) {}
+
+void ISource::set_wave(WaveformPtr wave) {
+    if (wave == nullptr) {
+        throw AnalysisError("isource '" + name() + "': null waveform");
+    }
+    wave_ = std::move(wave);
+}
+
+void ISource::stamp_rhs(Stamper& stamper, int, double t) const {
+    const double i = wave_->value(t);
+    // Current drawn out of pos, injected into neg.
+    stamper.rhs_current(pos_, -i);
+    stamper.rhs_current(neg_, +i);
+}
+
+NoiseCurrentSource::NoiseCurrentSource(std::string name, NodeId pos,
+                                       NodeId neg, double sigma)
+    : Device(std::move(name)), pos_(pos), neg_(neg), sigma_(sigma) {
+    if (sigma < 0.0) {
+        throw AnalysisError("noise source '" + this->name() +
+                            "': sigma must be non-negative");
+    }
+}
+
+} // namespace nanosim

@@ -1,0 +1,105 @@
+// Nano-Sim — independent sources: voltage, current, and white-noise
+// current (the stochastic input of paper Sec. 4, modelled as dW/dt).
+#ifndef NANOSIM_DEVICES_SOURCES_HPP
+#define NANOSIM_DEVICES_SOURCES_HPP
+
+#include "devices/device.hpp"
+#include "devices/waveform.hpp"
+
+namespace nanosim {
+
+/// Independent voltage source between pos and neg.  Adds one branch
+/// unknown: the source current, flowing pos -> (through source) -> neg.
+class VSource : public Device {
+public:
+    VSource(std::string name, NodeId pos, NodeId neg, WaveformPtr wave);
+
+    /// Convenience DC constructor.
+    VSource(std::string name, NodeId pos, NodeId neg, double dc_value);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::vsource;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {pos_, neg_};
+    }
+    [[nodiscard]] int branch_count() const noexcept override { return 1; }
+
+    [[nodiscard]] const Waveform& wave() const noexcept { return *wave_; }
+    [[nodiscard]] NodeId pos() const noexcept { return pos_; }
+    [[nodiscard]] NodeId neg() const noexcept { return neg_; }
+
+    /// Replace the stimulus (used by source-stepping and sweeps).
+    void set_wave(WaveformPtr wave);
+
+    void stamp_static(Stamper& stamper, int branch_base) const override;
+    void stamp_rhs(Stamper& stamper, int branch_base,
+                   double t) const override;
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    WaveformPtr wave_;
+};
+
+/// Independent current source; positive current flows pos -> (through
+/// source) -> neg, i.e. it is drawn out of `pos` and injected into `neg`
+/// (SPICE convention).
+class ISource : public Device {
+public:
+    ISource(std::string name, NodeId pos, NodeId neg, WaveformPtr wave);
+    ISource(std::string name, NodeId pos, NodeId neg, double dc_value);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::isource;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {pos_, neg_};
+    }
+    [[nodiscard]] const Waveform& wave() const noexcept { return *wave_; }
+    [[nodiscard]] NodeId pos() const noexcept { return pos_; }
+    [[nodiscard]] NodeId neg() const noexcept { return neg_; }
+
+    void set_wave(WaveformPtr wave);
+
+    void stamp_rhs(Stamper& stamper, int branch_base,
+                   double t) const override;
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    WaveformPtr wave_;
+};
+
+/// White-noise current source of intensity `sigma`: i(t) = sigma dW/dt.
+///
+/// Deterministic engines see it as an open circuit (zero mean); the
+/// Euler-Maruyama engine reads `sigma()` to build the B matrix of
+/// C dx = -G x dt + B dW (paper eq. 13), and the Monte-Carlo wrapper
+/// synthesises band-limited sample paths from it.  Injection direction
+/// matches ISource.
+class NoiseCurrentSource : public Device {
+public:
+    /// sigma in A*sqrt(s) (intensity of the Wiener increment).
+    NoiseCurrentSource(std::string name, NodeId pos, NodeId neg,
+                       double sigma);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::noise_source;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {pos_, neg_};
+    }
+    [[nodiscard]] double sigma() const noexcept { return sigma_; }
+    [[nodiscard]] NodeId pos() const noexcept { return pos_; }
+    [[nodiscard]] NodeId neg() const noexcept { return neg_; }
+
+private:
+    NodeId pos_;
+    NodeId neg_;
+    double sigma_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_SOURCES_HPP

@@ -1,0 +1,105 @@
+// Nano-Sim — the stamping interface devices write their MNA entries into.
+//
+// Devices know *what* they contribute (conductances, capacitances, branch
+// equations, source currents); the MNA assembler (src/mna) knows *where*
+// those contributions live in the matrix.  Keeping the interface here in
+// devices/ lets the device library stay independent of the assembler.
+//
+// Conventions (classic MNA):
+//  * NodeId 0 is ground; non-ground nodes are 1..N and map to matrix
+//    rows/columns 0..N-1.
+//  * Extra unknowns ("branches": voltage-source and inductor currents)
+//    occupy rows/columns N..N+B-1; devices address them by a branch index
+//    passed to them at stamp time.
+//  * KCL rows are written as  sum(currents leaving node) = rhs injection,
+//    i.e. G x = b with b collecting source currents INTO each node.
+#ifndef NANOSIM_DEVICES_STAMP_HPP
+#define NANOSIM_DEVICES_STAMP_HPP
+
+#include <cstddef>
+#include <span>
+
+namespace nanosim {
+
+/// Circuit node identifier.  0 is ground.
+using NodeId = int;
+
+/// The ground node.
+inline constexpr NodeId k_ground = 0;
+
+/// Sink for device stamps.  Implemented by mna::MnaBuilder; tests may
+/// implement it directly to verify individual device stamps.
+class Stamper {
+public:
+    virtual ~Stamper() = default;
+
+    /// Two-terminal conductance g between nodes a and b:
+    /// +g at (a,a) and (b,b), -g at (a,b) and (b,a); ground rows dropped.
+    virtual void conductance(NodeId a, NodeId b, double g) = 0;
+
+    /// Single G-matrix entry at (row_node, col_node) — needed for
+    /// non-reciprocal elements such as a MOSFET's transconductance.
+    virtual void conductance_entry(NodeId row, NodeId col, double g) = 0;
+
+    /// Two-terminal capacitance between a and b (stamped into the C
+    /// matrix with the same +/- pattern as conductance()).
+    virtual void capacitance(NodeId a, NodeId b, double c) = 0;
+
+    /// Current injection `i` INTO `node` on the right-hand side.
+    virtual void rhs_current(NodeId node, double i) = 0;
+
+    // ---- branch (extra-unknown) support ----
+
+    /// KCL coupling of branch current `branch` into `node`:
+    /// +sign * i_branch leaves `node`.
+    virtual void branch_incidence(NodeId node, int branch, double sign) = 0;
+
+    /// Branch-row voltage coefficient: row `branch`, column `node`.
+    virtual void branch_voltage_coeff(int branch, NodeId node,
+                                      double coeff) = 0;
+
+    /// Reactive entry on a branch row (inductor: -L on the branch
+    /// current's own column of the C matrix).
+    virtual void branch_reactive(int branch_row, int branch_col,
+                                 double value) = 0;
+
+    /// Right-hand side of a branch row (voltage source value).
+    virtual void branch_rhs(int branch, double value) = 0;
+};
+
+/// Read-only view of the MNA unknown vector with ground folded in:
+/// `v(node)` is the node voltage (0 for ground), `branch(i)` a branch
+/// current.  Cheap to copy; does not own the data.
+class NodeVoltages {
+public:
+    NodeVoltages() = default;
+
+    /// `x` is the unknown vector [node voltages; branch currents];
+    /// `num_nodes` the count of non-ground nodes.
+    NodeVoltages(std::span<const double> x, std::size_t num_nodes)
+        : x_(x), num_nodes_(num_nodes) {}
+
+    /// Voltage of `node` (ground reads as exactly 0).
+    [[nodiscard]] double operator()(NodeId node) const noexcept {
+        if (node == k_ground) {
+            return 0.0;
+        }
+        return x_[static_cast<std::size_t>(node - 1)];
+    }
+
+    /// Branch current for branch index `i`.
+    [[nodiscard]] double branch(int i) const noexcept {
+        return x_[num_nodes_ + static_cast<std::size_t>(i)];
+    }
+
+    [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+    [[nodiscard]] bool valid() const noexcept { return !x_.empty(); }
+
+private:
+    std::span<const double> x_;
+    std::size_t num_nodes_ = 0;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_STAMP_HPP

@@ -1,0 +1,27 @@
+#include "devices/tv_conductor.hpp"
+
+#include "util/error.hpp"
+
+namespace nanosim {
+
+TimeVaryingConductor::TimeVaryingConductor(std::string name, NodeId a,
+                                           NodeId b, WaveformPtr g_of_t)
+    : Device(std::move(name)), a_(a), b_(b), g_of_t_(std::move(g_of_t)) {
+    if (g_of_t_ == nullptr) {
+        throw AnalysisError("tv_conductor '" + this->name() +
+                            "': null conductance waveform");
+    }
+}
+
+void TimeVaryingConductor::stamp_time_varying(Stamper& stamper, int,
+                                              double t) const {
+    const double g = g_of_t_->value(t);
+    if (g < 0.0) {
+        throw AnalysisError("tv_conductor '" + name() +
+                            "': negative conductance at t=" +
+                            std::to_string(t));
+    }
+    stamper.conductance(a_, b_, g);
+}
+
+} // namespace nanosim

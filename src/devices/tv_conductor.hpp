@@ -1,0 +1,51 @@
+// Nano-Sim — time-varying linear conductor.
+//
+// A two-terminal element whose conductance is a *known* function of time
+// G(t) — the reduced model of the "time-variant nanoscale transistor"
+// in the paper's Fig. 10 experiment: the transistor's channel conductance
+// follows its (deterministic) gate drive while the node equation is
+// driven by stochastic inputs.  Because G(t) does not depend on the
+// circuit state the element is linear, so the stochastic state equation
+// (paper eq. 13) stays a linear SDE and admits an exact reference
+// solution to compare Euler-Maruyama against.
+#ifndef NANOSIM_DEVICES_TV_CONDUCTOR_HPP
+#define NANOSIM_DEVICES_TV_CONDUCTOR_HPP
+
+#include "devices/device.hpp"
+#include "devices/waveform.hpp"
+
+namespace nanosim {
+
+/// G(t) conductor between two nodes; g_of_t supplies siemens vs seconds.
+class TimeVaryingConductor : public Device {
+public:
+    /// g_of_t must be positive for all queried times (checked at stamp
+    /// time; throws AnalysisError).
+    TimeVaryingConductor(std::string name, NodeId a, NodeId b,
+                         WaveformPtr g_of_t);
+
+    [[nodiscard]] DeviceKind kind() const noexcept override {
+        return DeviceKind::tv_conductor;
+    }
+    [[nodiscard]] std::vector<NodeId> terminals() const override {
+        return {a_, b_};
+    }
+    [[nodiscard]] bool time_varying() const noexcept override { return true; }
+
+    /// Conductance at time t.
+    [[nodiscard]] double conductance(double t) const {
+        return g_of_t_->value(t);
+    }
+
+    void stamp_time_varying(Stamper& stamper, int branch_base,
+                            double t) const override;
+
+private:
+    NodeId a_;
+    NodeId b_;
+    WaveformPtr g_of_t_;
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_TV_CONDUCTOR_HPP

@@ -1,0 +1,220 @@
+#include "devices/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim {
+
+namespace {
+
+/// Minimum edge time: a zero rise/fall would make the SWEC input-slope
+/// bound (eq. 11) collapse to zero step size.
+constexpr double k_min_edge = 1e-12;
+
+} // namespace
+
+double Waveform::slope(double t) const {
+    const double h = 1e-12;
+    return (value(t + h) - value(t - h)) / (2.0 * h);
+}
+
+std::vector<double> Waveform::breakpoints(double, double) const { return {}; }
+
+std::string DcWave::describe() const {
+    std::ostringstream os;
+    os << "DC(" << level_ << ")";
+    return os.str();
+}
+
+PulseWave::PulseWave(double v1, double v2, double delay, double rise,
+                     double fall, double width, double period)
+    : v1_(v1),
+      v2_(v2),
+      delay_(delay),
+      rise_(std::max(rise, k_min_edge)),
+      fall_(std::max(fall, k_min_edge)),
+      width_(width),
+      period_(period) {
+    if (period_ <= 0.0) {
+        throw AnalysisError("PulseWave: period must be positive");
+    }
+    if (rise_ + width_ + fall_ > period_) {
+        throw AnalysisError("PulseWave: rise+width+fall exceeds period");
+    }
+}
+
+double PulseWave::value(double t) const {
+    if (t < delay_) {
+        return v1_;
+    }
+    const double tp = std::fmod(t - delay_, period_);
+    if (tp < rise_) {
+        return v1_ + (v2_ - v1_) * (tp / rise_);
+    }
+    if (tp < rise_ + width_) {
+        return v2_;
+    }
+    if (tp < rise_ + width_ + fall_) {
+        return v2_ + (v1_ - v2_) * ((tp - rise_ - width_) / fall_);
+    }
+    return v1_;
+}
+
+double PulseWave::slope(double t) const {
+    if (t < delay_) {
+        return 0.0;
+    }
+    const double tp = std::fmod(t - delay_, period_);
+    if (tp < rise_) {
+        return (v2_ - v1_) / rise_;
+    }
+    if (tp < rise_ + width_) {
+        return 0.0;
+    }
+    if (tp < rise_ + width_ + fall_) {
+        return (v1_ - v2_) / fall_;
+    }
+    return 0.0;
+}
+
+std::vector<double> PulseWave::breakpoints(double t0, double t1) const {
+    std::vector<double> bp;
+    if (t1 <= delay_) {
+        return bp;
+    }
+    // Corners within each period: 0, rise, rise+width, rise+width+fall.
+    const double corners[4] = {0.0, rise_, rise_ + width_,
+                               rise_ + width_ + fall_};
+    const double first_period =
+        std::floor(std::max(0.0, t0 - delay_) / period_);
+    for (double k = first_period;; k += 1.0) {
+        const double base = delay_ + k * period_;
+        if (base > t1) {
+            break;
+        }
+        for (const double c : corners) {
+            const double tc = base + c;
+            if (tc >= t0 && tc < t1) {
+                bp.push_back(tc);
+            }
+        }
+    }
+    return bp;
+}
+
+std::string PulseWave::describe() const {
+    std::ostringstream os;
+    os << "PULSE(" << v1_ << " " << v2_ << " " << delay_ << " " << rise_
+       << " " << fall_ << " " << width_ << " " << period_ << ")";
+    return os.str();
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+    if (points_.empty()) {
+        throw AnalysisError("PwlWave: needs at least one point");
+    }
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first <= points_[i - 1].first) {
+            throw AnalysisError(
+                "PwlWave: time points must be strictly increasing");
+        }
+    }
+}
+
+double PwlWave::value(double t) const {
+    if (t <= points_.front().first) {
+        return points_.front().second;
+    }
+    if (t >= points_.back().first) {
+        return points_.back().second;
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double tt, const auto& p) { return tt < p.first; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double f = (t - lo.first) / (hi.first - lo.first);
+    return lo.second + f * (hi.second - lo.second);
+}
+
+double PwlWave::slope(double t) const {
+    if (t < points_.front().first || t > points_.back().first) {
+        return 0.0;
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double tt, const auto& p) { return tt < p.first; });
+    if (it == points_.begin() || it == points_.end()) {
+        return 0.0;
+    }
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    return (hi.second - lo.second) / (hi.first - lo.first);
+}
+
+std::vector<double> PwlWave::breakpoints(double t0, double t1) const {
+    std::vector<double> bp;
+    for (const auto& [t, v] : points_) {
+        (void)v;
+        if (t >= t0 && t < t1) {
+            bp.push_back(t);
+        }
+    }
+    return bp;
+}
+
+std::string PwlWave::describe() const {
+    std::ostringstream os;
+    os << "PWL(" << points_.size() << " points)";
+    return os.str();
+}
+
+SinWave::SinWave(double offset, double ampl, double freq, double delay,
+                 double theta)
+    : offset_(offset), ampl_(ampl), freq_(freq), delay_(delay),
+      theta_(theta) {
+    if (freq_ <= 0.0) {
+        throw AnalysisError("SinWave: frequency must be positive");
+    }
+}
+
+double SinWave::value(double t) const {
+    if (t < delay_) {
+        return offset_;
+    }
+    const double tau = t - delay_;
+    const double w = 2.0 * std::numbers::pi * freq_;
+    return offset_ + ampl_ * std::sin(w * tau) * std::exp(-theta_ * tau);
+}
+
+double SinWave::slope(double t) const {
+    if (t < delay_) {
+        return 0.0;
+    }
+    const double tau = t - delay_;
+    const double w = 2.0 * std::numbers::pi * freq_;
+    const double e = std::exp(-theta_ * tau);
+    return ampl_ * e * (w * std::cos(w * tau) - theta_ * std::sin(w * tau));
+}
+
+std::string SinWave::describe() const {
+    std::ostringstream os;
+    os << "SIN(" << offset_ << " " << ampl_ << " " << freq_ << " " << delay_
+       << " " << theta_ << ")";
+    return os.str();
+}
+
+WaveformPtr make_clock(double v_low, double v_high, double period,
+                       double rise_fall, double delay) {
+    const double edge = std::max(rise_fall, k_min_edge);
+    const double width = period / 2.0 - edge;
+    return std::make_shared<PulseWave>(v_low, v_high, delay, edge, edge,
+                                       width, period);
+}
+
+} // namespace nanosim

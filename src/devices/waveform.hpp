@@ -1,0 +1,112 @@
+// Nano-Sim — time-domain stimulus waveforms for independent sources.
+//
+// The set mirrors the SPICE stimulus cards the paper's experiments need:
+// DC, PULSE (the 0<->5 V input of the FET-RTD inverter and the flip-flop
+// clock), PWL, and SIN.  Waveform is a small value-semantics hierarchy
+// held by sources through a shared_ptr<const Waveform> so that decks can
+// share one definition across sources.
+#ifndef NANOSIM_DEVICES_WAVEFORM_HPP
+#define NANOSIM_DEVICES_WAVEFORM_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nanosim {
+
+/// A scalar function of time, v(t), plus an analytic-when-possible slope
+/// dv/dt used by the SWEC step controller (alpha = dV_in/dt in eq. 11).
+class Waveform {
+public:
+    virtual ~Waveform() = default;
+
+    /// Value at time t (seconds).
+    [[nodiscard]] virtual double value(double t) const = 0;
+
+    /// Slope dv/dt at time t.  Defaults to a central finite difference.
+    [[nodiscard]] virtual double slope(double t) const;
+
+    /// Times at which the waveform has a corner/discontinuity inside
+    /// [t0, t1); transient engines place time points on these so that
+    /// sharp edges are never stepped over.  Default: none.
+    [[nodiscard]] virtual std::vector<double> breakpoints(double t0,
+                                                          double t1) const;
+
+    /// Debug description ("PULSE(0 5 ...)").
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+/// Constant value.
+class DcWave : public Waveform {
+public:
+    explicit DcWave(double level) : level_(level) {}
+    [[nodiscard]] double value(double) const override { return level_; }
+    [[nodiscard]] double slope(double) const override { return 0.0; }
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    double level_;
+};
+
+/// SPICE-style periodic trapezoidal pulse.
+class PulseWave : public Waveform {
+public:
+    /// v1: initial level, v2: pulsed level, delay, rise, fall, width
+    /// (time at v2), period.  rise/fall of 0 are clamped to 1 ps to keep
+    /// slopes finite.
+    PulseWave(double v1, double v2, double delay, double rise, double fall,
+              double width, double period);
+
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double slope(double t) const override;
+    [[nodiscard]] std::vector<double> breakpoints(double t0,
+                                                  double t1) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Piece-wise linear waveform through (t, v) points; constant before the
+/// first and after the last point.
+class PwlWave : public Waveform {
+public:
+    /// Points must be strictly increasing in time (throws AnalysisError).
+    explicit PwlWave(std::vector<std::pair<double, double>> points);
+
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double slope(double t) const override;
+    [[nodiscard]] std::vector<double> breakpoints(double t0,
+                                                  double t1) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/// Damped sine: offset + ampl * sin(2 pi freq (t - delay)) * e^{-theta (t-delay)}.
+class SinWave : public Waveform {
+public:
+    SinWave(double offset, double ampl, double freq, double delay = 0.0,
+            double theta = 0.0);
+
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double slope(double t) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    double offset_, ampl_, freq_, delay_, theta_;
+};
+
+/// Square clock built on PulseWave: 50% duty, given period and levels —
+/// convenience for the RTD flip-flop experiment (Fig. 9).
+[[nodiscard]] WaveformPtr make_clock(double v_low, double v_high,
+                                     double period, double rise_fall,
+                                     double delay = 0.0);
+
+} // namespace nanosim
+
+#endif // NANOSIM_DEVICES_WAVEFORM_HPP

@@ -1,0 +1,167 @@
+#include "engines/dc_mla.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/sources.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+/// Largest per-device terminal-voltage change implied by an update, over
+/// the nonlinear devices (the quantities MLA limits).
+double max_device_voltage_move(const mna::MnaAssembler& assembler,
+                               const linalg::Vector& x_old,
+                               const linalg::Vector& x_new) {
+    const NodeVoltages vo = assembler.view(x_old);
+    const NodeVoltages vn = assembler.view(x_new);
+    double worst = 0.0;
+    for (const Device* dev : assembler.nonlinear_devices()) {
+        const auto terms = dev->terminals();
+        for (std::size_t a = 0; a + 1 < terms.size(); ++a) {
+            for (std::size_t b = a + 1; b < terms.size(); ++b) {
+                const double before = vo(terms[a]) - vo(terms[b]);
+                const double after = vn(terms[a]) - vn(terms[b]);
+                worst = std::max(worst, std::abs(after - before));
+            }
+        }
+    }
+    return worst;
+}
+
+/// Limited-NR inner loop: plain NR, but each update is scaled so that no
+/// nonlinear device's branch voltage moves more than v_limit.
+DcResult limited_nr(const mna::MnaAssembler& assembler,
+                    const MlaOptions& options, double t,
+                    double source_scale,
+                    const linalg::Vector& initial) {
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    DcResult result;
+    result.x = initial.empty() ? linalg::Vector(n, 0.0) : initial;
+
+    for (int it = 0; it < options.max_iterations; ++it) {
+        linalg::Triplets g = assembler.static_g();
+        assembler.add_time_varying_stamps(t, g);
+        linalg::Vector rhs = assembler.rhs(t);
+        if (source_scale != 1.0) {
+            for (double& v : rhs) {
+                v *= source_scale;
+            }
+        }
+        assembler.add_nr_stamps(result.x, g, rhs);
+        linalg::Vector x_new = mna::solve_system(g, rhs);
+
+        // Device-voltage limiting.
+        const double move =
+            max_device_voltage_move(assembler, result.x, x_new);
+        if (move > options.v_limit) {
+            const double scale = options.v_limit / move;
+            for (std::size_t i = 0; i < n; ++i) {
+                x_new[i] = result.x[i] + scale * (x_new[i] - result.x[i]);
+            }
+        }
+
+        const double delta = linalg::max_abs_diff(x_new, result.x);
+        const double scale = std::max(linalg::norm_inf(x_new), 1.0);
+        result.x = std::move(x_new);
+        result.iterations = it + 1;
+        result.residual = delta;
+        if (delta < options.abstol + options.reltol * scale) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+DcResult solve_op_mla(const mna::MnaAssembler& assembler,
+                      const MlaOptions& options, double t,
+                      double source_scale) {
+    const FlopScope scope;
+    // Phase 1: voltage-limited NR from the supplied guess.
+    DcResult result =
+        limited_nr(assembler, options, t, source_scale,
+                   options.initial_guess);
+    if (result.converged) {
+        result.flops = scope.counter();
+        return result;
+    }
+
+    // Phase 2: source stepping with automatic ramp-step reduction.
+    double lambda = 0.0;
+    double dlambda = 1.0 / std::max(options.ramp_initial_steps, 1);
+    int halvings = 0;
+    int total_iterations = result.iterations;
+    linalg::Vector warm(static_cast<std::size_t>(assembler.unknowns()), 0.0);
+
+    while (lambda < 1.0) {
+        const double target = std::min(1.0, lambda + dlambda);
+        DcResult step = limited_nr(assembler, options, t,
+                                   source_scale * target, warm);
+        total_iterations += step.iterations;
+        if (step.converged) {
+            lambda = target;
+            warm = step.x;
+            result = std::move(step);
+            dlambda = std::min(dlambda * 1.5, 1.0 - lambda + 1e-12);
+        } else {
+            dlambda /= 2.0;
+            if (++halvings > options.ramp_max_halvings) {
+                result.converged = false;
+                break;
+            }
+        }
+    }
+    result.iterations = total_iterations;
+    result.flops = scope.counter();
+    return result;
+}
+
+SweepResult dc_sweep_mla(Circuit& circuit, const std::string& source_name,
+                         const linalg::Vector& values,
+                         const MlaOptions& options) {
+    const FlopScope scope;
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_mla: empty sweep");
+    }
+    SweepResult result;
+    // Reuse the NR sweep's source plumbing by setting DC levels directly.
+    auto set_level = [&](double v) {
+        if (const Device* d = circuit.find(source_name); d != nullptr) {
+            if (d->kind() == DeviceKind::vsource) {
+                circuit.get_mutable<VSource>(source_name)
+                    .set_wave(std::make_shared<DcWave>(v));
+                return;
+            }
+            if (d->kind() == DeviceKind::isource) {
+                circuit.get_mutable<ISource>(source_name)
+                    .set_wave(std::make_shared<DcWave>(v));
+                return;
+            }
+        }
+        throw NetlistError("dc_sweep_mla: '" + source_name +
+                           "' is not a V or I source");
+    };
+
+    set_level(values.front());
+    const mna::MnaAssembler assembler(circuit);
+    MlaOptions opt = options;
+    for (const double v : values) {
+        set_level(v);
+        const DcResult point = solve_op_mla(assembler, opt);
+        result.values.push_back(v);
+        result.solutions.push_back(point.x);
+        result.converged.push_back(point.converged);
+        result.total_iterations += point.iterations;
+        opt.initial_guess = point.x;
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+} // namespace nanosim::engines

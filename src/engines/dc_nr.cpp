@@ -1,0 +1,199 @@
+#include "engines/dc_nr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/sources.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+/// Replace a named V/I source's stimulus with a DC level, returning the
+/// previous waveform so the caller can restore it.
+WaveformPtr swap_source_level(Circuit& circuit, const std::string& name,
+                              double level) {
+    if (const Device* d = circuit.find(name); d != nullptr) {
+        if (d->kind() == DeviceKind::vsource) {
+            auto& vs = circuit.get_mutable<VSource>(name);
+            // Remember the previous stimulus as its t=0 DC level — sweeps
+            // only ever replace DC levels, so this restores faithfully.
+            auto prev = std::make_shared<DcWave>(vs.wave().value(0.0));
+            vs.set_wave(std::make_shared<DcWave>(level));
+            return prev;
+        }
+        if (d->kind() == DeviceKind::isource) {
+            auto& is = circuit.get_mutable<ISource>(name);
+            auto prev = std::make_shared<DcWave>(is.wave().value(0.0));
+            is.set_wave(std::make_shared<DcWave>(level));
+            return prev;
+        }
+    }
+    throw NetlistError("dc sweep: '" + name + "' is not a V or I source");
+}
+
+void restore_source(Circuit& circuit, const std::string& name,
+                    WaveformPtr wave) {
+    if (const Device* d = circuit.find(name); d != nullptr) {
+        if (d->kind() == DeviceKind::vsource) {
+            circuit.get_mutable<VSource>(name).set_wave(std::move(wave));
+            return;
+        }
+        if (d->kind() == DeviceKind::isource) {
+            circuit.get_mutable<ISource>(name).set_wave(std::move(wave));
+            return;
+        }
+    }
+}
+
+} // namespace
+
+DcResult solve_op_nr(const mna::MnaAssembler& assembler,
+                     const NrOptions& options, double t,
+                     double source_scale) {
+    const FlopScope scope;
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    DcResult result;
+    result.x.assign(n, 0.0);
+    if (!options.initial_guess.empty()) {
+        if (options.initial_guess.size() != n) {
+            throw AnalysisError("solve_op_nr: initial guess size mismatch");
+        }
+        result.x = options.initial_guess;
+    }
+    if (options.record_trace) {
+        result.trace.push_back(result.x);
+    }
+
+    linalg::Vector prev2; // iterate two steps back, for cycle detection
+    for (int it = 0; it < options.max_iterations; ++it) {
+        linalg::Triplets g = assembler.static_g();
+        assembler.add_time_varying_stamps(t, g);
+        linalg::Vector rhs = assembler.rhs(t);
+        if (source_scale != 1.0) {
+            for (double& v : rhs) {
+                v *= source_scale;
+            }
+        }
+        assembler.add_nr_stamps(result.x, g, rhs);
+        if (options.gmin > 0.0) {
+            for (int k = 0; k < assembler.num_nodes(); ++k) {
+                g.add(static_cast<std::size_t>(k),
+                      static_cast<std::size_t>(k), options.gmin);
+            }
+        }
+
+        linalg::Vector x_new = mna::solve_system(g, rhs);
+        if (options.damping < 1.0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                x_new[i] = result.x[i] +
+                           options.damping * (x_new[i] - result.x[i]);
+            }
+        }
+
+        const double delta = linalg::max_abs_diff(x_new, result.x);
+        const double scale = std::max(linalg::norm_inf(x_new), 1.0);
+        result.iterations = it + 1;
+        result.residual = delta;
+
+        // Cycle (period-2 oscillation) detection: the NDR signature of
+        // paper Fig. 2 — iterates bounce between two distant points.
+        if (!prev2.empty()) {
+            const double back = linalg::max_abs_diff(x_new, prev2);
+            if (back < options.abstol + options.reltol * scale &&
+                delta > 100.0 * (options.abstol + options.reltol * scale)) {
+                result.oscillation_detected = true;
+            }
+        }
+        prev2 = result.x;
+        result.x = std::move(x_new);
+        if (options.record_trace) {
+            result.trace.push_back(result.x);
+        }
+
+        if (delta < options.abstol + options.reltol * scale) {
+            result.converged = true;
+            break;
+        }
+        if (result.oscillation_detected) {
+            break; // further iterations just repeat the cycle
+        }
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+DcResult solve_op_source_stepping(const mna::MnaAssembler& assembler,
+                                  const SourceSteppingOptions& options) {
+    const FlopScope scope;
+    NrOptions nr = options.nr;
+    nr.record_trace = false;
+
+    double lambda = 0.0;
+    double dlambda = 1.0 / std::max(options.initial_steps, 1);
+    DcResult last;
+    last.x.assign(static_cast<std::size_t>(assembler.unknowns()), 0.0);
+    int halvings = 0;
+    int total_iterations = 0;
+
+    while (lambda < 1.0) {
+        const double target = std::min(1.0, lambda + dlambda);
+        nr.initial_guess = last.x;
+        DcResult step = solve_op_nr(assembler, nr, 0.0, target);
+        total_iterations += step.iterations;
+        if (step.converged) {
+            lambda = target;
+            last = std::move(step);
+            // Gentle ramp acceleration after a success.
+            dlambda = std::min(dlambda * 1.5, 1.0 - lambda + 1e-12);
+        } else {
+            dlambda /= 2.0;
+            if (++halvings > options.max_halvings) {
+                last.converged = false;
+                last.iterations = total_iterations;
+                last.flops = scope.counter();
+                return last;
+            }
+        }
+    }
+    last.iterations = total_iterations;
+    last.converged = true;
+    last.flops = scope.counter();
+    return last;
+}
+
+SweepResult dc_sweep_nr(Circuit& circuit, const std::string& source_name,
+                        const linalg::Vector& values,
+                        const NrOptions& options) {
+    const FlopScope scope;
+    SweepResult result;
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_nr: empty sweep");
+    }
+    WaveformPtr saved = swap_source_level(circuit, source_name,
+                                          values.front());
+    try {
+        const mna::MnaAssembler assembler(circuit);
+        NrOptions nr = options;
+        for (const double v : values) {
+            swap_source_level(circuit, source_name, v);
+            const DcResult point = solve_op_nr(assembler, nr);
+            result.values.push_back(v);
+            result.solutions.push_back(point.x);
+            result.converged.push_back(point.converged);
+            result.total_iterations += point.iterations;
+            nr.initial_guess = point.x; // warm start the next point
+        }
+    } catch (...) {
+        restore_source(circuit, source_name, std::move(saved));
+        throw;
+    }
+    restore_source(circuit, source_name, std::move(saved));
+    result.flops = scope.counter();
+    return result;
+}
+
+} // namespace nanosim::engines

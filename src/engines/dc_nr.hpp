@@ -1,0 +1,63 @@
+// Nano-Sim — Newton-Raphson DC analysis (the SPICE baseline).
+//
+// Solves G(x) x = b with damped Newton iterations on the MNA system,
+// using each device's *differential* (tangent) conductance — the
+// linearisation that malfunctions on non-monotonic I-V curves: inside an
+// NDR region the tangent is negative and iterates can cycle between two
+// points (paper Fig. 2) or walk to a wrong branch.  Failure modes are
+// reported, not hidden, because reproducing them IS part of the paper.
+//
+// Convergence aids (options): gmin loading, source stepping
+// (continuation in a 0->1 source scale), per-iteration update damping.
+#ifndef NANOSIM_ENGINES_DC_NR_HPP
+#define NANOSIM_ENGINES_DC_NR_HPP
+
+#include "engines/results.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::engines {
+
+/// Options for the NR operating-point solver.
+struct NrOptions {
+    int max_iterations = 200;
+    double abstol = 1e-9;  ///< absolute voltage tolerance [V]
+    double reltol = 1e-6;  ///< relative tolerance vs iterate norm
+    double gmin = 0.0;     ///< conductance loaded on every node diagonal
+    double damping = 1.0;  ///< update scale in (0, 1]
+    bool record_trace = false; ///< keep full iterate history (Fig. 2)
+    /// Optional initial guess (size must equal unknowns; empty = zeros).
+    linalg::Vector initial_guess;
+};
+
+/// Options for source-stepping continuation.
+struct SourceSteppingOptions {
+    NrOptions nr;
+    int initial_steps = 10;    ///< first ramp resolution
+    int max_halvings = 10;     ///< adaptive lambda-step reductions
+};
+
+/// One NR operating-point solve at time t (sources evaluated at t;
+/// capacitors open, inductors short).  `source_scale` multiplies all
+/// independent sources (used by continuation).
+[[nodiscard]] DcResult solve_op_nr(const mna::MnaAssembler& assembler,
+                                   const NrOptions& options = {},
+                                   double t = 0.0,
+                                   double source_scale = 1.0);
+
+/// Operating point via source stepping: ramp sources from 0 to 100%,
+/// warm-starting each solve, halving the ramp step on failure.
+[[nodiscard]] DcResult
+solve_op_source_stepping(const mna::MnaAssembler& assembler,
+                         const SourceSteppingOptions& options = {});
+
+/// DC sweep: set `source_name` (a VSource or ISource) to each value in
+/// turn and solve with NR, warm-starting from the previous point.
+/// The circuit is mutated (source waveform replaced) and restored after.
+[[nodiscard]] SweepResult dc_sweep_nr(Circuit& circuit,
+                                      const std::string& source_name,
+                                      const linalg::Vector& values,
+                                      const NrOptions& options = {});
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_DC_NR_HPP

@@ -1,0 +1,123 @@
+#include "engines/dc_swec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/sources.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+DcResult solve_op_swec(const mna::MnaAssembler& assembler,
+                       const SwecDcOptions& options, double t,
+                       double source_scale) {
+    const FlopScope scope;
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    const auto& nonlinear = assembler.nonlinear_devices();
+
+    DcResult result;
+    result.x = options.initial_guess.empty()
+                   ? linalg::Vector(n, 0.0)
+                   : options.initial_guess;
+    if (result.x.size() != n) {
+        throw AnalysisError("solve_op_swec: initial guess size mismatch");
+    }
+
+    linalg::Vector rhs0 = assembler.rhs(t);
+    if (source_scale != 1.0) {
+        for (double& v : rhs0) {
+            v *= source_scale;
+        }
+    }
+
+    std::vector<double> geq(nonlinear.size(), 0.0);
+    double h = options.dt_init;
+    int settled = 0;
+
+    for (int step = 0; step < options.max_steps; ++step) {
+        // Chord conductances at the current state — the SWEC step needs
+        // no prediction here because the march only has to *end* right.
+        const NodeVoltages v = assembler.view(result.x);
+        for (std::size_t k = 0; k < nonlinear.size(); ++k) {
+            geq[k] = std::max(nonlinear[k]->swec_conductance(v), 0.0);
+        }
+
+        // (G_swec + C_pt/h) x_next = C_pt/h x + b  — backward Euler with
+        // the artificial node capacitance C_pt on every node.
+        linalg::Triplets g = assembler.static_g();
+        assembler.add_time_varying_stamps(t, g);
+        assembler.add_swec_stamps(geq, g);
+        const double cg = options.c_pseudo / h;
+        linalg::Vector rhs = rhs0;
+        for (int node = 0; node < assembler.num_nodes(); ++node) {
+            const auto r = static_cast<std::size_t>(node);
+            g.add(r, r, cg);
+            rhs[r] += cg * result.x[r];
+        }
+
+        linalg::Vector x_next = mna::solve_system(g, rhs);
+        const double delta = linalg::max_abs_diff(x_next, result.x);
+        result.x = std::move(x_next);
+        result.iterations = step + 1;
+        result.residual = delta;
+
+        if (delta < options.settle_tol) {
+            if (++settled >= options.settle_checks) {
+                result.converged = true;
+                break;
+            }
+        } else {
+            settled = 0;
+        }
+        h = std::min(h * options.growth, options.dt_max);
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
+                          const linalg::Vector& values,
+                          const SwecDcOptions& options) {
+    const FlopScope scope;
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_swec: empty sweep");
+    }
+    auto set_level = [&](double v) {
+        if (const Device* d = circuit.find(source_name); d != nullptr) {
+            if (d->kind() == DeviceKind::vsource) {
+                circuit.get_mutable<VSource>(source_name)
+                    .set_wave(std::make_shared<DcWave>(v));
+                return;
+            }
+            if (d->kind() == DeviceKind::isource) {
+                circuit.get_mutable<ISource>(source_name)
+                    .set_wave(std::make_shared<DcWave>(v));
+                return;
+            }
+        }
+        throw NetlistError("dc_sweep_swec: '" + source_name +
+                           "' is not a V or I source");
+    };
+
+    SweepResult result;
+    set_level(values.front());
+    const mna::MnaAssembler assembler(circuit);
+    SwecDcOptions opt = options;
+    for (const double v : values) {
+        set_level(v);
+        const DcResult point = solve_op_swec(assembler, opt);
+        result.values.push_back(v);
+        result.solutions.push_back(point.x);
+        result.converged.push_back(point.converged);
+        result.total_iterations += point.iterations;
+        opt.initial_guess = point.x;
+        // A warm-started continuation settles fast; start the next march
+        // with a larger pseudo-step.
+        opt.dt_init = options.dt_init * 10.0;
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+} // namespace nanosim::engines

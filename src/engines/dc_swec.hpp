@@ -1,0 +1,49 @@
+// Nano-Sim — SWEC DC analysis (pseudo-transient).
+//
+// The paper's Sec. 5.1 DC experiments apply SWEC to operating-point
+// computation.  SWEC has no nonlinear solve to run, so the operating
+// point is reached by *pseudo-transient continuation*: an artificial
+// capacitor is attached to every node, the circuit is marched in time
+// with the SWEC transient update (one linear solve per step, chord
+// conductances refreshed each step), and the march ends when the state
+// stops moving.  Each step is non-iterative; the chord conductance is
+// positive even across the NDR region, so the march cannot oscillate the
+// way Newton-Raphson does (paper Fig. 7).
+#ifndef NANOSIM_ENGINES_DC_SWEC_HPP
+#define NANOSIM_ENGINES_DC_SWEC_HPP
+
+#include "engines/results.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::engines {
+
+/// Pseudo-transient tuning.
+struct SwecDcOptions {
+    double c_pseudo = 1e-9;   ///< artificial node capacitance [F]
+    double dt_init = 1e-6;    ///< initial pseudo-time step [s]
+    double dt_max = 1e-2;
+    double growth = 1.8;      ///< step growth per settled step
+    double settle_tol = 1e-9; ///< |dx| threshold for steady state [V]
+    int settle_checks = 3;    ///< consecutive settled steps required
+    int max_steps = 2000;
+    /// Optional warm start (previous sweep point).
+    linalg::Vector initial_guess;
+};
+
+/// Operating point by SWEC pseudo-transient.  `source_scale` multiplies
+/// independent sources.  iterations in the result counts pseudo-steps.
+[[nodiscard]] DcResult solve_op_swec(const mna::MnaAssembler& assembler,
+                                     const SwecDcOptions& options = {},
+                                     double t = 0.0,
+                                     double source_scale = 1.0);
+
+/// DC sweep with SWEC, warm-starting every point from the previous
+/// solution (the configuration of paper Fig. 7 / Table I).
+[[nodiscard]] SweepResult dc_sweep_swec(Circuit& circuit,
+                                        const std::string& source_name,
+                                        const linalg::Vector& values,
+                                        const SwecDcOptions& options = {});
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_DC_SWEC_HPP

@@ -1,0 +1,50 @@
+// Nano-Sim — Monte-Carlo noise analysis (the baseline EM replaces).
+//
+// The pre-SDE methodology for circuits with uncertain inputs: realise
+// each white-noise source as a concrete band-limited sample path (a
+// piecewise-constant current of value sigma * xi_k / sqrt(dt) on each
+// interval, so its integral over a step is a true Wiener increment), run
+// a full *deterministic* transient per realization, and build statistics
+// over hundreds of runs.  This is the "several hundreds to over thousands
+// of Monte Carlo simulations" cost of paper Sec. 1 that the EM engine
+// amortises — for a matched path count, MC pays the deterministic
+// engine's full machinery per run.
+#ifndef NANOSIM_ENGINES_MONTE_CARLO_HPP
+#define NANOSIM_ENGINES_MONTE_CARLO_HPP
+
+#include "engines/results.hpp"
+#include "engines/tran_swec.hpp"
+#include "mna/mna.hpp"
+#include "stochastic/rng.hpp"
+#include "stochastic/stats.hpp"
+
+namespace nanosim::engines {
+
+/// Monte-Carlo options.
+struct McOptions {
+    int runs = 200;          ///< deterministic transients to run
+    double t_stop = 0.0;     ///< horizon [s]
+    double noise_dt = 0.0;   ///< noise bandwidth grid; 0 = t_stop/200
+    std::size_t grid_points = 201; ///< output sampling for statistics
+    /// Base options for the per-run deterministic transient (t_stop and
+    /// noise are overridden per run).
+    SwecTranOptions tran;
+};
+
+/// Ensemble statistics of one node voltage over the MC runs.
+struct McResult {
+    std::vector<double> grid;
+    analysis::Waveform mean;
+    analysis::Waveform stddev;
+    stochastic::EnsembleStats stats;
+    FlopCounter flops;
+};
+
+/// Run the Monte-Carlo analysis, observing `node`.
+[[nodiscard]] McResult run_monte_carlo(const mna::MnaAssembler& assembler,
+                                       const McOptions& options,
+                                       stochastic::Rng& rng, NodeId node);
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_MONTE_CARLO_HPP

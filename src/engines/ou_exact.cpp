@@ -1,0 +1,193 @@
+#include "engines/ou_exact.hpp"
+
+#include <cmath>
+
+#include "devices/sources.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+LtiDiscretization discretize_lti(const linalg::DenseMatrix& a,
+                                 const linalg::DenseMatrix& q, double h) {
+    if (!a.square() || !q.square() || a.rows() != q.rows()) {
+        throw SimError("discretize_lti: A and Q must be square, same order");
+    }
+    const std::size_t n = a.rows();
+
+    // Van Loan block for Qd:  H = [[-A, Q], [0, A^T]] h;
+    // expm(H) = [[ *, G12 ], [0, G22 ]];  Phi = G22^T,  Qd = Phi G12.
+    linalg::DenseMatrix block(2 * n, 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            block(i, j) = -a(i, j) * h;
+            block(i, n + j) = q(i, j) * h;
+            block(n + i, n + j) = a(j, i) * h;
+        }
+    }
+    const linalg::DenseMatrix eblock = linalg::expm(block);
+    linalg::DenseMatrix phi(n, n);
+    linalg::DenseMatrix g12(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            phi(i, j) = eblock(n + j, n + i); // G22^T
+            g12(i, j) = eblock(i, n + j);
+        }
+    }
+    LtiDiscretization out;
+    out.qd = phi.multiply(g12);
+    // Symmetrise away roundoff.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double s = 0.5 * (out.qd(i, j) + out.qd(j, i));
+            out.qd(i, j) = s;
+            out.qd(j, i) = s;
+        }
+    }
+    out.phi = std::move(phi);
+
+    // Gamma via the augmented block [[A, I], [0, 0]] h:
+    // expm = [[ e^{Ah}, int_0^h e^{As} ds ], [0, I]].
+    linalg::DenseMatrix aug(2 * n, 2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            aug(i, j) = a(i, j) * h;
+        }
+        aug(i, n + i) = h;
+    }
+    const linalg::DenseMatrix eaug = linalg::expm(aug);
+    out.gamma.resize_zero(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            out.gamma(i, j) = eaug(i, n + j);
+        }
+    }
+    return out;
+}
+
+ScalarOuMoments scalar_ou_moments(double a, double c, double sigma,
+                                  double x0, double t) {
+    if (a <= 0.0) {
+        throw AnalysisError("scalar_ou_moments: need a > 0");
+    }
+    const double e = std::exp(-a * t);
+    ScalarOuMoments m{};
+    m.mean = x0 * e + (c / a) * (1.0 - e);
+    m.variance = sigma * sigma / (2.0 * a) * (1.0 - e * e);
+    return m;
+}
+
+OuMomentsResult exact_moments(const mna::MnaAssembler& assembler,
+                              double t_stop, std::size_t steps,
+                              const linalg::Vector& x0) {
+    if (!assembler.nonlinear_devices().empty()) {
+        throw AnalysisError("exact_moments: circuit must be linear");
+    }
+    if (assembler.num_branches() != 0) {
+        throw AnalysisError(
+            "exact_moments: branch unknowns make C singular; reduce the "
+            "circuit to node form (current sources only)");
+    }
+    if (t_stop <= 0.0 || steps == 0) {
+        throw AnalysisError("exact_moments: need t_stop > 0, steps > 0");
+    }
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    const double h = t_stop / static_cast<double>(steps);
+
+    // C^{-1} via one LU factorisation.
+    const linalg::DenseLu c_lu(assembler.c_triplets().to_dense());
+
+    // Noise intensity matrix Q = (C^{-1} B)(C^{-1} B)^T.
+    linalg::DenseMatrix cinv_b(
+        n, std::max<std::size_t>(assembler.noise_sources().size(), 1));
+    {
+        const auto& noise = assembler.noise_sources();
+        for (std::size_t k = 0; k < noise.size(); ++k) {
+            const auto* src =
+                static_cast<const NoiseCurrentSource*>(noise[k]);
+            linalg::Vector col(n, 0.0);
+            if (src->pos() != k_ground) {
+                col[static_cast<std::size_t>(src->pos() - 1)] -=
+                    src->sigma();
+            }
+            if (src->neg() != k_ground) {
+                col[static_cast<std::size_t>(src->neg() - 1)] +=
+                    src->sigma();
+            }
+            const linalg::Vector solved = c_lu.solve(col);
+            for (std::size_t i = 0; i < n; ++i) {
+                cinv_b(i, k) = solved[i];
+            }
+        }
+    }
+    const linalg::DenseMatrix q =
+        cinv_b.multiply(cinv_b.transposed());
+
+    OuMomentsResult out;
+    out.grid.resize(steps + 1);
+    out.mean.reserve(steps + 1);
+    out.variance.reserve(steps + 1);
+
+    linalg::Vector m =
+        x0.empty() ? linalg::Vector(n, 0.0) : x0;
+    if (m.size() != n) {
+        throw AnalysisError("exact_moments: x0 size mismatch");
+    }
+    linalg::DenseMatrix p(n, n); // covariance, starts at 0 (deterministic IC)
+
+    auto diag_of = [&](const linalg::DenseMatrix& mat) {
+        linalg::Vector d(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            d[i] = mat(i, i);
+        }
+        return d;
+    };
+
+    out.grid[0] = 0.0;
+    out.mean.push_back(m);
+    out.variance.push_back(diag_of(p));
+
+    for (std::size_t j = 0; j < steps; ++j) {
+        const double t = h * static_cast<double>(j);
+        // A(t) = -C^{-1} G(t), c(t) = C^{-1} b(t): piecewise constant
+        // over the step.
+        linalg::Triplets g_trip = assembler.static_g();
+        assembler.add_time_varying_stamps(t, g_trip);
+        const linalg::DenseMatrix g = g_trip.to_dense();
+        linalg::DenseMatrix a_mat(n, n);
+        for (std::size_t col = 0; col < n; ++col) {
+            linalg::Vector gc(n);
+            for (std::size_t row = 0; row < n; ++row) {
+                gc[row] = g(row, col);
+            }
+            const linalg::Vector solved = c_lu.solve(gc);
+            for (std::size_t row = 0; row < n; ++row) {
+                a_mat(row, col) = -solved[row];
+            }
+        }
+        const linalg::Vector b = assembler.rhs(t);
+        const linalg::Vector c_vec = c_lu.solve(b);
+
+        const LtiDiscretization d = discretize_lti(a_mat, q, h);
+        // m' = Phi m + Gamma c.
+        linalg::Vector m_next = d.phi.multiply(m);
+        const linalg::Vector forced = d.gamma.multiply(c_vec);
+        for (std::size_t i = 0; i < n; ++i) {
+            m_next[i] += forced[i];
+        }
+        m = std::move(m_next);
+        // P' = Phi P Phi^T + Qd.
+        linalg::DenseMatrix p_next =
+            d.phi.multiply(p).multiply(d.phi.transposed());
+        p_next.add_scaled(d.qd, 1.0);
+        p = std::move(p_next);
+
+        out.grid[j + 1] = h * static_cast<double>(j + 1);
+        out.mean.push_back(m);
+        out.variance.push_back(diag_of(p));
+    }
+    return out;
+}
+
+} // namespace nanosim::engines

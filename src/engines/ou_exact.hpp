@@ -1,0 +1,68 @@
+// Nano-Sim — exact solutions of linear circuit SDEs (reference for EM).
+//
+// A linear (possibly time-varying-coefficient) circuit SDE
+//     dX = (A(t) X + c(t)) dt + L dW
+// is an (inhomogeneous) Ornstein-Uhlenbeck process.  For piecewise-
+// constant coefficients its mean and covariance propagate EXACTLY:
+//
+//     m_{k+1} = Phi m_k + Gamma c,        Phi   = e^{A h},
+//     P_{k+1} = Phi P_k Phi^T + Q_d,      Gamma = int_0^h e^{A s} ds,
+//     Q_d     = int_0^h e^{A s} L L^T e^{A^T s} ds   (Van Loan 1978).
+//
+// This module provides those discretizations (built on linalg::expm), the
+// scalar closed forms, and an exact *moment* reference path for a circuit
+// — the "true solution"/analytic curve of paper Fig. 10.  For path-wise
+// (strong) references against the SAME Brownian path, use the standard
+// fine-grid EM reference (Higham 2001): EmEngine on WienerPath::refined
+// grids.
+#ifndef NANOSIM_ENGINES_OU_EXACT_HPP
+#define NANOSIM_ENGINES_OU_EXACT_HPP
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::engines {
+
+/// Exact one-step discretization of dX = A X dt + L dW over step h.
+struct LtiDiscretization {
+    linalg::DenseMatrix phi;   ///< e^{A h}
+    linalg::DenseMatrix gamma; ///< int_0^h e^{A s} ds
+    linalg::DenseMatrix qd;    ///< discrete noise covariance
+};
+
+/// Van Loan block-exponential discretization.  `q` = L L^T (noise
+/// intensity matrix); throws SimError on shape mismatch.
+[[nodiscard]] LtiDiscretization discretize_lti(const linalg::DenseMatrix& a,
+                                               const linalg::DenseMatrix& q,
+                                               double h);
+
+/// Scalar OU closed forms for dX = -a X dt + c dt + sigma dW, X(0)=x0.
+struct ScalarOuMoments {
+    double mean;
+    double variance;
+};
+[[nodiscard]] ScalarOuMoments scalar_ou_moments(double a, double c,
+                                                double sigma, double x0,
+                                                double t);
+
+/// Exact mean/variance curves of a circuit's node voltages under its
+/// white-noise sources, on a uniform grid.  The circuit must be linear
+/// (no nonlinear devices); time-varying conductors are handled piecewise-
+/// constantly per step (exact in the limit of the grid, and exactly what
+/// the Fig. 10 "analytic solution" needs).  The circuit must satisfy the
+/// same invertible-C condition as the explicit EM scheme.
+struct OuMomentsResult {
+    std::vector<double> grid;
+    /// mean[j] / variance[j] are per-unknown vectors at grid[j].
+    std::vector<linalg::Vector> mean;
+    std::vector<linalg::Vector> variance;
+};
+[[nodiscard]] OuMomentsResult
+exact_moments(const mna::MnaAssembler& assembler, double t_stop,
+              std::size_t steps, const linalg::Vector& x0 = {});
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_OU_EXACT_HPP

@@ -1,0 +1,75 @@
+// Nano-Sim — result types shared by the analysis engines.
+#ifndef NANOSIM_ENGINES_RESULTS_HPP
+#define NANOSIM_ENGINES_RESULTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/waveform.hpp"
+#include "linalg/dense.hpp"
+#include "netlist/circuit.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim::engines {
+
+/// Outcome of a single operating-point solve.
+struct DcResult {
+    linalg::Vector x;            ///< unknown vector [v_nodes; i_branches]
+    bool converged = false;
+    bool oscillation_detected = false; ///< NR cycling (the Fig. 2 failure)
+    int iterations = 0;          ///< NR iterations (or SWEC pseudo-steps)
+    double residual = 0.0;       ///< final update norm
+    FlopCounter flops;           ///< work spent in this solve
+    /// Iterate history (filled when options.record_trace is set);
+    /// trace[k] is the unknown vector after iteration k.
+    std::vector<linalg::Vector> trace;
+};
+
+/// Outcome of a DC sweep: one solution per sweep value.
+struct SweepResult {
+    std::vector<double> values;               ///< swept source values
+    std::vector<linalg::Vector> solutions;    ///< per-point solutions
+    std::vector<bool> converged;              ///< per-point status
+    int total_iterations = 0;
+    FlopCounter flops;
+
+    /// Number of sweep points that failed to converge.
+    [[nodiscard]] int failures() const noexcept {
+        int n = 0;
+        for (const bool ok : converged) {
+            n += ok ? 0 : 1;
+        }
+        return n;
+    }
+};
+
+/// Outcome of a transient run.
+struct TranResult {
+    /// One waveform per non-ground node, label "v(<name>)", index
+    /// = NodeId - 1.
+    std::vector<analysis::Waveform> node_waves;
+    int steps_accepted = 0;
+    int steps_rejected = 0;
+    int nr_iterations = 0;       ///< total NR iterations (0 for SWEC)
+    int nonconverged_steps = 0;  ///< steps accepted without convergence
+    double min_dt_used = 0.0;
+    double max_dt_used = 0.0;
+    /// Max a-posteriori local error estimate seen (paper eq. 10).  The
+    /// max spikes at regenerative switching events (the state
+    /// accelerates beyond any history-based estimate for one step);
+    /// avg_local_error tracks typical step-control quality.
+    double max_local_error = 0.0;
+    double avg_local_error = 0.0;
+    FlopCounter flops;
+
+    /// Waveform of a node by name (throws NetlistError if unknown).
+    [[nodiscard]] const analysis::Waveform&
+    node(const Circuit& circuit, const std::string& name) const {
+        const NodeId id = circuit.find_node(name);
+        return node_waves.at(static_cast<std::size_t>(id - 1));
+    }
+};
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_RESULTS_HPP

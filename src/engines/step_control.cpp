@@ -1,0 +1,85 @@
+#include "engines/step_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nanosim::engines {
+
+double swec_step_bound(const mna::MnaAssembler& assembler,
+                       const linalg::Triplets& g_assembled,
+                       std::span<const double> x,
+                       std::span<const double> dvdt, double eps,
+                       double v_floor) {
+    const int nn = assembler.num_nodes();
+    std::vector<double> gdiag(static_cast<std::size_t>(nn), 0.0);
+    for (const auto& e : g_assembled.entries()) {
+        if (e.row == e.col && e.row < static_cast<std::size_t>(nn)) {
+            gdiag[e.row] += e.value;
+        }
+    }
+    return swec_step_bound_diag(assembler, gdiag, x, dvdt, eps, v_floor);
+}
+
+double swec_step_bound_diag(const mna::MnaAssembler& assembler,
+                            std::span<const double> node_gdiag,
+                            std::span<const double> x,
+                            std::span<const double> dvdt, double eps,
+                            double v_floor) {
+    double bound = std::numeric_limits<double>::infinity();
+
+    // Device bounds (eq. 12, first argument of the MIN).
+    const NodeVoltages v = assembler.view(x);
+    const NodeVoltages rate = assembler.view(dvdt);
+    for (const Device* dev : assembler.nonlinear_devices()) {
+        bound = std::min(bound, dev->step_limit(v, rate, eps));
+    }
+
+    // Node RC bounds (eq. 12, second argument): eps * C_j / sum_k G_jk.
+    const int nn = assembler.num_nodes();
+    for (int j = 0; j < nn; ++j) {
+        const auto r = static_cast<std::size_t>(j);
+        const double cj = assembler.c_csr().at(r, r);
+        const double gj = std::abs(node_gdiag[r]);
+        if (cj <= 0.0 || gj <= 0.0) {
+            continue;
+        }
+        const double h_j = eps * cj / gj;
+        // Activity guard (see header): enforce only while the node moves.
+        if (std::abs(dvdt[r]) * h_j > v_floor) {
+            bound = std::min(bound, h_j);
+        }
+    }
+    return bound;
+}
+
+double measured_local_error(std::span<const double> x_old,
+                            std::span<const double> x_new,
+                            std::span<const double> dvdt_prev, double h,
+                            int num_nodes, double v_floor) {
+    const auto nn = static_cast<std::size_t>(num_nodes);
+    // Eq. (10) is defined "at the output" — the actively switching node.
+    // Evaluate it on nodes moving comparably to the most active one;
+    // nodes near a turning point (dV ~ 0 while the slope estimate is
+    // finite) would otherwise blow the ratio up without saying anything
+    // about step-control quality.
+    double max_move = 0.0;
+    for (std::size_t j = 0; j < nn && j < x_old.size(); ++j) {
+        max_move = std::max(max_move, std::abs(x_new[j] - x_old[j]));
+    }
+    const double gate = std::max(v_floor, 0.25 * max_move);
+
+    double worst = 0.0;
+    for (std::size_t j = 0; j < nn && j < x_old.size(); ++j) {
+        const double actual = x_new[j] - x_old[j];
+        if (std::abs(actual) < gate) {
+            continue;
+        }
+        const double estimated = h * dvdt_prev[j];
+        worst = std::max(worst, std::abs(actual - estimated) /
+                                    std::abs(actual));
+    }
+    return worst;
+}
+
+} // namespace nanosim::engines

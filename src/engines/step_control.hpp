@@ -1,0 +1,63 @@
+// Nano-Sim — adaptive time-step control for the SWEC engine
+// (paper Sec. 3.4, eqs. 10-12).
+//
+// For a target local error ratio eps, the next step is the minimum over
+//   * every conducting transistor:   eps * 2 (V_GS - V_th) / |dV_GS/dt|
+//     and the analogous chord-rate bound for RTD/RTT/nanowire devices
+//     (both supplied by Device::step_limit), and
+//   * every node j with grounded capacitance C_j:
+//                                    eps * C_j / sum_k G_jk(t_n)
+// — eq. (12).  The a-posteriori error of a completed step is measured as
+// eq. (10):  eps_meas = |dV_actual - dV_est| / |dV_actual|.
+#ifndef NANOSIM_ENGINES_STEP_CONTROL_HPP
+#define NANOSIM_ENGINES_STEP_CONTROL_HPP
+
+#include <span>
+
+#include "linalg/sparse.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::engines {
+
+/// Minimum step bound over all devices and nodes (eq. 12).
+/// `g_assembled` must be the FULL conductance triplets of the current
+/// time point (static + SWEC stamps) — its node-diagonal entries are the
+/// sum-of-conductances term.  Returns +infinity when nothing constrains
+/// the step.
+///
+/// Activity guard: the node bound eps * C_j / sum G_jk protects the
+/// accuracy of a node that is *relaxing*; clamping a quiescent node to a
+/// fraction of its (possibly picosecond) time constant only burns steps.
+/// A node's bound is therefore applied only when the step it allows
+/// would still move that node by more than `v_floor` at its current
+/// slew rate — paper [4] applies the constraint to conducting/active
+/// devices in the same spirit.
+[[nodiscard]] double swec_step_bound(const mna::MnaAssembler& assembler,
+                                     const linalg::Triplets& g_assembled,
+                                     std::span<const double> x,
+                                     std::span<const double> dvdt,
+                                     double eps, double v_floor = 1e-6);
+
+/// Same bound, but taking the node-diagonal conductance sums directly —
+/// the hot-loop form used by the SWEC engine, which maintains the
+/// diagonal incrementally instead of assembling G twice per step.
+[[nodiscard]] double
+swec_step_bound_diag(const mna::MnaAssembler& assembler,
+                     std::span<const double> node_gdiag,
+                     std::span<const double> x,
+                     std::span<const double> dvdt, double eps,
+                     double v_floor = 1e-6);
+
+/// A-posteriori local error of a step (eq. 10): worst over nodes of
+/// |dv_actual - dv_estimated| / |dv_actual|, where dv_estimated =
+/// h * dvdt_prev.  Nodes whose actual move is below `v_floor` are
+/// skipped (the ratio is meaningless in the noise floor).
+[[nodiscard]] double measured_local_error(std::span<const double> x_old,
+                                          std::span<const double> x_new,
+                                          std::span<const double> dvdt_prev,
+                                          double h, int num_nodes,
+                                          double v_floor = 1e-9);
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_STEP_CONTROL_HPP

@@ -1,0 +1,256 @@
+#include "engines/tran_nr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engines/dc_nr.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+NrTranOptions resolve(const NrTranOptions& in) {
+    NrTranOptions o = in;
+    if (o.t_stop <= 0.0) {
+        throw AnalysisError("run_tran_nr: t_stop must be positive");
+    }
+    if (o.dt_init <= 0.0) {
+        o.dt_init = o.t_stop / 1000.0;
+    }
+    if (o.dt_min <= 0.0) {
+        o.dt_min = o.t_stop * 1e-9;
+    }
+    if (o.dt_max <= 0.0) {
+        o.dt_max = o.t_stop / 50.0;
+    }
+    return o;
+}
+
+/// One NR solve of the companion system at time t with step h.
+/// Returns {x, converged, iterations}.
+struct StepSolve {
+    linalg::Vector x;
+    bool converged = false;
+    int iterations = 0;
+};
+
+StepSolve solve_companion(const mna::MnaAssembler& assembler,
+                          const NrTranOptions& options,
+                          const linalg::Vector& x_n,
+                          const linalg::Vector& x_guess, double t_next,
+                          double h,
+                          const mna::MnaAssembler::NoiseRealization* noise) {
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    StepSolve out;
+    out.x = x_guess;
+
+    // Constant part of the rhs for this step: b(t) + (C/h) x_n.
+    linalg::Vector rhs_const = assembler.rhs(t_next, noise);
+    {
+        linalg::Vector cx = assembler.c_csr().multiply(x_n);
+        for (std::size_t i = 0; i < n; ++i) {
+            rhs_const[i] += cx[i] / h;
+        }
+    }
+
+    for (int it = 0; it < options.max_nr_iterations; ++it) {
+        linalg::Triplets a = assembler.static_g();
+        assembler.add_time_varying_stamps(t_next, a);
+        linalg::Vector rhs = rhs_const;
+        assembler.add_nr_stamps(out.x, a, rhs);
+        for (const auto& e : assembler.c_triplets().entries()) {
+            a.add(e.row, e.col, e.value / h);
+        }
+        linalg::Vector x_new = mna::solve_system(a, rhs);
+        const double delta = linalg::max_abs_diff(x_new, out.x);
+        const double scale = std::max(linalg::norm_inf(x_new), 1.0);
+        out.x = std::move(x_new);
+        out.iterations = it + 1;
+        if (delta < options.abstol + options.reltol * scale) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TranResult run_tran_nr(const mna::MnaAssembler& assembler,
+                       const NrTranOptions& options_in) {
+    const NrTranOptions options = resolve(options_in);
+    const FlopScope scope;
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+
+    if (options.method == Integration::trapezoidal &&
+        (!assembler.nonlinear_devices().empty() ||
+         !assembler.time_varying_devices().empty())) {
+        throw AnalysisError("run_tran_nr: trapezoidal path supports "
+                            "time-invariant linear circuits only");
+    }
+
+    // --- Initial condition. ---
+    linalg::Vector x;
+    if (!options.initial.empty()) {
+        if (options.initial.size() != n) {
+            throw AnalysisError("run_tran_nr: initial size mismatch");
+        }
+        x = options.initial;
+    } else if (options.start_from_dc) {
+        NrOptions dc;
+        dc.gmin = 1e-12;
+        DcResult op = solve_op_nr(assembler, dc);
+        if (!op.converged) {
+            op = solve_op_source_stepping(assembler);
+        }
+        // A failed DC op is itself a finding on NDR circuits; start from
+        // the best iterate, as SPICE does after GMIN stepping gives up.
+        x = std::move(op.x);
+    } else {
+        x.assign(n, 0.0);
+    }
+
+    TranResult result;
+    for (int i = 0; i < assembler.num_nodes(); ++i) {
+        result.node_waves.emplace_back(
+            "v(" + assembler.circuit().node_name(i + 1) + ")");
+    }
+    auto record = [&](double t, const linalg::Vector& state) {
+        for (int i = 0; i < assembler.num_nodes(); ++i) {
+            result.node_waves[static_cast<std::size_t>(i)].append(
+                t, state[static_cast<std::size_t>(i)]);
+        }
+    };
+
+    const std::vector<double> breakpoints =
+        assembler.breakpoints(0.0, options.t_stop);
+    std::size_t next_bp = 0;
+
+    const mna::MnaAssembler::NoiseRealization* noise =
+        options.noise.empty() ? nullptr : &options.noise;
+
+    double t = 0.0;
+    record(t, x);
+    linalg::Vector x_older = x; // for the forward-Euler predictor
+    double h = options.dt_init;
+    double h_prev = 0.0;
+    result.min_dt_used = options.dt_max;
+
+    // Stop once within dt_min of the horizon (sliver steps make the
+    // companion matrix ill-scaled).
+    while (t < options.t_stop - options.dt_min) {
+        // Clip to breakpoints / end.
+        while (next_bp < breakpoints.size() &&
+               breakpoints[next_bp] <= t + 1e-18) {
+            ++next_bp;
+        }
+        if (next_bp < breakpoints.size() &&
+            t + h > breakpoints[next_bp] - 1e-18) {
+            h = std::max(breakpoints[next_bp] - t, options.dt_min);
+        }
+        if (t + h > options.t_stop) {
+            h = options.t_stop - t;
+        }
+
+        // Forward-Euler predictor from the last two accepted points.
+        // Gated until two steps have been accepted: before that x_older
+        // is the (possibly inconsistent) initial state and extrapolating
+        // from it manufactures phantom LTE failures.
+        const bool predictor_valid =
+            h_prev > 0.0 && result.steps_accepted >= 2;
+        linalg::Vector x_pred = x;
+        if (predictor_valid) {
+            for (std::size_t i = 0; i < n; ++i) {
+                x_pred[i] += (x[i] - x_older[i]) * (h / h_prev);
+            }
+        }
+
+        StepSolve step;
+        int halvings = 0;
+        bool accepted = false;
+        while (true) {
+            if (options.method == Integration::backward_euler ||
+                !assembler.nonlinear_devices().empty()) {
+                step = solve_companion(assembler, options, x, x_pred,
+                                       t + h, h, noise);
+            } else {
+                // Trapezoidal (linear only):
+                // (G + 2C/h) x_{n+1} = b(t_{n+1}) + b(t_n)
+                //                      + (2C/h) x_n - G x_n.
+                linalg::Triplets a = assembler.static_g();
+                linalg::Vector rhs = assembler.rhs(t + h, noise);
+                const linalg::Vector rhs_n = assembler.rhs(t, noise);
+                const linalg::CsrMatrix g_csr(assembler.static_g());
+                const linalg::Vector gx = g_csr.multiply(x);
+                const linalg::Vector cx = assembler.c_csr().multiply(x);
+                for (std::size_t i = 0; i < n; ++i) {
+                    rhs[i] += rhs_n[i] + 2.0 * cx[i] / h - gx[i];
+                }
+                for (const auto& e : assembler.c_triplets().entries()) {
+                    a.add(e.row, e.col, 2.0 * e.value / h);
+                }
+                step.x = mna::solve_system(a, rhs);
+                step.converged = true;
+                step.iterations = 1;
+            }
+            result.nr_iterations += step.iterations;
+
+            const bool lte_ok =
+                !predictor_valid ||
+                linalg::max_abs_diff(step.x, x_pred) <=
+                    options.lte_tol *
+                        std::max(1.0, linalg::norm_inf(step.x));
+
+            if (step.converged && lte_ok) {
+                accepted = true;
+                break;
+            }
+            if (h <= options.dt_min * 1.0000001 ||
+                halvings >= options.max_halvings) {
+                // Out of road.  SPICE3 behaviour: accept and march on.
+                if (options.accept_nonconverged) {
+                    ++result.nonconverged_steps;
+                    accepted = true;
+                    break;
+                }
+                throw ConvergenceError(
+                    "run_tran_nr: step at t=" + std::to_string(t) +
+                        " failed to converge",
+                    step.iterations, 0.0);
+            }
+            h = std::max(h / 2.0, options.dt_min);
+            ++halvings;
+            ++result.steps_rejected;
+            // Redo the predictor for the reduced step.
+            x_pred = x;
+            if (predictor_valid) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    x_pred[i] += (x[i] - x_older[i]) * (h / h_prev);
+                }
+            }
+        }
+
+        if (accepted) {
+            x_older = x;
+            x = std::move(step.x);
+            t += h;
+            h_prev = h;
+            ++result.steps_accepted;
+            result.min_dt_used = std::min(result.min_dt_used, h);
+            result.max_dt_used = std::max(result.max_dt_used, h);
+            record(t, x);
+            // Grow the step after an easy point.
+            if (step.iterations <= options.max_nr_iterations / 4) {
+                h = std::min(h * 1.5, options.dt_max);
+            }
+        }
+    }
+
+    result.flops = scope.counter();
+    return result;
+}
+
+} // namespace nanosim::engines

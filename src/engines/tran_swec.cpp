@@ -1,0 +1,242 @@
+#include "engines/tran_swec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engines/dc_swec.hpp"
+#include "engines/step_control.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+/// Fill defaults derived from t_stop.
+SwecTranOptions resolve(const SwecTranOptions& in) {
+    SwecTranOptions o = in;
+    if (o.t_stop <= 0.0) {
+        throw AnalysisError("run_tran_swec: t_stop must be positive");
+    }
+    if (o.dt_init <= 0.0) {
+        o.dt_init = o.t_stop / 1000.0;
+    }
+    if (o.dt_min <= 0.0) {
+        o.dt_min = o.t_stop * 1e-9;
+    }
+    if (o.dt_max <= 0.0) {
+        o.dt_max = o.t_stop / 50.0;
+    }
+    if (o.eps <= 0.0 || o.growth_limit < 1.0) {
+        throw AnalysisError("run_tran_swec: need eps > 0, growth >= 1");
+    }
+    return o;
+}
+
+} // namespace
+
+TranResult run_tran_swec(const mna::MnaAssembler& assembler,
+                         const SwecTranOptions& options_in) {
+    const SwecTranOptions options = resolve(options_in);
+    const FlopScope scope;
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    const auto& nonlinear = assembler.nonlinear_devices();
+    const auto nl = nonlinear.size();
+
+    // --- Initial condition. ---
+    linalg::Vector x;
+    if (!options.initial.empty()) {
+        if (options.initial.size() != n) {
+            throw AnalysisError("run_tran_swec: initial size mismatch");
+        }
+        x = options.initial;
+    } else if (options.start_from_dc) {
+        x = solve_op_swec(assembler).x;
+    } else {
+        x.assign(n, 0.0);
+    }
+
+    TranResult result;
+    result.node_waves.reserve(static_cast<std::size_t>(assembler.num_nodes()));
+    for (int i = 0; i < assembler.num_nodes(); ++i) {
+        result.node_waves.emplace_back(
+            "v(" + assembler.circuit().node_name(i + 1) + ")");
+    }
+    auto record = [&](double t, const linalg::Vector& state) {
+        for (int i = 0; i < assembler.num_nodes(); ++i) {
+            result.node_waves[static_cast<std::size_t>(i)].append(
+                t, state[static_cast<std::size_t>(i)]);
+        }
+    };
+
+    // --- Breakpoints (source corners) — never step across one. ---
+    const std::vector<double> breakpoints =
+        assembler.breakpoints(0.0, options.t_stop);
+    std::size_t next_bp = 0;
+
+    // Static part of the node-diagonal conductance sums, computed once;
+    // the per-step diagonal adds the SWEC chords and time-varying
+    // devices incrementally (see swec_step_bound_diag).
+    const auto nn = static_cast<std::size_t>(assembler.num_nodes());
+    std::vector<double> static_gdiag(nn, 0.0);
+    for (const auto& e : assembler.static_g().entries()) {
+        if (e.row == e.col && e.row < nn) {
+            static_gdiag[e.row] += e.value;
+        }
+    }
+
+    double t = 0.0;
+    record(t, x);
+
+    linalg::Vector dvdt(n, 0.0);    // eq. (9) backward difference
+    std::vector<double> geq(nl, 0.0);
+    std::vector<double> geq_rate(nl, 0.0);
+    double h = options.dt_init;
+    double h_prev = 0.0;
+    int steps_since_corner = 0; // gate for the eq. (10) diagnostic
+    double local_error_sum = 0.0;
+    std::size_t local_error_count = 0;
+    result.min_dt_used = options.dt_max;
+
+    const mna::MnaAssembler::NoiseRealization* noise =
+        options.noise.empty() ? nullptr : &options.noise;
+
+    // Stop once within dt_min of the horizon: a sliver step of ~1e-21 s
+    // would make (G + C/h) ill-scaled for no informational gain.
+    while (t < options.t_stop - options.dt_min) {
+        // 1. Chord conductances and their rates at t_n.
+        const NodeVoltages v = assembler.view(x);
+        const NodeVoltages rate_view = assembler.view(dvdt);
+        for (std::size_t k = 0; k < nl; ++k) {
+            geq[k] = nonlinear[k]->swec_conductance(v);
+            geq_rate[k] =
+                h_prev > 0.0
+                    ? nonlinear[k]->swec_conductance_rate(v, rate_view)
+                    : 0.0;
+        }
+
+        // 2. Adaptive step (eq. 12) — needs the node-diagonal G sums at
+        // t_n: static part cached, nonlinear/time-varying parts stamped
+        // into a small scratch builder.
+        if (options.adaptive) {
+            std::vector<double> gdiag = static_gdiag;
+            {
+                mna::MnaBuilder scratch(assembler.num_nodes(),
+                                        assembler.num_branches());
+                for (const Device* dev : assembler.time_varying_devices()) {
+                    dev->stamp_time_varying(
+                        scratch, assembler.branch_base_of(dev), t);
+                }
+                for (std::size_t k = 0; k < nl; ++k) {
+                    nonlinear[k]->stamp_swec(
+                        scratch, assembler.branch_base_of(nonlinear[k]),
+                        geq[k]);
+                }
+                for (const auto& e : scratch.g().entries()) {
+                    if (e.row == e.col && e.row < nn) {
+                        gdiag[e.row] += e.value;
+                    }
+                }
+            }
+            const double bound = swec_step_bound_diag(assembler, gdiag, x,
+                                                      dvdt, options.eps);
+            h = std::min(bound, options.dt_max);
+            if (h_prev > 0.0) {
+                h = std::min(h, options.growth_limit * h_prev);
+            }
+            h = std::max(h, options.dt_min);
+        } else {
+            h = options.dt_init;
+        }
+        // Land exactly on breakpoints and on t_stop.
+        while (next_bp < breakpoints.size() &&
+               breakpoints[next_bp] <= t + 1e-18) {
+            ++next_bp;
+        }
+        bool hit_breakpoint = false;
+        if (next_bp < breakpoints.size() &&
+            t + h > breakpoints[next_bp] - 1e-18) {
+            h = breakpoints[next_bp] - t;
+            hit_breakpoint = true;
+        }
+        if (t + h > options.t_stop) {
+            h = options.t_stop - t;
+        }
+        if (h <= 0.0) {
+            // Breakpoint coincides with t (within tolerance) — skip it.
+            ++next_bp;
+            continue;
+        }
+
+        // 3. Predict G_eq at t_{n+1} (eq. 5).
+        std::vector<double> geq_pred(nl);
+        for (std::size_t k = 0; k < nl; ++k) {
+            double g = geq[k];
+            if (options.use_predictor) {
+                g += 0.5 * h * geq_rate[k];
+            }
+            geq_pred[k] = std::max(g, options.geq_floor);
+        }
+
+        // 4. One linear backward-Euler solve.
+        linalg::Triplets a = assembler.static_g();
+        assembler.add_time_varying_stamps(t + h, a);
+        assembler.add_swec_stamps(geq_pred, a);
+        linalg::Vector rhs = assembler.rhs(t + h, noise);
+        {
+            // rhs += (C/h) x  via the cached CSR C.
+            linalg::Vector cx = assembler.c_csr().multiply(x);
+            for (std::size_t i = 0; i < n; ++i) {
+                rhs[i] += cx[i] / h;
+            }
+            for (const auto& e : assembler.c_triplets().entries()) {
+                a.add(e.row, e.col, e.value / h);
+            }
+        }
+        linalg::Vector x_next = mna::solve_system(a, rhs);
+
+        // 5. Bookkeeping: eq. (10) a-posteriori error, eq. (9) slope.
+        // Excluded: the first two steps (slope history not meaningful
+        // from a possibly inconsistent IC) and the two steps following a
+        // source corner (the slope is discontinuous there by design, so
+        // the prediction-error ratio says nothing about step control).
+        if (h_prev > 0.0 && result.steps_accepted >= 2 &&
+            steps_since_corner >= 2) {
+            const double err = measured_local_error(
+                x, x_next, dvdt, h, assembler.num_nodes());
+            result.max_local_error =
+                std::max(result.max_local_error, err);
+            local_error_sum += err;
+            ++local_error_count;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            dvdt[i] = (x_next[i] - x[i]) / h;
+        }
+        x = std::move(x_next);
+        t += h;
+        h_prev = h;
+        ++result.steps_accepted;
+        result.min_dt_used = std::min(result.min_dt_used, h);
+        result.max_dt_used = std::max(result.max_dt_used, h);
+        record(t, x);
+
+        if (hit_breakpoint) {
+            // A source corner invalidates the slope history; restart the
+            // ramp so the bound reacts to the new edge.
+            h_prev = std::min(h_prev, options.dt_init);
+            steps_since_corner = 0;
+        } else {
+            ++steps_since_corner;
+        }
+    }
+
+    if (local_error_count > 0) {
+        result.avg_local_error =
+            local_error_sum / static_cast<double>(local_error_count);
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+} // namespace nanosim::engines

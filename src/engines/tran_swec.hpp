@@ -1,0 +1,51 @@
+// Nano-Sim — SWEC transient engine (the paper's primary contribution).
+//
+// Integrates  G(t) V(t) + C dV/dt = b u(t)  (eq. 1) where every nonlinear
+// device is represented by its step-wise equivalent (chord) conductance:
+//
+//   1. at time t_n, evaluate each device's chord conductance
+//      G_eq(n) = I(V)/V (eq. 6) and its rate dG_eq/dt = dG_eq/dV * dV/dt
+//      (eqs. 7-9, with dV/dt the backward difference of node voltages);
+//   2. predict the conductance at the next point with the first-order
+//      Taylor step  G_eq(n+1) = G_eq(n) + h/2 * G'_eq(n)   (eq. 5);
+//   3. pick the step h from the adaptive bound of eq. (12);
+//   4. solve the *linear* backward-Euler system
+//         (G_swec + C/h) x_{n+1} = C/h x_n + b(t_{n+1}).
+//
+// No Newton-Raphson anywhere: each accepted time point costs exactly one
+// LU factor+solve.  The chord conductance is non-negative even across an
+// NDR region, so the engine cannot exhibit the oscillation / false
+// convergence of differential-conductance simulators (paper Sec. 3.2).
+#ifndef NANOSIM_ENGINES_TRAN_SWEC_HPP
+#define NANOSIM_ENGINES_TRAN_SWEC_HPP
+
+#include "engines/results.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::engines {
+
+/// SWEC transient options.
+struct SwecTranOptions {
+    double t_stop = 0.0;       ///< end time [s] (required, > 0)
+    double dt_init = 0.0;      ///< first step; 0 = t_stop / 1000
+    double dt_min = 0.0;       ///< floor; 0 = t_stop * 1e-9
+    double dt_max = 0.0;       ///< ceiling; 0 = t_stop / 50
+    double eps = 0.05;         ///< target local error ratio (eq. 10)
+    bool adaptive = true;      ///< eq. (12) control (false = fixed dt_init)
+    bool use_predictor = true; ///< eq. (5) Taylor predictor (ablation knob)
+    double growth_limit = 2.0; ///< max step growth per step
+    double geq_floor = 1e-12;  ///< conductance floor [S] (matrix safety)
+    bool start_from_dc = true; ///< initial condition = SWEC DC op
+    /// Explicit initial condition (overrides start_from_dc when set).
+    linalg::Vector initial;
+    /// Noise realizations for Monte-Carlo runs (see MnaAssembler::rhs).
+    mna::MnaAssembler::NoiseRealization noise;
+};
+
+/// Run the SWEC transient.  Throws AnalysisError on bad options.
+[[nodiscard]] TranResult run_tran_swec(const mna::MnaAssembler& assembler,
+                                       const SwecTranOptions& options);
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_TRAN_SWEC_HPP

@@ -1,0 +1,151 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim::linalg {
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        if (row.size() != cols_) {
+            throw SimError("DenseMatrix: ragged initializer list");
+        }
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+double& DenseMatrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) {
+        throw std::out_of_range("DenseMatrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+double DenseMatrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+        throw std::out_of_range("DenseMatrix::at: index out of range");
+    }
+    return data_[r * cols_ + c];
+}
+
+void DenseMatrix::set_zero() noexcept {
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void DenseMatrix::resize_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+void DenseMatrix::add_scaled(const DenseMatrix& other, double alpha) {
+    if (other.rows_ != rows_ || other.cols_ != cols_) {
+        throw SimError("DenseMatrix::add_scaled: shape mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += alpha * other.data_[i];
+    }
+    count_fma(data_.size());
+}
+
+Vector DenseMatrix::multiply(const Vector& x) const {
+    if (x.size() != cols_) {
+        throw SimError("DenseMatrix::multiply: vector size mismatch");
+    }
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c) {
+            acc += row[c] * x[c];
+        }
+        y[r] = acc;
+    }
+    count_fma(rows_ * cols_);
+    return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& b) const {
+    if (b.rows_ != cols_) {
+        throw SimError("DenseMatrix::multiply: inner dimension mismatch");
+    }
+    DenseMatrix c(rows_, b.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = data_[i * cols_ + k];
+            if (aik == 0.0) {
+                continue;
+            }
+            const double* brow = &b.data_[k * b.cols_];
+            double* crow = &c.data_[i * b.cols_];
+            for (std::size_t j = 0; j < b.cols_; ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    count_fma(rows_ * cols_ * b.cols_);
+    return c;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+    DenseMatrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            t(c, r) = (*this)(r, c);
+        }
+    }
+    return t;
+}
+
+double DenseMatrix::max_abs() const noexcept {
+    double m = 0.0;
+    for (const double v : data_) {
+        m = std::max(m, std::abs(v));
+    }
+    return m;
+}
+
+double DenseMatrix::norm_inf() const noexcept {
+    double best = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            sum += std::abs((*this)(r, c));
+        }
+        best = std::max(best, sum);
+    }
+    return best;
+}
+
+std::string DenseMatrix::to_string(int precision) const {
+    std::ostringstream os;
+    os << std::setprecision(precision);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << (r == 0 ? "[" : " ");
+        for (std::size_t c = 0; c < cols_; ++c) {
+            os << std::setw(precision + 7) << (*this)(r, c);
+        }
+        os << (r + 1 == rows_ ? " ]" : "\n");
+    }
+    return os.str();
+}
+
+} // namespace nanosim::linalg

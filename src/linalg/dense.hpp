@@ -1,0 +1,101 @@
+// Nano-Sim — dense matrix and vector primitives.
+//
+// DenseMatrix is a row-major, double-precision matrix sized for circuit
+// work (MNA systems of a few to a few thousand unknowns).  It is a plain
+// value type: copyable, movable, with bounds-checked access in debug
+// builds via at() and unchecked access via operator().
+#ifndef NANOSIM_LINALG_DENSE_HPP
+#define NANOSIM_LINALG_DENSE_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace nanosim::linalg {
+
+/// Column vector of doubles.  An alias keeps interop with the standard
+/// library trivial (waveform storage, RNG fills, ...).
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class DenseMatrix {
+public:
+    /// Empty 0x0 matrix.
+    DenseMatrix() = default;
+
+    /// rows x cols matrix, zero-initialised.
+    DenseMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    /// Construct from nested initializer lists:
+    ///   DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+    /// Throws nanosim::SimError if the rows are ragged.
+    DenseMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /// Identity matrix of order n.
+    [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+    [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+    /// Unchecked element access.
+    [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    /// Checked element access (throws std::out_of_range).
+    [[nodiscard]] double& at(std::size_t r, std::size_t c);
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+    /// Raw storage (row-major), e.g. for tests.
+    [[nodiscard]] const std::vector<double>& data() const noexcept {
+        return data_;
+    }
+
+    /// Reset every entry to zero, keeping the shape.  Engines call this
+    /// once per time step before re-stamping, so it must be cheap.
+    void set_zero() noexcept;
+
+    /// Resize to rows x cols and zero (contents are NOT preserved).
+    void resize_zero(std::size_t rows, std::size_t cols);
+
+    /// this += alpha * other.  Shapes must match.
+    void add_scaled(const DenseMatrix& other, double alpha);
+
+    /// Matrix-vector product y = A * x.  x.size() must equal cols().
+    [[nodiscard]] Vector multiply(const Vector& x) const;
+
+    /// Matrix-matrix product C = A * B.
+    [[nodiscard]] DenseMatrix multiply(const DenseMatrix& b) const;
+
+    /// Transposed copy.
+    [[nodiscard]] DenseMatrix transposed() const;
+
+    /// Max-abs entry (useful for scaling/convergence checks).
+    [[nodiscard]] double max_abs() const noexcept;
+
+    /// Infinity norm (max absolute row sum).
+    [[nodiscard]] double norm_inf() const noexcept;
+
+    /// Multi-line pretty print, for diagnostics and error messages.
+    [[nodiscard]] std::string to_string(int precision = 6) const;
+
+    friend bool operator==(const DenseMatrix& a, const DenseMatrix& b) {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+    }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace nanosim::linalg
+
+#endif // NANOSIM_LINALG_DENSE_HPP

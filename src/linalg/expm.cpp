@@ -1,0 +1,72 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::linalg {
+
+DenseMatrix expm(const DenseMatrix& a) {
+    if (!a.square()) {
+        throw SimError("expm: matrix must be square");
+    }
+    const std::size_t n = a.rows();
+    if (n == 0) {
+        return a;
+    }
+
+    // Scale A by 2^-s so that ||A/2^s||_inf < 0.5.
+    const double norm = a.norm_inf();
+    int s = 0;
+    if (norm > 0.5) {
+        s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    }
+    DenseMatrix as = a;
+    const double scale = std::ldexp(1.0, -s);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            as(i, j) *= scale;
+        }
+    }
+
+    // [6/6] Pade approximant:  e^X ~ D^{-1} N,
+    //   N = sum c_k X^k,  D = sum (-1)^k c_k X^k,
+    //   c_0 = 1, c_{k+1} = c_k (p - k) / ((2p - k)(k + 1)),  p = 6.
+    constexpr int p = 6;
+    DenseMatrix num = DenseMatrix::identity(n);
+    DenseMatrix den = DenseMatrix::identity(n);
+    DenseMatrix power = DenseMatrix::identity(n);
+    double c = 1.0;
+    double sign = 1.0;
+    for (int k = 0; k < p; ++k) {
+        c = c * static_cast<double>(p - k) /
+            static_cast<double>((2 * p - k) * (k + 1));
+        sign = -sign;
+        power = power.multiply(as);
+        num.add_scaled(power, c);
+        den.add_scaled(power, sign * c);
+    }
+
+    // Solve den * F = num column by column.
+    const DenseLu lu(den);
+    DenseMatrix f(n, n);
+    Vector col(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            col[i] = num(i, j);
+        }
+        const Vector x = lu.solve(col);
+        for (std::size_t i = 0; i < n; ++i) {
+            f(i, j) = x[i];
+        }
+    }
+
+    // Undo the scaling: square s times.
+    for (int k = 0; k < s; ++k) {
+        f = f.multiply(f);
+    }
+    return f;
+}
+
+} // namespace nanosim::linalg

@@ -1,0 +1,135 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim::linalg {
+
+DenseLu::DenseLu(const DenseMatrix& a, double pivot_tol) : lu_(a) {
+    if (!a.square()) {
+        throw SimError("DenseLu: matrix must be square");
+    }
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+    const double scale = std::max(lu_.max_abs(), 1e-300);
+    const double tol = pivot_tol * scale;
+    min_pivot_ = std::numeric_limits<double>::infinity();
+    max_pivot_ = 0.0;
+
+    std::uint64_t flops = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: bring the largest remaining |entry| in column k
+        // onto the diagonal.
+        std::size_t pivot_row = k;
+        double pivot_mag = std::abs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::abs(lu_(r, k));
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if (pivot_mag < tol) {
+            std::ostringstream os;
+            os << "DenseLu: singular matrix (pivot " << pivot_mag
+               << " below tolerance " << tol << " at column " << k << ")";
+            throw SingularMatrixError(os.str());
+        }
+        if (pivot_row != k) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu_(k, c), lu_(pivot_row, c));
+            }
+            std::swap(perm_[k], perm_[pivot_row]);
+            ++swaps_;
+        }
+
+        const double pivot = lu_(k, k);
+        min_pivot_ = std::min(min_pivot_, std::abs(pivot));
+        max_pivot_ = std::max(max_pivot_, std::abs(pivot));
+
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double m = lu_(r, k) / pivot;
+            lu_(r, k) = m;
+            if (m == 0.0) {
+                continue;
+            }
+            for (std::size_t c = k + 1; c < n; ++c) {
+                lu_(r, c) -= m * lu_(k, c);
+            }
+            flops += 1 + 2 * (n - k - 1); // one div + fma per trailing col
+        }
+    }
+    auto& counter = current_flops();
+    counter.lu_factor += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+}
+
+Vector DenseLu::solve(const Vector& b) const {
+    Vector x = b;
+    solve_in_place(x);
+    return x;
+}
+
+void DenseLu::solve_in_place(Vector& x) const {
+    const std::size_t n = order();
+    if (x.size() != n) {
+        throw SimError("DenseLu::solve: rhs size mismatch");
+    }
+    // Apply the permutation: y = P b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = x[perm_[i]];
+    }
+    // Forward substitution L z = y (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu_(i, j) * y[j];
+        }
+        y[i] = acc;
+    }
+    // Back substitution U x = z.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= lu_(ii, j) * y[j];
+        }
+        y[ii] = acc / lu_(ii, ii);
+    }
+    x = std::move(y);
+
+    const std::uint64_t flops = 2 * n * n + n;
+    auto& counter = current_flops();
+    counter.lu_solve += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+}
+
+double DenseLu::determinant() const {
+    double det = (swaps_ % 2 == 0) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < order(); ++i) {
+        det *= lu_(i, i);
+    }
+    return det;
+}
+
+double DenseLu::rcond_estimate() const noexcept {
+    if (max_pivot_ == 0.0) {
+        return 0.0;
+    }
+    return min_pivot_ / max_pivot_;
+}
+
+Vector lu_solve(const DenseMatrix& a, const Vector& b) {
+    return DenseLu(a).solve(b);
+}
+
+} // namespace nanosim::linalg

@@ -1,0 +1,59 @@
+// Nano-Sim — dense LU factorisation with partial pivoting.
+//
+// This is the workhorse behind every engine: each SWEC time step, each
+// Newton-Raphson iteration and each Euler-Maruyama step is one factor+solve
+// (or one solve against a cached factorisation when the matrix did not
+// change).  Flops are charged to the lu_factor / lu_solve categories so
+// Table I can attribute cost.
+#ifndef NANOSIM_LINALG_LU_HPP
+#define NANOSIM_LINALG_LU_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace nanosim::linalg {
+
+/// LU decomposition P*A = L*U of a square matrix, computed with partial
+/// (row) pivoting.  The factors are stored packed in a single matrix (unit
+/// diagonal of L implicit).
+class DenseLu {
+public:
+    /// Factor `a`.  Throws SingularMatrixError if a pivot's magnitude
+    /// falls below `pivot_tol * max_abs(a)`.
+    explicit DenseLu(const DenseMatrix& a, double pivot_tol = 1e-13);
+
+    /// Order of the factored matrix.
+    [[nodiscard]] std::size_t order() const noexcept { return lu_.rows(); }
+
+    /// Solve A x = b, returning x.  b.size() must equal order().
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// Solve in place: x starts as b, ends as the solution.
+    void solve_in_place(Vector& x) const;
+
+    /// Determinant of A (product of pivots with permutation sign).
+    [[nodiscard]] double determinant() const;
+
+    /// Fast reciprocal-condition estimate: min|pivot| / max|pivot|.
+    /// Cheap and rough, but sufficient for step-rejection heuristics.
+    [[nodiscard]] double rcond_estimate() const noexcept;
+
+    /// Number of row swaps performed during factorisation.
+    [[nodiscard]] int swap_count() const noexcept { return swaps_; }
+
+private:
+    DenseMatrix lu_;
+    std::vector<std::size_t> perm_;
+    int swaps_ = 0;
+    double min_pivot_ = 0.0;
+    double max_pivot_ = 0.0;
+};
+
+/// Convenience one-shot solve of A x = b.
+[[nodiscard]] Vector lu_solve(const DenseMatrix& a, const Vector& b);
+
+} // namespace nanosim::linalg
+
+#endif // NANOSIM_LINALG_LU_HPP

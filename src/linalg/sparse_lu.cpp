@@ -1,0 +1,242 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim::linalg {
+
+namespace {
+
+constexpr std::size_t k_unassigned = std::numeric_limits<std::size_t>::max();
+
+/// Column-compressed view assembled from triplets (duplicates summed).
+struct CscView {
+    std::size_t n = 0;
+    std::vector<std::size_t> col_ptr;
+    std::vector<std::size_t> row_idx;
+    std::vector<double> values;
+    double max_abs = 0.0;
+
+    explicit CscView(const Triplets& t) : n(t.cols()) {
+        std::vector<Triplet> sorted = t.entries();
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const Triplet& a, const Triplet& b) {
+                      return a.col != b.col ? a.col < b.col : a.row < b.row;
+                  });
+        col_ptr.assign(n + 1, 0);
+        row_idx.reserve(sorted.size());
+        values.reserve(sorted.size());
+        for (std::size_t i = 0; i < sorted.size();) {
+            const std::size_t c = sorted[i].col;
+            const std::size_t r = sorted[i].row;
+            double sum = 0.0;
+            while (i < sorted.size() && sorted[i].col == c &&
+                   sorted[i].row == r) {
+                sum += sorted[i].value;
+                ++i;
+            }
+            row_idx.push_back(r);
+            values.push_back(sum);
+            max_abs = std::max(max_abs, std::abs(sum));
+            ++col_ptr[c + 1];
+        }
+        for (std::size_t c = 0; c < n; ++c) {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+    }
+};
+
+} // namespace
+
+SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
+    if (a.rows() != a.cols()) {
+        throw SimError("SparseLu: matrix must be square");
+    }
+    n_ = a.rows();
+    const CscView csc(a);
+    const double tol = pivot_tol * std::max(csc.max_abs, 1e-300);
+
+    lcols_.assign(n_, {});
+    ucols_.assign(n_, {});
+    pinv_.assign(n_, k_unassigned);
+
+    std::vector<double> x(n_, 0.0);
+    std::vector<std::size_t> mark(n_, k_unassigned); // stamp = current col
+    std::vector<std::size_t> postorder;
+    postorder.reserve(n_);
+    // Explicit DFS stack of (node, next-child-index) to avoid recursion on
+    // long RTD chains.
+    std::vector<std::pair<std::size_t, std::size_t>> dfs_stack;
+
+    std::uint64_t flops = 0;
+
+    for (std::size_t j = 0; j < n_; ++j) {
+        // --- Symbolic: pattern of L^{-1} A(:,j) via DFS through L. ---
+        postorder.clear();
+        for (std::size_t p = csc.col_ptr[j]; p < csc.col_ptr[j + 1]; ++p) {
+            const std::size_t start = csc.row_idx[p];
+            if (mark[start] == j) {
+                continue;
+            }
+            dfs_stack.emplace_back(start, 0);
+            mark[start] = j;
+            while (!dfs_stack.empty()) {
+                auto& [node, child] = dfs_stack.back();
+                const std::size_t k = pinv_[node];
+                bool descended = false;
+                if (k != k_unassigned) {
+                    const auto& lcol = lcols_[k];
+                    while (child < lcol.size()) {
+                        const std::size_t next = lcol[child].row;
+                        ++child;
+                        if (mark[next] != j) {
+                            mark[next] = j;
+                            dfs_stack.emplace_back(next, 0);
+                            descended = true;
+                            break;
+                        }
+                    }
+                }
+                if (!descended && (k == k_unassigned ||
+                                   child >= lcols_[k].size())) {
+                    postorder.push_back(node);
+                    dfs_stack.pop_back();
+                }
+            }
+        }
+
+        // --- Numeric: scatter A(:,j), then eliminate in topological
+        // (reverse-postorder) order. ---
+        for (std::size_t p = csc.col_ptr[j]; p < csc.col_ptr[j + 1]; ++p) {
+            x[csc.row_idx[p]] += csc.values[p];
+        }
+        for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+            const std::size_t i = *it;
+            const std::size_t k = pinv_[i];
+            if (k == k_unassigned) {
+                continue;
+            }
+            const double xi = x[i];
+            if (xi == 0.0) {
+                continue;
+            }
+            for (const Entry& e : lcols_[k]) {
+                x[e.row] -= e.value * xi;
+            }
+            flops += 2 * lcols_[k].size();
+        }
+
+        // --- Pivot selection among non-pivotal rows. ---
+        std::size_t pivot_row = k_unassigned;
+        double pivot_mag = 0.0;
+        for (const std::size_t i : postorder) {
+            if (pinv_[i] != k_unassigned) {
+                continue;
+            }
+            const double mag = std::abs(x[i]);
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot_row = i;
+            }
+        }
+        if (pivot_row == k_unassigned || pivot_mag < tol) {
+            std::ostringstream os;
+            os << "SparseLu: singular matrix at column " << j << " (pivot "
+               << pivot_mag << " < tol " << tol << ")";
+            throw SingularMatrixError(os.str());
+        }
+        const double ujj = x[pivot_row];
+        pinv_[pivot_row] = j;
+
+        // --- Gather into L(:,j) and U(:,j); clear the work array. ---
+        auto& lcol = lcols_[j];
+        auto& ucol = ucols_[j];
+        for (const std::size_t i : postorder) {
+            const double xi = x[i];
+            x[i] = 0.0;
+            if (i == pivot_row) {
+                continue;
+            }
+            const std::size_t k = pinv_[i];
+            if (k != k_unassigned && k < j) {
+                if (xi != 0.0) {
+                    ucol.push_back(Entry{k, xi});
+                }
+            } else if (xi != 0.0) {
+                lcol.push_back(Entry{i, xi / ujj});
+                ++flops;
+            }
+        }
+        ucol.push_back(Entry{j, ujj}); // diagonal last by construction
+    }
+
+    auto& counter = current_flops();
+    counter.lu_factor += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+}
+
+std::size_t SparseLu::nnz_factors() const noexcept {
+    std::size_t nnz = 0;
+    for (const auto& c : lcols_) {
+        nnz += c.size();
+    }
+    for (const auto& c : ucols_) {
+        nnz += c.size();
+    }
+    return nnz;
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+    if (b.size() != n_) {
+        throw SimError("SparseLu::solve: rhs size mismatch");
+    }
+    std::uint64_t flops = 0;
+
+    // y = P b  (y indexed by pivot position).
+    Vector y(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        y[pinv_[i]] = b[i];
+    }
+    // Forward substitution, column-oriented: L has unit diagonal, entries
+    // stored with ORIGINAL row indices (mapped through pinv_).
+    for (std::size_t j = 0; j < n_; ++j) {
+        const double yj = y[j];
+        if (yj == 0.0) {
+            continue;
+        }
+        for (const Entry& e : lcols_[j]) {
+            y[pinv_[e.row]] -= e.value * yj;
+        }
+        flops += 2 * lcols_[j].size();
+    }
+    // Back substitution, column-oriented: U entries are stored in pivot
+    // space, diagonal last in each column.
+    for (std::size_t jj = n_; jj-- > 0;) {
+        const auto& ucol = ucols_[jj];
+        const double ujj = ucol.back().value;
+        const double xj = y[jj] / ujj;
+        y[jj] = xj;
+        ++flops;
+        if (xj == 0.0) {
+            continue;
+        }
+        for (std::size_t k = 0; k + 1 < ucol.size(); ++k) {
+            y[ucol[k].row] -= ucol[k].value * xj;
+        }
+        flops += 2 * (ucol.size() - 1);
+    }
+
+    auto& counter = current_flops();
+    counter.lu_solve += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+    return y;
+}
+
+} // namespace nanosim::linalg

@@ -1,0 +1,222 @@
+#include "mna/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "devices/sources.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::mna {
+
+MnaBuilder::MnaBuilder(int num_nodes, int num_branches)
+    : num_nodes_(num_nodes),
+      num_branches_(num_branches),
+      g_(static_cast<std::size_t>(num_nodes + num_branches),
+         static_cast<std::size_t>(num_nodes + num_branches)),
+      c_(static_cast<std::size_t>(num_nodes + num_branches),
+         static_cast<std::size_t>(num_nodes + num_branches)),
+      rhs_(static_cast<std::size_t>(num_nodes + num_branches), 0.0) {}
+
+void MnaBuilder::conductance(NodeId a, NodeId b, double g) {
+    if (a != k_ground) {
+        g_.add(node_row(a), node_row(a), g);
+    }
+    if (b != k_ground) {
+        g_.add(node_row(b), node_row(b), g);
+    }
+    if (a != k_ground && b != k_ground) {
+        g_.add(node_row(a), node_row(b), -g);
+        g_.add(node_row(b), node_row(a), -g);
+    }
+}
+
+void MnaBuilder::conductance_entry(NodeId row, NodeId col, double g) {
+    if (row == k_ground || col == k_ground) {
+        return;
+    }
+    g_.add(node_row(row), node_row(col), g);
+}
+
+void MnaBuilder::capacitance(NodeId a, NodeId b, double c) {
+    if (a != k_ground) {
+        c_.add(node_row(a), node_row(a), c);
+    }
+    if (b != k_ground) {
+        c_.add(node_row(b), node_row(b), c);
+    }
+    if (a != k_ground && b != k_ground) {
+        c_.add(node_row(a), node_row(b), -c);
+        c_.add(node_row(b), node_row(a), -c);
+    }
+}
+
+void MnaBuilder::rhs_current(NodeId node, double i) {
+    if (node == k_ground) {
+        return;
+    }
+    rhs_[static_cast<std::size_t>(node_row(node))] += i;
+}
+
+void MnaBuilder::branch_incidence(NodeId node, int branch, double sign) {
+    if (node == k_ground) {
+        return;
+    }
+    g_.add(node_row(node), branch_row(branch), sign);
+}
+
+void MnaBuilder::branch_voltage_coeff(int branch, NodeId node, double coeff) {
+    if (node == k_ground) {
+        return;
+    }
+    g_.add(branch_row(branch), node_row(node), coeff);
+}
+
+void MnaBuilder::branch_reactive(int branch_row_idx, int branch_col_idx,
+                                 double value) {
+    c_.add(branch_row(branch_row_idx), branch_row(branch_col_idx), value);
+}
+
+void MnaBuilder::branch_rhs(int branch, double value) {
+    rhs_[static_cast<std::size_t>(branch_row(branch))] += value;
+}
+
+// ---------------------------------------------------------------------------
+
+MnaAssembler::MnaAssembler(const Circuit& circuit) : circuit_(&circuit) {
+    circuit.validate();
+    num_nodes_ = circuit.num_nodes();
+    num_branches_ = circuit.num_branches();
+
+    MnaBuilder builder(num_nodes_, num_branches_);
+    const auto& devs = circuit.devices();
+    branch_base_.resize(devs.size());
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+        branch_base_[i] = circuit.branch_base(i);
+        branch_base_map_.emplace(devs[i].get(), branch_base_[i]);
+        devs[i]->stamp_static(builder, branch_base_[i]);
+        devs[i]->stamp_reactive(builder, branch_base_[i]);
+        if (devs[i]->nonlinear()) {
+            nonlinear_.push_back(devs[i].get());
+        }
+        if (devs[i]->kind() == DeviceKind::noise_source) {
+            noise_.push_back(devs[i].get());
+        }
+        if (devs[i]->time_varying()) {
+            time_varying_.push_back(devs[i].get());
+        }
+    }
+    static_g_ = builder.g();
+    c_ = builder.c();
+    c_csr_ = linalg::CsrMatrix(c_);
+}
+
+linalg::Vector MnaAssembler::rhs(double t,
+                                 const NoiseRealization* noise) const {
+    MnaBuilder builder(num_nodes_, num_branches_);
+    const auto& devs = circuit_->devices();
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+        devs[i]->stamp_rhs(builder, branch_base_[i], t);
+    }
+    if (noise != nullptr) {
+        if (noise->size() != noise_.size()) {
+            throw AnalysisError("rhs: noise realization size mismatch");
+        }
+        for (std::size_t k = 0; k < noise_.size(); ++k) {
+            const auto* src =
+                static_cast<const NoiseCurrentSource*>(noise_[k]);
+            const double i = (*noise)[k]->value(t);
+            builder.rhs_current(src->pos(), -i);
+            builder.rhs_current(src->neg(), +i);
+        }
+    }
+    return builder.rhs();
+}
+
+int MnaAssembler::branch_base_of(const Device* dev) const {
+    const auto it = branch_base_map_.find(dev);
+    if (it == branch_base_map_.end()) {
+        throw NetlistError("branch_base_of: device not in circuit");
+    }
+    return it->second;
+}
+
+void MnaAssembler::add_time_varying_stamps(double t,
+                                           linalg::Triplets& g) const {
+    if (time_varying_.empty()) {
+        return;
+    }
+    MnaBuilder builder(num_nodes_, num_branches_);
+    for (const Device* dev : time_varying_) {
+        dev->stamp_time_varying(builder, branch_base_of(dev), t);
+    }
+    for (const auto& e : builder.g().entries()) {
+        g.add(e.row, e.col, e.value);
+    }
+}
+
+void MnaAssembler::add_nr_stamps(std::span<const double> x,
+                                 linalg::Triplets& g,
+                                 linalg::Vector& rhs) const {
+    MnaBuilder builder(num_nodes_, num_branches_);
+    const NodeVoltages v = view(x);
+    for (const Device* dev : nonlinear_) {
+        dev->stamp_nr(builder, branch_base_of(dev), v);
+    }
+    for (const auto& e : builder.g().entries()) {
+        g.add(e.row, e.col, e.value);
+    }
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+        rhs[i] += builder.rhs()[i];
+    }
+}
+
+void MnaAssembler::add_swec_stamps(std::span<const double> geq,
+                                   linalg::Triplets& g) const {
+    if (geq.size() != nonlinear_.size()) {
+        throw AnalysisError("add_swec_stamps: geq size mismatch");
+    }
+    MnaBuilder builder(num_nodes_, num_branches_);
+    for (std::size_t k = 0; k < nonlinear_.size(); ++k) {
+        nonlinear_[k]->stamp_swec(builder, branch_base_of(nonlinear_[k]),
+                                  geq[k]);
+    }
+    for (const auto& e : builder.g().entries()) {
+        g.add(e.row, e.col, e.value);
+    }
+}
+
+std::vector<double> MnaAssembler::breakpoints(double t0, double t1) const {
+    std::vector<double> bp;
+    for (const auto& dev : circuit_->devices()) {
+        const Waveform* wave = nullptr;
+        if (const auto* vs = dynamic_cast<const VSource*>(dev.get())) {
+            wave = &vs->wave();
+        } else if (const auto* is = dynamic_cast<const ISource*>(dev.get())) {
+            wave = &is->wave();
+        }
+        if (wave != nullptr) {
+            const auto w = wave->breakpoints(t0, t1);
+            bp.insert(bp.end(), w.begin(), w.end());
+        }
+    }
+    std::sort(bp.begin(), bp.end());
+    bp.erase(std::unique(bp.begin(), bp.end(),
+                         [](double a, double b) {
+                             return std::abs(a - b) < 1e-18;
+                         }),
+             bp.end());
+    return bp;
+}
+
+linalg::Vector solve_system(const linalg::Triplets& a,
+                            const linalg::Vector& b,
+                            std::size_t dense_threshold) {
+    if (a.rows() <= dense_threshold) {
+        return linalg::DenseLu(a.to_dense()).solve(b);
+    }
+    return linalg::SparseLu(a).solve(b);
+}
+
+} // namespace nanosim::mna

@@ -1,0 +1,481 @@
+#include "netlist/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/nanowire.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/rtt.hpp"
+#include "devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+
+namespace {
+
+std::string to_lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size() &&
+           std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+    std::ostringstream os;
+    os << "netlist line " << line_no << ": " << message;
+    throw NetlistError(os.str());
+}
+
+/// One logical (continuation-joined) deck line.
+struct DeckLine {
+    int number = 0; ///< 1-based number of the first physical line
+    std::vector<std::string> tokens;
+    std::string raw;
+};
+
+/// Split a physical line into tokens, treating '(' ')' ',' '=' as spaces
+/// so "PULSE(0 5 1n)" and "W=10u" tokenize uniformly.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::string scrubbed = line;
+    for (char& c : scrubbed) {
+        if (c == '(' || c == ')' || c == ',' || c == '=') {
+            c = ' ';
+        }
+    }
+    std::istringstream is(scrubbed);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (is >> tok) {
+        tokens.push_back(tok);
+    }
+    return tokens;
+}
+
+/// Strip inline ';' comments and whole-line '*' comments; join '+'
+/// continuations.
+std::vector<DeckLine> logical_lines(std::istream& in) {
+    std::vector<DeckLine> lines;
+    std::string physical;
+    int line_no = 0;
+    while (std::getline(in, physical)) {
+        ++line_no;
+        if (const auto semi = physical.find(';'); semi != std::string::npos) {
+            physical.erase(semi);
+        }
+        // Trim leading whitespace.
+        const auto first =
+            physical.find_first_not_of(" \t\r");
+        if (first == std::string::npos) {
+            continue;
+        }
+        physical.erase(0, first);
+        if (physical[0] == '*') {
+            continue;
+        }
+        if (physical[0] == '+') {
+            if (lines.empty()) {
+                fail(line_no, "continuation '+' with no previous line");
+            }
+            const auto extra = tokenize(physical.substr(1));
+            auto& prev = lines.back();
+            prev.tokens.insert(prev.tokens.end(), extra.begin(), extra.end());
+            prev.raw += " " + physical.substr(1);
+            continue;
+        }
+        DeckLine dl;
+        dl.number = line_no;
+        dl.tokens = tokenize(physical);
+        dl.raw = physical;
+        if (!dl.tokens.empty()) {
+            lines.push_back(std::move(dl));
+        }
+    }
+    return lines;
+}
+
+/// A parsed .model card.
+struct ModelCard {
+    std::string type; // lower-case: rtd, nmos, pmos, d, nw, rtt
+    std::map<std::string, double> params;
+};
+
+double get_param(const ModelCard& m, const std::string& key, double dflt) {
+    const auto it = m.params.find(key);
+    return it == m.params.end() ? dflt : it->second;
+}
+
+RtdParams rtd_params_from(const ModelCard& m) {
+    RtdParams p = RtdParams::date05();
+    p.a = get_param(m, "a", p.a);
+    p.b = get_param(m, "b", p.b);
+    p.c = get_param(m, "c", p.c);
+    p.d = get_param(m, "d", p.d);
+    p.n1 = get_param(m, "n1", p.n1);
+    p.n2 = get_param(m, "n2", p.n2);
+    p.h = get_param(m, "h", p.h);
+    p.temp = get_param(m, "temp", p.temp);
+    return p;
+}
+
+/// Parser working state.
+class DeckParser {
+public:
+    explicit DeckParser(std::istream& in) : lines_(logical_lines(in)) {}
+
+    ParsedDeck run() {
+        collect_models_and_cards();
+        instantiate_devices();
+        return std::move(deck_);
+    }
+
+private:
+    void collect_models_and_cards();
+    void instantiate_devices();
+    void parse_model(const DeckLine& line);
+    void parse_analysis(const DeckLine& line);
+    void make_device(const DeckLine& line);
+    WaveformPtr parse_stimulus(const DeckLine& line, std::size_t first);
+    [[nodiscard]] const ModelCard* find_model(const std::string& name,
+                                              const std::string& type,
+                                              int line_no) const;
+
+    std::vector<DeckLine> lines_;
+    std::vector<const DeckLine*> device_lines_;
+    std::map<std::string, ModelCard> models_;
+    ParsedDeck deck_;
+};
+
+void DeckParser::collect_models_and_cards() {
+    for (const auto& line : lines_) {
+        const std::string head = to_lower(line.tokens.front());
+        if (head == ".model") {
+            parse_model(line);
+        } else if (head == ".op" || head == ".dc" || head == ".tran") {
+            parse_analysis(line);
+        } else if (head == ".title") {
+            std::string title;
+            for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+                if (i > 1) {
+                    title += ' ';
+                }
+                title += line.tokens[i];
+            }
+            deck_.title = title;
+        } else if (head == ".end") {
+            break;
+        } else if (head[0] == '.') {
+            fail(line.number, "unknown card '" + head + "'");
+        } else {
+            device_lines_.push_back(&line);
+        }
+    }
+}
+
+void DeckParser::parse_model(const DeckLine& line) {
+    if (line.tokens.size() < 3) {
+        fail(line.number, ".model needs a name and a type");
+    }
+    const std::string name = to_lower(line.tokens[1]);
+    ModelCard card;
+    card.type = to_lower(line.tokens[2]);
+    if (card.type != "rtd" && card.type != "nmos" && card.type != "pmos" &&
+        card.type != "d" && card.type != "nw" && card.type != "rtt") {
+        fail(line.number, "unknown model type '" + card.type + "'");
+    }
+    if ((line.tokens.size() - 3) % 2 != 0) {
+        fail(line.number, ".model parameters must be key=value pairs");
+    }
+    for (std::size_t i = 3; i + 1 < line.tokens.size(); i += 2) {
+        card.params[to_lower(line.tokens[i])] = parse_value(line.tokens[i + 1]);
+    }
+    if (!models_.emplace(name, std::move(card)).second) {
+        fail(line.number, "duplicate model '" + name + "'");
+    }
+}
+
+void DeckParser::parse_analysis(const DeckLine& line) {
+    const std::string head = to_lower(line.tokens.front());
+    if (head == ".op") {
+        deck_.analyses.emplace_back(OpCard{});
+    } else if (head == ".dc") {
+        if (line.tokens.size() != 5) {
+            fail(line.number, ".dc needs: source start stop step");
+        }
+        DcCard card;
+        card.source = line.tokens[1];
+        card.start = parse_value(line.tokens[2]);
+        card.stop = parse_value(line.tokens[3]);
+        card.step = parse_value(line.tokens[4]);
+        if (card.step == 0.0) {
+            fail(line.number, ".dc step must be non-zero");
+        }
+        deck_.analyses.emplace_back(std::move(card));
+    } else { // .tran
+        if (line.tokens.size() != 3) {
+            fail(line.number, ".tran needs: tstep tstop");
+        }
+        TranCard card;
+        card.tstep = parse_value(line.tokens[1]);
+        card.tstop = parse_value(line.tokens[2]);
+        if (card.tstep <= 0.0 || card.tstop <= 0.0) {
+            fail(line.number, ".tran times must be positive");
+        }
+        deck_.analyses.emplace_back(card);
+    }
+}
+
+WaveformPtr DeckParser::parse_stimulus(const DeckLine& line,
+                                       std::size_t first) {
+    const auto& tk = line.tokens;
+    auto val = [&](std::size_t i) -> double {
+        if (i >= tk.size()) {
+            fail(line.number, "stimulus is missing values");
+        }
+        return parse_value(tk[i]);
+    };
+
+    if (first >= tk.size()) {
+        fail(line.number, "source line is missing a stimulus");
+    }
+    const std::string kind = to_lower(tk[first]);
+    if (kind == "dc") {
+        return std::make_shared<DcWave>(val(first + 1));
+    }
+    if (kind == "pulse") {
+        if (tk.size() - first - 1 != 7) {
+            fail(line.number, "PULSE needs 7 values (v1 v2 td tr tf pw per)");
+        }
+        return std::make_shared<PulseWave>(val(first + 1), val(first + 2),
+                                           val(first + 3), val(first + 4),
+                                           val(first + 5), val(first + 6),
+                                           val(first + 7));
+    }
+    if (kind == "pwl") {
+        std::vector<std::pair<double, double>> points;
+        for (std::size_t i = first + 1; i + 1 < tk.size(); i += 2) {
+            points.emplace_back(parse_value(tk[i]), parse_value(tk[i + 1]));
+        }
+        if (points.empty() || (tk.size() - first - 1) % 2 != 0) {
+            fail(line.number, "PWL needs an even number of values");
+        }
+        return std::make_shared<PwlWave>(std::move(points));
+    }
+    if (kind == "sin") {
+        const std::size_t n = tk.size() - first - 1;
+        if (n < 3 || n > 5) {
+            fail(line.number, "SIN needs 3-5 values (off ampl freq [td [theta]])");
+        }
+        const double td = n >= 4 ? val(first + 4) : 0.0;
+        const double theta = n >= 5 ? val(first + 5) : 0.0;
+        return std::make_shared<SinWave>(val(first + 1), val(first + 2),
+                                         val(first + 3), td, theta);
+    }
+    // Bare value: "V1 a 0 5".
+    return std::make_shared<DcWave>(val(first));
+}
+
+const ModelCard* DeckParser::find_model(const std::string& name,
+                                        const std::string& type,
+                                        int line_no) const {
+    const auto it = models_.find(to_lower(name));
+    if (it == models_.end()) {
+        fail(line_no, "unknown model '" + name + "'");
+    }
+    if (it->second.type != type &&
+        !(type == "nmos" && it->second.type == "pmos")) {
+        fail(line_no, "model '" + name + "' has type '" + it->second.type +
+                          "', expected '" + type + "'");
+    }
+    return &it->second;
+}
+
+void DeckParser::make_device(const DeckLine& line) {
+    const auto& tk = line.tokens;
+    const std::string name = tk.front();
+    const std::string lname = to_lower(name);
+    Circuit& ckt = deck_.circuit;
+
+    auto node = [&](std::size_t i) -> NodeId {
+        if (i >= tk.size()) {
+            fail(line.number, "device '" + name + "' is missing nodes");
+        }
+        return ckt.node(tk[i]);
+    };
+    auto value = [&](std::size_t i) -> double {
+        if (i >= tk.size()) {
+            fail(line.number, "device '" + name + "' is missing a value");
+        }
+        return parse_value(tk[i]);
+    };
+
+    // Multi-letter prefixes first — "RTD1" must not match resistor 'R'.
+    if (starts_with(lname, "rtd")) {
+        RtdParams p = RtdParams::date05();
+        if (tk.size() >= 4) {
+            p = rtd_params_from(*find_model(tk[3], "rtd", line.number));
+        }
+        ckt.add<Rtd>(name, node(1), node(2), p);
+        return;
+    }
+    if (starts_with(lname, "rtt")) {
+        RttParams p;
+        if (tk.size() >= 5) {
+            const ModelCard& m = *find_model(tk[4], "rtt", line.number);
+            p.base = rtd_params_from(m);
+            p.levels = static_cast<int>(get_param(m, "levels", p.levels));
+            p.level_spacing = get_param(m, "spacing", p.level_spacing);
+            p.v_on = get_param(m, "von", p.v_on);
+            p.v_gate_width = get_param(m, "vgw", p.v_gate_width);
+        }
+        ckt.add<Rtt>(name, node(1), node(2), node(3), p);
+        return;
+    }
+    if (starts_with(lname, "nw")) {
+        NanowireParams p;
+        if (tk.size() >= 4) {
+            const ModelCard& m = *find_model(tk[3], "nw", line.number);
+            p.channels = static_cast<int>(get_param(m, "channels", p.channels));
+            p.v_step = get_param(m, "vstep", p.v_step);
+            p.smear = get_param(m, "smear", p.smear);
+            p.g0 = get_param(m, "g0", p.g0);
+        }
+        ckt.add<Nanowire>(name, node(1), node(2), p);
+        return;
+    }
+    if (starts_with(lname, "noise")) {
+        ckt.add<NoiseCurrentSource>(name, node(1), node(2), value(3));
+        return;
+    }
+
+    switch (lname[0]) {
+    case 'r':
+        ckt.add<Resistor>(name, node(1), node(2), value(3));
+        return;
+    case 'c':
+        ckt.add<Capacitor>(name, node(1), node(2), value(3));
+        return;
+    case 'l':
+        ckt.add<Inductor>(name, node(1), node(2), value(3));
+        return;
+    case 'v':
+        ckt.add<VSource>(name, node(1), node(2), parse_stimulus(line, 3));
+        return;
+    case 'i':
+        ckt.add<ISource>(name, node(1), node(2), parse_stimulus(line, 3));
+        return;
+    case 'd': {
+        DiodeParams p;
+        if (tk.size() >= 4) {
+            const ModelCard& m = *find_model(tk[3], "d", line.number);
+            p.i_sat = get_param(m, "is", p.i_sat);
+            p.emission = get_param(m, "n", p.emission);
+            p.temp = get_param(m, "temp", p.temp);
+        }
+        ckt.add<Diode>(name, node(1), node(2), p);
+        return;
+    }
+    case 'm': {
+        if (tk.size() < 5) {
+            fail(line.number, "MOSFET needs: M<name> nd ng ns model");
+        }
+        const ModelCard& m = *find_model(tk[4], "nmos", line.number);
+        MosfetParams p;
+        p.polarity = m.type == "pmos" ? MosPolarity::pmos : MosPolarity::nmos;
+        p.vth = get_param(m, "vto", p.vth);
+        p.k = get_param(m, "kp", p.k);
+        p.w = get_param(m, "w", p.w);
+        p.l = get_param(m, "l", p.l);
+        p.lambda = get_param(m, "lambda", p.lambda);
+        // Instance W=/L= overrides.
+        for (std::size_t i = 5; i + 1 < tk.size(); i += 2) {
+            const std::string key = to_lower(tk[i]);
+            if (key == "w") {
+                p.w = parse_value(tk[i + 1]);
+            } else if (key == "l") {
+                p.l = parse_value(tk[i + 1]);
+            } else {
+                fail(line.number, "unknown MOSFET instance parameter '" +
+                                      key + "'");
+            }
+        }
+        ckt.add<Mosfet>(name, node(1), node(2), node(3), p);
+        return;
+    }
+    default:
+        fail(line.number, "unrecognized device '" + name + "'");
+    }
+}
+
+void DeckParser::instantiate_devices() {
+    for (const DeckLine* line : device_lines_) {
+        make_device(*line);
+    }
+}
+
+} // namespace
+
+double parse_value(const std::string& token) {
+    if (token.empty()) {
+        throw NetlistError("empty value token");
+    }
+    const std::string lower = to_lower(token);
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(lower, &pos);
+    } catch (const std::exception&) {
+        throw NetlistError("malformed value '" + token + "'");
+    }
+    const std::string suffix = lower.substr(pos);
+    if (suffix.empty()) {
+        return v;
+    }
+    // SPICE convention: trailing letters after a known suffix are unit
+    // decoration ("10pF"), so match prefixes.
+    if (starts_with(suffix, "meg")) {
+        return v * 1e6;
+    }
+    switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    case 'v': case 'a': case 's': case 'h': case 'o':
+        // Bare unit letters ("5V", "2A", "3s", "1H", "2Ohm").
+        return v;
+    default:
+        throw NetlistError("unknown unit suffix in '" + token + "'");
+    }
+}
+
+ParsedDeck parse_deck(std::istream& in) { return DeckParser(in).run(); }
+
+ParsedDeck parse_deck(const std::string& text) {
+    std::istringstream is(text);
+    return parse_deck(is);
+}
+
+ParsedDeck parse_deck_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw IoError("cannot open netlist file '" + path + "'");
+    }
+    return parse_deck(in);
+}
+
+} // namespace nanosim

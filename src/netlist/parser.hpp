@@ -1,0 +1,89 @@
+// Nano-Sim — SPICE-like netlist deck parser.
+//
+// Grammar (case-insensitive keywords, '*' comments, '+' continuation):
+//
+//   R<name> n+ n- value                          resistor
+//   C<name> n+ n- value                          capacitor
+//   L<name> n+ n- value                          inductor
+//   V<name> n+ n- DC v | PULSE(v1 v2 td tr tf pw per) | PWL(t1 v1 ...)
+//           | SIN(off ampl freq [td [theta]])    voltage source
+//   I<name> n+ n- <same stimuli>                 current source
+//   D<name> n+ n- [model]                        diode
+//   M<name> nd ng ns model [W=w] [L=l]           MOSFET (bulk tied to source)
+//   RTD<name> n+ n- [model]                      resonant tunneling diode
+//   RTT<name> nc nb ne [model]                   resonant tunneling transistor
+//   NW<name> n+ n- [model]                       nanowire / CNT
+//   NOISE<name> n+ n- sigma                      white-noise current source
+//
+//   .model <name> RTD(A=.. B=.. C=.. D=.. N1=.. N2=.. H=..)
+//   .model <name> NMOS(VTO=.. KP=.. W=.. L=.. LAMBDA=..)   (or PMOS)
+//   .model <name> D(IS=.. N=..)
+//   .model <name> NW(CHANNELS=.. VSTEP=.. SMEAR=..)
+//   .model <name> RTT(LEVELS=.. SPACING=.. VON=.. VGW=.. A=.. B=.. ...)
+//
+//   .op
+//   .dc <source> start stop step
+//   .tran tstep tstop
+//   .end                                          (optional)
+//
+// Values accept engineering suffixes: f p n u m k meg g t  (SPICE
+// convention: 'm' = milli, 'meg' = 1e6).
+//
+// Note the device-name dispatch: names beginning with RTD/RTT/NW/NOISE are
+// matched before the single-letter SPICE prefixes, so "RTD1" is an RTD and
+// not a resistor.
+#ifndef NANOSIM_NETLIST_PARSER_HPP
+#define NANOSIM_NETLIST_PARSER_HPP
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace nanosim {
+
+/// `.op` card — DC operating point.
+struct OpCard {};
+
+/// `.dc` card — sweep `source` from start to stop by step.
+struct DcCard {
+    std::string source;
+    double start = 0.0;
+    double stop = 0.0;
+    double step = 0.0;
+};
+
+/// `.tran` card — transient from 0 to tstop with suggested step tstep.
+struct TranCard {
+    double tstep = 0.0;
+    double tstop = 0.0;
+};
+
+using AnalysisCard = std::variant<OpCard, DcCard, TranCard>;
+
+/// Result of parsing a deck: the circuit plus its analysis requests.
+struct ParsedDeck {
+    std::string title;
+    Circuit circuit;
+    std::vector<AnalysisCard> analyses;
+};
+
+/// Parse a deck from text.  Throws NetlistError with a line number on any
+/// syntax or semantic problem.
+[[nodiscard]] ParsedDeck parse_deck(const std::string& text);
+
+/// Parse a deck from a stream (reads to EOF).
+[[nodiscard]] ParsedDeck parse_deck(std::istream& in);
+
+/// Parse a deck from a file.  Throws IoError when unreadable.
+[[nodiscard]] ParsedDeck parse_deck_file(const std::string& path);
+
+/// Parse one engineering-notation value ("10p", "1.5meg", "2e-9").
+/// Throws NetlistError on malformed input.
+[[nodiscard]] double parse_value(const std::string& token);
+
+} // namespace nanosim
+
+#endif // NANOSIM_NETLIST_PARSER_HPP

@@ -1,0 +1,42 @@
+#include "stochastic/ito.hpp"
+
+namespace nanosim::stochastic {
+
+double ito_integral(const WienerPath& path, const PathIntegrand& h) {
+    const double dt = path.dt();
+    double w = 0.0;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < path.steps(); ++j) {
+        const double t = dt * static_cast<double>(j);
+        acc += h(t, w) * path.increment(j); // left endpoint: eq. (15)
+        w += path.increment(j);
+    }
+    return acc;
+}
+
+double stratonovich_integral(const WienerPath& path, const PathIntegrand& h) {
+    const double dt = path.dt();
+    double w = 0.0;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < path.steps(); ++j) {
+        const double t_mid = dt * (static_cast<double>(j) + 0.5);
+        const double w_mid = w + 0.5 * path.increment(j);
+        acc += h(t_mid, w_mid) * path.increment(j); // midpoint: eq. (16)
+        w += path.increment(j);
+    }
+    return acc;
+}
+
+WdwResult integrate_w_dw(const WienerPath& path) {
+    const auto h = [](double, double w) { return w; };
+    WdwResult r{};
+    r.ito = ito_integral(path, h);
+    r.stratonovich = stratonovich_integral(path, h);
+    const auto w = path.values();
+    const double wt = w.back();
+    r.ito_exact = 0.5 * (wt * wt - path.horizon());
+    r.stratonovich_exact = 0.5 * wt * wt;
+    return r;
+}
+
+} // namespace nanosim::stochastic

@@ -1,0 +1,48 @@
+// Nano-Sim — stochastic integral estimators (paper eqs. 15-16).
+//
+// The paper stresses that unlike deterministic integration the value of a
+// stochastic integral depends on WHERE the integrand is sampled:
+//
+//   Ito         (eq. 15): sum h(t_j)             [W(t_{j+1}) - W(t_j)]
+//   Stratonovich(eq. 16): sum h((t_j+t_{j+1})/2) [W(t_{j+1}) - W(t_j)]
+//
+// and the two do NOT converge to each other as dt -> 0 (for h = W the
+// expected gap is T/2).  These estimators back the ablation bench that
+// reproduces the paper's Sec. 4.2 argument, and the EM engine's Ito
+// convention.
+#ifndef NANOSIM_STOCHASTIC_ITO_HPP
+#define NANOSIM_STOCHASTIC_ITO_HPP
+
+#include <functional>
+
+#include "stochastic/wiener.hpp"
+
+namespace nanosim::stochastic {
+
+/// Integrand h(t, W(t)) evaluated along a path.
+using PathIntegrand = std::function<double(double t, double w)>;
+
+/// Ito (left endpoint) sum of h dW along `path` (eq. 15).
+[[nodiscard]] double ito_integral(const WienerPath& path,
+                                  const PathIntegrand& h);
+
+/// Stratonovich (midpoint) sum of h dW along `path` (eq. 16).  The W
+/// value at the interval midpoint is interpolated as the average of the
+/// endpoints (the convention used in the paper's eq. 16, which samples h
+/// at the midpoint *time*).
+[[nodiscard]] double stratonovich_integral(const WienerPath& path,
+                                           const PathIntegrand& h);
+
+/// Convenience: integral of W dW, where the closed forms are known:
+/// Ito: (W(T)^2 - T)/2,  Stratonovich: W(T)^2/2.  Used by tests.
+struct WdwResult {
+    double ito;
+    double stratonovich;
+    double ito_exact;
+    double stratonovich_exact;
+};
+[[nodiscard]] WdwResult integrate_w_dw(const WienerPath& path);
+
+} // namespace nanosim::stochastic
+
+#endif // NANOSIM_STOCHASTIC_ITO_HPP

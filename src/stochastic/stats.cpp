@@ -1,0 +1,116 @@
+#include "stochastic/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nanosim::stochastic {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+    if (n_ < 2) {
+        return 0.0;
+    }
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> samples, double p) {
+    if (samples.empty()) {
+        throw AnalysisError("percentile: empty sample set");
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size()) {
+        return samples.back();
+    }
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    if (!(hi > lo) || bins == 0) {
+        throw AnalysisError("Histogram: need hi > lo and bins > 0");
+    }
+}
+
+void Histogram::add(double x) noexcept {
+    ++total_;
+    if (x < lo_ || x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::size_t>(f * static_cast<double>(bins()));
+    bin = std::min(bin, bins() - 1);
+    ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+    const double width = (hi_ - lo_) / static_cast<double>(bins());
+    return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+EnsembleStats::EnsembleStats(std::size_t points) : per_point_(points) {
+    if (points == 0) {
+        throw AnalysisError("EnsembleStats: need at least one point");
+    }
+}
+
+void EnsembleStats::add_path(const std::vector<double>& path) {
+    if (path.size() != per_point_.size()) {
+        throw AnalysisError("EnsembleStats::add_path: path length mismatch");
+    }
+    double peak = path.front();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        per_point_[i].add(path[i]);
+        peak = std::max(peak, path[i]);
+    }
+    peak_.add(peak);
+    peaks_.push_back(peak);
+    ++paths_;
+}
+
+std::vector<double> EnsembleStats::mean_path() const {
+    std::vector<double> m(per_point_.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] = per_point_[i].mean();
+    }
+    return m;
+}
+
+std::vector<double> EnsembleStats::stddev_path() const {
+    std::vector<double> s(per_point_.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] = per_point_[i].stddev();
+    }
+    return s;
+}
+
+} // namespace nanosim::stochastic

@@ -1,0 +1,58 @@
+#include "stochastic/wiener.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nanosim::stochastic {
+
+WienerPath::WienerPath(Rng& rng, double horizon, std::size_t steps)
+    : horizon_(horizon) {
+    if (steps == 0 || horizon <= 0.0) {
+        throw AnalysisError("WienerPath: need steps > 0 and horizon > 0");
+    }
+    const double sqrt_dt = std::sqrt(horizon / static_cast<double>(steps));
+    increments_.resize(steps);
+    for (auto& dw : increments_) {
+        dw = sqrt_dt * rng.gauss();
+    }
+}
+
+std::vector<double> WienerPath::values() const {
+    std::vector<double> w(steps() + 1, 0.0);
+    for (std::size_t j = 0; j < steps(); ++j) {
+        w[j + 1] = w[j] + increments_[j];
+    }
+    return w;
+}
+
+WienerPath WienerPath::coarsened(std::size_t factor) const {
+    if (factor == 0 || steps() % factor != 0) {
+        throw AnalysisError("WienerPath::coarsened: factor must divide steps");
+    }
+    WienerPath coarse;
+    coarse.horizon_ = horizon_;
+    coarse.increments_.resize(steps() / factor, 0.0);
+    for (std::size_t j = 0; j < steps(); ++j) {
+        coarse.increments_[j / factor] += increments_[j];
+    }
+    return coarse;
+}
+
+WienerPath WienerPath::refined(Rng& rng) const {
+    // Brownian bridge midpoint: given W over [t, t+dt] with increment D,
+    // the midpoint increment is D/2 + N(0, dt/4).
+    WienerPath fine;
+    fine.horizon_ = horizon_;
+    fine.increments_.resize(steps() * 2);
+    const double half_sd = std::sqrt(dt() / 4.0);
+    for (std::size_t j = 0; j < steps(); ++j) {
+        const double d = increments_[j];
+        const double first = d / 2.0 + half_sd * rng.gauss();
+        fine.increments_[2 * j] = first;
+        fine.increments_[2 * j + 1] = d - first;
+    }
+    return fine;
+}
+
+} // namespace nanosim::stochastic

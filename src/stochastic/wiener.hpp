@@ -1,0 +1,71 @@
+// Nano-Sim — Wiener process (standard Brownian motion) paths.
+//
+// Implements the discretised Wiener process of paper Sec. 4.1: W(0) = 0,
+// increments W(t) - W(s) ~ N(0, t - s), disjoint increments independent.
+// Paths are sampled on a uniform grid dt = T/N; a path can be *refined*
+// (each interval split in two by a Brownian bridge) so that a coarse EM
+// run and a fine reference run see the SAME underlying Brownian motion —
+// the basis of strong-convergence measurements (Higham, SIAM Rev. 2001).
+#ifndef NANOSIM_STOCHASTIC_WIENER_HPP
+#define NANOSIM_STOCHASTIC_WIENER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "stochastic/rng.hpp"
+
+namespace nanosim::stochastic {
+
+/// A sampled Wiener path on a uniform grid over [0, T].
+class WienerPath {
+public:
+    /// Sample a fresh standard Wiener path with `steps` increments over
+    /// [0, horizon].  Throws AnalysisError for steps == 0 or horizon <= 0.
+    WienerPath(Rng& rng, double horizon, std::size_t steps);
+
+    /// Time horizon T.
+    [[nodiscard]] double horizon() const noexcept { return horizon_; }
+
+    /// Number of increments N (grid has N+1 points).
+    [[nodiscard]] std::size_t steps() const noexcept {
+        return increments_.size();
+    }
+
+    /// Grid spacing dt = T/N.
+    [[nodiscard]] double dt() const noexcept {
+        return horizon_ / static_cast<double>(steps());
+    }
+
+    /// Increment dW_j = W(t_{j+1}) - W(t_j).
+    [[nodiscard]] double increment(std::size_t j) const {
+        return increments_[j];
+    }
+
+    /// All increments.
+    [[nodiscard]] const std::vector<double>& increments() const noexcept {
+        return increments_;
+    }
+
+    /// W(t_j) for j = 0..N (cumulative sum; W(0) = 0).
+    [[nodiscard]] std::vector<double> values() const;
+
+    /// Coarsen by an integer factor (sum consecutive increments): the
+    /// same Brownian motion seen on a coarser grid.  Throws
+    /// AnalysisError when factor does not divide steps().
+    [[nodiscard]] WienerPath coarsened(std::size_t factor) const;
+
+    /// Refine by 2x with a Brownian bridge: inserts midpoints consistent
+    /// with the existing increments.  The refined path restricted to the
+    /// coarse grid is *identical* to this path.
+    [[nodiscard]] WienerPath refined(Rng& rng) const;
+
+private:
+    WienerPath() = default;
+
+    double horizon_ = 0.0;
+    std::vector<double> increments_;
+};
+
+} // namespace nanosim::stochastic
+
+#endif // NANOSIM_STOCHASTIC_WIENER_HPP

@@ -1,0 +1,77 @@
+// Nano-Sim — physical constants and engineering-unit helpers.
+//
+// Values follow CODATA 2018.  The thermal voltage helper is the single
+// source of truth for q/kT used by every device model (the Schulman RTD
+// equation and the diode equation are both expressed in terms of it).
+#ifndef NANOSIM_UTIL_CONSTANTS_HPP
+#define NANOSIM_UTIL_CONSTANTS_HPP
+
+namespace nanosim {
+
+/// Physical constants (SI units).
+namespace phys {
+
+/// Elementary charge [C].
+inline constexpr double q = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double k_b = 1.380649e-23;
+
+/// Planck constant [J s].
+inline constexpr double h_planck = 6.62607015e-34;
+
+/// Conductance quantum G0 = 2 e^2 / h  [S] — the step height of the
+/// quantised conductance staircase of a ballistic 1-D conductor such as a
+/// carbon nanotube (paper Fig. 1(b)).
+inline constexpr double g0_quantum = 2.0 * q * q / h_planck;
+
+/// Default simulation temperature [K].
+inline constexpr double t_room = 300.0;
+
+/// Thermal voltage kT/q at temperature `temp_kelvin` [V].
+[[nodiscard]] constexpr double thermal_voltage(double temp_kelvin) noexcept {
+    return k_b * temp_kelvin / q;
+}
+
+} // namespace phys
+
+/// Engineering-unit multipliers, so example/bench code can write
+/// `100.0 * units::ns` instead of 1e-7.
+namespace units {
+
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+// Time
+inline constexpr double fs = femto;
+inline constexpr double ps = pico;
+inline constexpr double ns = nano;
+inline constexpr double us = micro;
+inline constexpr double ms = milli;
+
+// Capacitance
+inline constexpr double fF = femto;
+inline constexpr double pF = pico;
+inline constexpr double nF = nano;
+inline constexpr double uF = micro;
+
+// Resistance
+inline constexpr double kohm = kilo;
+inline constexpr double megohm = mega;
+
+// Current
+inline constexpr double mA = milli;
+inline constexpr double uA = micro;
+inline constexpr double nA = nano;
+
+} // namespace units
+
+} // namespace nanosim
+
+#endif // NANOSIM_UTIL_CONSTANTS_HPP

@@ -1,0 +1,91 @@
+// Nano-Sim — exception hierarchy.
+//
+// All errors thrown by the library derive from nanosim::SimError, which in
+// turn derives from std::runtime_error, so callers can catch at whichever
+// granularity they need.  Error codes exist so that tests and tools can
+// assert on the *kind* of failure without string matching.
+#ifndef NANOSIM_UTIL_ERROR_HPP
+#define NANOSIM_UTIL_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace nanosim {
+
+/// Category of a simulator failure.  Kept deliberately coarse: each value
+/// corresponds to one exception type below.
+enum class ErrorCode {
+    generic,         ///< unspecified simulator error
+    singular_matrix, ///< LU factorisation hit an (effectively) zero pivot
+    convergence,     ///< an iterative method exhausted its iteration budget
+    netlist,         ///< bad circuit description (parse error, bad pin, ...)
+    analysis,        ///< invalid analysis request (bad time step, bounds, ...)
+    io,              ///< file could not be read/written
+};
+
+/// Root of the Nano-Sim exception hierarchy.
+class SimError : public std::runtime_error {
+public:
+    explicit SimError(const std::string& what_arg,
+                      ErrorCode code = ErrorCode::generic)
+        : std::runtime_error(what_arg), code_(code) {}
+
+    /// Machine-readable failure category.
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// A direct or factored linear solve found a pivot below its tolerance.
+class SingularMatrixError : public SimError {
+public:
+    explicit SingularMatrixError(const std::string& what_arg)
+        : SimError(what_arg, ErrorCode::singular_matrix) {}
+};
+
+/// An iterative method (Newton-Raphson, source stepping, ...) failed to
+/// converge within its iteration budget.  Carries the iteration count and
+/// the final residual so failure reports are actionable.
+class ConvergenceError : public SimError {
+public:
+    ConvergenceError(const std::string& what_arg, int iterations,
+                     double residual)
+        : SimError(what_arg, ErrorCode::convergence),
+          iterations_(iterations),
+          residual_(residual) {}
+
+    [[nodiscard]] int iterations() const noexcept { return iterations_; }
+    [[nodiscard]] double residual() const noexcept { return residual_; }
+
+private:
+    int iterations_ = 0;
+    double residual_ = 0.0;
+};
+
+/// The circuit description is malformed: unknown device line, bad node
+/// reference, missing .model card, duplicate identifier, ...
+class NetlistError : public SimError {
+public:
+    explicit NetlistError(const std::string& what_arg)
+        : SimError(what_arg, ErrorCode::netlist) {}
+};
+
+/// The analysis request itself is invalid (e.g. tstop <= 0, dt <= 0,
+/// sweep with zero step, stochastic run with no noise source).
+class AnalysisError : public SimError {
+public:
+    explicit AnalysisError(const std::string& what_arg)
+        : SimError(what_arg, ErrorCode::analysis) {}
+};
+
+/// File input/output failure.
+class IoError : public SimError {
+public:
+    explicit IoError(const std::string& what_arg)
+        : SimError(what_arg, ErrorCode::io) {}
+};
+
+} // namespace nanosim
+
+#endif // NANOSIM_UTIL_ERROR_HPP

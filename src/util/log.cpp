@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace nanosim::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::warn};
+std::atomic<std::ostream*> g_stream{nullptr};
+std::mutex g_write_mutex;
+
+const char* level_name(Level level) noexcept {
+    switch (level) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO ";
+    case Level::warn: return "WARN ";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF  ";
+    }
+    return "?????";
+}
+
+} // namespace
+
+void set_level(Level level) noexcept { g_level.store(level); }
+
+Level level() noexcept { return g_level.load(); }
+
+void set_stream(std::ostream* os) noexcept { g_stream.store(os); }
+
+bool enabled(Level lv) noexcept {
+    return static_cast<int>(lv) >= static_cast<int>(g_level.load());
+}
+
+void write(Level lv, const std::string& message) {
+    if (!enabled(lv)) {
+        return;
+    }
+    std::ostream* os = g_stream.load();
+    if (os == nullptr) {
+        os = &std::clog;
+    }
+    const std::lock_guard<std::mutex> lock(g_write_mutex);
+    (*os) << "[nanosim " << level_name(lv) << "] " << message << '\n';
+}
+
+} // namespace nanosim::log

@@ -1,0 +1,45 @@
+// Nano-Sim — minimal leveled logger.
+//
+// Engines emit progress/diagnostic messages through this interface; tests
+// silence it, benches raise it to `info`.  Deliberately tiny: a global
+// level, a global output stream, printf-free (iostream formatting), and a
+// guard macro-free API — callers check `enabled()` only for expensive
+// message construction.
+#ifndef NANOSIM_UTIL_LOG_HPP
+#define NANOSIM_UTIL_LOG_HPP
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace nanosim::log {
+
+/// Severity levels, ordered.  `off` disables all output.
+enum class Level { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Set the global threshold: messages below `level` are dropped.
+void set_level(Level level) noexcept;
+
+/// Current global threshold.
+[[nodiscard]] Level level() noexcept;
+
+/// Redirect log output (default: std::clog).  Pass nullptr to restore the
+/// default stream.  The stream must outlive all logging calls.
+void set_stream(std::ostream* os) noexcept;
+
+/// True if a message at `level` would be emitted.
+[[nodiscard]] bool enabled(Level level) noexcept;
+
+/// Emit one line at the given level (no-op when below threshold).
+void write(Level level, const std::string& message);
+
+/// Convenience wrappers.
+inline void trace(const std::string& m) { write(Level::trace, m); }
+inline void debug(const std::string& m) { write(Level::debug, m); }
+inline void info(const std::string& m) { write(Level::info, m); }
+inline void warn(const std::string& m) { write(Level::warn, m); }
+inline void error(const std::string& m) { write(Level::error, m); }
+
+} // namespace nanosim::log
+
+#endif // NANOSIM_UTIL_LOG_HPP

@@ -1,0 +1,171 @@
+// Tests for analysis utilities: waveforms, measurements, CSV, tables,
+// ASCII plotting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/ascii_plot.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/table.hpp"
+#include "analysis/waveform.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::analysis {
+namespace {
+
+Waveform ramp() {
+    Waveform w("ramp");
+    w.append(0.0, 0.0);
+    w.append(1.0, 2.0);
+    w.append(2.0, 4.0);
+    return w;
+}
+
+TEST(Waveform, AppendEnforcesMonotoneTime) {
+    Waveform w("x");
+    w.append(1.0, 0.0);
+    EXPECT_THROW(w.append(1.0, 1.0), AnalysisError);
+    EXPECT_THROW(w.append(0.5, 1.0), AnalysisError);
+}
+
+TEST(Waveform, ConstructorValidates) {
+    EXPECT_THROW(Waveform("x", {0.0, 1.0}, {1.0}), AnalysisError);
+    EXPECT_THROW(Waveform("x", {1.0, 1.0}, {1.0, 2.0}), AnalysisError);
+}
+
+TEST(Waveform, InterpolatesAndClamps) {
+    const Waveform w = ramp();
+    EXPECT_DOUBLE_EQ(w.at(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0); // clamp left
+    EXPECT_DOUBLE_EQ(w.at(9.0), 4.0);  // clamp right
+    EXPECT_THROW((void)Waveform("e").at(0.0), AnalysisError);
+}
+
+TEST(Waveform, Resample) {
+    const Waveform r = ramp().resampled(5);
+    ASSERT_EQ(r.size(), 5u);
+    EXPECT_DOUBLE_EQ(r.time_at(2), 1.0);
+    EXPECT_DOUBLE_EQ(r.value_at(2), 2.0);
+}
+
+TEST(Waveform, Extrema) {
+    Waveform w("x");
+    w.append(0.0, 1.0);
+    w.append(1.0, -3.0);
+    w.append(2.0, 2.0);
+    EXPECT_DOUBLE_EQ(w.max_value(), 2.0);
+    EXPECT_DOUBLE_EQ(w.min_value(), -3.0);
+}
+
+TEST(Measure, CrossingTime) {
+    Waveform w("x");
+    w.append(0.0, 0.0);
+    w.append(1.0, 1.0);
+    w.append(2.0, 0.0);
+    EXPECT_DOUBLE_EQ(measure::crossing_time(w, 0.5, true), 0.5);
+    EXPECT_DOUBLE_EQ(measure::crossing_time(w, 0.5, false), 1.5);
+    EXPECT_TRUE(std::isnan(measure::crossing_time(w, 2.0, true)));
+    // `after` skips crossings before it: no rising crossing remains
+    // past 0.6, but the falling one at 1.5 does.
+    EXPECT_TRUE(std::isnan(measure::crossing_time(w, 0.5, true, 0.6)));
+    EXPECT_DOUBLE_EQ(measure::crossing_time(w, 0.5, false, 0.6), 1.5);
+}
+
+TEST(Measure, PeakTime) {
+    Waveform w("x");
+    w.append(0.0, 0.0);
+    w.append(1.0, 5.0);
+    w.append(2.0, 1.0);
+    EXPECT_DOUBLE_EQ(measure::peak_time(w), 1.0);
+}
+
+TEST(Measure, RmsOfSine) {
+    Waveform w("sin");
+    constexpr int n = 2000;
+    for (int i = 0; i <= n; ++i) {
+        const double t = static_cast<double>(i) / n;
+        w.append(t, std::sin(2.0 * M_PI * t));
+    }
+    EXPECT_NEAR(measure::rms(w), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Measure, ErrorsBetweenWaveforms) {
+    const Waveform a = ramp();
+    Waveform b("b");
+    b.append(0.0, 0.1);
+    b.append(2.0, 4.1);
+    EXPECT_NEAR(measure::max_abs_error(a, b), 0.1, 1e-12);
+    EXPECT_NEAR(measure::rms_error(a, b), 0.1, 1e-6);
+}
+
+TEST(Csv, RoundTrip) {
+    const Waveform a = ramp();
+    Waveform b("other");
+    b.append(0.0, 1.0);
+    b.append(2.0, 3.0);
+    std::ostringstream os;
+    write_csv(os, {a, b});
+    std::istringstream is(os.str());
+    const auto read = read_csv(is);
+    ASSERT_EQ(read.size(), 2u);
+    EXPECT_EQ(read[0].label(), "ramp");
+    EXPECT_EQ(read[1].label(), "other");
+    EXPECT_NEAR(read[0].at(1.0), 2.0, 1e-9);
+    EXPECT_NEAR(read[1].at(1.0), 2.0, 1e-9);
+}
+
+TEST(Csv, RejectsMalformed) {
+    std::istringstream empty("");
+    EXPECT_THROW((void)read_csv(empty), AnalysisError);
+    std::istringstream bad("time,v\n0,abc\n");
+    EXPECT_THROW((void)read_csv(bad), AnalysisError);
+    std::istringstream short_row("time,v\n0\n");
+    EXPECT_THROW((void)read_csv(short_row), AnalysisError);
+}
+
+TEST(Table, RendersAligned) {
+    Table t({"col", "value"});
+    t.add_row({"alpha", Table::num(1.5)});
+    t.add_row({"beta", Table::num(22.125, 6)});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22.125"), std::string::npos);
+    EXPECT_NE(s.find('+'), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Validation) {
+    EXPECT_THROW(Table{std::vector<std::string>{}}, AnalysisError);
+    Table t({"a"});
+    EXPECT_THROW(t.add_row({"x", "y"}), AnalysisError);
+}
+
+TEST(AsciiPlot, RendersSeries) {
+    Waveform w("sine");
+    for (int i = 0; i <= 100; ++i) {
+        const double t = i / 100.0;
+        w.append(t, std::sin(2.0 * M_PI * t));
+    }
+    std::ostringstream os;
+    PlotOptions opt;
+    opt.title = "test plot";
+    ascii_plot(os, {w}, opt);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("test plot"), std::string::npos);
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find("sine"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsEmpty) {
+    std::ostringstream os;
+    EXPECT_THROW(ascii_plot(os, {}), AnalysisError);
+    Waveform single("x");
+    single.append(0.0, 1.0);
+    EXPECT_THROW(ascii_plot(os, {single}), AnalysisError);
+}
+
+} // namespace
+} // namespace nanosim::analysis

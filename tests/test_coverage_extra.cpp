@@ -1,0 +1,164 @@
+// Additional coverage: file-level CSV I/O, LU internals, Schulman term
+// decomposition, parser corners not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/csv.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/rtt.hpp"
+#include "linalg/lu.hpp"
+#include "netlist/parser.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+// ------------------------------------------------------------- CSV files
+
+TEST(CsvFiles, WriteReadRoundTripOnDisk) {
+    const std::string path = "nanosim_test_roundtrip.csv";
+    analysis::Waveform w("sig");
+    for (int i = 0; i <= 20; ++i) {
+        w.append(i * 1e-9, std::sin(0.3 * i));
+    }
+    analysis::write_csv_file(path, {w});
+    const auto read = analysis::read_csv_file(path);
+    ASSERT_EQ(read.size(), 1u);
+    EXPECT_EQ(read[0].label(), "sig");
+    EXPECT_NEAR(analysis::measure::max_abs_error(w, read[0]), 0.0, 1e-9);
+    std::remove(path.c_str());
+}
+
+TEST(CsvFiles, UnwritablePathThrowsIoError) {
+    analysis::Waveform w("x");
+    w.append(0.0, 1.0);
+    w.append(1.0, 2.0);
+    EXPECT_THROW(
+        analysis::write_csv_file("/no/such/dir/file.csv", {w}), IoError);
+    EXPECT_THROW((void)analysis::read_csv_file("/no/such/file.csv"),
+                 IoError);
+}
+
+// ----------------------------------------------------------- LU internals
+
+TEST(DenseLuInternals, SwapCountTracksPermutations) {
+    const linalg::DenseMatrix no_swap{{4.0, 1.0}, {1.0, 3.0}};
+    EXPECT_EQ(linalg::DenseLu(no_swap).swap_count(), 0);
+    const linalg::DenseMatrix needs_swap{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_EQ(linalg::DenseLu(needs_swap).swap_count(), 1);
+}
+
+TEST(DenseLuInternals, RcondDetectsIllConditioning) {
+    const linalg::DenseMatrix good = linalg::DenseMatrix::identity(3);
+    EXPECT_NEAR(linalg::DenseLu(good).rcond_estimate(), 1.0, 1e-12);
+    linalg::DenseMatrix bad = linalg::DenseMatrix::identity(3);
+    bad(2, 2) = 1e-10;
+    EXPECT_LT(linalg::DenseLu(bad).rcond_estimate(), 1e-9);
+}
+
+TEST(DenseLuInternals, SolveInPlaceMatchesSolve) {
+    const linalg::DenseMatrix a{{3.0, 1.0}, {1.0, 2.0}};
+    const linalg::DenseLu lu(a);
+    linalg::Vector x{5.0, 5.0};
+    const linalg::Vector y = lu.solve(x);
+    lu.solve_in_place(x);
+    EXPECT_EQ(x, y);
+    linalg::Vector wrong_size{1.0};
+    EXPECT_THROW(lu.solve_in_place(wrong_size), SimError);
+}
+
+// -------------------------------------------------- Schulman decomposition
+
+TEST(SchulmanTerms, J1DominatesBelowResonanceJ2Negligible) {
+    // With the paper's parameters J2 stays orders of magnitude below J1
+    // in the operating range — the reason Fig. 4's PDR2 sits past 10 V.
+    const RtdParams p = RtdParams::date05();
+    for (double v = 0.5; v <= 6.0; v += 0.5) {
+        EXPECT_GT(rtd_math::j1(p, v), 100.0 * rtd_math::j2(p, v)) << v;
+    }
+}
+
+TEST(SchulmanTerms, TotalIsSumOfTerms) {
+    const RtdParams p = RtdParams::three_region_demo();
+    for (double v = -2.0; v <= 7.0; v += 0.7) {
+        EXPECT_NEAR(rtd_math::current(p, v),
+                    rtd_math::j1(p, v) + rtd_math::j2(p, v), 1e-18) << v;
+    }
+}
+
+TEST(SchulmanTerms, TemperatureScalesExponents) {
+    // In eq. (4) both exponents carry q/kT, so raising T *softens* them:
+    // J2 = H(e^{n2 qV/kT} - 1) decreases with temperature at fixed bias,
+    // and the resonance knee broadens.  Pin the implemented monotonicity.
+    RtdParams cold = RtdParams::date05();
+    cold.temp = 250.0;
+    RtdParams hot = RtdParams::date05();
+    hot.temp = 400.0;
+    EXPECT_LT(rtd_math::j2(hot, 5.0), rtd_math::j2(cold, 5.0));
+    // beta = q/kT is the single source of T-dependence.
+    EXPECT_GT(cold.beta(), hot.beta());
+}
+
+// ------------------------------------------------------- parser corners
+
+TEST(ParserCorners, InductorAndCaseInsensitivity) {
+    const auto deck = parse_deck(R"(
+v1 A 0 dc 1
+l1 A B 10u
+r1 B 0 1K
+.OP
+)");
+    EXPECT_DOUBLE_EQ(deck.circuit.get<Inductor>("l1").inductance(), 10e-6);
+    ASSERT_EQ(deck.analyses.size(), 1u);
+}
+
+TEST(ParserCorners, PmosModelMapsPolarity) {
+    const auto deck = parse_deck(R"(
+.model pch PMOS(VTO=0.7 KP=1e-5)
+M1 d g s pch
+V1 d 0 DC 1
+V2 g 0 DC 1
+V3 s 0 DC 1
+)");
+    const auto& m = deck.circuit.get<Mosfet>("M1");
+    EXPECT_EQ(m.params().polarity, MosPolarity::pmos);
+    EXPECT_DOUBLE_EQ(m.params().vth, 0.7);
+}
+
+TEST(ParserCorners, NegativeValuesAndExponents) {
+    EXPECT_DOUBLE_EQ(parse_value("-1.5e-3"), -1.5e-3);
+    EXPECT_DOUBLE_EQ(parse_value("-2u"), -2e-6);
+    EXPECT_DOUBLE_EQ(parse_value("+3k"), 3e3);
+}
+
+TEST(ParserCorners, RttLineWithModel) {
+    const auto deck = parse_deck(R"(
+.model tub RTT(LEVELS=2 SPACING=0.9 VON=0.6 VGW=0.2 A=2e-4)
+RTT1 c b e tub
+V1 c 0 DC 1
+V2 b 0 DC 1
+R1 e 0 10
+)");
+    const auto& rtt = deck.circuit.get<Rtt>("RTT1");
+    EXPECT_EQ(rtt.params().levels, 2);
+    EXPECT_DOUBLE_EQ(rtt.params().level_spacing, 0.9);
+    EXPECT_DOUBLE_EQ(rtt.params().v_on, 0.6);
+    EXPECT_DOUBLE_EQ(rtt.params().base.a, 2e-4);
+}
+
+TEST(ParserCorners, DeviceAcrossMissingModelTypeMismatch) {
+    EXPECT_THROW((void)parse_deck(R"(
+.model dd D(IS=1e-14)
+RTD1 a 0 dd
+V1 a 0 DC 1
+)"),
+                 NetlistError);
+}
+
+} // namespace
+} // namespace nanosim

@@ -1,0 +1,287 @@
+// Tests for diode, nanowire/CNT, RTT, passives, sources, waveforms and
+// the time-varying conductor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/diode.hpp"
+#include "devices/nanowire.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtt.hpp"
+#include "devices/sources.hpp"
+#include "devices/tv_conductor.hpp"
+#include "devices/waveform.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+// ---------------------------------------------------------------- diode
+
+TEST(Diode, ShockleyLawAtLowBias) {
+    const Diode d("D1", 1, 0);
+    const double vt = d.params().vt();
+    EXPECT_NEAR(d.current(0.3), 1e-14 * std::expm1(0.3 / vt), 1e-20);
+    EXPECT_DOUBLE_EQ(d.current(0.0), 0.0);
+}
+
+TEST(Diode, DerivativeMatchesFd) {
+    const Diode d("D1", 1, 0);
+    const double h = 1e-8;
+    for (const double v : {-0.5, 0.0, 0.3, 0.55}) {
+        const double fd = (d.current(v + h) - d.current(v - h)) / (2.0 * h);
+        EXPECT_NEAR(d.didv(v), fd, std::abs(fd) * 1e-5 + 1e-18) << v;
+    }
+}
+
+TEST(Diode, LimitedContinuationIsContinuous) {
+    const Diode d("D1", 1, 0);
+    // Far beyond v_crit the model continues linearly but continuously.
+    const double i1 = d.current(1.2);
+    const double i2 = d.current(1.2 + 1e-9);
+    EXPECT_NEAR(i2 - i1, d.didv(1.2 + 1e-9) * 1e-9, std::abs(i1) * 1e-6);
+    EXPECT_TRUE(std::isfinite(d.current(100.0)));
+}
+
+TEST(Diode, ChordPositive) {
+    const Diode d("D1", 1, 0);
+    for (const double v : {-1.0, -0.2, 0.2, 0.6, 2.0}) {
+        EXPECT_GT(d.chord_conductance(v), 0.0) << v;
+    }
+}
+
+// ------------------------------------------------------------- nanowire
+
+TEST(Nanowire, CurrentIsOddFunction) {
+    const Nanowire nw("NW1", 1, 0);
+    for (const double v : {0.1, 0.5, 1.0, 1.7}) {
+        EXPECT_NEAR(nw.current(-v), -nw.current(v), 1e-18) << v;
+    }
+    EXPECT_DOUBLE_EQ(nw.current(0.0), 0.0);
+}
+
+TEST(Nanowire, ConductanceStaircaseLevels) {
+    // Between channel openings the differential conductance sits near an
+    // integer multiple of G0.
+    NanowireParams p;
+    p.channels = 4;
+    p.v_step = 0.5;
+    p.smear = 0.01; // sharp steps for the level check
+    const Nanowire nw("NW1", 1, 0, p);
+    const double g0 = p.g0;
+    EXPECT_NEAR(nw.didv(0.25), 1.0 * g0, 0.05 * g0);
+    EXPECT_NEAR(nw.didv(0.75), 2.0 * g0, 0.05 * g0);
+    EXPECT_NEAR(nw.didv(1.25), 3.0 * g0, 0.05 * g0);
+    EXPECT_NEAR(nw.didv(1.75), 4.0 * g0, 0.05 * g0);
+    // Saturates at channels * G0.
+    EXPECT_NEAR(nw.didv(5.0), 4.0 * g0, 0.01 * g0);
+}
+
+TEST(Nanowire, ConductanceNeverNegativeAndMonotone) {
+    const Nanowire nw("NW1", 1, 0);
+    double prev = nw.didv(0.0);
+    for (double v = 0.05; v < 3.0; v += 0.05) {
+        const double g = nw.didv(v);
+        EXPECT_GT(g, 0.0);
+        EXPECT_GE(g, prev - 1e-12); // staircase is non-decreasing in |V|
+        prev = g;
+    }
+}
+
+TEST(Nanowire, DidvMatchesFdOfCurrent) {
+    const Nanowire nw("NW1", 1, 0);
+    const double h = 1e-7;
+    for (const double v : {0.2, 0.5, 0.9, 1.4, -0.7}) {
+        const double fd =
+            (nw.current(v + h) - nw.current(v - h)) / (2.0 * h);
+        EXPECT_NEAR(nw.didv(v), fd, std::abs(fd) * 1e-4) << v;
+    }
+}
+
+TEST(Nanowire, ChordAtLeastOneQuantum) {
+    const Nanowire nw("NW1", 1, 0);
+    for (const double v : {-1.5, -0.3, 0.3, 0.8, 2.0}) {
+        EXPECT_GE(nw.chord_conductance(v), nw.params().g0 * 0.99) << v;
+    }
+}
+
+TEST(Nanowire, ValidatesParameters) {
+    NanowireParams bad;
+    bad.channels = 0;
+    EXPECT_THROW(Nanowire("NWX", 1, 0, bad), AnalysisError);
+    bad = NanowireParams{};
+    bad.smear = -1.0;
+    EXPECT_THROW(Nanowire("NWX", 1, 0, bad), AnalysisError);
+}
+
+// ------------------------------------------------------------------ RTT
+
+TEST(Rtt, GateModulatesCollectorCurrent) {
+    const Rtt rtt("RTT1", 1, 2, 0);
+    const double on = rtt.collector_current(2.0, 1.5);
+    const double off = rtt.collector_current(2.0, 0.0);
+    EXPECT_GT(on, 10.0 * std::max(off, 1e-15));
+}
+
+TEST(Rtt, MultiplePeaksInIvCurve) {
+    // Count local maxima of I_C(V_CE) with the base on: one per level.
+    RttParams p;
+    p.levels = 3;
+    const Rtt rtt("RTT1", 1, 2, 0, p);
+    int peaks = 0;
+    double prev_i = rtt.collector_current(0.0, 2.0);
+    bool rising = true;
+    for (double v = 0.02; v < 8.0; v += 0.02) {
+        const double i = rtt.collector_current(v, 2.0);
+        if (rising && i < prev_i) {
+            ++peaks;
+            rising = false;
+        } else if (!rising && i > prev_i) {
+            rising = true;
+        }
+        prev_i = i;
+    }
+    EXPECT_GE(peaks, 2) << "expected a multi-peak staircase (Fig. 1a)";
+}
+
+TEST(Rtt, GceMatchesFd) {
+    const Rtt rtt("RTT1", 1, 2, 0);
+    const double h = 1e-6;
+    for (const double v : {0.5, 2.0, 4.0}) {
+        const double fd = (rtt.collector_current(v + h, 2.0) -
+                           rtt.collector_current(v - h, 2.0)) /
+                          (2.0 * h);
+        EXPECT_NEAR(rtt.gce(v, 2.0), fd, std::abs(fd) * 1e-3 + 1e-12) << v;
+    }
+}
+
+TEST(Rtt, ChordPositiveWhenDriven) {
+    const Rtt rtt("RTT1", 1, 2, 0);
+    const std::vector<double> x{3.9, 2.0}; // vce in the NDR of level 1
+    const NodeVoltages v(x, 2);
+    EXPECT_GT(rtt.swec_conductance(v), 0.0);
+}
+
+TEST(Rtt, ValidatesParameters) {
+    RttParams bad;
+    bad.levels = 0;
+    EXPECT_THROW(Rtt("RTTX", 1, 2, 0, bad), AnalysisError);
+}
+
+// ------------------------------------------------------------- passives
+
+TEST(Passives, ValueValidation) {
+    EXPECT_THROW(Resistor("R1", 1, 0, 0.0), AnalysisError);
+    EXPECT_THROW(Resistor("R1", 1, 0, -5.0), AnalysisError);
+    EXPECT_THROW(Capacitor("C1", 1, 0, 0.0), AnalysisError);
+    EXPECT_THROW(Inductor("L1", 1, 0, -1e-9), AnalysisError);
+}
+
+TEST(Passives, ResistorBranchCurrent) {
+    const Resistor r("R1", 1, 2, 100.0);
+    const std::vector<double> x{5.0, 3.0};
+    EXPECT_DOUBLE_EQ(r.branch_current(NodeVoltages(x, 2)), 0.02);
+}
+
+TEST(Passives, InductorHasBranch) {
+    const Inductor l("L1", 1, 0, 1e-6);
+    EXPECT_EQ(l.branch_count(), 1);
+    EXPECT_EQ(l.kind(), DeviceKind::inductor);
+}
+
+// -------------------------------------------------------------- sources
+
+TEST(Sources, VSourceRejectsNullWave) {
+    EXPECT_THROW(VSource("V1", 1, 0, WaveformPtr{}), AnalysisError);
+}
+
+TEST(Sources, NoiseSigmaMustBeNonNegative) {
+    EXPECT_THROW(NoiseCurrentSource("N1", 1, 0, -1.0), AnalysisError);
+    const NoiseCurrentSource ok("N1", 1, 0, 0.0);
+    EXPECT_DOUBLE_EQ(ok.sigma(), 0.0);
+}
+
+// ------------------------------------------------------------ waveforms
+
+TEST(Waveforms, PulseShape) {
+    // PULSE(0 5 10n 1n 1n 40n 100n).
+    const PulseWave w(0.0, 5.0, 10e-9, 1e-9, 1e-9, 40e-9, 100e-9);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(5e-9), 0.0);
+    EXPECT_NEAR(w.value(10.5e-9), 2.5, 1e-9);  // mid-rise
+    EXPECT_DOUBLE_EQ(w.value(30e-9), 5.0);     // flat top
+    EXPECT_NEAR(w.value(51.5e-9), 2.5, 1e-9);  // mid-fall
+    EXPECT_DOUBLE_EQ(w.value(80e-9), 0.0);     // back low
+    EXPECT_DOUBLE_EQ(w.value(130e-9), 5.0);    // next period top
+}
+
+TEST(Waveforms, PulseSlopes) {
+    const PulseWave w(0.0, 5.0, 10e-9, 1e-9, 2e-9, 40e-9, 100e-9);
+    EXPECT_DOUBLE_EQ(w.slope(5e-9), 0.0);
+    EXPECT_NEAR(w.slope(10.5e-9), 5.0 / 1e-9, 1.0);
+    EXPECT_NEAR(w.slope(52e-9), -5.0 / 2e-9, 1.0);
+}
+
+TEST(Waveforms, PulseBreakpointsInWindow) {
+    const PulseWave w(0.0, 5.0, 10e-9, 1e-9, 1e-9, 40e-9, 100e-9);
+    const auto bp = w.breakpoints(0.0, 100e-9);
+    // Corners at 10, 11, 51, 52 ns.
+    ASSERT_GE(bp.size(), 4u);
+    EXPECT_NEAR(bp[0], 10e-9, 1e-15);
+    EXPECT_NEAR(bp[1], 11e-9, 1e-15);
+    EXPECT_NEAR(bp[2], 51e-9, 1e-15);
+    EXPECT_NEAR(bp[3], 52e-9, 1e-15);
+}
+
+TEST(Waveforms, PulseValidation) {
+    EXPECT_THROW(PulseWave(0, 5, 0, 1e-9, 1e-9, 60e-9, 50e-9),
+                 AnalysisError); // rise+width+fall > period
+}
+
+TEST(Waveforms, PwlInterpolatesAndClamps) {
+    const PwlWave w({{1.0, 0.0}, {2.0, 10.0}});
+    EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);
+    EXPECT_DOUBLE_EQ(w.value(3.0), 10.0);
+    EXPECT_DOUBLE_EQ(w.slope(1.5), 10.0);
+}
+
+TEST(Waveforms, PwlRejectsNonIncreasingTime) {
+    EXPECT_THROW(PwlWave({{1.0, 0.0}, {1.0, 2.0}}), AnalysisError);
+    EXPECT_THROW(PwlWave({}), AnalysisError);
+}
+
+TEST(Waveforms, SinValueAndSlope) {
+    const SinWave w(1.0, 2.0, 1e6);
+    EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(w.value(0.25e-6), 3.0, 1e-9); // quarter period peak
+    EXPECT_NEAR(w.slope(0.0), 2.0 * 2.0 * M_PI * 1e6, 10.0);
+}
+
+TEST(Waveforms, ClockHelper) {
+    const WaveformPtr clk = make_clock(0.0, 5.0, 100e-9, 10e-9, 45e-9);
+    EXPECT_DOUBLE_EQ(clk->value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(clk->value(70e-9), 5.0);  // high phase
+    EXPECT_DOUBLE_EQ(clk->value(120e-9), 0.0); // low phase
+}
+
+// ------------------------------------------------- time-varying conductor
+
+TEST(TvConductor, EvaluatesWaveform) {
+    const TimeVaryingConductor g(
+        "G1", 1, 0,
+        std::make_shared<PwlWave>(
+            std::vector<std::pair<double, double>>{{0.0, 1e-3},
+                                                   {1e-9, 2e-3}}));
+    EXPECT_TRUE(g.time_varying());
+    EXPECT_DOUBLE_EQ(g.conductance(0.0), 1e-3);
+    EXPECT_DOUBLE_EQ(g.conductance(0.5e-9), 1.5e-3);
+}
+
+TEST(TvConductor, RejectsNullWave) {
+    EXPECT_THROW(TimeVaryingConductor("G1", 1, 0, nullptr), AnalysisError);
+}
+
+} // namespace
+} // namespace nanosim

@@ -1,0 +1,149 @@
+// Edge-path tests for the transient engines: failure policies, noise
+// plumbing through deterministic engines, PWL validation, option
+// resolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ref_circuits.hpp"
+#include "devices/passives.hpp"
+#include "devices/sources.hpp"
+#include "engines/tran_nr.hpp"
+#include "engines/tran_pwl.hpp"
+#include "engines/tran_swec.hpp"
+#include "mna/mna.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+TEST(TranNrEdges, StrictModeThrowsOnNonConvergence) {
+    // With accept_nonconverged = false and a tiny iteration budget the
+    // NDR circuit must raise ConvergenceError instead of marching on.
+    Circuit ckt = refckt::fet_rtd_inverter();
+    const mna::MnaAssembler assembler(ckt);
+    engines::NrTranOptions opt;
+    opt.t_stop = 200e-9;
+    opt.accept_nonconverged = false;
+    opt.max_nr_iterations = 2;
+    opt.max_halvings = 2;
+    EXPECT_THROW((void)engines::run_tran_nr(assembler, opt),
+                 ConvergenceError);
+}
+
+TEST(TranNrEdges, OptionValidation) {
+    Circuit ckt = refckt::rc_lowpass();
+    const mna::MnaAssembler assembler(ckt);
+    engines::NrTranOptions opt; // t_stop missing
+    EXPECT_THROW((void)engines::run_tran_nr(assembler, opt),
+                 AnalysisError);
+    opt.t_stop = 1e-6;
+    opt.initial = linalg::Vector{1.0};
+    EXPECT_THROW((void)engines::run_tran_nr(assembler, opt),
+                 AnalysisError);
+}
+
+TEST(TranNrEdges, NoiseRealizationDrivesCircuit) {
+    // A deterministic "noise" realization (constant 1 mA) through the
+    // NR engine behaves exactly like a DC current source.
+    Circuit ckt = refckt::noisy_rc(1e3, 1e-12, 0.0, 1e-9);
+    const mna::MnaAssembler assembler(ckt);
+    engines::NrTranOptions opt;
+    opt.t_stop = 5e-9;
+    opt.dt_max = 50e-12;
+    opt.start_from_dc = false;
+    opt.noise.push_back(std::make_shared<DcWave>(1e-3));
+    const auto res = engines::run_tran_nr(assembler, opt);
+    // Charging toward 1 V with tau = 1 ns.
+    EXPECT_NEAR(res.node_waves[0].at(3e-9), 1.0 - std::exp(-3.0), 0.03);
+}
+
+TEST(TranPwlEdges, OptionValidation) {
+    Circuit ckt = refckt::rtd_divider();
+    const mna::MnaAssembler assembler(ckt);
+    engines::PwlTranOptions opt;
+    opt.t_stop = 1e-6;
+    opt.segments = 1; // too few
+    EXPECT_THROW((void)engines::run_tran_pwl(assembler, opt),
+                 AnalysisError);
+    opt.segments = 32;
+    opt.v_min = 2.0;
+    opt.v_max = 1.0; // inverted range
+    EXPECT_THROW((void)engines::run_tran_pwl(assembler, opt),
+                 AnalysisError);
+}
+
+TEST(TranPwlEdges, RtdDividerTransientTracksSwec) {
+    Circuit ckt = refckt::rtd_divider(50.0);
+    ckt.get_mutable<VSource>("V1").set_wave(std::make_shared<PulseWave>(
+        0.0, 5.0, 20e-9, 5e-9, 5e-9, 60e-9, 200e-9));
+    ckt.add<Capacitor>("CL", ckt.find_node("out"), k_ground, 100e-12);
+    const mna::MnaAssembler assembler(ckt);
+
+    engines::SwecTranOptions sopt;
+    sopt.t_stop = 150e-9;
+    const auto s = engines::run_tran_swec(assembler, sopt);
+
+    engines::PwlTranOptions popt;
+    popt.t_stop = 150e-9;
+    popt.segments = 256; // fine table
+    popt.dt_max = 1e-9;
+    const auto p = engines::run_tran_pwl(assembler, popt);
+
+    EXPECT_LT(analysis::measure::rms_error(s.node(ckt, "out"),
+                                           p.node(ckt, "out")),
+              0.08);
+}
+
+TEST(TranSwecEdges, GivenInitialConditionIsHonored) {
+    Circuit ckt = refckt::rc_lowpass(1e3, 1e-9, 0.0); // source at 0 V
+    const mna::MnaAssembler assembler(ckt);
+    engines::SwecTranOptions opt;
+    opt.t_stop = 5e-6;
+    opt.initial =
+        linalg::Vector(static_cast<std::size_t>(assembler.unknowns()),
+                       0.0);
+    opt.initial[1] = 1.0; // capacitor pre-charged to 1 V
+    const auto res = engines::run_tran_swec(assembler, opt);
+    // Discharges toward 0 with tau = 1 us.
+    EXPECT_NEAR(res.node(ckt, "out").at(1e-6), std::exp(-1.0), 0.02);
+    EXPECT_NEAR(res.node(ckt, "out").at(3e-6), std::exp(-3.0), 0.02);
+}
+
+TEST(TranSwecEdges, FixedStepHitsExactCount) {
+    Circuit ckt = refckt::rc_lowpass();
+    const mna::MnaAssembler assembler(ckt);
+    engines::SwecTranOptions opt;
+    opt.t_stop = 1e-6;
+    opt.adaptive = false;
+    opt.dt_init = 1e-8;
+    opt.start_from_dc = false;
+    const auto res = engines::run_tran_swec(assembler, opt);
+    EXPECT_EQ(res.steps_accepted, 100);
+    // The last step is clipped to the horizon, absorbing accumulated
+    // floating point residue of ~1e-22 s.
+    EXPECT_NEAR(res.min_dt_used, 1e-8, 1e-13);
+    EXPECT_NEAR(res.max_dt_used, 1e-8, 1e-13);
+}
+
+TEST(TranSwecEdges, GrowthLimitRespected) {
+    Circuit ckt = refckt::rc_lowpass();
+    const mna::MnaAssembler assembler(ckt);
+    engines::SwecTranOptions opt;
+    opt.t_stop = 1e-6;
+    opt.growth_limit = 1.5;
+    opt.dt_init = 1e-9;
+    opt.start_from_dc = false;
+    const auto res = engines::run_tran_swec(assembler, opt);
+    const auto& t = res.node_waves[0].time();
+    for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+        const double h_prev = t[i] - t[i - 1];
+        const double h = t[i + 1] - t[i];
+        // Allow the end-of-horizon clip to shorten a step.
+        EXPECT_LE(h, 1.5 * h_prev * 1.0000001)
+            << "step grew too fast at i=" << i;
+    }
+}
+
+} // namespace
+} // namespace nanosim

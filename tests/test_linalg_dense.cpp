@@ -1,0 +1,182 @@
+// Tests for linalg dense matrix, vector ops and LU factorisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim::linalg {
+namespace {
+
+TEST(DenseMatrix, InitializerList) {
+    const DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+    EXPECT_THROW((DenseMatrix{{1.0, 2.0}, {3.0}}), SimError);
+}
+
+TEST(DenseMatrix, IdentityAndMultiply) {
+    const DenseMatrix eye = DenseMatrix::identity(3);
+    const Vector x{1.0, -2.0, 5.0};
+    EXPECT_EQ(eye.multiply(x), x);
+}
+
+TEST(DenseMatrix, MatMatMultiply) {
+    const DenseMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const DenseMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const DenseMatrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, MultiplyShapeMismatchThrows) {
+    const DenseMatrix a(2, 3);
+    EXPECT_THROW((void)a.multiply(Vector{1.0, 2.0}), SimError);
+}
+
+TEST(DenseMatrix, TransposeRoundTrip) {
+    DenseMatrix a(2, 3);
+    a(0, 2) = 7.0;
+    a(1, 0) = -3.0;
+    const DenseMatrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+    EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(DenseMatrix, Norms) {
+    const DenseMatrix a{{1.0, -2.0}, {-3.0, 0.5}};
+    EXPECT_DOUBLE_EQ(a.max_abs(), 3.0);
+    EXPECT_DOUBLE_EQ(a.norm_inf(), 3.5);
+}
+
+TEST(DenseMatrix, AddScaled) {
+    DenseMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+    const DenseMatrix b{{1.0, 1.0}, {1.0, 1.0}};
+    a.add_scaled(b, 2.0);
+    EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+}
+
+TEST(DenseMatrix, AtThrowsOutOfRange) {
+    DenseMatrix a(2, 2);
+    EXPECT_THROW((void)a.at(2, 0), std::out_of_range);
+}
+
+TEST(VecOps, AxpyDotNorms) {
+    Vector y{1.0, 2.0};
+    axpy(3.0, Vector{1.0, 1.0}, y);
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+    EXPECT_DOUBLE_EQ(y[1], 5.0);
+    EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0}, Vector{3.0, 4.0}), 11.0);
+    EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(norm_inf(Vector{-7.0, 2.0}), 7.0);
+}
+
+TEST(VecOps, SizeMismatchThrows) {
+    Vector y{1.0};
+    EXPECT_THROW(axpy(1.0, Vector{1.0, 2.0}, y), SimError);
+    EXPECT_THROW((void)dot(Vector{1.0}, Vector{1.0, 2.0}), SimError);
+}
+
+TEST(VecOps, LinspacePinsEndpoints) {
+    const Vector v = linspace(0.0, 5.0, 11);
+    ASSERT_EQ(v.size(), 11u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.0);
+    EXPECT_DOUBLE_EQ(v.back(), 5.0);
+    EXPECT_DOUBLE_EQ(v[5], 2.5);
+}
+
+TEST(VecOps, LinspaceDegenerate) {
+    EXPECT_TRUE(linspace(1.0, 2.0, 0).empty());
+    const Vector one = linspace(1.5, 9.0, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0], 1.5);
+}
+
+TEST(DenseLu, SolvesKnownSystem) {
+    const DenseMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const Vector b{3.0, 5.0};
+    const Vector x = lu_solve(a, b);
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+    // Zero on the leading diagonal forces a row swap.
+    const DenseMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+    const Vector x = lu_solve(a, Vector{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, SingularThrows) {
+    const DenseMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(DenseLu{a}, SingularMatrixError);
+}
+
+TEST(DenseLu, Determinant) {
+    const DenseMatrix a{{2.0, 0.0, 0.0},
+                        {0.0, 3.0, 0.0},
+                        {0.0, 0.0, 4.0}};
+    EXPECT_NEAR(DenseLu(a).determinant(), 24.0, 1e-9);
+    const DenseMatrix swapped{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_NEAR(DenseLu(swapped).determinant(), -1.0, 1e-12);
+}
+
+TEST(DenseLu, CountsFlops) {
+    const FlopScope scope;
+    const DenseMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const DenseLu lu(a);
+    (void)lu.solve(Vector{1.0, 1.0});
+    EXPECT_GT(scope.counter().lu_factor, 0u);
+    EXPECT_GT(scope.counter().lu_solve, 0u);
+}
+
+/// Property sweep: random diagonally dominant systems of many orders are
+/// solved to high accuracy (residual check, not solution comparison).
+class LuRandomSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSystem, ResidualIsTiny) {
+    const int n = GetParam();
+    std::mt19937 gen(1234 + static_cast<unsigned>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+    DenseMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (int j = 0; j < n; ++j) {
+            const double v = dist(gen);
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+            row_sum += std::abs(v);
+        }
+        a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) +=
+            row_sum + 1.0; // diagonal dominance
+    }
+    Vector b(static_cast<std::size_t>(n));
+    for (auto& v : b) {
+        v = dist(gen);
+    }
+
+    const Vector x = lu_solve(a, b);
+    const Vector ax = a.multiply(x);
+    EXPECT_LT(max_abs_diff(ax, b), 1e-10 * std::max(1.0, norm_inf(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LuRandomSystem,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+} // namespace
+} // namespace nanosim::linalg

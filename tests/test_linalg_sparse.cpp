@@ -1,0 +1,219 @@
+// Tests for sparse storage, sparse LU and the matrix exponential.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/dense.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::linalg {
+namespace {
+
+TEST(Triplets, AccumulatesDuplicates) {
+    Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(0, 0, 2.5);
+    t.add(1, 1, -1.0);
+    const DenseMatrix d = t.to_dense();
+    EXPECT_DOUBLE_EQ(d(0, 0), 3.5);
+    EXPECT_DOUBLE_EQ(d(1, 1), -1.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Triplets, BoundsChecked) {
+    Triplets t(2, 2);
+    EXPECT_THROW(t.add(2, 0, 1.0), SimError);
+    EXPECT_THROW(t.add(0, 5, 1.0), SimError);
+}
+
+TEST(CsrMatrix, CompressesSortedAndSummed) {
+    Triplets t(3, 3);
+    t.add(2, 1, 4.0);
+    t.add(0, 0, 1.0);
+    t.add(2, 1, -1.0);
+    t.add(1, 2, 7.0);
+    const CsrMatrix m(t);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 3.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+    std::mt19937 gen(7);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    Triplets t(6, 6);
+    for (int k = 0; k < 14; ++k) {
+        t.add(static_cast<std::size_t>(gen() % 6),
+              static_cast<std::size_t>(gen() % 6), dist(gen));
+    }
+    const CsrMatrix sparse(t);
+    const DenseMatrix dense = t.to_dense();
+    Vector x(6);
+    for (auto& v : x) {
+        v = dist(gen);
+    }
+    EXPECT_LT(max_abs_diff(sparse.multiply(x), dense.multiply(x)), 1e-14);
+}
+
+TEST(SparseLu, SolvesSmallSystem) {
+    Triplets t(2, 2);
+    t.add(0, 0, 2.0);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    t.add(1, 1, 3.0);
+    const SparseLu lu(t);
+    const Vector x = lu.solve(Vector{3.0, 5.0});
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(SparseLu, PivotsOnZeroDiagonal) {
+    Triplets t(2, 2);
+    t.add(0, 1, 1.0);
+    t.add(1, 0, 1.0);
+    const SparseLu lu(t);
+    const Vector x = lu.solve(Vector{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+    Triplets t(2, 2);
+    t.add(0, 0, 1.0);
+    t.add(0, 1, 2.0);
+    t.add(1, 0, 2.0);
+    t.add(1, 1, 4.0);
+    EXPECT_THROW(SparseLu{t}, SingularMatrixError);
+}
+
+TEST(SparseLu, TridiagonalChain) {
+    // Classic MNA-like ladder: tridiagonal SPD system.
+    const std::size_t n = 50;
+    Triplets t(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t.add(i, i, 2.0);
+        if (i + 1 < n) {
+            t.add(i, i + 1, -1.0);
+            t.add(i + 1, i, -1.0);
+        }
+    }
+    Vector b(n, 1.0);
+    const Vector x_sparse = SparseLu(t).solve(b);
+    const Vector x_dense = lu_solve(t.to_dense(), b);
+    EXPECT_LT(max_abs_diff(x_sparse, x_dense), 1e-9);
+}
+
+/// Property sweep: random sparse diagonally dominant systems agree with
+/// the dense solver across sizes and densities.
+class SparseVsDense
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SparseVsDense, SolutionsAgree) {
+    const auto [n, density] = GetParam();
+    std::mt19937 gen(99 + static_cast<unsigned>(n));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    Triplets t(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i != j && coin(gen) < density) {
+                const double v = dist(gen);
+                t.add(static_cast<std::size_t>(i),
+                      static_cast<std::size_t>(j), v);
+                row_sum[static_cast<std::size_t>(i)] += std::abs(v);
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        t.add(static_cast<std::size_t>(i), static_cast<std::size_t>(i),
+              row_sum[static_cast<std::size_t>(i)] + 1.0);
+    }
+    Vector b(static_cast<std::size_t>(n));
+    for (auto& v : b) {
+        v = dist(gen);
+    }
+    const Vector xs = SparseLu(t).solve(b);
+    const Vector xd = lu_solve(t.to_dense(), b);
+    EXPECT_LT(max_abs_diff(xs, xd), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, SparseVsDense,
+    ::testing::Combine(::testing::Values(4, 10, 25, 60),
+                       ::testing::Values(0.05, 0.2, 0.5)));
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+    const DenseMatrix z(3, 3);
+    const DenseMatrix e = expm(z);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+        }
+    }
+}
+
+TEST(Expm, DiagonalMatrix) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 1) = -2.0;
+    const DenseMatrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+}
+
+TEST(Expm, NilpotentMatrixIsExact) {
+    // exp([[0, a], [0, 0]]) = [[1, a], [0, 1]].
+    DenseMatrix a(2, 2);
+    a(0, 1) = 3.5;
+    const DenseMatrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(e(0, 1), 3.5, 1e-12);
+    EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrix) {
+    // exp([[0, -w], [w, 0]]) = rotation by w.
+    const double w = 2.2;
+    DenseMatrix a(2, 2);
+    a(0, 1) = -w;
+    a(1, 0) = w;
+    const DenseMatrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(w), 1e-11);
+    EXPECT_NEAR(e(1, 0), std::sin(w), 1e-11);
+}
+
+TEST(Expm, InverseProperty) {
+    DenseMatrix a{{0.3, -1.2, 0.0}, {0.7, 0.1, -0.4}, {0.0, 0.5, -0.6}};
+    const DenseMatrix e = expm(a);
+    DenseMatrix neg = a;
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            neg(i, j) = -a(i, j);
+        }
+    }
+    const DenseMatrix prod = e.multiply(expm(neg));
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+        }
+    }
+}
+
+TEST(Expm, LargeNormUsesScaling) {
+    DenseMatrix a(1, 1);
+    a(0, 0) = 20.0; // forces many squarings
+    EXPECT_NEAR(expm(a)(0, 0), std::exp(20.0), std::exp(20.0) * 1e-11);
+}
+
+} // namespace
+} // namespace nanosim::linalg

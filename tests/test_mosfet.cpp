@@ -1,0 +1,187 @@
+// Tests for the level-1 MOSFET: region behaviour (paper eq. 2), chord
+// conductance (eq. 3), derivative folding across V_DS signs and both
+// polarities, and the eq. (12) step bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/mosfet.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+MosfetParams nmos_params() {
+    MosfetParams p;
+    p.vth = 1.0;
+    p.k = 2e-5;
+    p.w = 10e-6;
+    p.l = 1e-6;
+    return p;
+}
+
+TEST(Mosfet, CutoffHasZeroCurrent) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    EXPECT_DOUBLE_EQ(m.drain_current(0.5, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.drain_current(1.0, 3.0), 0.0); // exactly at Vth
+}
+
+TEST(Mosfet, TriodeMatchesEquationTwo) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double kp = nmos_params().kp();
+    const double vgs = 3.0;
+    const double vds = 0.5; // < vov = 2.0 -> triode
+    const double expected = kp * ((vgs - 1.0) * vds - 0.5 * vds * vds);
+    EXPECT_NEAR(m.drain_current(vgs, vds), expected, 1e-15);
+}
+
+TEST(Mosfet, SaturationMatchesEquationTwo) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double kp = nmos_params().kp();
+    const double vgs = 3.0;
+    const double vds = 4.0; // > vov -> saturation
+    EXPECT_NEAR(m.drain_current(vgs, vds), 0.5 * kp * 4.0, 1e-15);
+}
+
+TEST(Mosfet, CurrentContinuousAtRegionBoundary) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double vgs = 2.5;
+    const double vov = 1.5;
+    const double below = m.drain_current(vgs, vov - 1e-9);
+    const double above = m.drain_current(vgs, vov + 1e-9);
+    EXPECT_NEAR(below, above, 1e-12);
+}
+
+TEST(Mosfet, SymmetricForNegativeVds) {
+    // Swapping drain and source mirrors the current.
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double i_fwd = m.drain_current(3.0, 2.0);
+    // With vds = -2: effective vgs = vgd = 3-(-2) = 5, vds_eff = 2.
+    const double i_rev = m.drain_current(3.0, -2.0);
+    EXPECT_LT(i_rev, 0.0);
+    EXPECT_NEAR(std::abs(i_rev), m.drain_current(5.0, 2.0), 1e-15);
+    EXPECT_GT(i_fwd, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+    MosfetParams pp = nmos_params();
+    pp.polarity = MosPolarity::pmos;
+    const Mosfet pm("MP", 1, 2, 0, pp);
+    const Mosfet nm("MN", 1, 2, 0, nmos_params());
+    EXPECT_NEAR(pm.drain_current(-3.0, -2.0), -nm.drain_current(3.0, 2.0),
+                1e-15);
+    EXPECT_DOUBLE_EQ(pm.drain_current(-0.5, -2.0), 0.0); // off
+}
+
+TEST(Mosfet, ChordConductanceTriodeClosedForm) {
+    // Paper eq. (3), triode: G = k W/L (V_GS - V_th - V_DS/2).
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double kp = nmos_params().kp();
+    const double vgs = 3.0;
+    const double vds = 0.8;
+    EXPECT_NEAR(m.chord_conductance(vgs, vds),
+                kp * (vgs - 1.0 - vds / 2.0), 1e-12);
+}
+
+TEST(Mosfet, ChordConductanceSaturation) {
+    // Paper eq. (3), saturation: G = (k W / 2L) (V_GS - V_th)^2 / V_DS.
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double kp = nmos_params().kp();
+    const double vgs = 3.0;
+    const double vds = 4.0;
+    EXPECT_NEAR(m.chord_conductance(vgs, vds), 0.5 * kp * 4.0 / vds,
+                1e-12);
+}
+
+TEST(Mosfet, ChordZeroWhenOff) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    EXPECT_DOUBLE_EQ(m.chord_conductance(0.2, 2.0), 0.0);
+}
+
+TEST(Mosfet, ChordLimitAtVdsZero) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const double kp = nmos_params().kp();
+    // lim_{vds->0} I/V = kp * vov.
+    EXPECT_NEAR(m.chord_conductance(3.0, 0.0), kp * 2.0, 1e-9);
+    EXPECT_NEAR(m.chord_conductance(3.0, 1e-12), kp * 2.0, 1e-6);
+}
+
+/// Derivatives vs finite differences over a (vgs, vds) grid covering all
+/// regions, both vds signs and both polarities.
+struct DerivCase {
+    double vgs;
+    double vds;
+    MosPolarity pol;
+};
+
+class MosfetDerivs : public ::testing::TestWithParam<DerivCase> {};
+
+TEST_P(MosfetDerivs, MatchFiniteDifferences) {
+    const auto [vgs, vds, pol] = GetParam();
+    MosfetParams p = nmos_params();
+    p.polarity = pol;
+    p.lambda = 0.02;
+    const Mosfet m("M1", 1, 2, 0, p);
+
+    const double h = 1e-7;
+    const double fd_gm =
+        (m.drain_current(vgs + h, vds) - m.drain_current(vgs - h, vds)) /
+        (2.0 * h);
+    const double fd_gds =
+        (m.drain_current(vgs, vds + h) - m.drain_current(vgs, vds - h)) /
+        (2.0 * h);
+    const auto d = m.derivatives(vgs, vds);
+    const double scale =
+        std::max({std::abs(fd_gm), std::abs(fd_gds), 1e-9});
+    EXPECT_NEAR(d.gm, fd_gm, 1e-4 * scale);
+    EXPECT_NEAR(d.gds, fd_gds, 1e-4 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MosfetDerivs,
+    ::testing::Values(
+        DerivCase{3.0, 0.5, MosPolarity::nmos},   // triode
+        DerivCase{3.0, 4.0, MosPolarity::nmos},   // saturation
+        DerivCase{0.3, 2.0, MosPolarity::nmos},   // cutoff
+        DerivCase{3.0, -1.5, MosPolarity::nmos},  // reversed vds
+        DerivCase{2.0, -4.0, MosPolarity::nmos},  // reversed, deep
+        DerivCase{-3.0, -0.5, MosPolarity::pmos}, // pmos triode
+        DerivCase{-3.0, -4.0, MosPolarity::pmos}, // pmos saturation
+        DerivCase{-3.0, 1.5, MosPolarity::pmos})); // pmos reversed
+
+TEST(Mosfet, StepLimitPerEquation12) {
+    // h <= eps * 2 (V_GS - V_th) / |dV_GS/dt| for a conducting device.
+    const Mosfet m("M1", 1, 2, 0, nmos_params()); // d=1, g=2, s=gnd
+    const std::vector<double> x{2.0, 3.0};        // vd=2, vg=3
+    const std::vector<double> slope{0.0, 2.0e9};  // gate slew 2 V/ns
+    const NodeVoltages v(x, 2);
+    const NodeVoltages dvdt(slope, 2);
+    const double eps = 0.05;
+    const double expected = eps * 2.0 * (3.0 - 1.0) / 2.0e9;
+    EXPECT_NEAR(m.step_limit(v, dvdt, eps), expected,
+                expected * 1e-12);
+}
+
+TEST(Mosfet, StepLimitUnboundedWhenOffOrStatic) {
+    const Mosfet m("M1", 1, 2, 0, nmos_params());
+    const std::vector<double> x_off{2.0, 0.5};
+    const std::vector<double> slope{0.0, 1e9};
+    EXPECT_TRUE(std::isinf(m.step_limit(NodeVoltages(x_off, 2),
+                                        NodeVoltages(slope, 2), 0.05)));
+    const std::vector<double> x_on{2.0, 3.0};
+    const std::vector<double> zero{0.0, 0.0};
+    EXPECT_TRUE(std::isinf(m.step_limit(NodeVoltages(x_on, 2),
+                                        NodeVoltages(zero, 2), 0.05)));
+}
+
+TEST(Mosfet, ValidatesParameters) {
+    MosfetParams bad = nmos_params();
+    bad.k = 0.0;
+    EXPECT_THROW(Mosfet("MX", 1, 2, 0, bad), AnalysisError);
+    bad = nmos_params();
+    bad.lambda = -0.1;
+    EXPECT_THROW(Mosfet("MX", 1, 2, 0, bad), AnalysisError);
+}
+
+} // namespace
+} // namespace nanosim

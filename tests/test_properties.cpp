@@ -1,0 +1,225 @@
+// Cross-cutting property tests: invariants that must hold across
+// engines, devices and parameter ranges (the paper's structural claims
+// as sweeps, not single examples).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ref_circuits.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/sources.hpp"
+#include "engines/dc_mla.hpp"
+#include "engines/dc_nr.hpp"
+#include "engines/dc_swec.hpp"
+#include "engines/em_engine.hpp"
+#include "engines/tran_swec.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/vecops.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property: every DC engine's converged solution satisfies Kirchhoff's
+// current law — residual of the NONLINEAR system is ~0 — across bias.
+// ---------------------------------------------------------------------
+
+class DcKclSweep : public ::testing::TestWithParam<double> {};
+
+/// Residual at node "out" of the RTD divider: (vin-vout)/R - J(vout).
+double divider_residual(const Circuit& ckt,
+                        const mna::MnaAssembler& assembler,
+                        const linalg::Vector& x, double r) {
+    const NodeVoltages v = assembler.view(x);
+    const auto& rtd = ckt.get<Rtd>("RTD1");
+    const double i_r =
+        (v(ckt.find_node("in")) - v(ckt.find_node("out"))) / r;
+    return i_r - rtd.branch_current(v);
+}
+
+TEST_P(DcKclSweep, AllEnginesSatisfyKcl) {
+    const double vin = GetParam();
+    Circuit ckt = refckt::rtd_divider(50.0);
+    ckt.get_mutable<VSource>("V1").set_wave(
+        std::make_shared<DcWave>(vin));
+    const mna::MnaAssembler assembler(ckt);
+
+    const auto swec = engines::solve_op_swec(assembler);
+    ASSERT_TRUE(swec.converged) << vin;
+    EXPECT_NEAR(divider_residual(ckt, assembler, swec.x, 50.0), 0.0,
+                2e-6)
+        << "SWEC at vin=" << vin;
+
+    const auto mla = engines::solve_op_mla(assembler);
+    ASSERT_TRUE(mla.converged) << vin;
+    EXPECT_NEAR(divider_residual(ckt, assembler, mla.x, 50.0), 0.0, 1e-9)
+        << "MLA at vin=" << vin;
+
+    engines::NrOptions nr_opt;
+    nr_opt.initial_guess = swec.x; // warm: NR refines the SWEC answer
+    const auto nr = engines::solve_op_nr(assembler, nr_opt);
+    ASSERT_TRUE(nr.converged) << vin;
+    EXPECT_NEAR(divider_residual(ckt, assembler, nr.x, 50.0), 0.0, 1e-9)
+        << "NR at vin=" << vin;
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasGrid, DcKclSweep,
+                         ::testing::Values(0.25, 0.75, 1.5, 2.25, 3.0,
+                                           3.75, 4.25, 5.0));
+
+// ---------------------------------------------------------------------
+// Property: SWEC transient states satisfy the discrete BE equation at
+// every accepted point (checked by reconstructing the residual).
+// ---------------------------------------------------------------------
+
+TEST(SwecInvariants, TransientPointsSatisfyKclOnDivider) {
+    Circuit ckt = refckt::rtd_divider(50.0);
+    ckt.get_mutable<VSource>("V1").set_wave(std::make_shared<PulseWave>(
+        0.0, 5.0, 20e-9, 5e-9, 5e-9, 60e-9, 200e-9));
+    ckt.add<Capacitor>("CL", ckt.find_node("out"), k_ground, 100e-12);
+    const mna::MnaAssembler assembler(ckt);
+
+    engines::SwecTranOptions opt;
+    opt.t_stop = 150e-9;
+    const auto res = engines::run_tran_swec(assembler, opt);
+
+    // At every sample, KCL at "out" including the capacitor current
+    // (estimated by backward difference) must close to a few percent of
+    // the device current scale — the SWEC approximation error, not a
+    // solver bug.
+    const auto& out = res.node(ckt, "out");
+    const auto& in = res.node(ckt, "in");
+    const auto& rtd = ckt.get<Rtd>("RTD1");
+    double worst = 0.0;
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        const double h = out.time_at(i) - out.time_at(i - 1);
+        const double ic =
+            100e-12 * (out.value_at(i) - out.value_at(i - 1)) / h;
+        const double ir = (in.value_at(i) - out.value_at(i)) / 50.0;
+        const std::vector<double> xi{in.value_at(i), out.value_at(i)};
+        const NodeVoltages v(xi, 2);
+        const double idev = rtd.branch_current(v);
+        worst = std::max(worst, std::abs(ir - idev - ic));
+    }
+    EXPECT_LT(worst, 3e-3) << "KCL residual too large";
+}
+
+TEST(SwecInvariants, ChordStampsNeverNegative) {
+    // Run the inverter and verify that at every recorded state the
+    // chord conductances of all nonlinear devices are non-negative —
+    // the structural SWEC property across an entire transient.
+    Circuit ckt = refckt::fet_rtd_inverter();
+    const mna::MnaAssembler assembler(ckt);
+    engines::SwecTranOptions opt;
+    opt.t_stop = 200e-9;
+    const auto res = engines::run_tran_swec(assembler, opt);
+
+    const auto& waves = res.node_waves;
+    std::vector<double> x(static_cast<std::size_t>(assembler.unknowns()),
+                          0.0);
+    for (std::size_t i = 0; i < waves[0].size(); i += 7) {
+        for (int n = 0; n < assembler.num_nodes(); ++n) {
+            x[static_cast<std::size_t>(n)] =
+                waves[static_cast<std::size_t>(n)].value_at(i);
+        }
+        const NodeVoltages v = assembler.view(x);
+        for (const Device* dev : assembler.nonlinear_devices()) {
+            EXPECT_GE(dev->swec_conductance(v), 0.0)
+                << dev->name() << " at sample " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: chord positivity across RTD parameter variations (area,
+// temperature) — the claim must survive model corners, not just the
+// paper's single set.
+// ---------------------------------------------------------------------
+
+struct RtdCorner {
+    double area;
+    double temp;
+};
+
+class RtdCorners : public ::testing::TestWithParam<RtdCorner> {};
+
+TEST_P(RtdCorners, ChordPositiveEverywhere) {
+    const auto [area, temp] = GetParam();
+    RtdParams p = RtdParams::date05();
+    p.a *= area;
+    p.h *= area;
+    p.temp = temp;
+    for (double v = -4.0; v <= 8.0; v += 0.05) {
+        if (std::abs(v) < 1e-6) {
+            continue;
+        }
+        EXPECT_GT(rtd_math::chord(p, v), 0.0)
+            << "area=" << area << " T=" << temp << " V=" << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, RtdCorners,
+    ::testing::Values(RtdCorner{0.1, 300.0}, RtdCorner{1.0, 300.0},
+                      RtdCorner{10.0, 300.0}, RtdCorner{1.0, 250.0},
+                      RtdCorner{1.0, 400.0}, RtdCorner{3.0, 350.0}));
+
+// ---------------------------------------------------------------------
+// Property: the two LU paths (dense / Gilbert-Peierls sparse) give the
+// same transient results through the engine-facing solve_system.
+// ---------------------------------------------------------------------
+
+TEST(SolverSelect, DenseAndSparseAgreeOnMnaSystem) {
+    refckt::ChainSpec spec;
+    spec.stages = 10;
+    Circuit ckt = refckt::rtd_chain(spec);
+    ckt.get_mutable<VSource>("V1").set_wave(
+        std::make_shared<DcWave>(3.0));
+    const mna::MnaAssembler assembler(ckt);
+    const linalg::Vector rhs = assembler.rhs(0.0);
+    linalg::Triplets g = assembler.static_g();
+    // Add chords so the matrix is non-trivial.
+    std::vector<double> geq(assembler.nonlinear_devices().size(), 1e-3);
+    assembler.add_swec_stamps(geq, g);
+
+    const linalg::Vector dense = mna::solve_system(g, rhs, 10'000);
+    const linalg::Vector sparse = mna::solve_system(g, rhs, 0);
+    EXPECT_LT(linalg::max_abs_diff(dense, sparse), 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Property: engine determinism — identical options produce bitwise
+// identical waveforms (no hidden global state).
+// ---------------------------------------------------------------------
+
+TEST(Determinism, SwecTransientIsReproducible) {
+    Circuit ckt = refckt::fet_rtd_inverter();
+    const mna::MnaAssembler assembler(ckt);
+    engines::SwecTranOptions opt;
+    opt.t_stop = 100e-9;
+    const auto a = engines::run_tran_swec(assembler, opt);
+    const auto b = engines::run_tran_swec(assembler, opt);
+    ASSERT_EQ(a.node_waves[0].size(), b.node_waves[0].size());
+    for (std::size_t i = 0; i < a.node_waves.size(); ++i) {
+        EXPECT_EQ(a.node_waves[i].value(), b.node_waves[i].value());
+    }
+}
+
+TEST(Determinism, EmPathReproducibleWithSameSeed) {
+    Circuit ckt = refckt::noisy_rc();
+    const mna::MnaAssembler assembler(ckt);
+    engines::EmOptions opt;
+    opt.t_stop = 2e-9;
+    opt.dt = 10e-12;
+    const engines::EmEngine engine(assembler, opt);
+    stochastic::Rng rng_a(99);
+    stochastic::Rng rng_b(99);
+    const auto a = engine.run_path(rng_a);
+    const auto b = engine.run_path(rng_b);
+    EXPECT_EQ(a.node_waves[0].value(), b.node_waves[0].value());
+}
+
+} // namespace
+} // namespace nanosim

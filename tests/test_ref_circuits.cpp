@@ -1,0 +1,147 @@
+// Tests for the reference circuits of core/ref_circuits.hpp — the
+// circuits every bench and example relies on.  Each is checked for
+// structure (nodes, unknowns, device kinds) and for a physical sanity
+// property at DC.
+#include <gtest/gtest.h>
+
+#include "core/ref_circuits.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/sources.hpp"
+#include "devices/tv_conductor.hpp"
+#include "engines/dc_swec.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim {
+namespace {
+
+TEST(RefCircuits, RtdDividerStructure) {
+    Circuit ckt = refckt::rtd_divider(75.0);
+    EXPECT_EQ(ckt.num_nodes(), 2);
+    EXPECT_EQ(ckt.num_branches(), 1); // the source
+    EXPECT_DOUBLE_EQ(ckt.get<Resistor>("R1").resistance(), 75.0);
+    EXPECT_NO_THROW(ckt.validate());
+}
+
+TEST(RefCircuits, NanowireDividerDcSanity) {
+    Circuit ckt = refckt::nanowire_divider(1e3);
+    ckt.get_mutable<VSource>("V1").set_wave(
+        std::make_shared<DcWave>(1.0));
+    const mna::MnaAssembler assembler(ckt);
+    const auto op = engines::solve_op_swec(assembler);
+    ASSERT_TRUE(op.converged);
+    const NodeVoltages v = assembler.view(op.x);
+    const double out = v(ckt.find_node("out"));
+    EXPECT_GT(out, 0.0);
+    EXPECT_LT(out, 1.0); // divider drops some voltage on R
+}
+
+TEST(RefCircuits, InverterStaticTransferInverts) {
+    // DC transfer: out(in=0) high, out(in=5) low.
+    for (const double vin : {0.0, 5.0}) {
+        Circuit ckt = refckt::fet_rtd_inverter();
+        ckt.get_mutable<VSource>("VIN").set_wave(
+            std::make_shared<DcWave>(vin));
+        const mna::MnaAssembler assembler(ckt);
+        const auto op = engines::solve_op_swec(assembler);
+        ASSERT_TRUE(op.converged) << "vin=" << vin;
+        const double out =
+            assembler.view(op.x)(ckt.find_node("out"));
+        if (vin == 0.0) {
+            EXPECT_GT(out, 2.5) << "output should be high";
+        } else {
+            EXPECT_LT(out, 1.0) << "output should be low";
+        }
+    }
+}
+
+TEST(RefCircuits, InverterLoadAreaScalesRtd) {
+    refckt::InverterSpec spec;
+    spec.load_area = 4.0;
+    Circuit ckt = refckt::fet_rtd_inverter(spec);
+    const auto& load = ckt.get<Rtd>("RTDL");
+    const auto& drive = ckt.get<Rtd>("RTDD");
+    EXPECT_NEAR(load.params().a, 4.0 * drive.params().a, 1e-18);
+    EXPECT_NEAR(load.params().h, 4.0 * drive.params().h, 1e-18);
+}
+
+TEST(RefCircuits, DffClockTiming) {
+    refckt::DffSpec spec;
+    Circuit ckt = refckt::rtd_dff(spec);
+    const auto& clk = ckt.get<VSource>("VCLK").wave();
+    // Low before the delay, high mid-window, low again in the second
+    // half of the period.
+    EXPECT_DOUBLE_EQ(clk.value(10e-9), 0.0);
+    EXPECT_DOUBLE_EQ(clk.value(70e-9), spec.v_high);
+    EXPECT_DOUBLE_EQ(clk.value(120e-9), 0.0);
+    // Data switches at the configured time.
+    const auto& d = ckt.get<VSource>("VD").wave();
+    EXPECT_DOUBLE_EQ(d.value(spec.d_switch_time - 1e-12), 0.0);
+    EXPECT_DOUBLE_EQ(d.value(spec.d_switch_time + spec.edge + 1e-12),
+                     spec.v_high);
+}
+
+TEST(RefCircuits, Fig10BedStructure) {
+    Circuit ckt = refckt::fig10_noisy_transistor();
+    const mna::MnaAssembler assembler(ckt);
+    EXPECT_EQ(assembler.num_branches(), 0); // explicit-EM compatible
+    EXPECT_EQ(assembler.noise_sources().size(), 1u);
+    EXPECT_EQ(assembler.time_varying_devices().size(), 1u);
+    // Modulated conductance stays positive over a full period.
+    const auto& g = ckt.get<TimeVaryingConductor>("GTV");
+    for (double t = 0.0; t < 1e-9; t += 1e-11) {
+        EXPECT_GT(g.conductance(t), 0.0) << t;
+    }
+}
+
+TEST(RefCircuits, NoisyRcMatchesSpec) {
+    Circuit ckt = refckt::noisy_rc(2e3, 3e-12, 0.5e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(ckt.get<Resistor>("R1").resistance(), 2e3);
+    EXPECT_DOUBLE_EQ(ckt.get<Capacitor>("C1").capacitance(), 3e-12);
+    EXPECT_DOUBLE_EQ(
+        ckt.get<NoiseCurrentSource>("NOISE1").sigma(), 1e-9);
+}
+
+TEST(RefCircuits, ChainHasRequestedStages) {
+    refckt::ChainSpec spec;
+    spec.stages = 5;
+    Circuit ckt = refckt::rtd_chain(spec);
+    EXPECT_EQ(ckt.num_nodes(), 6); // in + 5 stage nodes
+    EXPECT_NE(ckt.find("RTD5"), nullptr);
+    EXPECT_EQ(ckt.find("RTD6"), nullptr);
+    EXPECT_NO_THROW(ckt.validate());
+}
+
+TEST(RefCircuits, ChainDcFollowsSupplyAtLowBias) {
+    // At a bias far below the RTD peak the chain nodes approach the
+    // divider ladder values: every node below the source, monotonically
+    // decreasing... actually each RTD drains current, so node voltages
+    // decrease along the chain.
+    refckt::ChainSpec spec;
+    spec.stages = 4;
+    Circuit ckt = refckt::rtd_chain(spec);
+    ckt.get_mutable<VSource>("V1").set_wave(
+        std::make_shared<DcWave>(1.0));
+    const mna::MnaAssembler assembler(ckt);
+    const auto op = engines::solve_op_swec(assembler);
+    ASSERT_TRUE(op.converged);
+    const NodeVoltages v = assembler.view(op.x);
+    double prev = v(ckt.find_node("in"));
+    for (int i = 1; i <= 4; ++i) {
+        const double vi = v(ckt.find_node("n" + std::to_string(i)));
+        EXPECT_LT(vi, prev + 1e-9) << "node n" << i;
+        EXPECT_GT(vi, 0.0);
+        prev = vi;
+    }
+}
+
+TEST(RefCircuits, RcLowpassTimeConstant) {
+    Circuit ckt = refckt::rc_lowpass(4e3, 2e-9, 3.0);
+    EXPECT_DOUBLE_EQ(ckt.get<Resistor>("R1").resistance(), 4e3);
+    EXPECT_DOUBLE_EQ(ckt.get<Capacitor>("C1").capacitance(), 2e-9);
+    EXPECT_DOUBLE_EQ(ckt.get<VSource>("V1").wave().value(0.0), 3.0);
+}
+
+} // namespace
+} // namespace nanosim

@@ -1,0 +1,118 @@
+// Tests for the Simulator facade: deck loading, engine selection and the
+// deck-to-analysis flow a downstream user follows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ref_circuits.hpp"
+#include "core/simulator.hpp"
+#include "core/version.hpp"
+#include "devices/passives.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+const char* k_divider_deck = R"(
+.title rtd divider
+V1 in 0 DC 1
+R1 in out 50
+RTD1 out 0
+.op
+.dc V1 0 5 0.5
+)";
+
+TEST(Simulator, FromDeckRunsOperatingPoint) {
+    Simulator sim = Simulator::from_deck(k_divider_deck);
+    EXPECT_EQ(sim.deck_analyses().size(), 2u);
+    const auto op = sim.operating_point();
+    EXPECT_TRUE(op.converged);
+    // out node voltage below the 1 V source.
+    const auto v = sim.assembler().view(op.x);
+    const double out = v(sim.circuit().find_node("out"));
+    EXPECT_GT(out, 0.0);
+    EXPECT_LT(out, 1.0);
+}
+
+TEST(Simulator, AllDcEnginesAgreeOnEasyPoint) {
+    Simulator sim = Simulator::from_deck(k_divider_deck);
+    const auto swec = sim.operating_point(DcEngine::swec);
+    const auto nr = sim.operating_point(DcEngine::newton_raphson);
+    const auto mla = sim.operating_point(DcEngine::mla);
+    ASSERT_TRUE(swec.converged && nr.converged && mla.converged);
+    EXPECT_NEAR(swec.x[1], nr.x[1], 1e-4);
+    EXPECT_NEAR(mla.x[1], nr.x[1], 1e-6);
+}
+
+TEST(Simulator, DcSweepProducesAllPoints) {
+    Simulator sim = Simulator::from_deck(k_divider_deck);
+    const auto sweep = sim.dc_sweep("V1", 0.0, 5.0, 0.25);
+    EXPECT_EQ(sweep.values.size(), 21u);
+    EXPECT_EQ(sweep.failures(), 0);
+    EXPECT_THROW((void)sim.dc_sweep("V1", 0.0, 5.0, -0.25),
+                 AnalysisError);
+}
+
+TEST(Simulator, TransientEnginesOnRcDeck) {
+    Simulator sim = Simulator::from_deck(R"(
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1n
+.tran 10n 5u
+)");
+    engines::SwecTranOptions opt;
+    opt.t_stop = 5e-6;
+    opt.start_from_dc = false;
+    const auto swec = sim.transient(opt);
+    const auto nr = sim.transient(opt, TranEngine::newton_raphson);
+    const auto pwl = sim.transient(opt, TranEngine::pwl);
+    const double expected = 1.0 * (1.0 - std::exp(-2.0)); // at 2 tau
+    EXPECT_NEAR(swec.node(sim.circuit(), "out").at(2e-6), expected, 0.02);
+    EXPECT_NEAR(nr.node(sim.circuit(), "out").at(2e-6), expected, 0.02);
+    EXPECT_NEAR(pwl.node(sim.circuit(), "out").at(2e-6), expected, 0.03);
+}
+
+TEST(Simulator, StochasticFacade) {
+    Simulator sim = Simulator::from_deck(R"(
+I1 0 n1 DC 1m
+R1 n1 0 1k
+C1 n1 0 1p
+NOISE1 0 n1 5e-9
+)");
+    engines::EmOptions em;
+    em.t_stop = 5e-9;
+    em.dt = 10e-12;
+    const auto ens = sim.stochastic_ensemble(em, 100, "n1");
+    EXPECT_EQ(ens.grid.size(), 501u);
+    // Converges toward 1 V.
+    EXPECT_NEAR(ens.mean.value().back(), 1.0, 0.1);
+
+    engines::McOptions mc;
+    mc.runs = 20;
+    mc.t_stop = 5e-9;
+    const auto mcr = sim.monte_carlo(mc, "n1");
+    EXPECT_NEAR(mcr.mean.value().back(), 1.0, 0.1);
+}
+
+TEST(Simulator, ReassembleAfterMutation) {
+    Simulator sim = Simulator::from_deck(k_divider_deck);
+    const int before = sim.assembler().unknowns();
+    sim.circuit().add<Capacitor>("CX", sim.circuit().find_node("out"),
+                                 k_ground, 1e-12);
+    sim.reassemble();
+    EXPECT_EQ(sim.assembler().unknowns(), before); // caps add no unknowns
+    EXPECT_NE(sim.circuit().find("CX"), nullptr);
+}
+
+TEST(Simulator, BadDeckPropagatesNetlistError) {
+    EXPECT_THROW((void)Simulator::from_deck("Q1 a b c\n"), NetlistError);
+    EXPECT_THROW((void)Simulator::from_deck_file("/no/such/file.cir"),
+                 IoError);
+}
+
+TEST(Simulator, VersionString) {
+    EXPECT_STREQ(version_string(), "1.0.0");
+}
+
+} // namespace
+} // namespace nanosim

@@ -1,0 +1,132 @@
+// Unit tests for the adaptive step controller (paper eqs. 10-12).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ref_circuits.hpp"
+#include "devices/passives.hpp"
+#include "devices/sources.hpp"
+#include "engines/step_control.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim {
+namespace {
+
+/// RC node: the bound should be eps * C / G while the node moves.
+TEST(StepControl, NodeRcBoundMatchesClosedForm) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<ISource>("I1", k_ground, a, 1e-3);
+    ckt.add<Resistor>("R1", a, k_ground, 1e3); // G = 1 mS
+    ckt.add<Capacitor>("C1", a, k_ground, 1e-9);
+    const mna::MnaAssembler assembler(ckt);
+
+    const std::vector<double> x{0.5};
+    const std::vector<double> moving{1e6}; // strongly slewing
+    const double eps = 0.05;
+    const double bound = engines::swec_step_bound(
+        assembler, assembler.static_g(), x, moving, eps);
+    EXPECT_NEAR(bound, eps * 1e-9 / 1e-3, 1e-15); // eps * C/G = 50 ns
+}
+
+TEST(StepControl, ActivityGuardReleasesQuietNodes) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<ISource>("I1", k_ground, a, 1e-3);
+    ckt.add<Resistor>("R1", a, k_ground, 1e3);
+    ckt.add<Capacitor>("C1", a, k_ground, 1e-9);
+    const mna::MnaAssembler assembler(ckt);
+
+    const std::vector<double> x{1.0};
+    const std::vector<double> still{0.0}; // settled node
+    const double bound = engines::swec_step_bound(
+        assembler, assembler.static_g(), x, still, 0.05);
+    EXPECT_TRUE(std::isinf(bound))
+        << "a quiescent node must not constrain the step";
+}
+
+TEST(StepControl, DeviceBoundDominatesWhenTighter) {
+    // The MOSFET eq.-12 term: eps*2(VGS-Vth)/alpha, with a fast gate.
+    Circuit ckt = refckt::fet_rtd_inverter();
+    const mna::MnaAssembler assembler(ckt);
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    std::vector<double> x(n, 0.0);
+    std::vector<double> dvdt(n, 0.0);
+    // vdd=5, in=2 (above Vth=1), out=2.5; gate slewing hard.
+    x[static_cast<std::size_t>(ckt.find_node("vdd") - 1)] = 5.0;
+    x[static_cast<std::size_t>(ckt.find_node("in") - 1)] = 2.0;
+    x[static_cast<std::size_t>(ckt.find_node("out") - 1)] = 2.5;
+    dvdt[static_cast<std::size_t>(ckt.find_node("in") - 1)] = 1e12;
+
+    linalg::Triplets g = assembler.static_g();
+    // SWEC stamps for all three nonlinear devices at this state.
+    std::vector<double> geq;
+    const NodeVoltages v = assembler.view(x);
+    for (const Device* dev : assembler.nonlinear_devices()) {
+        geq.push_back(std::max(dev->swec_conductance(v), 0.0));
+    }
+    assembler.add_swec_stamps(geq, g);
+
+    const double eps = 0.05;
+    const double bound =
+        engines::swec_step_bound(assembler, g, x, dvdt, eps);
+    // MOSFET bound: 0.05 * 2 * (2-1) / 1e12 = 1e-13 — far tighter than
+    // any node RC bound in this circuit.
+    EXPECT_NEAR(bound, 1e-13, 1e-15);
+}
+
+TEST(StepControl, DiagFormAgreesWithTripletsForm) {
+    Circuit ckt = refckt::rtd_divider(100.0);
+    ckt.add<Capacitor>("CX", ckt.find_node("out"), k_ground, 1e-12);
+    const mna::MnaAssembler assembler(ckt);
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    std::vector<double> x(n, 1.0);
+    std::vector<double> dvdt(n, 1e9);
+
+    linalg::Triplets g = assembler.static_g();
+    const double a =
+        engines::swec_step_bound(assembler, g, x, dvdt, 0.05);
+
+    std::vector<double> gdiag(static_cast<std::size_t>(
+                                  assembler.num_nodes()),
+                              0.0);
+    for (const auto& e : g.entries()) {
+        if (e.row == e.col &&
+            e.row < static_cast<std::size_t>(assembler.num_nodes())) {
+            gdiag[e.row] += e.value;
+        }
+    }
+    const double b = engines::swec_step_bound_diag(assembler, gdiag, x,
+                                                   dvdt, 0.05);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(StepControl, MeasuredLocalErrorEquation10) {
+    // eps = |dV_actual - dV_est| / |dV_actual| with dV_est = h * dvdt.
+    const std::vector<double> x_old{1.0, 2.0};
+    const std::vector<double> x_new{1.2, 2.0}; // node 0 moved by 0.2
+    const std::vector<double> dvdt{1.0e6, 0.0};
+    const double h = 1e-7; // est move = 0.1
+    const double err = engines::measured_local_error(x_old, x_new, dvdt,
+                                                     h, 2);
+    EXPECT_NEAR(err, std::abs(0.2 - 0.1) / 0.2, 1e-12);
+}
+
+TEST(StepControl, MeasuredLocalErrorSkipsNoiseFloor) {
+    const std::vector<double> x_old{1.0};
+    const std::vector<double> x_new{1.0 + 1e-12}; // below v_floor
+    const std::vector<double> dvdt{1.0};
+    EXPECT_DOUBLE_EQ(
+        engines::measured_local_error(x_old, x_new, dvdt, 1.0, 1), 0.0);
+}
+
+TEST(StepControl, PerfectPredictionGivesZeroError) {
+    const std::vector<double> x_old{0.0};
+    const std::vector<double> x_new{0.5};
+    const std::vector<double> dvdt{0.5e9};
+    EXPECT_NEAR(engines::measured_local_error(x_old, x_new, dvdt, 1e-9, 1),
+                0.0, 1e-12);
+}
+
+} // namespace
+} // namespace nanosim

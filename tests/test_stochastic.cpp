@@ -1,0 +1,203 @@
+// Tests for the stochastic toolkit: Wiener paths (the three defining
+// properties of paper Sec. 4.1), Ito vs Stratonovich sums (Sec. 4.2),
+// and the statistics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stochastic/ito.hpp"
+#include "stochastic/rng.hpp"
+#include "stochastic/stats.hpp"
+#include "stochastic/wiener.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::stochastic {
+namespace {
+
+TEST(Rng, Reproducible) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(a.gauss(), b.gauss());
+    }
+}
+
+TEST(Rng, GaussMoments) {
+    Rng rng(7);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) {
+        s.add(rng.gauss());
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+    Rng a(42);
+    Rng b = a.split();
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i) {
+        if (a.gauss() != b.gauss()) {
+            any_diff = true;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Wiener, StartsAtZeroProperty1) {
+    Rng rng(1);
+    const WienerPath w(rng, 1.0, 64);
+    EXPECT_DOUBLE_EQ(w.values().front(), 0.0);
+}
+
+TEST(Wiener, IncrementDistributionProperty2) {
+    // W(t) - W(s) ~ N(0, t-s): test at the increment level.
+    Rng rng(2);
+    RunningStats s;
+    const double dt = 0.25;
+    for (int rep = 0; rep < 20000; ++rep) {
+        const WienerPath w(rng, 1.0, 4);
+        for (std::size_t j = 0; j < 4; ++j) {
+            s.add(w.increment(j));
+        }
+    }
+    // se of the mean = 0.5/sqrt(80000) ~ 0.0018; allow 4 sigma.
+    EXPECT_NEAR(s.mean(), 0.0, 0.008);
+    EXPECT_NEAR(s.variance(), dt, 0.01);
+}
+
+TEST(Wiener, IndependentIncrementsProperty3) {
+    // Sample correlation of disjoint increments is ~0.
+    Rng rng(3);
+    double sum_xy = 0.0;
+    const int reps = 20000;
+    for (int rep = 0; rep < reps; ++rep) {
+        const WienerPath w(rng, 1.0, 2);
+        sum_xy += w.increment(0) * w.increment(1);
+    }
+    // Var of each increment is 0.5 -> normalized correlation:
+    EXPECT_NEAR(sum_xy / reps / 0.5, 0.0, 0.05);
+}
+
+TEST(Wiener, CoarsenSumsIncrements) {
+    Rng rng(4);
+    const WienerPath fine(rng, 2.0, 8);
+    const WienerPath coarse = fine.coarsened(4);
+    ASSERT_EQ(coarse.steps(), 2u);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+        sum += fine.increment(j);
+    }
+    EXPECT_NEAR(coarse.increment(0), sum, 1e-15);
+    EXPECT_THROW((void)fine.coarsened(3), AnalysisError);
+}
+
+TEST(Wiener, RefineIsConsistentBrownianBridge) {
+    // The refined path restricted to the coarse grid equals the original.
+    Rng rng(5);
+    const WienerPath coarse(rng, 1.0, 16);
+    const WienerPath fine = coarse.refined(rng);
+    ASSERT_EQ(fine.steps(), 32u);
+    for (std::size_t j = 0; j < 16; ++j) {
+        EXPECT_NEAR(fine.increment(2 * j) + fine.increment(2 * j + 1),
+                    coarse.increment(j), 1e-15);
+    }
+}
+
+TEST(Wiener, Validation) {
+    Rng rng(6);
+    EXPECT_THROW(WienerPath(rng, 0.0, 8), AnalysisError);
+    EXPECT_THROW(WienerPath(rng, 1.0, 0), AnalysisError);
+}
+
+TEST(Ito, WdwClosedFormsHoldPathwise) {
+    // The discrete Ito sum of W dW equals (W_T^2 - sum dW^2)/2 exactly;
+    // as dt -> 0 it approaches (W_T^2 - T)/2.  Check the exact discrete
+    // identity per path, not just in expectation.
+    Rng rng(7);
+    const WienerPath w(rng, 1.0, 4096);
+    const auto r = integrate_w_dw(w);
+    double sum_sq = 0.0;
+    for (std::size_t j = 0; j < w.steps(); ++j) {
+        sum_sq += w.increment(j) * w.increment(j);
+    }
+    const double wt = w.values().back();
+    EXPECT_NEAR(r.ito, 0.5 * (wt * wt - sum_sq), 1e-10);
+    // sum dW^2 -> T: the Ito estimate approaches the closed form.
+    EXPECT_NEAR(r.ito, r.ito_exact, 0.1);
+}
+
+TEST(Ito, ItoAndStratonovichDifferByHalfT) {
+    // Paper Sec. 4.2: eqs. (15) and (16) give markedly different
+    // answers; for h = W the gap converges to T/2, not 0.
+    Rng rng(8);
+    RunningStats gap;
+    for (int rep = 0; rep < 400; ++rep) {
+        const WienerPath w(rng, 1.0, 2048);
+        const auto r = integrate_w_dw(w);
+        gap.add(r.stratonovich - r.ito);
+    }
+    EXPECT_NEAR(gap.mean(), 0.5, 0.02); // T/2 with T = 1
+}
+
+TEST(Ito, DeterministicIntegrandAgreesBothWays) {
+    // For h(t) independent of W the two conventions coincide in
+    // expectation and differ per-path only at O(dt).
+    Rng rng(9);
+    const WienerPath w(rng, 1.0, 4096);
+    const auto h = [](double t, double) { return std::sin(3.0 * t); };
+    const double ito = ito_integral(w, h);
+    const double strat = stratonovich_integral(w, h);
+    EXPECT_NEAR(ito, strat, 0.05);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+    RunningStats s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(v);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_THROW((void)percentile({}, 50.0), AnalysisError);
+}
+
+TEST(Stats, HistogramBinsAndOverflow) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(-1.0); // overflow
+    h.add(11.0); // overflow
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), AnalysisError);
+}
+
+TEST(Stats, EnsembleAggregatesPaths) {
+    EnsembleStats es(3);
+    es.add_path({0.0, 1.0, 2.0});
+    es.add_path({0.0, 3.0, 0.0});
+    EXPECT_EQ(es.paths(), 2u);
+    EXPECT_DOUBLE_EQ(es.at(1).mean(), 2.0);
+    EXPECT_DOUBLE_EQ(es.mean_path()[2], 1.0);
+    // Peaks: 2.0 and 3.0.
+    EXPECT_DOUBLE_EQ(es.peak_stats().mean(), 2.5);
+    EXPECT_THROW(es.add_path({1.0}), AnalysisError);
+}
+
+} // namespace
+} // namespace nanosim::stochastic

@@ -1,0 +1,129 @@
+// Tests for util/: error hierarchy, flop accounting, logging.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/flops.hpp"
+#include "util/log.hpp"
+
+namespace nanosim {
+namespace {
+
+TEST(Errors, CodesRoundTrip) {
+    const SingularMatrixError sing("pivot");
+    EXPECT_EQ(sing.code(), ErrorCode::singular_matrix);
+    const ConvergenceError conv("no luck", 42, 1e-3);
+    EXPECT_EQ(conv.code(), ErrorCode::convergence);
+    EXPECT_EQ(conv.iterations(), 42);
+    EXPECT_DOUBLE_EQ(conv.residual(), 1e-3);
+    const NetlistError net("bad node");
+    EXPECT_EQ(net.code(), ErrorCode::netlist);
+    const AnalysisError ana("bad step");
+    EXPECT_EQ(ana.code(), ErrorCode::analysis);
+    const IoError io("no file");
+    EXPECT_EQ(io.code(), ErrorCode::io);
+}
+
+TEST(Errors, CatchableAsSimError) {
+    try {
+        throw SingularMatrixError("boom");
+    } catch (const SimError& e) {
+        EXPECT_STREQ(e.what(), "boom");
+        return;
+    }
+    FAIL() << "not caught as SimError";
+}
+
+TEST(Errors, CatchableAsStdException) {
+    EXPECT_THROW(throw AnalysisError("x"), std::runtime_error);
+}
+
+TEST(Flops, CountsCategories) {
+    const FlopScope scope;
+    count_add(3);
+    count_mul(5);
+    count_div(2);
+    count_special(1);
+    EXPECT_EQ(scope.counter().add, 3u);
+    EXPECT_EQ(scope.counter().mul, 5u);
+    EXPECT_EQ(scope.counter().div, 2u);
+    EXPECT_EQ(scope.counter().special, 1u);
+    EXPECT_EQ(scope.counter().total(), 11u);
+}
+
+TEST(Flops, FmaCountsBoth) {
+    const FlopScope scope;
+    count_fma(7);
+    EXPECT_EQ(scope.counter().add, 7u);
+    EXPECT_EQ(scope.counter().mul, 7u);
+}
+
+TEST(Flops, ScopesNestAndPropagate) {
+    const FlopScope outer;
+    count_add(1);
+    {
+        const FlopScope inner;
+        count_add(10);
+        EXPECT_EQ(inner.counter().add, 10u);
+        // The outer scope must not yet see the inner tally.
+        EXPECT_EQ(outer.counter().add, 1u);
+    }
+    // On inner destruction its tally folds into the outer scope.
+    EXPECT_EQ(outer.counter().add, 11u);
+}
+
+TEST(Flops, ThreadLocalIsolation) {
+    const FlopScope scope;
+    std::uint64_t other_thread_total = 0;
+    std::thread t([&] {
+        const FlopScope inner;
+        count_mul(1000);
+        other_thread_total = inner.counter().total();
+    });
+    t.join();
+    EXPECT_EQ(other_thread_total, 1000u);
+    EXPECT_EQ(scope.counter().total(), 0u);
+}
+
+TEST(Flops, SummaryMentionsTotals) {
+    FlopCounter c;
+    c.add = 2;
+    c.mul = 3;
+    const std::string s = c.summary();
+    EXPECT_NE(s.find("flops=5"), std::string::npos);
+}
+
+TEST(Constants, ThermalVoltageAt300K) {
+    // kT/q at 300 K is about 25.85 mV.
+    EXPECT_NEAR(phys::thermal_voltage(300.0), 0.025852, 1e-5);
+}
+
+TEST(Constants, ConductanceQuantum) {
+    // G0 = 2e^2/h ~ 77.48 uS.
+    EXPECT_NEAR(phys::g0_quantum, 77.48e-6, 0.01e-6);
+}
+
+TEST(Log, LevelFiltering) {
+    std::ostringstream sink;
+    log::set_stream(&sink);
+    log::set_level(log::Level::warn);
+    log::info("hidden");
+    log::warn("visible");
+    log::set_stream(nullptr);
+    log::set_level(log::Level::warn);
+    EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+    EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Log, EnabledMatchesLevel) {
+    log::set_level(log::Level::error);
+    EXPECT_FALSE(log::enabled(log::Level::debug));
+    EXPECT_TRUE(log::enabled(log::Level::error));
+    log::set_level(log::Level::warn);
+}
+
+} // namespace
+} // namespace nanosim
