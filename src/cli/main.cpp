@@ -1,16 +1,27 @@
 // nanosim — command-line batch simulator.
 //
-//   nanosim [options] deck.cir
+//   nanosim [run] [options] deck.cir        single-deck batch run
+//   nanosim sweep deck.cir --param DEV:P=start:stop:points [...]
 //
+// run options:
 //   --engine swec|nr|mla|pwl   transient/DC engine (default: swec)
 //   --csv PREFIX               write waveforms/sweeps to PREFIX_*.csv
 //   --quiet                    suppress ASCII plots
 //   --verbose                  raise log level to info
 //   --version                  print version and exit
 //
-// Runs every analysis card in the deck (.op, .dc, .tran) with the
-// selected engine and prints results in SPICE-batch style.  Exit code 0
-// on success, 1 on simulation failure, 2 on usage errors.
+// sweep options (parameter-grid campaign over the deck's .op/.tran
+// cards; axes combine as a cartesian grid):
+//   --param DEV:P=a:b:n        sweep device DEV parameter P over n
+//                              uniformly spaced values in [a, b]
+//                              (repeatable; engineering notation ok)
+//   --threads N                worker threads (default: all cores)
+//   --out FILE.csv             write the aggregated campaign CSV
+//   --quiet                    suppress ASCII plots
+//
+// `run` executes every analysis card in the deck (.op, .dc, .tran) with
+// the selected engine and prints results in SPICE-batch style.  Exit
+// code 0 on success, 1 on simulation failure, 2 on usage errors.
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -33,12 +44,26 @@ struct CliOptions {
 };
 
 void usage(std::ostream& os) {
-    os << "usage: nanosim [options] deck.cir\n"
+    os << "usage: nanosim [run] [options] deck.cir\n"
+          "       nanosim sweep deck.cir --param DEV:P=start:stop:points\n"
+          "run options:\n"
           "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
           "  --csv PREFIX               export results as PREFIX_*.csv\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
-          "  --version                  print version\n";
+          "  --version                  print version\n"
+          "sweep options:\n"
+          "  --param DEV:P=a:b:n        axis: device DEV, parameter P, n\n"
+          "                             points in [a, b]; repeat for a\n"
+          "                             cartesian grid (RTD params A,B,C,\n"
+          "                             D,N1,N2,H,TEMP; R/C/L values; V/I\n"
+          "                             DC; NOISE SIGMA)\n"
+          "  --threads N                worker threads (default all cores)\n"
+          "  --out FILE.csv             aggregated campaign CSV\n"
+          "  --quiet                    no ASCII plots\n"
+          "example:\n"
+          "  nanosim sweep deck.cir --param RTD1:A=1e-3:2e-3:11 \\\n"
+          "      --threads 8 --out sweep.csv\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -186,10 +211,156 @@ int run_tran(Simulator& sim, const CliOptions& cli, const TranCard& card,
     return 0;
 }
 
+// ---- sweep verb -------------------------------------------------------
+
+struct SweepCliOptions {
+    std::string deck_path;
+    runtime::JobPlan plan;
+    runtime::CampaignOptions campaign;
+    std::optional<std::string> out_path;
+    bool quiet = false;
+};
+
+[[nodiscard]] long parse_int_arg(const char* flag, const std::string& text) {
+    try {
+        std::size_t used = 0;
+        const long value = std::stol(text, &used);
+        if (used == text.size()) {
+            return value;
+        }
+    } catch (const std::exception&) {
+    }
+    throw NetlistError(std::string(flag) + " wants an integer, got '" +
+                       text + "'");
+}
+
+std::optional<SweepCliOptions> parse_sweep_args(int argc, char** argv,
+                                                int first) {
+    SweepCliOptions opt;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        }
+        if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--param") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.plan.add_axis(runtime::parse_param_axis(argv[i]));
+        } else if (arg == "--threads") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.campaign.policy.threads =
+                static_cast<int>(parse_int_arg("--threads", argv[i]));
+        } else if (arg == "--out") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.out_path = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return std::nullopt;
+        } else if (opt.deck_path.empty()) {
+            opt.deck_path = arg;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (opt.deck_path.empty() || opt.plan.axes().empty()) {
+        return std::nullopt;
+    }
+    return opt;
+}
+
+int run_sweep(const SweepCliOptions& cli) {
+    const Simulator sim = Simulator::from_deck_file(cli.deck_path);
+    std::cout << "nanosim " << version_string() << " | sweep | "
+              << cli.deck_path << " | " << cli.plan.size() << " points on "
+              << cli.campaign.policy.resolved() << " threads\n";
+    for (const auto& axis : cli.plan.axes()) {
+        std::cout << "  axis " << axis.label() << ": " << axis.start
+                  << " -> " << axis.stop << " (" << axis.points
+                  << " points)\n";
+    }
+
+    const runtime::CampaignResult result = sim.sweep(cli.plan, cli.campaign);
+    std::cout << "  " << result.rows.size() << " jobs, "
+              << result.failures() << " failures, "
+              << result.metric_names.size() << " metrics per point\n";
+    for (const auto& row : result.rows) {
+        if (!row.ok) {
+            std::cout << "  point " << row.index << " FAILED: " << row.error
+                      << '\n';
+        }
+    }
+
+    // Persist before plotting: a plot hiccup must not cost the CSV.
+    if (cli.out_path) {
+        result.write_csv_file(*cli.out_path);
+        std::cout << "  wrote " << *cli.out_path << '\n';
+    }
+
+    // 1-D campaigns: plot every metric against the swept parameter.
+    if (!cli.quiet && cli.plan.axes().size() == 1) {
+        std::vector<analysis::Waveform> waves;
+        for (const auto& metric : result.metric_names) {
+            analysis::Waveform w = result.metric_wave(metric);
+            if (w.size() >= 2) {
+                waves.push_back(std::move(w));
+            }
+        }
+        if (!waves.empty()) {
+            analysis::PlotOptions plot;
+            plot.title = "sweep campaign";
+            plot.x_label = cli.plan.axes()[0].label();
+            analysis::ascii_plot(std::cout, waves, plot);
+        }
+    }
+
+    return result.failures() == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const auto cli = parse_args(argc, argv);
+    // Verb dispatch: "sweep" runs a campaign, "run" (or a bare deck
+    // path, for compatibility) runs the deck's own analysis cards.
+    int first = 1;
+    bool sweep_verb = false;
+    if (argc > 1) {
+        const std::string verb = argv[1];
+        if (verb == "sweep") {
+            sweep_verb = true;
+            first = 2;
+        } else if (verb == "run") {
+            first = 2;
+        }
+    }
+    if (sweep_verb) {
+        std::optional<SweepCliOptions> cli;
+        try {
+            cli = parse_sweep_args(argc, argv, first);
+        } catch (const std::exception& e) { // bad --param/--threads values
+            std::cerr << "nanosim: " << e.what() << '\n';
+            usage(std::cerr);
+            return 2;
+        }
+        if (!cli) {
+            usage(std::cerr);
+            return 2;
+        }
+        try {
+            return run_sweep(*cli);
+        } catch (const SimError& e) {
+            std::cerr << "nanosim: " << e.what() << '\n';
+            return 1;
+        }
+    }
+
+    const auto cli = parse_args(argc - (first - 1), argv + (first - 1));
     if (!cli) {
         usage(std::cerr);
         return 2;

@@ -1,5 +1,8 @@
 #include "core/simulator.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include "linalg/vecops.hpp"
 #include "util/error.hpp"
 
@@ -16,11 +19,21 @@ Simulator::Simulator(ParsedDeck deck)
 }
 
 Simulator Simulator::from_deck(const std::string& deck_text) {
-    return Simulator(parse_deck(deck_text));
+    Simulator sim(parse_deck(deck_text));
+    sim.deck_text_ = deck_text;
+    return sim;
 }
 
 Simulator Simulator::from_deck_file(const std::string& path) {
-    return Simulator(parse_deck_file(path));
+    // Read the text ourselves (rather than parse_deck_file) so sweep()
+    // can re-parse it for per-job circuits.
+    std::ifstream in(path);
+    if (!in) {
+        throw IoError("cannot open deck file '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return from_deck(text.str());
 }
 
 void Simulator::reassemble() {
@@ -106,6 +119,38 @@ engines::McResult Simulator::monte_carlo(const engines::McOptions& options,
     stochastic::Rng rng(seed);
     return engines::run_monte_carlo(*assembler_, options, rng,
                                     circuit_.find_node(node));
+}
+
+runtime::CampaignResult
+Simulator::sweep(const runtime::JobPlan& plan,
+                 const runtime::CampaignOptions& options) const {
+    if (!deck_text_) {
+        throw AnalysisError(
+            "Simulator::sweep: needs a deck-constructed simulator "
+            "(use runtime::run_sweep_campaign with a circuit factory "
+            "for programmatic circuits)");
+    }
+    const std::string text = *deck_text_;
+    return runtime::run_sweep_campaign(
+        plan, [text]() { return parse_deck(text).circuit; }, deck_analyses_,
+        options);
+}
+
+engines::EmEnsembleResult
+Simulator::ensemble(const engines::EmOptions& options, int paths,
+                    const std::string& node, std::uint64_t seed,
+                    const runtime::ExecutionPolicy& policy) const {
+    const engines::EmEngine engine(*assembler_, options);
+    return engines::run_em_ensemble_parallel(engine, paths, seed,
+                                             circuit_.find_node(node), policy);
+}
+
+engines::McResult
+Simulator::monte_carlo_parallel(const engines::McOptions& options,
+                                const std::string& node, std::uint64_t seed,
+                                const runtime::ExecutionPolicy& policy) const {
+    return engines::run_monte_carlo_parallel(
+        *assembler_, options, seed, circuit_.find_node(node), policy);
 }
 
 } // namespace nanosim

@@ -24,11 +24,13 @@
 #include "engines/em_engine.hpp"
 #include "engines/monte_carlo.hpp"
 #include "engines/results.hpp"
+#include "engines/parallel.hpp"
 #include "engines/tran_nr.hpp"
 #include "engines/tran_pwl.hpp"
 #include "engines/tran_swec.hpp"
 #include "mna/mna.hpp"
 #include "netlist/parser.hpp"
+#include "runtime/sweep.hpp"
 
 namespace nanosim {
 
@@ -98,12 +100,40 @@ public:
     monte_carlo(const engines::McOptions& options, const std::string& node,
                 std::uint64_t seed = 1) const;
 
+    // ---- batch / parallel orchestration (runtime subsystem) ----
+
+    /// Parameter-sweep campaign over the deck this simulator was parsed
+    /// from: each grid point re-parses the deck, applies the plan's
+    /// overrides and runs the deck's .op/.tran cards on the policy's
+    /// worker threads.  Requires deck-based construction (from_deck /
+    /// from_deck_file); throws AnalysisError for programmatic circuits —
+    /// use runtime::run_sweep_campaign with your own factory there.
+    [[nodiscard]] runtime::CampaignResult
+    sweep(const runtime::JobPlan& plan,
+          const runtime::CampaignOptions& options = {}) const;
+
+    /// Parallel Euler-Maruyama ensemble (bit-reproducible for any thread
+    /// count; see engines/parallel.hpp for the seed contract).
+    [[nodiscard]] engines::EmEnsembleResult
+    ensemble(const engines::EmOptions& options, int paths,
+             const std::string& node, std::uint64_t seed = 1,
+             const runtime::ExecutionPolicy& policy = {}) const;
+
+    /// Parallel Monte-Carlo baseline (same determinism contract).
+    [[nodiscard]] engines::McResult
+    monte_carlo_parallel(const engines::McOptions& options,
+                         const std::string& node, std::uint64_t seed = 1,
+                         const runtime::ExecutionPolicy& policy = {}) const;
+
 private:
     Simulator(ParsedDeck deck);
 
     Circuit circuit_;
     std::vector<AnalysisCard> deck_analyses_;
     std::unique_ptr<mna::MnaAssembler> assembler_;
+    /// Deck source text when parsed from a deck — the sweep() factory
+    /// re-parses it to mint per-job circuits.
+    std::optional<std::string> deck_text_;
 };
 
 } // namespace nanosim

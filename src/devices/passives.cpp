@@ -13,6 +13,14 @@ Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
     }
 }
 
+void Resistor::set_resistance(double resistance) {
+    if (!(resistance > 0.0)) {
+        throw AnalysisError("resistor '" + name() +
+                            "': resistance must be positive");
+    }
+    resistance_ = resistance;
+}
+
 void Resistor::stamp_static(Stamper& stamper, int) const {
     stamper.conductance(a_, b_, conductance());
 }
@@ -30,6 +38,14 @@ Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance)
     }
 }
 
+void Capacitor::set_capacitance(double capacitance) {
+    if (!(capacitance > 0.0)) {
+        throw AnalysisError("capacitor '" + name() +
+                            "': capacitance must be positive");
+    }
+    capacitance_ = capacitance;
+}
+
 void Capacitor::stamp_reactive(Stamper& stamper, int) const {
     stamper.capacitance(a_, b_, capacitance_);
 }
@@ -40,6 +56,14 @@ Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
         throw AnalysisError("inductor '" + this->name() +
                             "': inductance must be positive");
     }
+}
+
+void Inductor::set_inductance(double inductance) {
+    if (!(inductance > 0.0)) {
+        throw AnalysisError("inductor '" + name() +
+                            "': inductance must be positive");
+    }
+    inductance_ = inductance;
 }
 
 void Inductor::stamp_static(Stamper& stamper, int branch_base) const {

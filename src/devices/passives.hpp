@@ -23,6 +23,10 @@ public:
         return 1.0 / resistance_;
     }
 
+    /// Change the resistance between runs (parameter sweeps).  Throws
+    /// AnalysisError for non-positive values; callers must reassemble.
+    void set_resistance(double resistance);
+
     void stamp_static(Stamper& stamper, int branch_base) const override;
     [[nodiscard]] double
     branch_current(const NodeVoltages& v) const override;
@@ -47,6 +51,10 @@ public:
     }
     [[nodiscard]] double capacitance() const noexcept { return capacitance_; }
 
+    /// Change the capacitance between runs (parameter sweeps).  Throws
+    /// AnalysisError for non-positive values; callers must reassemble.
+    void set_capacitance(double capacitance);
+
     void stamp_reactive(Stamper& stamper, int branch_base) const override;
 
 private:
@@ -70,6 +78,10 @@ public:
     }
     [[nodiscard]] int branch_count() const noexcept override { return 1; }
     [[nodiscard]] double inductance() const noexcept { return inductance_; }
+
+    /// Change the inductance between runs (parameter sweeps).  Throws
+    /// AnalysisError for non-positive values; callers must reassemble.
+    void set_inductance(double inductance);
 
     void stamp_static(Stamper& stamper, int branch_base) const override;
     void stamp_reactive(Stamper& stamper, int branch_base) const override;

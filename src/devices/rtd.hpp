@@ -103,6 +103,9 @@ public:
     }
     [[nodiscard]] const RtdParams& params() const noexcept { return params_; }
 
+    /// Replace the parameter set between runs (parameter sweeps).
+    void set_params(const RtdParams& params) noexcept { params_ = params; }
+
     [[nodiscard]] double current(double v) const override;
     [[nodiscard]] double didv(double v) const override;
     /// Closed-form eq. (8) instead of the generic quotient rule.

@@ -94,6 +94,9 @@ public:
     [[nodiscard]] NodeId pos() const noexcept { return pos_; }
     [[nodiscard]] NodeId neg() const noexcept { return neg_; }
 
+    /// Change the noise intensity between runs (parameter sweeps).
+    void set_sigma(double sigma) noexcept { sigma_ = sigma; }
+
 private:
     NodeId pos_;
     NodeId neg_;

@@ -78,6 +78,11 @@ public:
     /// Number of grid steps L = t_stop / dt.
     [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
 
+    /// The validated options this engine was built with.
+    [[nodiscard]] const EmOptions& options() const noexcept {
+        return options_;
+    }
+
     /// Run one path, sampling Wiener increments from `rng`.
     [[nodiscard]] EmPathResult run_path(stochastic::Rng& rng) const;
 

@@ -39,13 +39,14 @@ private:
 
 } // namespace
 
-McResult run_monte_carlo(const mna::MnaAssembler& assembler,
-                         const McOptions& options_in, stochastic::Rng& rng,
-                         NodeId node) {
-    const FlopScope scope;
+McOptions normalize_mc_options(const mna::MnaAssembler& assembler,
+                               const McOptions& options_in, NodeId node) {
     McOptions options = options_in;
     if (options.t_stop <= 0.0 || options.runs < 1) {
         throw AnalysisError("run_monte_carlo: need t_stop > 0, runs >= 1");
+    }
+    if (options.grid_points < 2) {
+        throw AnalysisError("run_monte_carlo: need grid_points >= 2");
     }
     if (options.noise_dt <= 0.0) {
         options.noise_dt = options.t_stop / 200.0;
@@ -53,58 +54,75 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
     if (node == k_ground || node > assembler.num_nodes()) {
         throw AnalysisError("run_monte_carlo: bad node");
     }
-    const auto& noise_srcs = assembler.noise_sources();
-    if (noise_srcs.empty()) {
+    if (assembler.noise_sources().empty()) {
         throw AnalysisError("run_monte_carlo: circuit has no noise sources");
     }
-
-    const auto holds = static_cast<std::size_t>(
-        std::ceil(options.t_stop / options.noise_dt));
-    const double sqrt_dt = std::sqrt(options.noise_dt);
-
-    McResult out{.grid = {},
-                 .mean = analysis::Waveform("mean"),
-                 .stddev = analysis::Waveform("stddev"),
-                 .stats = stochastic::EnsembleStats(options.grid_points),
-                 .flops = {}};
-    out.grid.resize(options.grid_points);
-    for (std::size_t j = 0; j < options.grid_points; ++j) {
-        out.grid[j] = options.t_stop * static_cast<double>(j) /
-                      static_cast<double>(options.grid_points - 1);
-    }
-
-    SwecTranOptions tran = options.tran;
-    tran.t_stop = options.t_stop;
+    options.tran.t_stop = options.t_stop;
     // The deterministic transient must resolve the realized noise
     // bandwidth: capping the step at noise_dt is what makes Monte-Carlo
     // pay the full per-step engine cost the paper's Sec. 1 describes
     // (and what keeps its variance estimate unbiased).
-    if (tran.dt_max <= 0.0 || tran.dt_max > options.noise_dt) {
-        tran.dt_max = options.noise_dt;
+    if (options.tran.dt_max <= 0.0 || options.tran.dt_max > options.noise_dt) {
+        options.tran.dt_max = options.noise_dt;
+    }
+    return options;
+}
+
+std::vector<double> mc_grid(const McOptions& normalized) {
+    std::vector<double> grid(normalized.grid_points);
+    for (std::size_t j = 0; j < normalized.grid_points; ++j) {
+        grid[j] = normalized.t_stop * static_cast<double>(j) /
+                  static_cast<double>(normalized.grid_points - 1);
+    }
+    return grid;
+}
+
+std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
+                                   const McOptions& normalized,
+                                   stochastic::Rng& rng, NodeId node,
+                                   const std::vector<double>& grid) {
+    const auto holds = static_cast<std::size_t>(
+        std::ceil(normalized.t_stop / normalized.noise_dt));
+    const double sqrt_dt = std::sqrt(normalized.noise_dt);
+
+    // Realise every noise source: i_k = sigma * xi / sqrt(dt) so the
+    // per-interval integral is sigma * xi * sqrt(dt) = sigma dW.
+    SwecTranOptions tran = normalized.tran;
+    tran.noise.clear();
+    for (const Device* dev : assembler.noise_sources()) {
+        const auto* src = static_cast<const NoiseCurrentSource*>(dev);
+        std::vector<double> hold(holds);
+        for (auto& v : hold) {
+            v = src->sigma() * rng.gauss() / sqrt_dt;
+        }
+        tran.noise.push_back(std::make_shared<StepNoiseWave>(
+            std::move(hold), normalized.noise_dt));
     }
 
-    std::vector<double> samples(options.grid_points);
-    const auto node_idx = static_cast<std::size_t>(node - 1);
-    for (int run = 0; run < options.runs; ++run) {
-        // Realise every noise source: i_k = sigma * xi / sqrt(dt) so the
-        // per-interval integral is sigma * xi * sqrt(dt) = sigma dW.
-        tran.noise.clear();
-        for (const Device* dev : noise_srcs) {
-            const auto* src = static_cast<const NoiseCurrentSource*>(dev);
-            std::vector<double> hold(holds);
-            for (auto& v : hold) {
-                v = src->sigma() * rng.gauss() / sqrt_dt;
-            }
-            tran.noise.push_back(std::make_shared<StepNoiseWave>(
-                std::move(hold), options.noise_dt));
-        }
+    const TranResult res = run_tran_swec(assembler, tran);
+    const auto& wave = res.node_waves[static_cast<std::size_t>(node - 1)];
+    std::vector<double> samples(grid.size());
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+        samples[j] = wave.at(grid[j]);
+    }
+    return samples;
+}
 
-        const TranResult res = run_tran_swec(assembler, tran);
-        const auto& wave = res.node_waves[node_idx];
-        for (std::size_t j = 0; j < options.grid_points; ++j) {
-            samples[j] = wave.at(out.grid[j]);
-        }
-        out.stats.add_path(samples);
+McResult run_monte_carlo(const mna::MnaAssembler& assembler,
+                         const McOptions& options_in, stochastic::Rng& rng,
+                         NodeId node) {
+    const FlopScope scope;
+    const McOptions options = normalize_mc_options(assembler, options_in, node);
+
+    McResult out{.grid = mc_grid(options),
+                 .mean = analysis::Waveform("mean"),
+                 .stddev = analysis::Waveform("stddev"),
+                 .stats = stochastic::EnsembleStats(options.grid_points),
+                 .flops = {}};
+
+    for (int run = 0; run < options.runs; ++run) {
+        out.stats.add_path(
+            mc_realization(assembler, options, rng, node, out.grid));
     }
 
     for (std::size_t j = 0; j < options.grid_points; ++j) {

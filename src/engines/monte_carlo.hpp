@@ -45,6 +45,26 @@ struct McResult {
                                        const McOptions& options,
                                        stochastic::Rng& rng, NodeId node);
 
+// ---- realization-level API (shared with the parallel driver) ----
+
+/// Validate the request and fill defaulted fields (noise_dt, the
+/// transient horizon and its dt_max cap).  Throws AnalysisError exactly
+/// like run_monte_carlo.
+[[nodiscard]] McOptions normalize_mc_options(const mna::MnaAssembler& assembler,
+                                             const McOptions& options,
+                                             NodeId node);
+
+/// The uniform statistics grid of `normalized` options.
+[[nodiscard]] std::vector<double> mc_grid(const McOptions& normalized);
+
+/// One Monte-Carlo realization: draw a fresh band-limited noise path per
+/// source from `rng`, run the deterministic transient, and sample `node`
+/// on `grid`.  Options must come from normalize_mc_options.
+[[nodiscard]] std::vector<double>
+mc_realization(const mna::MnaAssembler& assembler, const McOptions& normalized,
+               stochastic::Rng& rng, NodeId node,
+               const std::vector<double>& grid);
+
 } // namespace nanosim::engines
 
 #endif // NANOSIM_ENGINES_MONTE_CARLO_HPP

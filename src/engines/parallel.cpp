@@ -1,0 +1,116 @@
+#include "engines/parallel.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "stochastic/seed_sequence.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+/// Flop tallies are thread-local, so each job measures itself and the
+/// reduction sums in job order — the totals are scheduling-independent.
+struct JobSample {
+    std::vector<double> samples;
+    FlopCounter flops;
+};
+
+} // namespace
+
+McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
+                                  const McOptions& options_in,
+                                  std::uint64_t seed, NodeId node,
+                                  const runtime::ExecutionPolicy& policy) {
+    const McOptions options = normalize_mc_options(assembler, options_in, node);
+
+    McResult out{.grid = mc_grid(options),
+                 .mean = analysis::Waveform("mean"),
+                 .stddev = analysis::Waveform("stddev"),
+                 .stats = stochastic::EnsembleStats(options.grid_points),
+                 .flops = {}};
+
+    const stochastic::SeedSequence seq(seed);
+    const auto runs = static_cast<std::size_t>(options.runs);
+    std::vector<JobSample> jobs(runs);
+
+    runtime::ThreadPool pool(policy.resolved());
+    runtime::parallel_for(pool, runs, [&](std::size_t run) {
+        const FlopScope scope;
+        stochastic::Rng rng = seq.stream(run);
+        jobs[run].samples =
+            mc_realization(assembler, options, rng, node, out.grid);
+        jobs[run].flops = scope.counter();
+    });
+
+    // Reduce in realization order: bit-identical for any thread count.
+    for (auto& job : jobs) {
+        out.stats.add_path(job.samples);
+        out.flops += job.flops;
+    }
+    for (std::size_t j = 0; j < options.grid_points; ++j) {
+        const auto& s = out.stats.at(j);
+        out.mean.append(out.grid[j], s.mean());
+        out.stddev.append(out.grid[j], s.stddev());
+    }
+    return out;
+}
+
+EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
+                                          int num_paths, std::uint64_t seed,
+                                          NodeId node,
+                                          const runtime::ExecutionPolicy& policy) {
+    if (num_paths < 1) {
+        throw AnalysisError("run_em_ensemble_parallel: need >= 1 path");
+    }
+    if (node == k_ground) {
+        throw AnalysisError("run_em_ensemble_parallel: bad node");
+    }
+    const std::size_t steps = engine.steps();
+    const double dt =
+        engine.options().t_stop / static_cast<double>(steps);
+
+    EmEnsembleResult out{.grid = {},
+                         .mean = analysis::Waveform("mean"),
+                         .stddev = analysis::Waveform("stddev"),
+                         .stats = stochastic::EnsembleStats(steps + 1),
+                         .flops = {}};
+    out.grid.resize(steps + 1);
+    for (std::size_t j = 0; j <= steps; ++j) {
+        out.grid[j] = dt * static_cast<double>(j);
+    }
+
+    const stochastic::SeedSequence seq(seed);
+    const auto paths = static_cast<std::size_t>(num_paths);
+    const auto node_idx = static_cast<std::size_t>(node - 1);
+    std::vector<JobSample> jobs(paths);
+
+    runtime::ThreadPool pool(policy.resolved());
+    runtime::parallel_for(pool, paths, [&](std::size_t p) {
+        stochastic::Rng rng = seq.stream(p);
+        const EmPathResult path = engine.run_path(rng);
+        if (node_idx >= path.node_waves.size()) {
+            throw AnalysisError("run_em_ensemble_parallel: bad node");
+        }
+        const auto& w = path.node_waves[node_idx];
+        jobs[p].samples.resize(steps + 1);
+        for (std::size_t j = 0; j <= steps; ++j) {
+            jobs[p].samples[j] = w.value_at(j);
+        }
+        jobs[p].flops = path.flops;
+    });
+
+    for (auto& job : jobs) {
+        out.stats.add_path(job.samples);
+        out.flops += job.flops;
+    }
+    for (std::size_t j = 0; j <= steps; ++j) {
+        out.mean.append(out.grid[j], out.stats.at(j).mean());
+        out.stddev.append(out.grid[j], out.stats.at(j).stddev());
+    }
+    return out;
+}
+
+} // namespace nanosim::engines

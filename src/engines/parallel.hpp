@@ -1,0 +1,42 @@
+// Nano-Sim — parallel ensemble drivers.
+//
+// Batch versions of the Monte-Carlo baseline and the Euler-Maruyama
+// ensemble that fan realizations out over a runtime::ThreadPool.  Both
+// are *deterministic in the thread count*: realization k draws from the
+// independent RNG stream SeedSequence(seed).stream(k) and the ensemble
+// statistics are reduced in realization order, so --threads 1 and
+// --threads 64 produce bit-identical McResult / EmEnsembleResult.
+//
+// Note the contract difference with the serial entry points: the serial
+// drivers consume ONE caller-owned Rng sequentially, so a parallel run
+// matches another parallel run (any thread counts), not a serial run
+// with the same seed — the serial path draws all realizations from a
+// single stream.
+#ifndef NANOSIM_ENGINES_PARALLEL_HPP
+#define NANOSIM_ENGINES_PARALLEL_HPP
+
+#include <cstdint>
+
+#include "engines/em_engine.hpp"
+#include "engines/monte_carlo.hpp"
+#include "runtime/execution_policy.hpp"
+
+namespace nanosim::engines {
+
+/// Parallel Monte-Carlo baseline: options.runs independent realizations
+/// on the policy's worker count.
+[[nodiscard]] McResult
+run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
+                         const McOptions& options, std::uint64_t seed,
+                         NodeId node,
+                         const runtime::ExecutionPolicy& policy = {});
+
+/// Parallel Euler-Maruyama ensemble over `engine`'s grid.
+[[nodiscard]] EmEnsembleResult
+run_em_ensemble_parallel(const EmEngine& engine, int num_paths,
+                         std::uint64_t seed, NodeId node,
+                         const runtime::ExecutionPolicy& policy = {});
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_PARALLEL_HPP

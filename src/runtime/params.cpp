@@ -1,0 +1,160 @@
+#include "runtime/params.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "devices/passives.hpp"
+#include "devices/rtd.hpp"
+#include "devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::runtime {
+
+namespace {
+
+[[nodiscard]] std::string upper(const std::string& s) {
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return out;
+}
+
+[[noreturn]] void bad_param(const Device& dev, const std::string& param) {
+    throw NetlistError("device '" + dev.name() + "' (" +
+                       to_string(dev.kind()) + ") has no parameter '" +
+                       param + "'");
+}
+
+[[nodiscard]] const Device& find_device(const Circuit& circuit,
+                                        const std::string& name) {
+    const Device* dev = circuit.find(name);
+    if (dev == nullptr) {
+        throw NetlistError("no device named '" + name + "'");
+    }
+    return *dev;
+}
+
+/// RTD parameter slot by (upper-case) name; nullptr when unknown.
+[[nodiscard]] double* rtd_slot(RtdParams& p, const std::string& param) {
+    if (param == "A") return &p.a;
+    if (param == "B") return &p.b;
+    if (param == "C") return &p.c;
+    if (param == "D") return &p.d;
+    if (param == "N1") return &p.n1;
+    if (param == "N2") return &p.n2;
+    if (param == "H") return &p.h;
+    if (param == "TEMP") return &p.temp;
+    return nullptr;
+}
+
+} // namespace
+
+void set_device_param(Circuit& circuit, const std::string& device,
+                      const std::string& param, double value) {
+    const std::string key = upper(param);
+    const Device& dev = find_device(circuit, device);
+    switch (dev.kind()) {
+    case DeviceKind::resistor:
+        if (key == "R" || key == "VALUE") {
+            circuit.get_mutable<Resistor>(device).set_resistance(value);
+            return;
+        }
+        break;
+    case DeviceKind::capacitor:
+        if (key == "C" || key == "VALUE") {
+            circuit.get_mutable<Capacitor>(device).set_capacitance(value);
+            return;
+        }
+        break;
+    case DeviceKind::inductor:
+        if (key == "L" || key == "VALUE") {
+            circuit.get_mutable<Inductor>(device).set_inductance(value);
+            return;
+        }
+        break;
+    case DeviceKind::vsource:
+        if (key == "DC") {
+            circuit.get_mutable<VSource>(device).set_wave(
+                std::make_shared<DcWave>(value));
+            return;
+        }
+        break;
+    case DeviceKind::isource:
+        if (key == "DC") {
+            circuit.get_mutable<ISource>(device).set_wave(
+                std::make_shared<DcWave>(value));
+            return;
+        }
+        break;
+    case DeviceKind::noise_source:
+        if (key == "SIGMA") {
+            circuit.get_mutable<NoiseCurrentSource>(device).set_sigma(value);
+            return;
+        }
+        break;
+    case DeviceKind::rtd: {
+        auto& rtd = circuit.get_mutable<Rtd>(device);
+        RtdParams p = rtd.params();
+        if (double* slot = rtd_slot(p, key)) {
+            *slot = value;
+            rtd.set_params(p);
+            return;
+        }
+        break;
+    }
+    default:
+        break;
+    }
+    bad_param(dev, param);
+}
+
+double get_device_param(const Circuit& circuit, const std::string& device,
+                        const std::string& param) {
+    const std::string key = upper(param);
+    const Device& dev = find_device(circuit, device);
+    switch (dev.kind()) {
+    case DeviceKind::resistor:
+        if (key == "R" || key == "VALUE") {
+            return circuit.get<Resistor>(device).resistance();
+        }
+        break;
+    case DeviceKind::capacitor:
+        if (key == "C" || key == "VALUE") {
+            return circuit.get<Capacitor>(device).capacitance();
+        }
+        break;
+    case DeviceKind::inductor:
+        if (key == "L" || key == "VALUE") {
+            return circuit.get<Inductor>(device).inductance();
+        }
+        break;
+    case DeviceKind::vsource:
+        if (key == "DC") {
+            return circuit.get<VSource>(device).wave().value(0.0);
+        }
+        break;
+    case DeviceKind::isource:
+        if (key == "DC") {
+            return circuit.get<ISource>(device).wave().value(0.0);
+        }
+        break;
+    case DeviceKind::noise_source:
+        if (key == "SIGMA") {
+            return circuit.get<NoiseCurrentSource>(device).sigma();
+        }
+        break;
+    case DeviceKind::rtd: {
+        RtdParams p = circuit.get<Rtd>(device).params();
+        if (const double* slot = rtd_slot(p, key)) {
+            return *slot;
+        }
+        break;
+    }
+    default:
+        break;
+    }
+    bad_param(dev, param);
+}
+
+} // namespace nanosim::runtime

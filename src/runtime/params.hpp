@@ -1,0 +1,35 @@
+// Nano-Sim — named device-parameter access for sweep campaigns.
+//
+// A sweep axis names its target as "<device>:<param>" (e.g. "RTD1:A",
+// "R1:R", "V1:DC").  This translation layer resolves the device by name,
+// dispatches on its kind, and applies the value through the device's
+// mutation API — the single place the orchestration layer needs to know
+// about concrete device types.  Mutation happens strictly *between* runs
+// (devices stay stateless evaluators while simulating); callers must
+// rebuild the MnaAssembler afterwards.
+#ifndef NANOSIM_RUNTIME_PARAMS_HPP
+#define NANOSIM_RUNTIME_PARAMS_HPP
+
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace nanosim::runtime {
+
+/// Set one named parameter.  Parameter names are case-insensitive.
+/// Supported: resistor R, capacitor C, inductor L, V/I-source DC,
+/// noise-source SIGMA, RTD A/B/C/D/N1/N2/H/TEMP.  Throws NetlistError
+/// for an unknown device or unsupported parameter, AnalysisError for an
+/// out-of-range value.
+void set_device_param(Circuit& circuit, const std::string& device,
+                      const std::string& param, double value);
+
+/// Read the current value of a parameter settable above.  For sources
+/// "DC" reads the stimulus value at t = 0.
+[[nodiscard]] double get_device_param(const Circuit& circuit,
+                                      const std::string& device,
+                                      const std::string& param);
+
+} // namespace nanosim::runtime
+
+#endif // NANOSIM_RUNTIME_PARAMS_HPP

@@ -1,0 +1,64 @@
+#include "runtime/thread_pool.hpp"
+
+#include <exception>
+
+namespace nanosim::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+    const int n = threads > 0 ? threads : ExecutionPolicy{}.resolved();
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping_ and nothing left to run
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures any exception into the future
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(pool.submit([&body, i]() { body(i); }));
+    }
+    std::exception_ptr first;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) {
+                first = std::current_exception();
+            }
+        }
+    }
+    if (first) {
+        std::rethrow_exception(first);
+    }
+}
+
+} // namespace nanosim::runtime

@@ -1,0 +1,49 @@
+// Nano-Sim — deterministic per-job RNG stream derivation.
+//
+// Parallel ensembles must be bit-reproducible regardless of thread count
+// and interleaving, so worker threads can never share one Rng.  A
+// SeedSequence derives an independent seed for job k purely from
+// (base_seed, k) with a counter-based SplitMix64 mix — no hidden state,
+// no draw-order dependence — so job k sees the same stream whether the
+// ensemble runs on 1 thread or 64, and streams for distinct k are
+// decorrelated (SplitMix64 is a bijective avalanche mix; consecutive
+// counters land far apart).
+#ifndef NANOSIM_STOCHASTIC_SEED_SEQUENCE_HPP
+#define NANOSIM_STOCHASTIC_SEED_SEQUENCE_HPP
+
+#include <cstdint>
+
+#include "stochastic/rng.hpp"
+
+namespace nanosim::stochastic {
+
+/// Derives independent child seeds/streams from one base seed.
+class SeedSequence {
+public:
+    explicit SeedSequence(std::uint64_t base_seed) noexcept
+        : base_(base_seed) {}
+
+    [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_; }
+
+    /// Seed of stream `k` — a pure function of (base_seed, k).
+    [[nodiscard]] std::uint64_t stream_seed(std::uint64_t k) const noexcept {
+        // SplitMix64 (Steele, Lea & Flood 2014) applied to the k-th
+        // golden-ratio increment of the base seed.
+        std::uint64_t z = base_ + (k + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// A fresh Rng positioned at the start of stream `k`.
+    [[nodiscard]] Rng stream(std::uint64_t k) const noexcept {
+        return Rng(stream_seed(k));
+    }
+
+private:
+    std::uint64_t base_;
+};
+
+} // namespace nanosim::stochastic
+
+#endif // NANOSIM_STOCHASTIC_SEED_SEQUENCE_HPP

@@ -1,0 +1,360 @@
+// Tests for the runtime orchestration subsystem: ThreadPool semantics
+// (results, exception propagation, clean shutdown), deterministic
+// SeedSequence streams, parameter access, sweep campaigns, and the
+// headline reproducibility contract — parallel ensembles are
+// bit-identical regardless of thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/ref_circuits.hpp"
+#include "core/simulator.hpp"
+#include "engines/parallel.hpp"
+#include "runtime/runtime.hpp"
+#include "stochastic/seed_sequence.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsValue) {
+    runtime::ThreadPool pool(2);
+    auto f = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ZeroTaskShutdown) {
+    // Construct + destroy without submitting anything: must not hang.
+    { runtime::ThreadPool pool(4); }
+    { runtime::ThreadPool pool(1); }
+    SUCCEED();
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+    runtime::ThreadPool pool(2);
+    auto f = pool.submit([]() -> int {
+        throw AnalysisError("boom from worker");
+    });
+    EXPECT_THROW(f.get(), AnalysisError);
+    // The pool survives a throwing task.
+    auto g = pool.submit([]() { return 1; });
+    EXPECT_EQ(g.get(), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndex) {
+    runtime::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    runtime::parallel_for(pool, hits.size(),
+                          [&](std::size_t i) { hits[i] += 1; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroTasksIsNoop) {
+    runtime::ThreadPool pool(2);
+    runtime::parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+    runtime::ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        runtime::parallel_for(pool, 16, [&](std::size_t i) {
+            if (i == 3 || i == 7) {
+                throw AnalysisError("task " + std::to_string(i));
+            }
+            completed += 1;
+        });
+        FAIL() << "expected AnalysisError";
+    } catch (const AnalysisError& e) {
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+    // Every non-throwing task still ran.
+    EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(ExecutionPolicy, Resolution) {
+    EXPECT_EQ(runtime::ExecutionPolicy{3}.resolved(), 3);
+    EXPECT_GE(runtime::ExecutionPolicy{0}.resolved(), 1);
+}
+
+// ---- SeedSequence ------------------------------------------------------
+
+TEST(SeedSequence, StreamsAreDeterministicAndDistinct) {
+    const stochastic::SeedSequence a(42);
+    const stochastic::SeedSequence b(42);
+    EXPECT_EQ(a.stream_seed(0), b.stream_seed(0));
+    EXPECT_EQ(a.stream_seed(123456), b.stream_seed(123456));
+    EXPECT_NE(a.stream_seed(0), a.stream_seed(1));
+    EXPECT_NE(stochastic::SeedSequence(1).stream_seed(0),
+              stochastic::SeedSequence(2).stream_seed(0));
+}
+
+TEST(SeedSequence, StreamRngsMatchTheirSeeds) {
+    const stochastic::SeedSequence seq(7);
+    stochastic::Rng direct(seq.stream_seed(5));
+    stochastic::Rng stream = seq.stream(5);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(stream.gauss(), direct.gauss());
+    }
+}
+
+// ---- parameter access --------------------------------------------------
+
+TEST(Params, SetAndGetAcrossDeviceKinds) {
+    auto deck = parse_deck("* params\n"
+                           "V1 in 0 DC 2\n"
+                           "R1 in out 1k\n"
+                           "C1 out 0 1n\n"
+                           "RTD1 out 0\n"
+                           "NOISE1 out 0 1e-9\n"
+                           ".end\n");
+    Circuit& ckt = deck.circuit;
+    runtime::set_device_param(ckt, "R1", "R", 2e3);
+    EXPECT_DOUBLE_EQ(runtime::get_device_param(ckt, "R1", "r"), 2e3);
+    runtime::set_device_param(ckt, "C1", "value", 2e-9);
+    EXPECT_DOUBLE_EQ(runtime::get_device_param(ckt, "C1", "C"), 2e-9);
+    runtime::set_device_param(ckt, "V1", "dc", 3.5);
+    EXPECT_DOUBLE_EQ(runtime::get_device_param(ckt, "V1", "DC"), 3.5);
+    runtime::set_device_param(ckt, "RTD1", "a", 5e-4);
+    EXPECT_DOUBLE_EQ(runtime::get_device_param(ckt, "RTD1", "A"), 5e-4);
+    runtime::set_device_param(ckt, "NOISE1", "sigma", 2e-9);
+    EXPECT_DOUBLE_EQ(runtime::get_device_param(ckt, "NOISE1", "SIGMA"), 2e-9);
+
+    EXPECT_THROW(runtime::set_device_param(ckt, "R9", "R", 1.0),
+                 NetlistError);
+    EXPECT_THROW(runtime::set_device_param(ckt, "R1", "bogus", 1.0),
+                 NetlistError);
+    EXPECT_THROW(runtime::set_device_param(ckt, "R1", "R", -1.0),
+                 AnalysisError);
+}
+
+// ---- JobPlan / axes ----------------------------------------------------
+
+TEST(JobPlan, AxisValuesAndParsing) {
+    const auto axis = runtime::parse_param_axis("RTD1:A=1e-4:2e-4:11");
+    EXPECT_EQ(axis.device, "RTD1");
+    EXPECT_EQ(axis.param, "A");
+    const auto values = axis.values();
+    ASSERT_EQ(values.size(), 11u);
+    EXPECT_DOUBLE_EQ(values.front(), 1e-4);
+    EXPECT_DOUBLE_EQ(values.back(), 2e-4);
+    EXPECT_NEAR(values[5], 1.5e-4, 1e-12);
+
+    // Engineering suffixes come from the netlist value parser.
+    const auto eng = runtime::parse_param_axis("R1:R=1k:2k:3");
+    EXPECT_DOUBLE_EQ(eng.start, 1e3);
+    EXPECT_DOUBLE_EQ(eng.stop, 2e3);
+
+    EXPECT_THROW(runtime::parse_param_axis("nonsense"), NetlistError);
+    EXPECT_THROW(runtime::parse_param_axis("R1:R=1:2"), NetlistError);
+    EXPECT_THROW(runtime::parse_param_axis("R1:R=1:2:0"), NetlistError);
+    EXPECT_THROW(runtime::parse_param_axis(":R=1:2:3"), NetlistError);
+}
+
+TEST(JobPlan, CartesianGridRowMajorLastAxisFastest) {
+    runtime::JobPlan plan;
+    plan.add_axis({"A", "P", 0.0, 1.0, 2});
+    plan.add_axis({"B", "Q", 0.0, 2.0, 3});
+    ASSERT_EQ(plan.size(), 6u);
+    EXPECT_EQ(plan.point(0), (std::vector<double>{0.0, 0.0}));
+    EXPECT_EQ(plan.point(1), (std::vector<double>{0.0, 1.0}));
+    EXPECT_EQ(plan.point(2), (std::vector<double>{0.0, 2.0}));
+    EXPECT_EQ(plan.point(3), (std::vector<double>{1.0, 0.0}));
+    EXPECT_EQ(plan.point(5), (std::vector<double>{1.0, 2.0}));
+    EXPECT_THROW(plan.point(6), AnalysisError);
+}
+
+TEST(JobPlan, EmptyPlanIsOnePoint) {
+    const runtime::JobPlan plan;
+    EXPECT_EQ(plan.size(), 1u);
+    EXPECT_TRUE(plan.point(0).empty());
+}
+
+// ---- sweep campaigns ---------------------------------------------------
+
+constexpr const char* k_divider_deck =
+    "* resistive divider\n"
+    "V1 in 0 DC 2\n"
+    "R1 in out 1k\n"
+    "R2 out 0 1k\n"
+    ".op\n"
+    ".end\n";
+
+TEST(SweepCampaign, ResistorDividerMatchesAnalytic) {
+    const Simulator sim = Simulator::from_deck(k_divider_deck);
+    runtime::JobPlan plan;
+    plan.add_axis(runtime::parse_param_axis("R2:R=1k:3k:3"));
+    runtime::CampaignOptions options;
+    options.policy.threads = 2;
+    const auto result = sim.sweep(plan, options);
+
+    ASSERT_EQ(result.rows.size(), 3u);
+    EXPECT_EQ(result.failures(), 0u);
+    const std::size_t m = result.metric_index("op.v(out)");
+    for (const auto& row : result.rows) {
+        const double r2 = row.params[0];
+        EXPECT_NEAR(row.metrics[m], 2.0 * r2 / (1e3 + r2), 1e-6)
+            << "R2 = " << r2;
+    }
+
+    // 1-D metric waveform rides the swept parameter.
+    const auto wave = result.metric_wave("op.v(out)");
+    ASSERT_EQ(wave.size(), 3u);
+    EXPECT_DOUBLE_EQ(wave.time_at(0), 1e3);
+    EXPECT_DOUBLE_EQ(wave.time_at(2), 3e3);
+
+    // CSV round-trips the schema.
+    std::ostringstream csv;
+    result.write_csv(csv);
+    EXPECT_NE(csv.str().find("R2:R,ok,op.v(in),op.v(out)"),
+              std::string::npos);
+}
+
+TEST(SweepCampaign, DescendingAxisStillYieldsMetricWave) {
+    const Simulator sim = Simulator::from_deck(k_divider_deck);
+    runtime::JobPlan plan;
+    plan.add_axis(runtime::parse_param_axis("R2:R=3k:1k:3")); // high -> low
+    const auto result = sim.sweep(plan);
+    EXPECT_EQ(result.failures(), 0u);
+    const auto wave = result.metric_wave("op.v(out)");
+    ASSERT_EQ(wave.size(), 3u);
+    EXPECT_DOUBLE_EQ(wave.time_at(0), 1e3); // reordered ascending
+    EXPECT_DOUBLE_EQ(wave.time_at(2), 3e3);
+}
+
+TEST(SweepCampaign, PerJobFailuresAreCapturedNotThrown) {
+    const Simulator sim = Simulator::from_deck(k_divider_deck);
+    runtime::JobPlan plan;
+    // -1k and 0 are invalid resistances: those rows fail, 1k succeeds.
+    plan.add_axis(runtime::parse_param_axis("R2:R=-1k:1k:3"));
+    const auto result = sim.sweep(plan);
+    ASSERT_EQ(result.rows.size(), 3u);
+    EXPECT_EQ(result.failures(), 2u);
+    EXPECT_FALSE(result.rows[0].ok);
+    EXPECT_FALSE(result.rows[0].error.empty());
+    EXPECT_TRUE(result.rows[2].ok);
+}
+
+TEST(SweepCampaign, IdenticalResultsForAnyThreadCount) {
+    const Simulator sim = Simulator::from_deck(k_divider_deck);
+    runtime::JobPlan plan;
+    plan.add_axis(runtime::parse_param_axis("R2:R=0.5k:4k:8"));
+    runtime::CampaignOptions serial;
+    serial.policy.threads = 1;
+    runtime::CampaignOptions wide;
+    wide.policy.threads = 8;
+    const auto a = sim.sweep(plan, serial);
+    const auto b = sim.sweep(plan, wide);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].metrics, b.rows[i].metrics);
+    }
+}
+
+TEST(SweepCampaign, ProgrammaticCircuitNeedsFactory) {
+    const Simulator sim{refckt::rc_lowpass()};
+    EXPECT_THROW((void)sim.sweep(runtime::JobPlan{}), AnalysisError);
+
+    // The factory-based entry point covers programmatic circuits.
+    runtime::JobPlan plan;
+    plan.add_axis({"R1", "R", 1e3, 2e3, 3});
+    const auto result = runtime::run_sweep_campaign(
+        plan, []() { return refckt::rc_lowpass(); }, {});
+    EXPECT_EQ(result.rows.size(), 3u);
+    EXPECT_EQ(result.failures(), 0u);
+}
+
+// ---- parallel ensemble reproducibility ---------------------------------
+
+TEST(ParallelMonteCarlo, RejectsDegenerateGrid) {
+    const Circuit ckt = refckt::noisy_rc();
+    const mna::MnaAssembler assembler(ckt);
+    engines::McOptions options;
+    options.runs = 1;
+    options.t_stop = 1e-9;
+    options.grid_points = 1; // would divide by zero building the grid
+    EXPECT_THROW((void)engines::run_monte_carlo_parallel(
+                     assembler, options, 1, ckt.find_node("n1"),
+                     runtime::ExecutionPolicy{1}),
+                 AnalysisError);
+}
+
+TEST(ParallelMonteCarlo, BitIdenticalAcrossThreadCounts) {
+    const Circuit ckt = refckt::noisy_rc();
+    const mna::MnaAssembler assembler(ckt);
+    engines::McOptions options;
+    options.runs = 12;
+    options.t_stop = 2e-9;
+    options.grid_points = 41;
+    const NodeId node = ckt.find_node("n1");
+
+    const auto serial = engines::run_monte_carlo_parallel(
+        assembler, options, 42, node, runtime::ExecutionPolicy{1});
+    const auto wide = engines::run_monte_carlo_parallel(
+        assembler, options, 42, node, runtime::ExecutionPolicy{8});
+
+    ASSERT_EQ(serial.grid, wide.grid);
+    EXPECT_EQ(serial.mean.value(), wide.mean.value());     // bit-identical
+    EXPECT_EQ(serial.stddev.value(), wide.stddev.value()); // bit-identical
+    EXPECT_EQ(serial.stats.peaks(), wide.stats.peaks());
+    EXPECT_EQ(serial.flops.total(), wide.flops.total());
+
+    // And a different seed actually changes the answer.
+    const auto other = engines::run_monte_carlo_parallel(
+        assembler, options, 43, node, runtime::ExecutionPolicy{8});
+    EXPECT_NE(serial.mean.value(), other.mean.value());
+}
+
+TEST(ParallelEmEnsemble, BitIdenticalAcrossThreadCounts) {
+    const Circuit ckt = refckt::noisy_rc();
+    const mna::MnaAssembler assembler(ckt);
+    engines::EmOptions options;
+    options.t_stop = 2e-9;
+    options.dt = 2e-11;
+    options.scheme = engines::EmScheme::implicit_be;
+    const engines::EmEngine engine(assembler, options);
+    const NodeId node = ckt.find_node("n1");
+
+    const auto serial = engines::run_em_ensemble_parallel(
+        engine, 16, 42, node, runtime::ExecutionPolicy{1});
+    const auto wide = engines::run_em_ensemble_parallel(
+        engine, 16, 42, node, runtime::ExecutionPolicy{8});
+
+    ASSERT_EQ(serial.grid, wide.grid);
+    EXPECT_EQ(serial.mean.value(), wide.mean.value());     // bit-identical
+    EXPECT_EQ(serial.stddev.value(), wide.stddev.value()); // bit-identical
+    EXPECT_EQ(serial.stats.peaks(), wide.stats.peaks());
+    EXPECT_EQ(serial.flops.total(), wide.flops.total());
+}
+
+TEST(ParallelEnsembleFacade, SimulatorEntryPoints) {
+    Circuit ckt = refckt::noisy_rc();
+    const Simulator sim{std::move(ckt)};
+
+    engines::EmOptions em;
+    em.t_stop = 1e-9;
+    em.dt = 2e-11;
+    em.scheme = engines::EmScheme::implicit_be;
+    const auto a = sim.ensemble(em, 8, "n1", 7, runtime::ExecutionPolicy{1});
+    const auto b = sim.ensemble(em, 8, "n1", 7, runtime::ExecutionPolicy{4});
+    EXPECT_EQ(a.mean.value(), b.mean.value());
+
+    engines::McOptions mc;
+    mc.runs = 4;
+    mc.t_stop = 1e-9;
+    mc.grid_points = 21;
+    const auto c =
+        sim.monte_carlo_parallel(mc, "n1", 7, runtime::ExecutionPolicy{1});
+    const auto d =
+        sim.monte_carlo_parallel(mc, "n1", 7, runtime::ExecutionPolicy{4});
+    EXPECT_EQ(c.mean.value(), d.mean.value());
+}
+
+} // namespace
+} // namespace nanosim
