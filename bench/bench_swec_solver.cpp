@@ -1,0 +1,192 @@
+// Nano-Sim bench — pattern-reusing sparse solver on RTD chains.
+//
+//   $ ./bench_swec_solver [reps] [out.json]
+//
+// Measures, on the MNA matrix of rtd_chain circuits of growing size:
+//
+//   * fresh SparseLu factorisation time (the cost the seed engines paid
+//     on EVERY accepted time point: triplet sort + symbolic DFS + pivot
+//     search + numeric sweep), vs
+//   * SparseLu::refactor() time (numeric sweep only, recorded reach sets
+//     and pivots reused) — the cost an accepted step pays now;
+//
+// and the end-to-end SWEC transient time per accepted step through
+// mna::SystemCache.  Writes BENCH_swec_solver.json with the
+// factor-vs-refactor ratio per size.
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/ref_circuits.hpp"
+#include "engines/tran_swec.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using nanosim::Circuit;
+using nanosim::linalg::SparseLu;
+using nanosim::linalg::Triplets;
+
+double us_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start)
+        .count();
+}
+
+struct SizeResult {
+    int stages = 0;
+    std::size_t unknowns = 0;
+    std::size_t nnz = 0;
+    double factor_us = 0.0;
+    double refactor_us = 0.0;
+    double ratio = 0.0;
+    int tran_steps = 0;
+    double tran_ms = 0.0;
+    double tran_us_per_step = 0.0;
+    std::size_t full_factors = 0;
+    std::size_t fast_refactors = 0;
+};
+
+/// The SWEC per-step matrix of the chain at its DC state: static G +
+/// chord conductances + C/h.
+Triplets swec_step_matrix(const nanosim::mna::MnaAssembler& assembler,
+                          double h) {
+    const auto nl = assembler.nonlinear_devices().size();
+    const std::vector<double> geq(nl, 1e-3); // representative chord value
+    Triplets a = assembler.static_g();
+    assembler.add_time_varying_stamps(0.0, a);
+    assembler.add_swec_stamps(geq, a);
+    for (const auto& e : assembler.c_triplets().entries()) {
+        a.add(e.row, e.col, e.value / h);
+    }
+    return a;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int reps = argc > 1 ? std::stoi(argv[1]) : 200;
+    const std::string out_path =
+        argc > 2 ? argv[2] : std::string("BENCH_swec_solver.json");
+
+    nanosim::bench::banner(
+        "swec solver",
+        "symbolic/numeric split: fresh LU factor vs pattern-reusing "
+        "refactor on RTD chains");
+
+    const std::vector<int> sizes{100, 200, 400, 800};
+    std::vector<SizeResult> results;
+
+    for (const int stages : sizes) {
+        nanosim::refckt::ChainSpec spec;
+        spec.stages = stages;
+        Circuit ckt = nanosim::refckt::rtd_chain(spec);
+        const nanosim::mna::MnaAssembler assembler(ckt);
+
+        SizeResult r;
+        r.stages = stages;
+        r.unknowns = static_cast<std::size_t>(assembler.unknowns());
+
+        const double h = 1e-10;
+        const Triplets a = swec_step_matrix(assembler, h);
+
+        // Fresh factorisation — the seed's per-step cost.
+        auto t0 = Clock::now();
+        for (int i = 0; i < reps; ++i) {
+            const SparseLu lu(a);
+        }
+        r.factor_us = us_since(t0) / reps;
+
+        // Pattern-reusing refactor — the per-step cost now.  Values are
+        // fed in cached pattern order (what SystemCache does) and nudged
+        // each rep so the work is not value-degenerate.
+        SparseLu lu(a);
+        r.nnz = lu.pattern_nnz();
+        std::vector<double> values(lu.pattern_nnz(), 0.0);
+        {
+            const auto dense = a.to_dense();
+            const auto& cp = lu.pattern_col_ptr();
+            const auto& ri = lu.pattern_row_idx();
+            for (std::size_t c = 0; c < r.unknowns; ++c) {
+                for (std::size_t p = cp[c]; p < cp[c + 1]; ++p) {
+                    values[p] = dense(ri[p], c);
+                }
+            }
+        }
+        t0 = Clock::now();
+        for (int i = 0; i < reps; ++i) {
+            for (double& v : values) {
+                v *= 1.0 + 1e-9; // chord values drift step to step
+            }
+            (void)lu.refactor(std::span<const double>(values));
+        }
+        r.refactor_us = us_since(t0) / reps;
+        r.ratio = r.factor_us / r.refactor_us;
+
+        // End-to-end SWEC transient through the cached system.
+        nanosim::engines::SwecTranOptions opt;
+        opt.t_stop = 20e-9;
+        t0 = Clock::now();
+        const auto tran = nanosim::engines::run_tran_swec(assembler, opt);
+        r.tran_ms = us_since(t0) / 1000.0;
+        r.tran_steps = tran.steps_accepted;
+        r.tran_us_per_step = 1000.0 * r.tran_ms / tran.steps_accepted;
+        r.full_factors = tran.solver_full_factors;
+        r.fast_refactors = tran.solver_fast_refactors;
+
+        results.push_back(r);
+    }
+
+    nanosim::bench::section("per-step solver cost");
+    std::cout << std::left << std::setw(8) << "stages" << std::setw(10)
+              << "unknowns" << std::setw(9) << "nnz" << std::setw(12)
+              << "factor_us" << std::setw(13) << "refactor_us"
+              << std::setw(8) << "ratio" << std::setw(12) << "tran_us/st"
+              << std::setw(14) << "full/refast" << '\n';
+    for (const auto& r : results) {
+        std::cout << std::left << std::setw(8) << r.stages << std::setw(10)
+                  << r.unknowns << std::setw(9) << r.nnz << std::setw(12)
+                  << r.factor_us << std::setw(13) << r.refactor_us
+                  << std::setw(8) << std::setprecision(3) << r.ratio
+                  << std::setw(12) << r.tran_us_per_step << r.full_factors
+                  << "/" << r.fast_refactors << std::setprecision(6)
+                  << '\n';
+    }
+
+    bool refactor_wins = true;
+    for (const auto& r : results) {
+        refactor_wins = refactor_wins && r.refactor_us < r.factor_us;
+    }
+    std::cout << "\n  refactor strictly faster than fresh factor at every "
+                 "size: "
+              << (refactor_wins ? "yes" : "NO — REGRESSION") << '\n';
+
+    std::ofstream json(out_path);
+    json << "{\n  \"bench\": \"swec_solver\",\n  \"reps\": " << reps
+         << ",\n  \"refactor_strictly_faster\": "
+         << (refactor_wins ? "true" : "false") << ",\n  \"sizes\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        json << "    {\"stages\": " << r.stages
+             << ", \"unknowns\": " << r.unknowns << ", \"nnz\": " << r.nnz
+             << ", \"factor_us\": " << r.factor_us
+             << ", \"refactor_us\": " << r.refactor_us
+             << ", \"factor_vs_refactor_ratio\": " << r.ratio
+             << ", \"tran_steps\": " << r.tran_steps
+             << ", \"tran_ms\": " << r.tran_ms
+             << ", \"tran_us_per_step\": " << r.tran_us_per_step
+             << ", \"solver_full_factors\": " << r.full_factors
+             << ", \"solver_fast_refactors\": " << r.fast_refactors << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "  wrote " << out_path << '\n';
+
+    return refactor_wins ? 0 : 1;
+}

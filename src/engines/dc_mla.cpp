@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "devices/sources.hpp"
+#include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
 #include "util/error.hpp"
 
@@ -82,6 +83,13 @@ DcResult limited_nr(const mna::MnaAssembler& assembler,
 DcResult solve_op_mla(const mna::MnaAssembler& assembler,
                       const MlaOptions& options, double t,
                       double source_scale) {
+    constexpr const char* who = "solve_op_mla";
+    require_at_least(who, "max_iterations", options.max_iterations, 1);
+    require_positive(who, "abstol", options.abstol);
+    require_non_negative(who, "reltol", options.reltol);
+    require_positive(who, "v_limit", options.v_limit);
+    require_at_least(who, "ramp_initial_steps", options.ramp_initial_steps, 1);
+    require_at_least(who, "ramp_max_halvings", options.ramp_max_halvings, 0);
     const FlopScope scope;
     // Phase 1: voltage-limited NR from the supplied guess.
     DcResult result =

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "devices/sources.hpp"
+#include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -54,6 +55,12 @@ void restore_source(Circuit& circuit, const std::string& name,
 DcResult solve_op_nr(const mna::MnaAssembler& assembler,
                      const NrOptions& options, double t,
                      double source_scale) {
+    constexpr const char* who = "solve_op_nr";
+    require_at_least(who, "max_iterations", options.max_iterations, 1);
+    require_positive(who, "abstol", options.abstol);
+    require_non_negative(who, "reltol", options.reltol);
+    require_non_negative(who, "gmin", options.gmin);
+    require_in_unit(who, "damping", options.damping);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
     DcResult result;

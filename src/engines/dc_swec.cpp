@@ -2,19 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "devices/sources.hpp"
+#include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
 
+namespace {
+
+void validate(const SwecDcOptions& o) {
+    constexpr const char* who = "solve_op_swec";
+    require_positive(who, "c_pseudo", o.c_pseudo);
+    require_positive(who, "dt_init", o.dt_init);
+    require_at_least(who, "dt_max", o.dt_max, o.dt_init);
+    require_at_least(who, "growth", o.growth, 1.0);
+    require_positive(who, "settle_tol", o.settle_tol);
+    require_at_least(who, "settle_checks", o.settle_checks, 1);
+    require_at_least(who, "max_steps", o.max_steps, 1);
+}
+
+} // namespace
+
 DcResult solve_op_swec(const mna::MnaAssembler& assembler,
                        const SwecDcOptions& options, double t,
-                       double source_scale) {
+                       double source_scale, mna::SystemCache* cache) {
+    validate(options);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
     const auto& nonlinear = assembler.nonlinear_devices();
+
+    std::optional<mna::SystemCache> local_cache;
+    if (cache == nullptr) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
+    const mna::SystemCache::Stats stats_before = cache->stats();
 
     DcResult result;
     result.x = options.initial_guess.empty()
@@ -44,19 +69,20 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         }
 
         // (G_swec + C_pt/h) x_next = C_pt/h x + b  — backward Euler with
-        // the artificial node capacitance C_pt on every node.
-        linalg::Triplets g = assembler.static_g();
-        assembler.add_time_varying_stamps(t, g);
-        assembler.add_swec_stamps(geq, g);
-        const double cg = options.c_pseudo / h;
+        // the artificial node capacitance C_pt on every node, restamped
+        // in place through the cached system.
         linalg::Vector rhs = rhs0;
+        Stamper& stamper = cache->begin(0.0, rhs);
+        assembler.stamp_time_varying_into(t, stamper);
+        assembler.stamp_swec_into(geq, stamper);
+        const double cg = options.c_pseudo / h;
         for (int node = 0; node < assembler.num_nodes(); ++node) {
             const auto r = static_cast<std::size_t>(node);
-            g.add(r, r, cg);
+            cache->add_entry(r, r, cg);
             rhs[r] += cg * result.x[r];
         }
 
-        linalg::Vector x_next = mna::solve_system(g, rhs);
+        linalg::Vector x_next = cache->solve(rhs);
         const double delta = linalg::max_abs_diff(x_next, result.x);
         result.x = std::move(x_next);
         result.iterations = step + 1;
@@ -72,6 +98,13 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         }
         h = std::min(h * options.growth, options.dt_max);
     }
+    const mna::SystemCache::Stats& stats_after = cache->stats();
+    result.solver_full_factors =
+        stats_after.full_factors - stats_before.full_factors;
+    result.solver_fast_refactors =
+        stats_after.fast_refactors - stats_before.fast_refactors;
+    result.solver_dense_solves =
+        stats_after.dense_solves - stats_before.dense_solves;
     result.flops = scope.counter();
     return result;
 }
@@ -103,18 +136,21 @@ SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
     SweepResult result;
     set_level(values.front());
     const mna::MnaAssembler assembler(circuit);
+    // One shared cache: the sweep re-solves the same structure at every
+    // point, so the symbolic analysis is paid for exactly once.
+    mna::SystemCache cache(assembler);
     SwecDcOptions opt = options;
     for (const double v : values) {
         set_level(v);
-        const DcResult point = solve_op_swec(assembler, opt);
+        const DcResult point = solve_op_swec(assembler, opt, 0.0, 1.0, &cache);
         result.values.push_back(v);
         result.solutions.push_back(point.x);
         result.converged.push_back(point.converged);
         result.total_iterations += point.iterations;
         opt.initial_guess = point.x;
         // A warm-started continuation settles fast; start the next march
-        // with a larger pseudo-step.
-        opt.dt_init = options.dt_init * 10.0;
+        // with a larger pseudo-step (clamped so the options stay valid).
+        opt.dt_init = std::min(options.dt_init * 10.0, opt.dt_max);
     }
     result.flops = scope.counter();
     return result;

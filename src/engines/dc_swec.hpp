@@ -14,6 +14,7 @@
 
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
 
 namespace nanosim::engines {
 
@@ -32,10 +33,14 @@ struct SwecDcOptions {
 
 /// Operating point by SWEC pseudo-transient.  `source_scale` multiplies
 /// independent sources.  iterations in the result counts pseudo-steps.
+/// `cache` optionally reuses a caller-owned SystemCache (and its symbolic
+/// LU analysis) across calls — dc_sweep_swec passes one for the whole
+/// sweep; nullptr makes the solve self-contained.
 [[nodiscard]] DcResult solve_op_swec(const mna::MnaAssembler& assembler,
                                      const SwecDcOptions& options = {},
                                      double t = 0.0,
-                                     double source_scale = 1.0);
+                                     double source_scale = 1.0,
+                                     mna::SystemCache* cache = nullptr);
 
 /// DC sweep with SWEC, warm-starting every point from the previous
 /// solution (the configuration of paper Fig. 7 / Table I).

@@ -1,0 +1,120 @@
+#include "engines/options_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+[[noreturn]] void fail(const char* who, const char* what,
+                       const char* must, double v) {
+    std::ostringstream os;
+    os << who << ": " << what << " must " << must << " (got " << v << ")";
+    throw AnalysisError(os.str());
+}
+
+} // namespace
+
+void require_positive(const char* who, const char* what, double v) {
+    if (!std::isfinite(v) || v <= 0.0) {
+        fail(who, what, "be positive", v);
+    }
+}
+
+void require_non_negative(const char* who, const char* what, double v) {
+    if (!std::isfinite(v) || v < 0.0) {
+        fail(who, what, "be non-negative", v);
+    }
+}
+
+void require_at_least(const char* who, const char* what, double v,
+                      double bound) {
+    if (!std::isfinite(v) || v < bound) {
+        std::ostringstream os;
+        os << who << ": " << what << " must be >= " << bound << " (got " << v
+           << ")";
+        throw AnalysisError(os.str());
+    }
+}
+
+void require_at_least(const char* who, const char* what, int v, int bound) {
+    if (v < bound) {
+        std::ostringstream os;
+        os << who << ": " << what << " must be >= " << bound << " (got " << v
+           << ")";
+        throw AnalysisError(os.str());
+    }
+}
+
+void require_ordered(const char* who, const char* what_lo,
+                     const char* what_hi, double lo, double hi) {
+    if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi)) {
+        std::ostringstream os;
+        os << who << ": need " << what_lo << " < " << what_hi << " (got "
+           << lo << " vs " << hi << ")";
+        throw AnalysisError(os.str());
+    }
+}
+
+void require_in_unit(const char* who, const char* what, double v, double hi) {
+    if (!std::isfinite(v) || v <= 0.0 || v > hi) {
+        std::ostringstream os;
+        os << who << ": " << what << " must be in (0, " << hi << "] (got "
+           << v << ")";
+        throw AnalysisError(os.str());
+    }
+}
+
+StepLimits resolve_step_limits(const char* who, double t_stop, double dt_init,
+                               double dt_min, double dt_max) {
+    require_positive(who, "t_stop", t_stop);
+    require_non_negative(who, "dt_init", dt_init);
+    require_non_negative(who, "dt_min", dt_min);
+    require_non_negative(who, "dt_max", dt_max);
+
+    const bool explicit_init = dt_init > 0.0;
+    const bool explicit_min = dt_min > 0.0;
+    const bool explicit_max = dt_max > 0.0;
+
+    StepLimits s;
+    s.t_stop = t_stop;
+    s.dt_init = explicit_init ? dt_init : t_stop / 1000.0;
+    // Defaulted bounds widen to bracket an explicit dt_init; explicit
+    // bounds are taken at face value and checked below.
+    s.dt_max = explicit_max ? dt_max : std::max(t_stop / 50.0, s.dt_init);
+    s.dt_min = explicit_min ? dt_min : std::min(t_stop * 1e-9, s.dt_init);
+    // Defaulted bounds also bracket the *other* explicit bound, so only
+    // explicitly inconsistent combinations reach the checks below.
+    if (!explicit_max && explicit_min) {
+        s.dt_max = std::max(s.dt_max, s.dt_min);
+    }
+    if (!explicit_min && explicit_max) {
+        s.dt_min = std::min(s.dt_min, s.dt_max);
+    }
+
+    // Ordering check must precede the clamp below: std::clamp with
+    // lo > hi is undefined behaviour.
+    if (s.dt_min > s.dt_max) {
+        std::ostringstream os;
+        os << who << ": need dt_min <= dt_max (got " << s.dt_min << " > "
+           << s.dt_max << ")";
+        throw AnalysisError(os.str());
+    }
+    if (!explicit_init) {
+        s.dt_init = std::clamp(s.dt_init, s.dt_min, s.dt_max);
+    }
+    if (s.dt_init < s.dt_min || s.dt_init > s.dt_max) {
+        std::ostringstream os;
+        os << who << ": need dt_min <= dt_init <= dt_max (got dt_init "
+           << s.dt_init << " outside [" << s.dt_min << ", " << s.dt_max
+           << "])";
+        throw AnalysisError(os.str());
+    }
+    return s;
+}
+
+} // namespace nanosim::engines

@@ -1,0 +1,59 @@
+// Nano-Sim — centralized validation of engine option structs.
+//
+// Every engine used to hand-roll its own option checks, and they drifted:
+// SWEC validated eps but not geq_floor, NR validated nothing beyond
+// t_stop, the DC engines validated nothing at all.  The helpers here give
+// one vocabulary for range checks (throwing AnalysisError with a
+// consistent "<who>: <what> ..." message) and one resolver for the
+// dt_min <= dt_init <= dt_max block shared by all transient engines.
+#ifndef NANOSIM_ENGINES_OPTIONS_COMMON_HPP
+#define NANOSIM_ENGINES_OPTIONS_COMMON_HPP
+
+namespace nanosim::engines {
+
+/// Validated and defaulted transient step limits.
+struct StepLimits {
+    double t_stop = 0.0;
+    double dt_init = 0.0;
+    double dt_min = 0.0;
+    double dt_max = 0.0;
+};
+
+/// Resolve the common transient time-step option block.
+///
+///  * t_stop must be finite and > 0;
+///  * dt_init / dt_min / dt_max: 0 means "use the engine default"
+///    (t_stop/1000, t_stop*1e-9, t_stop/50); negative or non-finite
+///    values throw;
+///  * defaulted bounds widen to bracket explicit values (an explicit
+///    dt_init above the default ceiling raises the ceiling), but
+///    *explicitly* inconsistent combinations (dt_min > dt_max,
+///    dt_init outside [dt_min, dt_max]) throw AnalysisError.
+[[nodiscard]] StepLimits resolve_step_limits(const char* who, double t_stop,
+                                             double dt_init, double dt_min,
+                                             double dt_max);
+
+/// Throw AnalysisError unless v is finite and > 0.
+void require_positive(const char* who, const char* what, double v);
+
+/// Throw AnalysisError unless v is finite and >= 0.
+void require_non_negative(const char* who, const char* what, double v);
+
+/// Throw AnalysisError unless v is finite and >= bound.
+void require_at_least(const char* who, const char* what, double v,
+                      double bound);
+
+/// Throw AnalysisError unless v >= bound.
+void require_at_least(const char* who, const char* what, int v, int bound);
+
+/// Throw AnalysisError unless finite lo < hi.
+void require_ordered(const char* who, const char* what_lo,
+                     const char* what_hi, double lo, double hi);
+
+/// Throw AnalysisError unless v is finite and in (0, hi].
+void require_in_unit(const char* who, const char* what, double v,
+                     double hi = 1.0);
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_OPTIONS_COMMON_HPP

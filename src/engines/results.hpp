@@ -20,6 +20,12 @@ struct DcResult {
     int iterations = 0;          ///< NR iterations (or SWEC pseudo-steps)
     double residual = 0.0;       ///< final update norm
     FlopCounter flops;           ///< work spent in this solve
+    /// Cached-solver instrumentation (mna::SystemCache): full symbolic
+    /// factorisations vs. pattern-reusing refactors vs. dense-path solves
+    /// spent inside this analysis (all zero on non-cached engines).
+    std::size_t solver_full_factors = 0;
+    std::size_t solver_fast_refactors = 0;
+    std::size_t solver_dense_solves = 0;
     /// Iterate history (filled when options.record_trace is set);
     /// trace[k] is the unknown vector after iteration k.
     std::vector<linalg::Vector> trace;
@@ -61,6 +67,12 @@ struct TranResult {
     double max_local_error = 0.0;
     double avg_local_error = 0.0;
     FlopCounter flops;
+    /// Cached-solver instrumentation (mna::SystemCache): the accepted-step
+    /// loop should show full_factors == 1 and fast_refactors ~ steps on
+    /// the sparse path (dense_solves ~ steps below the dense threshold).
+    std::size_t solver_full_factors = 0;
+    std::size_t solver_fast_refactors = 0;
+    std::size_t solver_dense_solves = 0;
 
     /// Waveform of a node by name (throws NetlistError if unknown).
     [[nodiscard]] const analysis::Waveform&

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "engines/dc_nr.hpp"
+#include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
+#include "mna/system_cache.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -13,19 +15,18 @@ namespace nanosim::engines {
 namespace {
 
 NrTranOptions resolve(const NrTranOptions& in) {
+    constexpr const char* who = "run_tran_nr";
     NrTranOptions o = in;
-    if (o.t_stop <= 0.0) {
-        throw AnalysisError("run_tran_nr: t_stop must be positive");
-    }
-    if (o.dt_init <= 0.0) {
-        o.dt_init = o.t_stop / 1000.0;
-    }
-    if (o.dt_min <= 0.0) {
-        o.dt_min = o.t_stop * 1e-9;
-    }
-    if (o.dt_max <= 0.0) {
-        o.dt_max = o.t_stop / 50.0;
-    }
+    const StepLimits s =
+        resolve_step_limits(who, o.t_stop, o.dt_init, o.dt_min, o.dt_max);
+    o.dt_init = s.dt_init;
+    o.dt_min = s.dt_min;
+    o.dt_max = s.dt_max;
+    require_at_least(who, "max_nr_iterations", o.max_nr_iterations, 1);
+    require_positive(who, "abstol", o.abstol);
+    require_non_negative(who, "reltol", o.reltol);
+    require_positive(who, "lte_tol", o.lte_tol);
+    require_at_least(who, "max_halvings", o.max_halvings, 0);
     return o;
 }
 
@@ -38,6 +39,7 @@ struct StepSolve {
 };
 
 StepSolve solve_companion(const mna::MnaAssembler& assembler,
+                          mna::SystemCache& cache,
                           const NrTranOptions& options,
                           const linalg::Vector& x_n,
                           const linalg::Vector& x_guess, double t_next,
@@ -57,14 +59,11 @@ StepSolve solve_companion(const mna::MnaAssembler& assembler,
     }
 
     for (int it = 0; it < options.max_nr_iterations; ++it) {
-        linalg::Triplets a = assembler.static_g();
-        assembler.add_time_varying_stamps(t_next, a);
         linalg::Vector rhs = rhs_const;
-        assembler.add_nr_stamps(out.x, a, rhs);
-        for (const auto& e : assembler.c_triplets().entries()) {
-            a.add(e.row, e.col, e.value / h);
-        }
-        linalg::Vector x_new = mna::solve_system(a, rhs);
+        Stamper& stamper = cache.begin(1.0 / h, rhs);
+        assembler.stamp_time_varying_into(t_next, stamper);
+        assembler.stamp_nr_into(out.x, stamper);
+        linalg::Vector x_new = cache.solve(rhs);
         const double delta = linalg::max_abs_diff(x_new, out.x);
         const double scale = std::max(linalg::norm_inf(x_new), 1.0);
         out.x = std::move(x_new);
@@ -132,6 +131,13 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
     const mna::MnaAssembler::NoiseRealization* noise =
         options.noise.empty() ? nullptr : &options.noise;
 
+    // Cached per-step system shared by every NR iteration of every step:
+    // the companion pattern is fixed, so only values are restamped and the
+    // symbolic LU analysis is reused.
+    mna::SystemCache cache(assembler);
+    // Static G compressed once for the trapezoidal (linear-only) rhs.
+    const linalg::CsrMatrix static_g_csr(assembler.static_g());
+
     double t = 0.0;
     record(t, x);
     linalg::Vector x_older = x; // for the forward-Euler predictor
@@ -174,25 +180,21 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         while (true) {
             if (options.method == Integration::backward_euler ||
                 !assembler.nonlinear_devices().empty()) {
-                step = solve_companion(assembler, options, x, x_pred,
+                step = solve_companion(assembler, cache, options, x, x_pred,
                                        t + h, h, noise);
             } else {
                 // Trapezoidal (linear only):
                 // (G + 2C/h) x_{n+1} = b(t_{n+1}) + b(t_n)
                 //                      + (2C/h) x_n - G x_n.
-                linalg::Triplets a = assembler.static_g();
                 linalg::Vector rhs = assembler.rhs(t + h, noise);
                 const linalg::Vector rhs_n = assembler.rhs(t, noise);
-                const linalg::CsrMatrix g_csr(assembler.static_g());
-                const linalg::Vector gx = g_csr.multiply(x);
+                const linalg::Vector gx = static_g_csr.multiply(x);
                 const linalg::Vector cx = assembler.c_csr().multiply(x);
                 for (std::size_t i = 0; i < n; ++i) {
                     rhs[i] += rhs_n[i] + 2.0 * cx[i] / h - gx[i];
                 }
-                for (const auto& e : assembler.c_triplets().entries()) {
-                    a.add(e.row, e.col, 2.0 * e.value / h);
-                }
-                step.x = mna::solve_system(a, rhs);
+                (void)cache.begin(2.0 / h, rhs); // no dynamic stamps
+                step.x = cache.solve(rhs);
                 step.converged = true;
                 step.iterations = 1;
             }
@@ -249,6 +251,9 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         }
     }
 
+    result.solver_full_factors = cache.stats().full_factors;
+    result.solver_fast_refactors = cache.stats().fast_refactors;
+    result.solver_dense_solves = cache.stats().dense_solves;
     result.flops = scope.counter();
     return result;
 }

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "devices/mosfet.hpp"
+#include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
+#include "mna/system_cache.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
@@ -12,22 +14,17 @@ namespace nanosim::engines {
 namespace {
 
 PwlTranOptions resolve(const PwlTranOptions& in) {
+    constexpr const char* who = "run_tran_pwl";
     PwlTranOptions o = in;
-    if (o.t_stop <= 0.0) {
-        throw AnalysisError("run_tran_pwl: t_stop must be positive");
-    }
-    if (o.dt_init <= 0.0) {
-        o.dt_init = o.t_stop / 1000.0;
-    }
-    if (o.dt_min <= 0.0) {
-        o.dt_min = o.t_stop * 1e-9;
-    }
-    if (o.dt_max <= 0.0) {
-        o.dt_max = o.t_stop / 50.0;
-    }
-    if (o.segments < 2 || !(o.v_max > o.v_min)) {
-        throw AnalysisError("run_tran_pwl: bad segment table options");
-    }
+    const StepLimits s =
+        resolve_step_limits(who, o.t_stop, o.dt_init, o.dt_min, o.dt_max);
+    o.dt_init = s.dt_init;
+    o.dt_min = s.dt_min;
+    o.dt_max = s.dt_max;
+    require_at_least(who, "segments", o.segments, 2);
+    require_ordered(who, "v_min", "v_max", o.v_min, o.v_max);
+    require_at_least(who, "max_segment_iters", o.max_segment_iters, 1);
+    require_at_least(who, "max_halvings", o.max_halvings, 0);
     return o;
 }
 
@@ -135,6 +132,11 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
     const mna::MnaAssembler::NoiseRealization* noise =
         options.noise.empty() ? nullptr : &options.noise;
 
+    // Cached per-step system: the PWL Norton stamps always land on the
+    // same (drain, source) / (pos, neg) coordinates, so every segment
+    // iteration is an in-place restamp + pattern-reusing solve.
+    mna::SystemCache cache(assembler);
+
     // Segment fixed-point solve of one companion system.  `h <= 0` means
     // DC (no C/h companion).  Returns convergence of the assignment.
     auto segment_solve = [&](const linalg::Vector& x_n, double t, double h,
@@ -147,33 +149,22 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         linalg::Vector x_cur = x_n;
         for (int it = 0; it < options.max_segment_iters; ++it) {
             iters = it + 1;
-            linalg::Triplets a = assembler.static_g();
-            assembler.add_time_varying_stamps(t, a);
             linalg::Vector rhs = assembler.rhs(t, noise);
-            {
-                mna::MnaBuilder builder(assembler.num_nodes(),
-                                        assembler.num_branches());
-                const NodeVoltages vc = assembler.view(x_cur);
-                for (std::size_t k = 0; k < pwl.size(); ++k) {
-                    pwl[k].stamp(builder, seg[k], pwl[k].gate_voltage(vc));
-                }
-                for (const auto& e : builder.g().entries()) {
-                    a.add(e.row, e.col, e.value);
-                }
-                for (std::size_t i = 0; i < n; ++i) {
-                    rhs[i] += builder.rhs()[i];
-                }
-            }
             if (h > 0.0) {
                 linalg::Vector cx = assembler.c_csr().multiply(x_n);
                 for (std::size_t i = 0; i < n; ++i) {
                     rhs[i] += cx[i] / h;
                 }
-                for (const auto& e : assembler.c_triplets().entries()) {
-                    a.add(e.row, e.col, e.value / h);
+            }
+            Stamper& stamper = cache.begin(h > 0.0 ? 1.0 / h : 0.0, rhs);
+            assembler.stamp_time_varying_into(t, stamper);
+            {
+                const NodeVoltages vc = assembler.view(x_cur);
+                for (std::size_t k = 0; k < pwl.size(); ++k) {
+                    pwl[k].stamp(stamper, seg[k], pwl[k].gate_voltage(vc));
                 }
             }
-            x_cur = mna::solve_system(a, rhs);
+            x_cur = cache.solve(rhs);
 
             // Re-derive the assignment; stable assignment = converged.
             const NodeVoltages vc = assembler.view(x_cur);
@@ -278,6 +269,9 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         h = std::min(h * 1.5, options.dt_max);
     }
 
+    result.solver_full_factors = cache.stats().full_factors;
+    result.solver_fast_refactors = cache.stats().fast_refactors;
+    result.solver_dense_solves = cache.stats().dense_solves;
     result.flops = scope.counter();
     return result;
 }

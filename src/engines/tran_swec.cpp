@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "engines/dc_swec.hpp"
+#include "engines/options_common.hpp"
 #include "engines/step_control.hpp"
 #include "linalg/vecops.hpp"
+#include "mna/system_cache.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -13,24 +15,18 @@ namespace nanosim::engines {
 
 namespace {
 
-/// Fill defaults derived from t_stop.
+/// Validate and fill defaults derived from t_stop.
 SwecTranOptions resolve(const SwecTranOptions& in) {
+    constexpr const char* who = "run_tran_swec";
     SwecTranOptions o = in;
-    if (o.t_stop <= 0.0) {
-        throw AnalysisError("run_tran_swec: t_stop must be positive");
-    }
-    if (o.dt_init <= 0.0) {
-        o.dt_init = o.t_stop / 1000.0;
-    }
-    if (o.dt_min <= 0.0) {
-        o.dt_min = o.t_stop * 1e-9;
-    }
-    if (o.dt_max <= 0.0) {
-        o.dt_max = o.t_stop / 50.0;
-    }
-    if (o.eps <= 0.0 || o.growth_limit < 1.0) {
-        throw AnalysisError("run_tran_swec: need eps > 0, growth >= 1");
-    }
+    const StepLimits s =
+        resolve_step_limits(who, o.t_stop, o.dt_init, o.dt_min, o.dt_max);
+    o.dt_init = s.dt_init;
+    o.dt_min = s.dt_min;
+    o.dt_max = s.dt_max;
+    require_positive(who, "eps", o.eps);
+    require_at_least(who, "growth_limit", o.growth_limit, 1.0);
+    require_non_negative(who, "geq_floor", o.geq_floor);
     return o;
 }
 
@@ -85,6 +81,11 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             static_gdiag[e.row] += e.value;
         }
     }
+
+    // Pattern-frozen per-step system: restamp values in place, reuse the
+    // symbolic LU analysis across every accepted step (the SWEC promise —
+    // one cheap numeric refactor + solve per time point).
+    mna::SystemCache cache(assembler);
 
     double t = 0.0;
     record(t, x);
@@ -179,10 +180,9 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             geq_pred[k] = std::max(g, options.geq_floor);
         }
 
-        // 4. One linear backward-Euler solve.
-        linalg::Triplets a = assembler.static_g();
-        assembler.add_time_varying_stamps(t + h, a);
-        assembler.add_swec_stamps(geq_pred, a);
+        // 4. One linear backward-Euler solve through the cached system:
+        // values restamped in place (no triplet rebuild), pattern-reusing
+        // refactor instead of a fresh symbolic factorisation.
         linalg::Vector rhs = assembler.rhs(t + h, noise);
         {
             // rhs += (C/h) x  via the cached CSR C.
@@ -190,11 +190,11 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             for (std::size_t i = 0; i < n; ++i) {
                 rhs[i] += cx[i] / h;
             }
-            for (const auto& e : assembler.c_triplets().entries()) {
-                a.add(e.row, e.col, e.value / h);
-            }
         }
-        linalg::Vector x_next = mna::solve_system(a, rhs);
+        Stamper& stamper = cache.begin(1.0 / h, rhs);
+        assembler.stamp_time_varying_into(t + h, stamper);
+        assembler.stamp_swec_into(geq_pred, stamper);
+        linalg::Vector x_next = cache.solve(rhs);
 
         // 5. Bookkeeping: eq. (10) a-posteriori error, eq. (9) slope.
         // Excluded: the first two steps (slope history not meaningful
@@ -235,6 +235,9 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         result.avg_local_error =
             local_error_sum / static_cast<double>(local_error_count);
     }
+    result.solver_full_factors = cache.stats().full_factors;
+    result.solver_fast_refactors = cache.stats().fast_refactors;
+    result.solver_dense_solves = cache.stats().dense_solves;
     result.flops = scope.counter();
     return result;
 }

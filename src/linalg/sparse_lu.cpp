@@ -14,56 +14,91 @@ namespace {
 
 constexpr std::size_t k_unassigned = std::numeric_limits<std::size_t>::max();
 
-/// Column-compressed view assembled from triplets (duplicates summed).
-struct CscView {
-    std::size_t n = 0;
-    std::vector<std::size_t> col_ptr;
-    std::vector<std::size_t> row_idx;
-    std::vector<double> values;
-    double max_abs = 0.0;
-
-    explicit CscView(const Triplets& t) : n(t.cols()) {
-        std::vector<Triplet> sorted = t.entries();
-        std::sort(sorted.begin(), sorted.end(),
-                  [](const Triplet& a, const Triplet& b) {
-                      return a.col != b.col ? a.col < b.col : a.row < b.row;
-                  });
-        col_ptr.assign(n + 1, 0);
-        row_idx.reserve(sorted.size());
-        values.reserve(sorted.size());
-        for (std::size_t i = 0; i < sorted.size();) {
-            const std::size_t c = sorted[i].col;
-            const std::size_t r = sorted[i].row;
-            double sum = 0.0;
-            while (i < sorted.size() && sorted[i].col == c &&
-                   sorted[i].row == r) {
-                sum += sorted[i].value;
-                ++i;
-            }
-            row_idx.push_back(r);
-            values.push_back(sum);
-            max_abs = std::max(max_abs, std::abs(sum));
-            ++col_ptr[c + 1];
-        }
-        for (std::size_t c = 0; c < n; ++c) {
-            col_ptr[c + 1] += col_ptr[c];
-        }
+/// Max |v| over a value array (0 for an empty one).
+double max_abs_value(std::span<const double> values) noexcept {
+    double m = 0.0;
+    for (const double v : values) {
+        m = std::max(m, std::abs(v));
     }
-};
+    return m;
+}
 
 } // namespace
 
-SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
+std::vector<double> SparseLu::set_pattern_from_triplets(const Triplets& a) {
     if (a.rows() != a.cols()) {
         throw SimError("SparseLu: matrix must be square");
     }
     n_ = a.rows();
-    const CscView csc(a);
-    const double tol = pivot_tol * std::max(csc.max_abs, 1e-300);
+    std::vector<Triplet> sorted = a.entries();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Triplet& x, const Triplet& y) {
+                  return x.col != y.col ? x.col < y.col : x.row < y.row;
+              });
+    col_ptr_.assign(n_ + 1, 0);
+    row_idx_.clear();
+    row_idx_.reserve(sorted.size());
+    std::vector<double> values;
+    values.reserve(sorted.size());
+    for (std::size_t i = 0; i < sorted.size();) {
+        const std::size_t c = sorted[i].col;
+        const std::size_t r = sorted[i].row;
+        double sum = 0.0;
+        while (i < sorted.size() && sorted[i].col == c && sorted[i].row == r) {
+            sum += sorted[i].value;
+            ++i;
+        }
+        row_idx_.push_back(r);
+        values.push_back(sum);
+        ++col_ptr_[c + 1];
+    }
+    for (std::size_t c = 0; c < n_; ++c) {
+        col_ptr_[c + 1] += col_ptr_[c];
+    }
+    return values;
+}
+
+SparseLu::SparseLu(const Triplets& a, double pivot_tol)
+    : pivot_tol_(pivot_tol) {
+    const std::vector<double> values = set_pattern_from_triplets(a);
+    factor_full(values);
+}
+
+SparseLu::SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
+                   std::vector<std::size_t> row_idx,
+                   std::span<const double> values, double pivot_tol)
+    : n_(n),
+      pivot_tol_(pivot_tol),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)) {
+    if (col_ptr_.size() != n_ + 1 || col_ptr_.front() != 0 ||
+        col_ptr_.back() != row_idx_.size() || values.size() != row_idx_.size()) {
+        throw SimError("SparseLu: inconsistent CSC pattern");
+    }
+    for (std::size_t c = 0; c < n_; ++c) {
+        if (col_ptr_[c + 1] < col_ptr_[c]) {
+            throw SimError("SparseLu: CSC col_ptr not monotonic");
+        }
+        for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+            if (row_idx_[p] >= n_ ||
+                (p > col_ptr_[c] && row_idx_[p] <= row_idx_[p - 1])) {
+                throw SimError("SparseLu: CSC rows must be sorted, unique "
+                               "and in range");
+            }
+        }
+    }
+    factor_full(values);
+}
+
+void SparseLu::factor_full(std::span<const double> values) {
+    const double tol = pivot_tol_ * std::max(max_abs_value(values), 1e-300);
 
     lcols_.assign(n_, {});
     ucols_.assign(n_, {});
     pinv_.assign(n_, k_unassigned);
+    pivot_row_.assign(n_, k_unassigned);
+    reach_ptr_.assign(n_ + 1, 0);
+    reach_nodes_.clear();
 
     std::vector<double> x(n_, 0.0);
     std::vector<std::size_t> mark(n_, k_unassigned); // stamp = current col
@@ -78,8 +113,8 @@ SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
     for (std::size_t j = 0; j < n_; ++j) {
         // --- Symbolic: pattern of L^{-1} A(:,j) via DFS through L. ---
         postorder.clear();
-        for (std::size_t p = csc.col_ptr[j]; p < csc.col_ptr[j + 1]; ++p) {
-            const std::size_t start = csc.row_idx[p];
+        for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+            const std::size_t start = row_idx_[p];
             if (mark[start] == j) {
                 continue;
             }
@@ -102,18 +137,22 @@ SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
                         }
                     }
                 }
-                if (!descended && (k == k_unassigned ||
-                                   child >= lcols_[k].size())) {
+                if (!descended &&
+                    (k == k_unassigned || child >= lcols_[k].size())) {
                     postorder.push_back(node);
                     dfs_stack.pop_back();
                 }
             }
         }
+        // Record the reach set so refactor() can skip this whole DFS.
+        reach_nodes_.insert(reach_nodes_.end(), postorder.begin(),
+                            postorder.end());
+        reach_ptr_[j + 1] = reach_nodes_.size();
 
         // --- Numeric: scatter A(:,j), then eliminate in topological
         // (reverse-postorder) order. ---
-        for (std::size_t p = csc.col_ptr[j]; p < csc.col_ptr[j + 1]; ++p) {
-            x[csc.row_idx[p]] += csc.values[p];
+        for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+            x[row_idx_[p]] += values[p];
         }
         for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
             const std::size_t i = *it;
@@ -152,8 +191,12 @@ SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
         }
         const double ujj = x[pivot_row];
         pinv_[pivot_row] = j;
+        pivot_row_[j] = pivot_row;
 
-        // --- Gather into L(:,j) and U(:,j); clear the work array. ---
+        // --- Gather into L(:,j) and U(:,j); clear the work array.  The
+        // full *structural* reach set is kept (exact zeros included) so
+        // the recorded pattern stays a valid superset for any later
+        // value set fed to refactor(). ---
         auto& lcol = lcols_[j];
         auto& ucol = ucols_[j];
         for (const std::size_t i : postorder) {
@@ -164,10 +207,8 @@ SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
             }
             const std::size_t k = pinv_[i];
             if (k != k_unassigned && k < j) {
-                if (xi != 0.0) {
-                    ucol.push_back(Entry{k, xi});
-                }
-            } else if (xi != 0.0) {
+                ucol.push_back(Entry{k, xi});
+            } else {
                 lcol.push_back(Entry{i, xi / ujj});
                 ++flops;
             }
@@ -175,10 +216,129 @@ SparseLu::SparseLu(const Triplets& a, double pivot_tol) {
         ucol.push_back(Entry{j, ujj}); // diagonal last by construction
     }
 
+    ++full_factors_;
     auto& counter = current_flops();
     counter.lu_factor += flops;
     counter.mul += flops / 2;
     counter.add += flops / 2;
+}
+
+bool SparseLu::try_refactor_numeric(std::span<const double> values) {
+    const double tol = pivot_tol_ * std::max(max_abs_value(values), 1e-300);
+
+    if (work_.size() != n_) {
+        work_.assign(n_, 0.0);
+    }
+    std::vector<double>& x = work_;
+    std::uint64_t flops = 0;
+
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t reach_begin = reach_ptr_[j];
+        const std::size_t reach_end = reach_ptr_[j + 1];
+
+        // Scatter A(:,j) and eliminate along the recorded reach set — the
+        // exact numeric sweep of factor_full() minus the DFS.
+        for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+            x[row_idx_[p]] += values[p];
+        }
+        for (std::size_t it = reach_end; it-- > reach_begin;) {
+            const std::size_t i = reach_nodes_[it];
+            const std::size_t k = pinv_[i];
+            if (k >= j) { // not yet pivotal at this column
+                continue;
+            }
+            const double xi = x[i];
+            if (xi == 0.0) {
+                continue;
+            }
+            for (const Entry& e : lcols_[k]) {
+                x[e.row] -= e.value * xi;
+            }
+            flops += 2 * lcols_[k].size();
+        }
+
+        // --- Pivot check: keep the recorded pivot unless it degraded. ---
+        const std::size_t pivot_row = pivot_row_[j];
+        const double pivot_mag = std::abs(x[pivot_row]);
+        double cand_max = 0.0;
+        for (std::size_t it = reach_begin; it < reach_end; ++it) {
+            const std::size_t i = reach_nodes_[it];
+            if (pinv_[i] >= j) {
+                cand_max = std::max(cand_max, std::abs(x[i]));
+            }
+        }
+        if (pivot_mag < tol ||
+            pivot_mag < k_refactor_pivot_ratio * cand_max) {
+            // Degraded pivot: clear this column's scatter and bail out so
+            // the caller can redo a full re-pivoting factorisation.
+            for (std::size_t it = reach_begin; it < reach_end; ++it) {
+                x[reach_nodes_[it]] = 0.0;
+            }
+            auto& counter = current_flops();
+            counter.lu_factor += flops;
+            counter.mul += flops / 2;
+            counter.add += flops / 2;
+            return false;
+        }
+        const double ujj = x[pivot_row];
+
+        // --- Gather with the same structural classification. ---
+        auto& lcol = lcols_[j];
+        auto& ucol = ucols_[j];
+        lcol.clear();
+        ucol.clear();
+        for (std::size_t it = reach_begin; it < reach_end; ++it) {
+            const std::size_t i = reach_nodes_[it];
+            const double xi = x[i];
+            x[i] = 0.0;
+            if (i == pivot_row) {
+                continue;
+            }
+            const std::size_t k = pinv_[i];
+            if (k < j) {
+                ucol.push_back(Entry{k, xi});
+            } else {
+                lcol.push_back(Entry{i, xi / ujj});
+                ++flops;
+            }
+        }
+        ucol.push_back(Entry{j, ujj});
+    }
+
+    ++fast_refactors_;
+    auto& counter = current_flops();
+    counter.lu_factor += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+    return true;
+}
+
+bool SparseLu::refactor(std::span<const double> values) {
+    if (values.size() != row_idx_.size()) {
+        throw SimError("SparseLu::refactor: value count does not match the "
+                       "cached pattern");
+    }
+    if (try_refactor_numeric(values)) {
+        return true;
+    }
+    factor_full(values);
+    return false;
+}
+
+bool SparseLu::refactor(const Triplets& a) {
+    if (a.rows() != a.cols() || a.rows() != n_) {
+        throw SimError("SparseLu::refactor: matrix shape mismatch");
+    }
+    // Compress into (col, row)-sorted summed form and compare patterns.
+    const std::vector<std::size_t> old_col_ptr = col_ptr_;
+    const std::vector<std::size_t> old_row_idx = row_idx_;
+    const std::vector<double> values = set_pattern_from_triplets(a);
+    if (col_ptr_ == old_col_ptr && row_idx_ == old_row_idx) {
+        return refactor(std::span<const double>(values));
+    }
+    // Pattern changed: the symbolic analysis is stale; redo everything.
+    factor_full(values);
+    return false;
 }
 
 std::size_t SparseLu::nnz_factors() const noexcept {

@@ -1,4 +1,5 @@
-// Nano-Sim — sparse LU factorisation (Gilbert-Peierls, partial pivoting).
+// Nano-Sim — sparse LU factorisation (Gilbert-Peierls, partial pivoting)
+// with a KLU-style symbolic/numeric split.
 //
 // Left-looking column LU over a compressed-sparse-column view.  Each
 // column of A is solved against the already-computed L by a depth-first
@@ -6,13 +7,24 @@
 // L\b is the set of nodes reachable from pattern(b) in the graph of L),
 // then the largest remaining entry is chosen as the pivot.
 //
+// The first (full) factorisation records its symbolic analysis — the CSC
+// pattern of A, every column's elimination reach set in topological order,
+// and the pivot sequence.  refactor() then redoes only the numeric sweep:
+// scatter the new values, eliminate along the recorded reach sets, keep
+// the recorded pivots.  When the values are unchanged this reproduces the
+// full factorisation bit for bit (same operations in the same order); when
+// a reused pivot degrades below `refactor_pivot_ratio` of its column's
+// magnitude the call transparently falls back to a full re-pivoting
+// factorisation (and reports it via the return value / counters).
+//
 // This is the same algorithm family as SPICE's sparse1.3 / KLU and scales
 // to the RTD-chain benchmarks; for tiny systems the dense path wins and
-// engines pick automatically (see mna/solver_select).
+// engines pick automatically (see mna::SystemCache / mna::solve_system).
 #ifndef NANOSIM_LINALG_SPARSE_LU_HPP
 #define NANOSIM_LINALG_SPARSE_LU_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "linalg/dense.hpp"
@@ -27,13 +39,63 @@ public:
     /// column has no usable pivot (magnitude below pivot_tol * max|A|).
     explicit SparseLu(const Triplets& a, double pivot_tol = 1e-13);
 
+    /// Factor directly from a CSC pattern + parallel value array (rows
+    /// sorted and unique within each column; values[k] belongs to
+    /// row_idx[k]).  This is the allocation-free entry point used by
+    /// mna::SystemCache, whose slot maps keep values in exactly this
+    /// order across time steps.
+    SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
+             std::vector<std::size_t> row_idx, std::span<const double> values,
+             double pivot_tol = 1e-13);
+
     [[nodiscard]] std::size_t order() const noexcept { return n_; }
 
     /// Fill-in: nonzeros in L + U (diagonal counted once).
     [[nodiscard]] std::size_t nnz_factors() const noexcept;
 
+    /// Numeric refactorisation with new values in the cached CSC pattern
+    /// order.  Returns true when the fast pattern-reusing path was taken;
+    /// false when a degraded pivot forced a full re-pivoting
+    /// factorisation.  Throws SingularMatrixError if even the full path
+    /// finds no usable pivot.
+    bool refactor(std::span<const double> values);
+
+    /// Refactor from a triplet list.  When the compressed pattern matches
+    /// the cached one this forwards to the fast path above; a changed
+    /// pattern triggers a full symbolic + numeric factorisation (returns
+    /// false).
+    bool refactor(const Triplets& a);
+
     /// Solve A x = b.
     [[nodiscard]] Vector solve(const Vector& b) const;
+
+    // ---- cached symbolic pattern (for slot mapping) ----
+    [[nodiscard]] const std::vector<std::size_t>&
+    pattern_col_ptr() const noexcept {
+        return col_ptr_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>&
+    pattern_row_idx() const noexcept {
+        return row_idx_;
+    }
+    [[nodiscard]] std::size_t pattern_nnz() const noexcept {
+        return row_idx_.size();
+    }
+
+    // ---- instrumentation ----
+    /// Full (symbolic + pivoting) factorisations performed so far.
+    [[nodiscard]] std::size_t full_factor_count() const noexcept {
+        return full_factors_;
+    }
+    /// Fast pattern-reusing refactorisations performed so far.
+    [[nodiscard]] std::size_t fast_refactor_count() const noexcept {
+        return fast_refactors_;
+    }
+
+    /// A reused pivot must stay above this fraction of its column's
+    /// largest candidate magnitude or refactor() falls back to full
+    /// re-pivoting (KLU uses the same style of threshold pivoting).
+    static constexpr double k_refactor_pivot_ratio = 1e-3;
 
 private:
     struct Entry {
@@ -41,13 +103,41 @@ private:
         double value;
     };
 
+    /// Compress `a` into the cached CSC pattern (duplicates summed);
+    /// returns the summed values in pattern order.
+    std::vector<double> set_pattern_from_triplets(const Triplets& a);
+    void factor_full(std::span<const double> values);
+    [[nodiscard]] bool try_refactor_numeric(std::span<const double> values);
+
     std::size_t n_ = 0;
+    double pivot_tol_ = 1e-13;
+
+    // CSC pattern of A (rows sorted and unique within each column).
+    std::vector<std::size_t> col_ptr_;
+    std::vector<std::size_t> row_idx_;
+
     // Column-wise factors: lcols_[j] holds strictly-below-diagonal entries
     // of L (unit diagonal implicit); ucols_[j] holds entries of U with
-    // row <= j, diagonal last.
+    // row <= j, diagonal last.  Patterns are structural (exact numeric
+    // zeros are kept) so they stay valid across refactorisations.
     std::vector<std::vector<Entry>> lcols_;
     std::vector<std::vector<Entry>> ucols_;
-    std::vector<std::size_t> pinv_; // pinv_[orig_row] = permuted position
+    std::vector<std::size_t> pinv_;      // pinv_[orig_row] = permuted position
+    std::vector<std::size_t> pivot_row_; // pivot_row_[j] = orig row of pivot j
+
+    // Recorded symbolic analysis: reach_nodes_[reach_ptr_[j] ..
+    // reach_ptr_[j+1]) is column j's reach set in DFS postorder
+    // (eliminate in reverse order).
+    std::vector<std::size_t> reach_ptr_;
+    std::vector<std::size_t> reach_nodes_;
+
+    std::size_t full_factors_ = 0;
+    std::size_t fast_refactors_ = 0;
+
+    // Numeric-sweep scratch for refactor(); kept as a member so the hot
+    // path allocates nothing.  Invariant: all-zero between calls (every
+    // exit path of try_refactor_numeric restores the zeros it wrote).
+    std::vector<double> work_;
 };
 
 } // namespace nanosim::linalg

@@ -142,15 +142,37 @@ int MnaAssembler::branch_base_of(const Device* dev) const {
     return it->second;
 }
 
+void MnaAssembler::stamp_time_varying_into(double t, Stamper& st) const {
+    for (const Device* dev : time_varying_) {
+        dev->stamp_time_varying(st, branch_base_of(dev), t);
+    }
+}
+
+void MnaAssembler::stamp_swec_into(std::span<const double> geq,
+                                   Stamper& st) const {
+    if (geq.size() != nonlinear_.size()) {
+        throw AnalysisError("stamp_swec_into: geq size mismatch");
+    }
+    for (std::size_t k = 0; k < nonlinear_.size(); ++k) {
+        nonlinear_[k]->stamp_swec(st, branch_base_of(nonlinear_[k]), geq[k]);
+    }
+}
+
+void MnaAssembler::stamp_nr_into(std::span<const double> x,
+                                 Stamper& st) const {
+    const NodeVoltages v = view(x);
+    for (const Device* dev : nonlinear_) {
+        dev->stamp_nr(st, branch_base_of(dev), v);
+    }
+}
+
 void MnaAssembler::add_time_varying_stamps(double t,
                                            linalg::Triplets& g) const {
     if (time_varying_.empty()) {
         return;
     }
     MnaBuilder builder(num_nodes_, num_branches_);
-    for (const Device* dev : time_varying_) {
-        dev->stamp_time_varying(builder, branch_base_of(dev), t);
-    }
+    stamp_time_varying_into(t, builder);
     for (const auto& e : builder.g().entries()) {
         g.add(e.row, e.col, e.value);
     }
@@ -160,10 +182,7 @@ void MnaAssembler::add_nr_stamps(std::span<const double> x,
                                  linalg::Triplets& g,
                                  linalg::Vector& rhs) const {
     MnaBuilder builder(num_nodes_, num_branches_);
-    const NodeVoltages v = view(x);
-    for (const Device* dev : nonlinear_) {
-        dev->stamp_nr(builder, branch_base_of(dev), v);
-    }
+    stamp_nr_into(x, builder);
     for (const auto& e : builder.g().entries()) {
         g.add(e.row, e.col, e.value);
     }
@@ -174,14 +193,8 @@ void MnaAssembler::add_nr_stamps(std::span<const double> x,
 
 void MnaAssembler::add_swec_stamps(std::span<const double> geq,
                                    linalg::Triplets& g) const {
-    if (geq.size() != nonlinear_.size()) {
-        throw AnalysisError("add_swec_stamps: geq size mismatch");
-    }
     MnaBuilder builder(num_nodes_, num_branches_);
-    for (std::size_t k = 0; k < nonlinear_.size(); ++k) {
-        nonlinear_[k]->stamp_swec(builder, branch_base_of(nonlinear_[k]),
-                                  geq[k]);
-    }
+    stamp_swec_into(geq, builder);
     for (const auto& e : builder.g().entries()) {
         g.add(e.row, e.col, e.value);
     }

@@ -122,6 +122,25 @@ public:
     /// Engines call this wherever they copy static_g().
     void add_time_varying_stamps(double t, linalg::Triplets& g) const;
 
+    // ---- Stamper-direct variants ----
+    // The add_*_stamps helpers above materialise a scratch MnaBuilder and
+    // merge its triplets; these write straight into any Stamper instead —
+    // the zero-allocation restamp path SystemCache builds on.  RHS
+    // contributions (NR Norton currents, PWL offsets) flow through the
+    // stamper's rhs_current/branch_rhs hooks.
+
+    /// Stamp all time-varying linear devices at time t into `st`.
+    void stamp_time_varying_into(double t, Stamper& st) const;
+
+    /// Stamp SWEC chord conductances (`geq` parallel to
+    /// nonlinear_devices()) into `st`.
+    void stamp_swec_into(std::span<const double> geq, Stamper& st) const;
+
+    /// Stamp the Newton-Raphson linearisation at trial point `x` into
+    /// `st` (tangent conductances into the matrix, Norton currents into
+    /// the stamper's rhs hooks).
+    void stamp_nr_into(std::span<const double> x, Stamper& st) const;
+
     /// Branch base of a device (by pointer; must belong to the circuit).
     [[nodiscard]] int branch_base_of(const Device* dev) const;
 

@@ -1,0 +1,298 @@
+#include "mna/system_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::mna {
+
+namespace {
+
+/// Maps device-level stamps onto matrix coordinates exactly like
+/// MnaBuilder (ground rows dropped, node n -> row n-1, branch b -> row
+/// num_nodes + b), forwarding to entry()/rhs_add() hooks.  Shared by the
+/// pattern dry-run recorder and the per-step scatter stamper.
+class CoordStamper : public Stamper {
+public:
+    explicit CoordStamper(int num_nodes) : num_nodes_(num_nodes) {}
+
+    void conductance(NodeId a, NodeId b, double g) override {
+        if (a != k_ground) {
+            entry(node_row(a), node_row(a), g);
+        }
+        if (b != k_ground) {
+            entry(node_row(b), node_row(b), g);
+        }
+        if (a != k_ground && b != k_ground) {
+            entry(node_row(a), node_row(b), -g);
+            entry(node_row(b), node_row(a), -g);
+        }
+    }
+
+    void conductance_entry(NodeId row, NodeId col, double g) override {
+        if (row == k_ground || col == k_ground) {
+            return;
+        }
+        entry(node_row(row), node_row(col), g);
+    }
+
+    void capacitance(NodeId, NodeId, double) override {
+        // The C matrix is frozen at assembly time; a reactive stamp in a
+        // per-step restamp would be a device-model bug.
+        throw AnalysisError(
+            "SystemCache: capacitance() is not a per-step stamp");
+    }
+
+    void rhs_current(NodeId node, double i) override {
+        if (node == k_ground) {
+            return;
+        }
+        rhs_add(node_row(node), i);
+    }
+
+    void branch_incidence(NodeId node, int branch, double sign) override {
+        if (node == k_ground) {
+            return;
+        }
+        entry(node_row(node), branch_row(branch), sign);
+    }
+
+    void branch_voltage_coeff(int branch, NodeId node,
+                              double coeff) override {
+        if (node == k_ground) {
+            return;
+        }
+        entry(branch_row(branch), node_row(node), coeff);
+    }
+
+    void branch_reactive(int, int, double) override {
+        throw AnalysisError(
+            "SystemCache: branch_reactive() is not a per-step stamp");
+    }
+
+    void branch_rhs(int branch, double value) override {
+        rhs_add(branch_row(branch), value);
+    }
+
+protected:
+    virtual void entry(std::size_t row, std::size_t col, double value) = 0;
+    virtual void rhs_add(std::size_t row, double value) = 0;
+
+private:
+    [[nodiscard]] std::size_t node_row(NodeId n) const noexcept {
+        return static_cast<std::size_t>(n - 1);
+    }
+    [[nodiscard]] std::size_t branch_row(int b) const noexcept {
+        return static_cast<std::size_t>(num_nodes_ + b);
+    }
+
+    int num_nodes_;
+};
+
+/// Dry-run stamper: records which coordinates a stamp source touches.
+class PatternRecorder final : public CoordStamper {
+public:
+    PatternRecorder(int num_nodes,
+                    std::vector<std::pair<std::size_t, std::size_t>>& coords)
+        : CoordStamper(num_nodes), coords_(&coords) {}
+
+protected:
+    void entry(std::size_t row, std::size_t col, double) override {
+        coords_->emplace_back(row, col);
+    }
+    void rhs_add(std::size_t, double) override {}
+
+private:
+    std::vector<std::pair<std::size_t, std::size_t>>* coords_;
+};
+
+} // namespace
+
+/// Per-step stamper: scatters matrix writes into the cached slot array
+/// and rhs writes into the vector bound by begin().
+class SystemCache::ScatterStamper final : public CoordStamper {
+public:
+    ScatterStamper(SystemCache& owner, int num_nodes)
+        : CoordStamper(num_nodes), owner_(&owner) {}
+
+    void bind(linalg::Vector* rhs) noexcept { rhs_ = rhs; }
+
+protected:
+    void entry(std::size_t row, std::size_t col, double value) override {
+        owner_->add_entry(row, col, value);
+    }
+    void rhs_add(std::size_t row, double value) override {
+        (*rhs_)[row] += value;
+    }
+
+private:
+    SystemCache* owner_;
+    linalg::Vector* rhs_ = nullptr;
+};
+
+SystemCache::SystemCache(const MnaAssembler& assembler, Options options)
+    : assembler_(&assembler),
+      options_(options),
+      n_(static_cast<std::size_t>(assembler.unknowns())) {
+    // Union pattern dry-run: everything any engine may stamp per step.
+    std::vector<std::pair<std::size_t, std::size_t>> coords;
+    for (const auto& e : assembler.static_g().entries()) {
+        coords.emplace_back(e.row, e.col);
+    }
+    for (const auto& e : assembler.c_triplets().entries()) {
+        coords.emplace_back(e.row, e.col);
+    }
+    // Node diagonals are always structural: the SWEC DC continuation adds
+    // pseudo-capacitances there, and keeping them guarantees a pivot slot
+    // for every KCL row.
+    for (int i = 0; i < assembler.num_nodes(); ++i) {
+        const auto r = static_cast<std::size_t>(i);
+        coords.emplace_back(r, r);
+    }
+    PatternRecorder recorder(assembler.num_nodes(), coords);
+    assembler.stamp_time_varying_into(0.0, recorder);
+    const std::size_t nl = assembler.nonlinear_devices().size();
+    if (nl > 0) {
+        const std::vector<double> geq(nl, 1.0);
+        assembler.stamp_swec_into(geq, recorder);
+        const linalg::Vector x0(n_, 0.0);
+        assembler.stamp_nr_into(x0, recorder);
+    }
+    freeze_pattern(std::move(coords));
+
+    stamper_ = std::make_unique<ScatterStamper>(*this, assembler.num_nodes());
+    if (dense_path()) {
+        dense_ = linalg::DenseMatrix(n_, n_);
+    }
+}
+
+SystemCache::~SystemCache() = default;
+
+void SystemCache::freeze_pattern(
+    std::vector<std::pair<std::size_t, std::size_t>> coords) {
+    // CSC order: by column, then row; duplicates collapse.
+    std::sort(coords.begin(), coords.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+              });
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+    col_ptr_.assign(n_ + 1, 0);
+    row_idx_.clear();
+    row_idx_.reserve(coords.size());
+    for (const auto& [row, col] : coords) {
+        if (row >= n_ || col >= n_) {
+            throw AnalysisError("SystemCache: stamp coordinate out of range");
+        }
+        row_idx_.push_back(row);
+        ++col_ptr_[col + 1];
+    }
+    for (std::size_t c = 0; c < n_; ++c) {
+        col_ptr_[c + 1] += col_ptr_[c];
+    }
+
+    // Baseline slot arrays (static G and C in pattern order).
+    static_values_.assign(row_idx_.size(), 0.0);
+    for (const auto& e : assembler_->static_g().entries()) {
+        static_values_[slot_of(e.row, e.col)] += e.value;
+    }
+    c_values_.assign(row_idx_.size(), 0.0);
+    for (const auto& e : assembler_->c_triplets().entries()) {
+        c_values_[slot_of(e.row, e.col)] += e.value;
+    }
+    values_.assign(row_idx_.size(), 0.0);
+    lu_.reset(); // symbolic analysis is tied to the pattern
+}
+
+std::size_t SystemCache::slot_of(std::size_t row,
+                                 std::size_t col) const noexcept {
+    const auto begin = row_idx_.begin() +
+                       static_cast<std::ptrdiff_t>(col_ptr_[col]);
+    const auto end = row_idx_.begin() +
+                     static_cast<std::ptrdiff_t>(col_ptr_[col + 1]);
+    const auto it = std::lower_bound(begin, end, row);
+    if (it == end || *it != row) {
+        return k_npos;
+    }
+    return static_cast<std::size_t>(it - row_idx_.begin());
+}
+
+Stamper& SystemCache::begin(double reactive_scale, linalg::Vector& rhs) {
+    if (rhs.size() != n_) {
+        throw AnalysisError("SystemCache::begin: rhs size mismatch");
+    }
+    overflow_.clear();
+    for (std::size_t s = 0; s < values_.size(); ++s) {
+        values_[s] = static_values_[s] + reactive_scale * c_values_[s];
+    }
+    stamper_->bind(&rhs);
+    return *stamper_;
+}
+
+void SystemCache::add_entry(std::size_t row, std::size_t col, double value) {
+    const std::size_t s = slot_of(row, col);
+    if (s == k_npos) {
+        // Outside the frozen pattern: buffer it; solve() falls back to
+        // the triplet path for this step and re-freezes the pattern.
+        overflow_.push_back(linalg::Triplet{row, col, value});
+        return;
+    }
+    values_[s] += value;
+}
+
+linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
+    ++stats_.steps;
+
+    if (!overflow_.empty()) {
+        linalg::Triplets t(n_, n_);
+        for (std::size_t c = 0; c < n_; ++c) {
+            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                t.add(row_idx_[p], c, values_[p]);
+            }
+        }
+        std::vector<std::pair<std::size_t, std::size_t>> coords;
+        coords.reserve(row_idx_.size() + overflow_.size());
+        for (std::size_t c = 0; c < n_; ++c) {
+            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                coords.emplace_back(row_idx_[p], c);
+            }
+        }
+        for (const auto& o : overflow_) {
+            t.add(o.row, o.col, o.value);
+            coords.emplace_back(o.row, o.col);
+        }
+        overflow_.clear();
+        linalg::Vector x = solve_system(t, rhs, options_.dense_threshold);
+        freeze_pattern(std::move(coords));
+        ++stats_.pattern_rebuilds;
+        return x;
+    }
+
+    if (dense_path()) {
+        dense_.set_zero();
+        for (std::size_t c = 0; c < n_; ++c) {
+            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                dense_(row_idx_[p], c) += values_[p];
+            }
+        }
+        ++stats_.dense_solves;
+        return linalg::DenseLu(dense_, options_.pivot_tol).solve(rhs);
+    }
+
+    if (!lu_) {
+        lu_ = std::make_unique<linalg::SparseLu>(
+            n_, col_ptr_, row_idx_, std::span<const double>(values_),
+            options_.pivot_tol);
+        ++stats_.full_factors;
+    } else if (lu_->refactor(std::span<const double>(values_))) {
+        ++stats_.fast_refactors;
+    } else {
+        ++stats_.full_factors;
+    }
+    return lu_->solve(rhs);
+}
+
+} // namespace nanosim::mna

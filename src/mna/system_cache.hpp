@@ -1,0 +1,134 @@
+// Nano-Sim — cached per-step MNA system with an in-place restamp path.
+//
+// The SWEC observation (paper Sec. 3): the sparsity pattern of the
+// per-step linear system  (G_static + G_dynamic + s C) x = b  never
+// changes during a transient — only the chord conductances and the
+// reactive scale s = 1/h move.  The seed engines nevertheless rebuilt a
+// fresh triplet list and re-ran the full symbolic LU every step.
+//
+// SystemCache fixes that end to end:
+//
+//  * at construction it dry-runs every stamp source the engines can apply
+//    (static G, the C matrix, time-varying devices, SWEC chords, NR
+//    linearisations, node-diagonal pseudo-elements) against the assembler
+//    and freezes the UNION sparsity pattern as a CSC index;
+//  * begin(scale, rhs) resets the value array to  static + scale * C  in
+//    one linear pass and hands back a Stamper whose writes scatter
+//    straight into the cached slots (binary search within one column) —
+//    no triplets, no allocation;
+//  * solve() auto-selects dense LU below `dense_threshold` unknowns and
+//    otherwise factors once, then reuses the symbolic analysis through
+//    SparseLu::refactor() on every later step;
+//  * a stamp that misses the frozen pattern (possible only for exotic
+//    devices whose stamp pattern changes at runtime) is not lost: it is
+//    buffered, the step is solved through the legacy triplet path, and
+//    the pattern is re-frozen including the new coordinates so subsequent
+//    steps are fast again.
+//
+// Engines own one SystemCache per analysis loop; the struct Stats counters
+// let tests assert the fast path actually ran (full_factors stays at 1
+// while fast_refactors counts the steps).
+#ifndef NANOSIM_MNA_SYSTEM_CACHE_HPP
+#define NANOSIM_MNA_SYSTEM_CACHE_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "mna/mna.hpp"
+
+namespace nanosim::mna {
+
+/// Pattern-frozen per-step system: restamp values in place, solve through
+/// a cached (dense or pattern-reusing sparse) factorisation.
+class SystemCache {
+public:
+    struct Options {
+        /// At or below this many unknowns the dense LU path is used
+        /// (mirrors mna::solve_system's auto-select).
+        std::size_t dense_threshold = 64;
+        double pivot_tol = 1e-13;
+    };
+
+    explicit SystemCache(const MnaAssembler& assembler)
+        : SystemCache(assembler, Options{}) {}
+    SystemCache(const MnaAssembler& assembler, Options options);
+    ~SystemCache();
+
+    SystemCache(const SystemCache&) = delete;
+    SystemCache& operator=(const SystemCache&) = delete;
+
+    /// Start a step:  A := G_static + reactive_scale * C.  Dynamic rhs
+    /// contributions written through the returned Stamper accumulate into
+    /// `rhs` (which the caller pre-fills with sources etc.).  The
+    /// reference stays valid until the next begin().
+    Stamper& begin(double reactive_scale, linalg::Vector& rhs);
+
+    /// Direct matrix-coordinate add (row/col already in MNA numbering) —
+    /// for per-node pseudo-elements such as the SWEC DC continuation's
+    /// artificial capacitance.  Only valid between begin() and solve().
+    void add_entry(std::size_t row, std::size_t col, double value);
+
+    /// Factor (first step, or after a pattern extension) or refactor, and
+    /// solve for the current values.  `rhs` is the vector passed to
+    /// begin() after all dynamic contributions.
+    [[nodiscard]] linalg::Vector solve(const linalg::Vector& rhs);
+
+    struct Stats {
+        std::size_t steps = 0;            ///< solve() calls
+        std::size_t full_factors = 0;     ///< symbolic + pivoting factors
+        std::size_t fast_refactors = 0;   ///< pattern-reusing refactors
+        std::size_t dense_solves = 0;     ///< dense-path solves
+        std::size_t pattern_rebuilds = 0; ///< overflow-triggered re-freezes
+    };
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    [[nodiscard]] std::size_t unknowns() const noexcept { return n_; }
+    [[nodiscard]] std::size_t pattern_nnz() const noexcept {
+        return row_idx_.size();
+    }
+    /// True when this system is small enough for the dense auto-select.
+    [[nodiscard]] bool dense_path() const noexcept {
+        return n_ <= options_.dense_threshold;
+    }
+
+private:
+    class ScatterStamper;
+
+    /// Freeze the union pattern from a coordinate list and refresh the
+    /// static/reactive baseline slot arrays.
+    void freeze_pattern(std::vector<std::pair<std::size_t, std::size_t>> coords);
+
+    /// Slot of (row, col) in the CSC pattern, or npos when absent.
+    [[nodiscard]] std::size_t slot_of(std::size_t row,
+                                      std::size_t col) const noexcept;
+
+    static constexpr std::size_t k_npos = static_cast<std::size_t>(-1);
+
+    const MnaAssembler* assembler_;
+    Options options_;
+    std::size_t n_ = 0;
+
+    // Frozen CSC pattern and the per-step value array (pattern order).
+    std::vector<std::size_t> col_ptr_;
+    std::vector<std::size_t> row_idx_;
+    std::vector<double> values_;
+    // Baselines in pattern order: A = static_values_ + scale * c_values_.
+    std::vector<double> static_values_;
+    std::vector<double> c_values_;
+
+    // Stamps that missed the frozen pattern this step (rare; triggers the
+    // legacy solve + a pattern re-freeze).
+    std::vector<linalg::Triplet> overflow_;
+
+    std::unique_ptr<ScatterStamper> stamper_;
+    std::unique_ptr<linalg::SparseLu> lu_;
+    linalg::DenseMatrix dense_; // dense-path work matrix
+    Stats stats_;
+};
+
+} // namespace nanosim::mna
+
+#endif // NANOSIM_MNA_SYSTEM_CACHE_HPP

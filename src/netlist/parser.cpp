@@ -419,7 +419,18 @@ void DeckParser::make_device(const DeckLine& line) {
 
 void DeckParser::instantiate_devices() {
     for (const DeckLine* line : device_lines_) {
-        make_device(*line);
+        try {
+            make_device(*line);
+        } catch (const NetlistError&) {
+            throw; // already carries a line number
+        } catch (const SimError& e) {
+            // Device/waveform constructors validate their own parameters
+            // and throw their own categories (e.g. AnalysisError for an
+            // impossible PULSE timing).  From the deck's point of view
+            // that is a netlist problem on this line: rewrap so callers
+            // get one typed error with a location.
+            fail(line->number, e.what());
+        }
     }
 }
 

@@ -1,0 +1,185 @@
+// Property / fuzz tests for the SPICE-like deck parser.
+//
+// Contract: parse_deck() on ANY input either returns a ParsedDeck or
+// throws a typed nanosim exception (NetlistError for malformed decks).
+// It must never crash, never throw a foreign exception type, and never
+// hand back a half-built circuit (exceptions mean nothing escapes).
+// Everything is seeded — a failure reproduces from the trial number.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netlist/parser.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+namespace {
+
+/// A structurally valid reference deck the mutators start from.
+const char* k_good_deck = R"(* fuzz seed deck
+V1 in 0 PULSE(0 5 10n 2n 2n 40n 100n)
+R1 in out 50
+C1 out 0 100p
+RTD1 out 0 mymod
+M1 out g 0 nmod W=2u L=0.1u
+D1 g 0 dmod
+L1 g mid 1u
+I2 mid 0 SIN(0 1m 1meg)
+NOISE1 mid 0 1n
+.model mymod RTD(A=1e-4 B=0.05 C=0.1 D=1e-6 N1=10 N2=8 H=1e-3)
+.model nmod NMOS(VTO=0.7 KP=1e-4)
+.model dmod D(IS=1e-14 N=1.2)
+.op
+.tran 1n 100n
+.end
+)";
+
+/// Run one input through the parser; the only acceptable outcomes are
+/// success or a typed SimError subclass.
+void expect_parses_or_throws_typed(const std::string& input,
+                                   const std::string& what) {
+    try {
+        const ParsedDeck deck = parse_deck(input);
+        // Success: the returned circuit must be internally consistent
+        // enough to enumerate (a half-built circuit would blow up here).
+        (void)deck.circuit.devices().size();
+        (void)deck.circuit.num_nodes();
+    } catch (const SimError& e) {
+        // Typed failure: the code must be a meaningful category and the
+        // message non-empty (tools print these verbatim).
+        EXPECT_NE(e.what(), std::string()) << what;
+    } catch (const std::exception& e) {
+        FAIL() << what << ": foreign exception type escaped: " << e.what();
+    }
+}
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+    std::mt19937 gen(123);
+    std::uniform_int_distribution<int> len(0, 400);
+    std::uniform_int_distribution<int> byte(0, 255);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string input;
+        const int l = len(gen);
+        input.reserve(static_cast<std::size_t>(l));
+        for (int i = 0; i < l; ++i) {
+            input.push_back(static_cast<char>(byte(gen)));
+        }
+        expect_parses_or_throws_typed(
+            input, "garbage trial " + std::to_string(trial));
+    }
+}
+
+TEST(ParserFuzz, PrintableGarbageNeverCrashes) {
+    std::mt19937 gen(321);
+    const std::string alphabet =
+        "RCLVIMDN01234567890.+-eEpnumkgG() \t=*";
+    std::uniform_int_distribution<int> len(0, 200);
+    std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string input;
+        const int l = len(gen);
+        for (int i = 0; i < l; ++i) {
+            input.push_back(alphabet[pick(gen)]);
+            if (i % 23 == 22) {
+                input.push_back('\n');
+            }
+        }
+        expect_parses_or_throws_typed(
+            input, "printable trial " + std::to_string(trial));
+    }
+}
+
+TEST(ParserFuzz, TruncatedDecksNeverCrash) {
+    const std::string good(k_good_deck);
+    for (std::size_t cut = 0; cut <= good.size(); cut += 3) {
+        expect_parses_or_throws_typed(good.substr(0, cut),
+                                      "truncation at " + std::to_string(cut));
+    }
+}
+
+TEST(ParserFuzz, MutatedDecksNeverCrash) {
+    std::mt19937 gen(999);
+    const std::string good(k_good_deck);
+    std::uniform_int_distribution<int> byte(32, 126);
+    std::uniform_int_distribution<int> mode(0, 2);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string input = good;
+        const int edits = 1 + trial % 8;
+        for (int e = 0; e < edits && !input.empty(); ++e) {
+            const std::size_t p = gen() % input.size();
+            switch (mode(gen)) {
+            case 0: // overwrite
+                input[p] = static_cast<char>(byte(gen));
+                break;
+            case 1: // delete
+                input.erase(p, 1);
+                break;
+            default: // insert
+                input.insert(p, 1, static_cast<char>(byte(gen)));
+                break;
+            }
+        }
+        expect_parses_or_throws_typed(input,
+                                      "mutation trial " + std::to_string(trial));
+    }
+}
+
+TEST(ParserFuzz, MalformedDecksThrowNetlistError) {
+    // Each row is a deck with exactly one specific defect; the parser
+    // must flag it as ErrorCode::netlist, not crash or misparse.
+    const std::vector<std::string> bad = {
+        "R1 a\n",                             // missing node + value
+        "R1 a 0 notanumber\n",                // bad value
+        "R1 a 0 5x\n",                        // bad suffix
+        "V1 a 0 PULSE(1 2)\n",                // short stimulus list
+        "V1 a 0 PULSE(1 2 3 4 5 6 7\n",       // unclosed paren
+        "M1 d g s\n",                         // MOSFET without model
+        "M1 d g s nomodel\n",                 // unknown model name
+        "RTD1 a 0 ghostmodel\n",              // unknown RTD model
+        ".model m RTD(A=)\n",                 // dangling parameter
+        ".model m BOGUS(X=1)\n",              // unknown model type
+        ".dc V1 0 1\n",                       // missing step
+        ".tran 1n\n",                         // missing tstop
+        ".bogus 1 2 3\n",                     // unknown card
+        "R1 a 0 1k\nR1 a 0 2k\n",             // duplicate name
+        "Z1 a 0 1k\n",                        // unknown device prefix
+    };
+    for (const std::string& deck : bad) {
+        EXPECT_THROW(
+            {
+                try {
+                    (void)parse_deck(deck);
+                } catch (const SimError& e) {
+                    EXPECT_EQ(e.code(), ErrorCode::netlist)
+                        << "deck: " << deck;
+                    throw;
+                }
+            },
+            NetlistError)
+            << "deck: " << deck;
+    }
+}
+
+TEST(ParserFuzz, ValueParserNeverCrashes) {
+    std::mt19937 gen(7);
+    const std::string alphabet = "0123456789.+-eEpnumkgtfMEG x";
+    std::uniform_int_distribution<int> len(0, 12);
+    std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string tok;
+        const int l = len(gen);
+        for (int i = 0; i < l; ++i) {
+            tok.push_back(alphabet[pick(gen)]);
+        }
+        try {
+            (void)parse_value(tok);
+        } catch (const SimError&) {
+            // typed rejection is fine
+        }
+    }
+}
+
+} // namespace
+} // namespace nanosim

@@ -1,0 +1,265 @@
+// Randomized solver-equivalence suite for the symbolic/numeric split.
+//
+// The contract under test (PR: pattern-reusing sparse solver path):
+//
+//  * refactor() on an UNCHANGED pattern with IDENTICAL values performs the
+//    exact numeric operation sequence of a fresh factorisation, so the
+//    solutions must agree BIT FOR BIT (memcmp, not a tolerance);
+//  * refactor() with new values on the same pattern must stay within
+//    direct-solve accuracy of a dense LU (residual-level agreement);
+//  * a changed pattern or a degraded pivot must transparently fall back
+//    to a full re-pivoting factorisation (returning false) and still
+//    produce a correct solution.
+//
+// 200+ random sparse systems sweep size, density and conditioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "linalg/vecops.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::linalg {
+namespace {
+
+bool bit_identical(const Vector& a, const Vector& b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct RandomSystem {
+    Triplets a{0, 0};
+    Vector b;
+};
+
+/// Random diagonally dominant sparse system.  `row_scale_decades` spreads
+/// row magnitudes over that many decades to vary conditioning;
+/// occasionally emits duplicate coordinates to exercise stamping-style
+/// accumulation.
+RandomSystem make_system(std::mt19937& gen, std::size_t n, double density,
+                         double row_scale_decades) {
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    RandomSystem sys{Triplets(n, n), Vector(n)};
+    std::vector<double> row_sum(n, 0.0);
+    std::vector<double> row_scale(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        row_scale[i] =
+            std::pow(10.0, row_scale_decades * (coin(gen) - 0.5));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j || coin(gen) >= density) {
+                continue;
+            }
+            const double v = dist(gen) * row_scale[i];
+            if (coin(gen) < 0.1) { // duplicate coordinate, summed halves
+                sys.a.add(i, j, 0.5 * v);
+                sys.a.add(i, j, 0.5 * v);
+            } else {
+                sys.a.add(i, j, v);
+            }
+            row_sum[i] += std::abs(v);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        sys.a.add(i, i, row_sum[i] + row_scale[i]);
+    }
+    for (auto& v : sys.b) {
+        v = dist(gen);
+    }
+    return sys;
+}
+
+/// Same pattern, freshly drawn values (diagonal kept dominant so the
+/// recorded pivot order stays usable).
+Triplets redraw_values(std::mt19937& gen, const Triplets& a) {
+    std::uniform_real_distribution<double> dist(0.5, 1.5);
+    Triplets out(a.rows(), a.cols());
+    for (const auto& e : a.entries()) {
+        out.add(e.row, e.col, e.value * dist(gen));
+    }
+    return out;
+}
+
+TEST(SolverEquivalence, FreshVsRefactorBitIdenticalOn200RandomSystems) {
+    std::mt19937 gen(20260728);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    int fast_paths = 0;
+    for (int trial = 0; trial < 210; ++trial) {
+        const std::size_t n = 4 + gen() % 77;       // 4 .. 80
+        const double density = 0.02 + 0.5 * coin(gen);
+        const double decades = 6.0 * coin(gen);     // up to ~1e6 spread
+        const RandomSystem sys = make_system(gen, n, density, decades);
+
+        const SparseLu fresh(sys.a);
+        const Vector x_fresh = fresh.solve(sys.b);
+
+        SparseLu reused(sys.a);
+        const bool fast = reused.refactor(sys.a);
+        EXPECT_TRUE(fast) << "trial " << trial
+                          << ": identical values must take the fast path";
+        fast_paths += fast ? 1 : 0;
+        const Vector x_refactor = reused.solve(sys.b);
+
+        ASSERT_TRUE(bit_identical(x_fresh, x_refactor))
+            << "trial " << trial << " (n=" << n << ", density=" << density
+            << "): refactor diverged from fresh factorisation";
+
+        // Cross-check both against the dense solver.
+        const Vector x_dense = lu_solve(sys.a.to_dense(), sys.b);
+        EXPECT_LT(max_abs_diff(x_fresh, x_dense),
+                  1e-8 * std::max(1.0, norm_inf(x_dense)))
+            << "trial " << trial;
+    }
+    EXPECT_EQ(fast_paths, 210);
+}
+
+TEST(SolverEquivalence, RefactorWithNewValuesTracksDenseLu) {
+    std::mt19937 gen(77);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 8 + gen() % 57;
+        const RandomSystem sys =
+            make_system(gen, n, 0.05 + 0.3 * coin(gen), 3.0 * coin(gen));
+        SparseLu lu(sys.a);
+
+        for (int step = 0; step < 3; ++step) {
+            const Triplets a2 = redraw_values(gen, sys.a);
+            lu.refactor(a2); // fast or fallback — both must be correct
+            const Vector x = lu.solve(sys.b);
+            const Vector x_dense = lu_solve(a2.to_dense(), sys.b);
+            EXPECT_LT(max_abs_diff(x, x_dense),
+                      1e-8 * std::max(1.0, norm_inf(x_dense)))
+                << "trial " << trial << " step " << step;
+        }
+    }
+}
+
+TEST(SolverEquivalence, RefactorIsBitStableAcrossRepeats) {
+    // Refactoring the same values twice must be a fixed point: the
+    // factors are rebuilt from scratch each numeric pass, never updated
+    // incrementally.
+    std::mt19937 gen(5);
+    const RandomSystem sys = make_system(gen, 40, 0.2, 2.0);
+    SparseLu lu(sys.a);
+    const Vector x0 = lu.solve(sys.b);
+    for (int k = 0; k < 5; ++k) {
+        ASSERT_TRUE(lu.refactor(sys.a));
+        ASSERT_TRUE(bit_identical(x0, lu.solve(sys.b))) << "repeat " << k;
+    }
+    EXPECT_EQ(lu.fast_refactor_count(), 5u);
+    EXPECT_EQ(lu.full_factor_count(), 1u);
+}
+
+TEST(SolverEquivalence, PatternChangeFallsBackAndStillSolves) {
+    Triplets a(3, 3);
+    a.add(0, 0, 4.0);
+    a.add(1, 1, 3.0);
+    a.add(2, 2, 5.0);
+    a.add(0, 1, 1.0);
+    SparseLu lu(a);
+
+    Triplets wider = a;
+    wider.add(2, 0, 1.5); // new structural entry
+    EXPECT_FALSE(lu.refactor(wider)) << "pattern change must not fast-path";
+    const Vector b{1.0, 2.0, 3.0};
+    const Vector x = lu.solve(b);
+    const Vector x_dense = lu_solve(wider.to_dense(), b);
+    EXPECT_LT(max_abs_diff(x, x_dense), 1e-12);
+
+    // The new pattern is now the cached one: same triplets fast-path.
+    EXPECT_TRUE(lu.refactor(wider));
+    EXPECT_TRUE(bit_identical(lu.solve(b), x));
+}
+
+TEST(SolverEquivalence, DegradedPivotFallsBackToFullPivoting) {
+    // First factor pivots on the large (0,0); the second value set makes
+    // that entry tiny while (1,0) stays O(1) — keeping the stale pivot
+    // would lose ~16 digits, so refactor() must detect the degradation,
+    // re-pivot fully, and return false.
+    Triplets a(2, 2);
+    a.add(0, 0, 10.0);
+    a.add(0, 1, 1.0);
+    a.add(1, 0, 1.0);
+    a.add(1, 1, 1.0);
+    SparseLu lu(a);
+    ASSERT_EQ(lu.full_factor_count(), 1u);
+
+    Triplets degraded(2, 2);
+    degraded.add(0, 0, 1e-14);
+    degraded.add(0, 1, 1.0);
+    degraded.add(1, 0, 1.0);
+    degraded.add(1, 1, 1.0);
+    EXPECT_FALSE(lu.refactor(degraded));
+    EXPECT_EQ(lu.full_factor_count(), 2u);
+
+    const Vector b{1.0, 2.0};
+    const Vector x = lu.solve(b);
+    const Vector x_dense = lu_solve(degraded.to_dense(), b);
+    EXPECT_LT(max_abs_diff(x, x_dense), 1e-12);
+}
+
+TEST(SolverEquivalence, RefactorValueCountMismatchThrows) {
+    Triplets a(2, 2);
+    a.add(0, 0, 1.0);
+    a.add(1, 1, 2.0);
+    SparseLu lu(a);
+    const std::vector<double> wrong{1.0, 2.0, 3.0};
+    EXPECT_THROW(lu.refactor(std::span<const double>(wrong)), SimError);
+}
+
+TEST(SolverEquivalence, RefactorSingularMatrixThrows) {
+    Triplets a(2, 2);
+    a.add(0, 0, 1.0);
+    a.add(0, 1, 2.0);
+    a.add(1, 0, 3.0);
+    a.add(1, 1, 1.0);
+    SparseLu lu(a);
+    Triplets singular(2, 2);
+    singular.add(0, 0, 1.0);
+    singular.add(0, 1, 2.0);
+    singular.add(1, 0, 2.0);
+    singular.add(1, 1, 4.0);
+    EXPECT_THROW(lu.refactor(singular), SingularMatrixError);
+}
+
+TEST(SolverEquivalence, CscConstructorMatchesTripletConstructor) {
+    std::mt19937 gen(11);
+    const RandomSystem sys = make_system(gen, 30, 0.25, 1.0);
+    const SparseLu from_triplets(sys.a);
+
+    // Rebuild the same matrix through the CSC entry point.
+    const auto& col_ptr = from_triplets.pattern_col_ptr();
+    const auto& row_idx = from_triplets.pattern_row_idx();
+    std::vector<double> values(row_idx.size(), 0.0);
+    const DenseMatrix dense = sys.a.to_dense();
+    for (std::size_t c = 0; c < 30; ++c) {
+        for (std::size_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+            values[p] = dense(row_idx[p], c);
+        }
+    }
+    const SparseLu from_csc(30, col_ptr, row_idx,
+                            std::span<const double>(values));
+    EXPECT_TRUE(
+        bit_identical(from_triplets.solve(sys.b), from_csc.solve(sys.b)));
+}
+
+TEST(SolverEquivalence, CscConstructorRejectsMalformedPattern) {
+    const std::vector<double> v{1.0, 2.0};
+    EXPECT_THROW(SparseLu(2, {0, 1}, {0, 1}, std::span<const double>(v)),
+                 SimError); // col_ptr too short
+    EXPECT_THROW(SparseLu(2, {0, 2, 2}, {1, 0}, std::span<const double>(v)),
+                 SimError); // rows unsorted within a column
+    EXPECT_THROW(SparseLu(2, {0, 1, 2}, {0, 2}, std::span<const double>(v)),
+                 SimError); // row out of range
+}
+
+} // namespace
+} // namespace nanosim::linalg
