@@ -53,21 +53,6 @@ struct SizeResult {
     std::size_t fast_refactors = 0;
 };
 
-/// The SWEC per-step matrix of the chain at its DC state: static G +
-/// chord conductances + C/h.
-Triplets swec_step_matrix(const nanosim::mna::MnaAssembler& assembler,
-                          double h) {
-    const auto nl = assembler.nonlinear_devices().size();
-    const std::vector<double> geq(nl, 1e-3); // representative chord value
-    Triplets a = assembler.static_g();
-    assembler.add_time_varying_stamps(0.0, a);
-    assembler.add_swec_stamps(geq, a);
-    for (const auto& e : assembler.c_triplets().entries()) {
-        a.add(e.row, e.col, e.value / h);
-    }
-    return a;
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -94,7 +79,7 @@ int main(int argc, char** argv) {
         r.unknowns = static_cast<std::size_t>(assembler.unknowns());
 
         const double h = 1e-10;
-        const Triplets a = swec_step_matrix(assembler, h);
+        const Triplets a = nanosim::mna::swec_step_matrix(assembler, h);
 
         // Fresh factorisation — the seed's per-step cost.
         auto t0 = Clock::now();
@@ -108,17 +93,9 @@ int main(int argc, char** argv) {
         // each rep so the work is not value-degenerate.
         SparseLu lu(a);
         r.nnz = lu.pattern_nnz();
-        std::vector<double> values(lu.pattern_nnz(), 0.0);
-        {
-            const auto dense = a.to_dense();
-            const auto& cp = lu.pattern_col_ptr();
-            const auto& ri = lu.pattern_row_idx();
-            for (std::size_t c = 0; c < r.unknowns; ++c) {
-                for (std::size_t p = cp[c]; p < cp[c + 1]; ++p) {
-                    values[p] = dense(ri[p], c);
-                }
-            }
-        }
+        // Caller-order CSC values — the same compression SparseLu caches.
+        std::vector<double> values =
+            nanosim::linalg::compress_columns(a).values;
         t0 = Clock::now();
         for (int i = 0; i < reps; ++i) {
             for (double& v : values) {

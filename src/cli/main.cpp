@@ -25,6 +25,7 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <variant>
 
@@ -40,15 +41,102 @@ struct CliOptions {
     TranEngine tran_engine = TranEngine::swec;
     std::string engine_name = "swec";
     std::optional<std::string> csv_prefix;
+    std::optional<std::string> circuit_spec; ///< built-in generator spec
+    double tstop = 200e-9;                   ///< --circuit transient horizon
     bool quiet = false;
 };
 
+/// Parse "<R>x<C>[:extra]" grid dimensions; returns {rows, cols, extra}
+/// with extra = -1 when absent.  Throws NetlistError on malformed specs.
+struct GridDims {
+    int rows = 0;
+    int cols = 0;
+    int extra = -1;
+};
+
+GridDims parse_grid_dims(const std::string& spec, const std::string& body) {
+    GridDims d;
+    try {
+        const auto x = body.find('x');
+        if (x == std::string::npos || x == 0) {
+            throw std::invalid_argument("no 'x'");
+        }
+        std::size_t used = 0;
+        d.rows = std::stoi(body.substr(0, x), &used);
+        if (used != x) {
+            throw std::invalid_argument("rows");
+        }
+        std::string rest = body.substr(x + 1);
+        const auto colon = rest.find(':');
+        if (colon != std::string::npos) {
+            d.extra = std::stoi(rest.substr(colon + 1), &used);
+            if (used != rest.size() - colon - 1 || d.extra < 0) {
+                // Negative values would collide with the absent-field
+                // sentinel (-1) and silently select the default.
+                throw std::invalid_argument("extra");
+            }
+            rest = rest.substr(0, colon);
+        }
+        d.cols = std::stoi(rest, &used);
+        if (used != rest.size()) {
+            throw std::invalid_argument("cols");
+        }
+    } catch (const std::exception&) {
+        throw NetlistError("bad --circuit spec '" + spec +
+                           "' (want mesh:RxC or grid:RxC[:vias])");
+    }
+    if (d.rows < 1 || d.cols < 1) {
+        throw NetlistError("--circuit " + spec + ": grid must be >= 1x1");
+    }
+    return d;
+}
+
+/// Built-in workload generators: "mesh:RxC" (RC mesh with RTD loads) and
+/// "grid:RxC[:vias]" (power-distribution grid) from core/ref_circuits.
+Circuit make_builtin_circuit(const std::string& spec) {
+    const auto colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    if (colon == std::string::npos) {
+        throw NetlistError("bad --circuit spec '" + spec +
+                           "' (want mesh:RxC or grid:RxC[:vias])");
+    }
+    const std::string body = spec.substr(colon + 1);
+    if (kind == "mesh") {
+        const GridDims d = parse_grid_dims(spec, body);
+        if (d.extra != -1) {
+            // A third field is a grid:RxC:vias spec typed with the wrong
+            // kind; running a default mesh instead would be silent.
+            throw NetlistError("--circuit mesh takes RxC only (did you "
+                               "mean grid:" + body + "?)");
+        }
+        return refckt::rc_mesh(d.rows, d.cols);
+    }
+    if (kind == "grid" || kind == "power_grid") {
+        const GridDims d = parse_grid_dims(spec, body);
+        // An explicit via count is passed through verbatim so an invalid
+        // one (0, negative) is rejected by power_grid instead of being
+        // silently replaced; only an ABSENT count defaults to 4.
+        return refckt::power_grid(d.rows, d.cols,
+                                  d.extra != -1 ? d.extra : 4);
+    }
+    throw NetlistError("unknown --circuit kind '" + kind +
+                       "' (have: mesh, grid)");
+}
+
 void usage(std::ostream& os) {
     os << "usage: nanosim [run] [options] deck.cir\n"
+          "       nanosim run --circuit mesh:RxC [options]\n"
           "       nanosim sweep deck.cir --param DEV:P=start:stop:points\n"
           "run options:\n"
           "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
           "  --csv PREFIX               export results as PREFIX_*.csv\n"
+          "  --circuit SPEC             built-in workload instead of a\n"
+          "                             deck: mesh:RxC (RTD-loaded RC\n"
+          "                             mesh) or grid:RxC[:vias] (power-\n"
+          "                             distribution grid); runs .op +\n"
+          "                             .tran to --tstop\n"
+          "  --tstop T                  --circuit transient horizon [s]\n"
+          "                             (default 200e-9)\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -68,6 +156,7 @@ void usage(std::ostream& os) {
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
     CliOptions opt;
+    bool tstop_set = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--version") {
@@ -108,6 +197,21 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.csv_prefix = argv[i];
+        } else if (arg == "--circuit") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.circuit_spec = argv[i];
+        } else if (arg == "--tstop") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            try {
+                opt.tstop = parse_value(argv[i]);
+                tstop_set = true;
+            } catch (const std::exception&) {
+                return std::nullopt;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             return std::nullopt;
         } else if (opt.deck_path.empty()) {
@@ -116,7 +220,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
             return std::nullopt;
         }
     }
-    if (opt.deck_path.empty()) {
+    if (opt.deck_path.empty() == !opt.circuit_spec.has_value()) {
+        return std::nullopt; // exactly one of deck / --circuit
+    }
+    if (tstop_set && !opt.circuit_spec) {
+        // A deck's .tran card owns its horizon; silently ignoring the
+        // flag would run a different simulation than the user asked for.
         return std::nullopt;
     }
     return opt;
@@ -201,6 +310,16 @@ int run_tran(Simulator& sim, const CliOptions& cli, const TranCard& card,
               << res.nr_iterations << " nonlinear iterations, "
               << res.nonconverged_steps << " non-converged, "
               << res.flops.total() << " flops\n";
+    if (res.solver_full_factors + res.solver_fast_refactors > 0) {
+        std::cout << "  sparse solver: ordering "
+                  << res.solver_ordering.name() << ", factor nnz "
+                  << res.solver_ordering.factor_nnz << " (predicted "
+                  << res.solver_ordering.predicted_fill_chosen
+                  << " vs natural "
+                  << res.solver_ordering.predicted_fill_natural << "), "
+                  << res.solver_full_factors << " full / "
+                  << res.solver_fast_refactors << " fast factorisations\n";
+    }
     maybe_plot(cli, res.node_waves, "transient", "t [s]");
     if (cli.csv_prefix) {
         const std::string path =
@@ -366,20 +485,31 @@ int main(int argc, char** argv) {
         return 2;
     }
     try {
-        Simulator sim = Simulator::from_deck_file(cli->deck_path);
-        std::cout << "nanosim " << version_string() << " | "
-                  << cli->deck_path << " | "
+        Simulator sim = cli->circuit_spec
+                            ? Simulator(make_builtin_circuit(*cli->circuit_spec))
+                            : Simulator::from_deck_file(cli->deck_path);
+        const std::string source =
+            cli->circuit_spec ? *cli->circuit_spec : cli->deck_path;
+        std::cout << "nanosim " << version_string() << " | " << source
+                  << " | "
                   << sim.circuit().device_count() << " devices, "
                   << sim.circuit().num_nodes() << " nodes, "
                   << sim.assembler().unknowns() << " unknowns\n";
-        if (sim.deck_analyses().empty()) {
+        // Built-in circuits have no deck cards: run .op + .tran.
+        std::vector<AnalysisCard> cards = sim.deck_analyses();
+        if (cli->circuit_spec) {
+            cards.clear();
+            cards.emplace_back(OpCard{});
+            cards.emplace_back(TranCard{cli->tstop / 500.0, cli->tstop});
+        }
+        if (cards.empty()) {
             std::cout << "deck has no analysis cards (.op/.dc/.tran); "
                          "nothing to do\n";
             return 0;
         }
         int rc = 0;
         int index = 0;
-        for (const auto& card : sim.deck_analyses()) {
+        for (const auto& card : cards) {
             ++index;
             if (std::holds_alternative<OpCard>(card)) {
                 rc |= run_op(sim, *cli, index);

@@ -1,13 +1,16 @@
 #include "core/ref_circuits.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <string>
+#include <vector>
 
 #include "devices/mosfet.hpp"
 #include "devices/passives.hpp"
 #include "devices/sources.hpp"
 #include "devices/tv_conductor.hpp"
+#include "util/error.hpp"
 
 namespace nanosim::refckt {
 
@@ -171,6 +174,140 @@ Circuit rtd_chain(const ChainSpec& spec) {
         prev = node;
     }
     return ckt;
+}
+
+namespace {
+
+/// Grid node name "n<r>_<c>".
+std::string mesh_node(int r, int c) {
+    return "n" + std::to_string(r) + "_" + std::to_string(c);
+}
+
+void require_grid_shape(const char* who, int rows, int cols) {
+    if (rows < 1 || cols < 1) {
+        throw NetlistError(std::string(who) +
+                           ": rows and cols must be >= 1");
+    }
+}
+
+} // namespace
+
+Circuit rc_mesh(const MeshSpec& spec) {
+    require_grid_shape("rc_mesh", spec.rows, spec.cols);
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>(
+        "VIN", in, k_ground,
+        std::make_shared<PulseWave>(0.0, spec.v_high, spec.period / 4.0,
+                                    spec.edge, spec.edge,
+                                    spec.period / 2.0 - spec.edge,
+                                    spec.period));
+
+    // Nodes first (row-major) so the NATURAL MNA order interleaves the
+    // two grid directions — the worst case fill-reducing orderings fix.
+    std::vector<NodeId> node(static_cast<std::size_t>(spec.rows) *
+                             static_cast<std::size_t>(spec.cols));
+    for (int r = 0; r < spec.rows; ++r) {
+        for (int c = 0; c < spec.cols; ++c) {
+            node[static_cast<std::size_t>(r * spec.cols + c)] =
+                ckt.node(mesh_node(r, c));
+        }
+    }
+    auto at = [&](int r, int c) {
+        return node[static_cast<std::size_t>(r * spec.cols + c)];
+    };
+
+    ckt.add<Resistor>("RDRV", in, at(0, 0), spec.r);
+    for (int r = 0; r < spec.rows; ++r) {
+        for (int c = 0; c < spec.cols; ++c) {
+            const std::string tag =
+                std::to_string(r) + "_" + std::to_string(c);
+            if (c + 1 < spec.cols) {
+                ckt.add<Resistor>("RH" + tag, at(r, c), at(r, c + 1),
+                                  spec.r);
+            }
+            if (r + 1 < spec.rows) {
+                ckt.add<Resistor>("RV" + tag, at(r, c), at(r + 1, c),
+                                  spec.r);
+            }
+            ckt.add<Capacitor>("C" + tag, at(r, c), k_ground, spec.c);
+            const int flat = r * spec.cols + c;
+            if (spec.rtd_stride > 0 && flat % spec.rtd_stride == 0) {
+                ckt.add<Rtd>("RTD" + tag, at(r, c), k_ground, spec.rtd);
+            }
+        }
+    }
+    return ckt;
+}
+
+Circuit rc_mesh(int rows, int cols) {
+    MeshSpec spec;
+    spec.rows = rows;
+    spec.cols = cols;
+    return rc_mesh(spec);
+}
+
+Circuit power_grid(const PowerGridSpec& spec) {
+    require_grid_shape("power_grid", spec.rows, spec.cols);
+    if (spec.vias < 1) {
+        throw NetlistError("power_grid: need >= 1 via");
+    }
+    if (spec.load_stride < 1) {
+        throw NetlistError("power_grid: load_stride must be >= 1");
+    }
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    ckt.add<VSource>("VDD", vdd, k_ground, spec.v_dd);
+
+    std::vector<NodeId> node(static_cast<std::size_t>(spec.rows) *
+                             static_cast<std::size_t>(spec.cols));
+    for (int r = 0; r < spec.rows; ++r) {
+        for (int c = 0; c < spec.cols; ++c) {
+            node[static_cast<std::size_t>(r * spec.cols + c)] =
+                ckt.node(mesh_node(r, c));
+        }
+    }
+    auto at = [&](int r, int c) {
+        return node[static_cast<std::size_t>(r * spec.cols + c)];
+    };
+
+    const int total = spec.rows * spec.cols;
+    for (int r = 0; r < spec.rows; ++r) {
+        for (int c = 0; c < spec.cols; ++c) {
+            const std::string tag =
+                std::to_string(r) + "_" + std::to_string(c);
+            if (c + 1 < spec.cols) {
+                ckt.add<Resistor>("RH" + tag, at(r, c), at(r, c + 1),
+                                  spec.r_grid);
+            }
+            if (r + 1 < spec.rows) {
+                ckt.add<Resistor>("RV" + tag, at(r, c), at(r + 1, c),
+                                  spec.r_grid);
+            }
+            const int flat = r * spec.cols + c;
+            if (flat % spec.load_stride == 0) {
+                ckt.add<Rtd>("RTD" + tag, at(r, c), k_ground, spec.rtd);
+                ckt.add<Capacitor>("C" + tag, at(r, c), k_ground, spec.c);
+            }
+        }
+    }
+    // Vias: evenly spread over the flat node index range.
+    const int vias = std::min(spec.vias, total);
+    for (int i = 0; i < vias; ++i) {
+        const int flat = static_cast<int>(
+            (static_cast<long long>(i) * total) / vias);
+        ckt.add<Resistor>("RVIA" + std::to_string(i), vdd,
+                          node[static_cast<std::size_t>(flat)], spec.r_via);
+    }
+    return ckt;
+}
+
+Circuit power_grid(int rows, int cols, int vias) {
+    PowerGridSpec spec;
+    spec.rows = rows;
+    spec.cols = cols;
+    spec.vias = vias;
+    return power_grid(spec);
 }
 
 Circuit rc_lowpass(double r, double c, double v_step) {

@@ -106,6 +106,50 @@ struct ChainSpec {
 [[nodiscard]] Circuit rc_lowpass(double r = 1e3, double c = 1e-9,
                                  double v_step = 1.0);
 
+// ---- 2-D mesh workloads (fill-reduction / ordering benchmarks) --------
+//
+// The RTD chains above are 1-D ladders whose MNA matrices are tridiagonal-
+// ish; natural node order is already near-optimal for them.  Nanotech
+// fabrics and power-distribution networks are 2-D meshes, where natural
+// order costs O(n^1.5)+ LU fill and the fill-reducing orderings of
+// linalg/ordering.hpp pay off.  Node naming: "n<row>_<col>", row-major.
+
+/// rows x cols RC mesh: edge resistors along both grid directions, a
+/// grounded capacitor at every node, an RTD load at every `rtd_stride`-th
+/// node (0 disables), pulse-driven into the (0,0) corner through a series
+/// resistor from node "in".
+struct MeshSpec {
+    int rows = 8;
+    int cols = 8;
+    double r = 100.0;        ///< edge resistance [ohm]
+    double c = 10e-12;       ///< per-node grounded capacitance [F]
+    int rtd_stride = 3;      ///< RTD load every k-th node (0 = none)
+    double v_high = 2.0;     ///< pulse amplitude [V]
+    double period = 200e-9;  ///< pulse period [s]
+    double edge = 5e-9;      ///< pulse rise/fall [s]
+    RtdParams rtd = RtdParams::date05();
+};
+[[nodiscard]] Circuit rc_mesh(const MeshSpec& spec = {});
+[[nodiscard]] Circuit rc_mesh(int rows, int cols);
+
+/// rows x cols power-distribution grid: low-resistance mesh, `vias`
+/// connections from an ideal VDD rail ("vdd") down to evenly spaced grid
+/// nodes, and an RTD load + decoupling capacitor at every
+/// `load_stride`-th node (the nanotech fabric drawing current).
+struct PowerGridSpec {
+    int rows = 8;
+    int cols = 8;
+    int vias = 4;            ///< VDD-to-grid via count (clamped to nodes)
+    double r_grid = 10.0;    ///< mesh segment resistance [ohm]
+    double r_via = 1.0;      ///< via resistance [ohm]
+    double v_dd = 2.0;       ///< supply [V]
+    double c = 1e-12;        ///< decoupling capacitance per loaded node [F]
+    int load_stride = 3;     ///< RTD load every k-th node (>= 1)
+    RtdParams rtd = RtdParams::date05();
+};
+[[nodiscard]] Circuit power_grid(const PowerGridSpec& spec = {});
+[[nodiscard]] Circuit power_grid(int rows, int cols, int vias);
+
 } // namespace nanosim::refckt
 
 #endif // NANOSIM_CORE_REF_CIRCUITS_HPP

@@ -105,6 +105,7 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         stats_after.fast_refactors - stats_before.fast_refactors;
     result.solver_dense_solves =
         stats_after.dense_solves - stats_before.dense_solves;
+    result.solver_ordering = make_ordering_stats(stats_after);
     result.flops = scope.counter();
     return result;
 }

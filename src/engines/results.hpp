@@ -7,10 +7,35 @@
 
 #include "analysis/waveform.hpp"
 #include "linalg/dense.hpp"
+#include "linalg/ordering.hpp"
 #include "netlist/circuit.hpp"
 #include "util/flops.hpp"
 
 namespace nanosim::engines {
+
+/// Fill-reducing-ordering decision of a cached solver (mna::SystemCache),
+/// reported by every engine that runs through one.  All zero / natural on
+/// the dense path.
+struct SolverOrderingStats {
+    linalg::Ordering ordering = linalg::Ordering::natural;
+    std::size_t pattern_nnz = 0;            ///< frozen stamp pattern
+    std::size_t predicted_fill_natural = 0; ///< symbolic L+U, natural order
+    std::size_t predicted_fill_chosen = 0;  ///< symbolic L+U, chosen order
+    std::size_t factor_nnz = 0;             ///< actual L+U of the sparse LU
+
+    [[nodiscard]] const char* name() const noexcept {
+        return linalg::ordering_name(ordering);
+    }
+};
+
+/// Copy the ordering decision out of a cache's Stats (templated so this
+/// header stays independent of mna/system_cache.hpp).
+template <typename CacheStats>
+[[nodiscard]] SolverOrderingStats make_ordering_stats(const CacheStats& s) {
+    return SolverOrderingStats{s.ordering, s.pattern_nnz,
+                               s.predicted_fill_natural,
+                               s.predicted_fill_chosen, s.factor_nnz};
+}
 
 /// Outcome of a single operating-point solve.
 struct DcResult {
@@ -26,6 +51,8 @@ struct DcResult {
     std::size_t solver_full_factors = 0;
     std::size_t solver_fast_refactors = 0;
     std::size_t solver_dense_solves = 0;
+    /// Ordering chosen by the cached solver (natural on dense path).
+    SolverOrderingStats solver_ordering;
     /// Iterate history (filled when options.record_trace is set);
     /// trace[k] is the unknown vector after iteration k.
     std::vector<linalg::Vector> trace;
@@ -73,6 +100,8 @@ struct TranResult {
     std::size_t solver_full_factors = 0;
     std::size_t solver_fast_refactors = 0;
     std::size_t solver_dense_solves = 0;
+    /// Ordering chosen by the cached solver (natural on dense path).
+    SolverOrderingStats solver_ordering;
 
     /// Waveform of a node by name (throws NetlistError if unknown).
     [[nodiscard]] const analysis::Waveform&

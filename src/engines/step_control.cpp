@@ -6,6 +6,57 @@
 
 namespace nanosim::engines {
 
+ClippedStep clip_step_to_events(double t, double h, double t_stop,
+                                double dt_min,
+                                std::span<const double> breakpoints,
+                                std::size_t& next_bp,
+                                bool floor_to_dt_min) {
+    const double snap = breakpoint_snap_tol(t_stop);
+    while (next_bp < breakpoints.size() &&
+           breakpoints[next_bp] <= t + snap) {
+        ++next_bp;
+    }
+    ClippedStep out;
+    out.h = h;
+    // Land on the next corner — unless it sits within dt_min of the
+    // horizon, in which case it is absorbed into the final landing: a
+    // separate corner landing would leave a closing sliver far below
+    // dt_min whose C/h companion entries are ill-scaled, and sub-dt_min
+    // timing detail is below the engine's resolution anyway (the NR/PWL
+    // corner floor overshoots by the same bound).
+    if (next_bp < breakpoints.size() &&
+        t + out.h > breakpoints[next_bp] - snap &&
+        breakpoints[next_bp] < t_stop - dt_min) {
+        out.h = breakpoints[next_bp] - t;
+        if (floor_to_dt_min) {
+            out.h = std::max(out.h, dt_min);
+        }
+        out.hit_breakpoint = true;
+    }
+    // Exact-corner landings target < t_stop - dt_min and never reach the
+    // sliver zone; anything else that does (plain steps, the dt_min
+    // floor overshooting a corner) merges into the exact horizon
+    // landing — unless the landing would stretch the caller's
+    // accuracy-bounded proposal by more than 50%, in which case half the
+    // remainder is taken now (>= 0.75 * dt_min, within the proposal) and
+    // the landing happens next iteration.  SWEC accepts steps
+    // unconditionally, so an unbounded merge would silently exceed its
+    // eq. 12 error bound right at the t_stop sample this merge exists to
+    // make exact.
+    if (t + out.h >= t_stop - dt_min) {
+        const double remain = t_stop - t;
+        out.hit_breakpoint = false;
+        if (remain > 1.5 * out.h) {
+            out.h = 0.5 * remain;
+            out.final_step = false;
+        } else {
+            out.h = remain;
+            out.final_step = true;
+        }
+    }
+    return out;
+}
+
 double swec_step_bound(const mna::MnaAssembler& assembler,
                        const linalg::Triplets& g_assembled,
                        std::span<const double> x,

@@ -19,6 +19,48 @@
 
 namespace nanosim::engines {
 
+/// Breakpoint snap tolerance shared by the transient engines: two time
+/// points closer than this are the same source corner.  Relative to the
+/// horizon — an absolute tolerance (the old 1e-18 s) misclassifies
+/// corners on femtosecond-scale runs and never coalesces duplicates on
+/// second-scale ones.  The ratio lives in mna (mna::k_breakpoint_snap_rel)
+/// so MnaAssembler::breakpoints dedups with exactly the same tolerance.
+[[nodiscard]] constexpr double breakpoint_snap_tol(double t_stop) noexcept {
+    return mna::k_breakpoint_snap_rel * t_stop;
+}
+
+/// One proposed transient step after event clipping — shared by the
+/// SWEC/NR/PWL accepted-step loops so the breakpoint-landing and
+/// t_stop-landing rules cannot drift apart between engines.
+struct ClippedStep {
+    double h = 0.0;            ///< step to take
+    bool hit_breakpoint = false; ///< h lands on a source corner
+    bool final_step = false;   ///< h lands exactly on t_stop (the caller
+                               ///< must then set t = t_stop, not t + h)
+};
+
+/// Clip a proposed step `h` from time `t` to the next source corner and
+/// to the horizon.  Corners already behind t (within the snap tolerance)
+/// are consumed from `next_bp`.  Rules:
+///  * never step across a corner; with `floor_to_dt_min` (NR/PWL) the
+///    corner step is floored at dt_min, accepting a < dt_min overshoot;
+///  * any step reaching within dt_min of the horizon merges into an
+///    exact t_stop landing (a trailing sliver step would make the C/h
+///    companion ill-scaled for no informational gain); when the landing
+///    would stretch the proposed step by more than 50% the remainder is
+///    split in two bound-respecting halves instead, the second landing
+///    exactly;
+///  * a corner within dt_min of t_stop is absorbed by that merge rather
+///    than landed on — sub-dt_min timing detail is below the engine's
+///    resolution (the same bound as the NR/PWL corner-floor overshoot).
+///    Accepted points therefore stay below t_stop - dt_min (or land
+///    exactly on t_stop), except after an NR/PWL convergence retry that
+///    deliberately lands short; the closing step still lands exactly.
+[[nodiscard]] ClippedStep
+clip_step_to_events(double t, double h, double t_stop, double dt_min,
+                    std::span<const double> breakpoints,
+                    std::size_t& next_bp, bool floor_to_dt_min);
+
 /// Minimum step bound over all devices and nodes (eq. 12).
 /// `g_assembled` must be the FULL conductance triplets of the current
 /// time point (static + SWEC stamps) — its node-diagonal entries are the

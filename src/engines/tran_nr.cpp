@@ -5,6 +5,7 @@
 
 #include "engines/dc_nr.hpp"
 #include "engines/options_common.hpp"
+#include "engines/step_control.hpp"
 #include "linalg/vecops.hpp"
 #include "mna/system_cache.hpp"
 #include "util/error.hpp"
@@ -144,22 +145,15 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
     double h = options.dt_init;
     double h_prev = 0.0;
     result.min_dt_used = options.dt_max;
-
-    // Stop once within dt_min of the horizon (sliver steps make the
-    // companion matrix ill-scaled).
-    while (t < options.t_stop - options.dt_min) {
-        // Clip to breakpoints / end.
-        while (next_bp < breakpoints.size() &&
-               breakpoints[next_bp] <= t + 1e-18) {
-            ++next_bp;
-        }
-        if (next_bp < breakpoints.size() &&
-            t + h > breakpoints[next_bp] - 1e-18) {
-            h = std::max(breakpoints[next_bp] - t, options.dt_min);
-        }
-        if (t + h > options.t_stop) {
-            h = options.t_stop - t;
-        }
+    while (t < options.t_stop) {
+        // Clip to breakpoints / the horizon — shared landing rules
+        // (breakpoint first, sliver merged into the final step, exact
+        // t_stop landing); see clip_step_to_events.
+        const ClippedStep clip = clip_step_to_events(
+            t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
+            /*floor_to_dt_min=*/true);
+        h = clip.h;
+        bool final_step = clip.final_step;
 
         // Forward-Euler predictor from the last two accepted points.
         // Gated until two steps have been accepted: before that x_older
@@ -210,8 +204,11 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
                 accepted = true;
                 break;
             }
-            if (h <= options.dt_min * 1.0000001 ||
-                halvings >= options.max_halvings) {
+            // A retry is only useful when the step actually shrinks
+            // (h/2 clamps to dt_min at the floor — redoing the identical
+            // solve is pointless).
+            const double h_half = std::max(h / 2.0, options.dt_min);
+            if (h_half >= h || halvings >= options.max_halvings) {
                 // Out of road.  SPICE3 behaviour: accept and march on.
                 if (options.accept_nonconverged) {
                     ++result.nonconverged_steps;
@@ -223,7 +220,11 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
                         " failed to converge",
                     step.iterations, 0.0);
             }
-            h = std::max(h / 2.0, options.dt_min);
+            // The halved step lands short of t_stop (h <= t_stop - t on
+            // entry and only shrinks here); any remaining sliver closes
+            // exactly on t_stop in a later iteration.
+            h = h_half;
+            final_step = false;
             ++halvings;
             ++result.steps_rejected;
             // Redo the predictor for the reduced step.
@@ -238,7 +239,8 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         if (accepted) {
             x_older = x;
             x = std::move(step.x);
-            t += h;
+            // Land on t_stop bit-exactly: t + (t_stop - t) may round off.
+            t = final_step ? options.t_stop : t + h;
             h_prev = h;
             ++result.steps_accepted;
             result.min_dt_used = std::min(result.min_dt_used, h);
@@ -254,6 +256,7 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
     result.solver_full_factors = cache.stats().full_factors;
     result.solver_fast_refactors = cache.stats().fast_refactors;
     result.solver_dense_solves = cache.stats().dense_solves;
+    result.solver_ordering = make_ordering_stats(cache.stats());
     result.flops = scope.counter();
     return result;
 }

@@ -103,9 +103,7 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     const mna::MnaAssembler::NoiseRealization* noise =
         options.noise.empty() ? nullptr : &options.noise;
 
-    // Stop once within dt_min of the horizon: a sliver step of ~1e-21 s
-    // would make (G + C/h) ill-scaled for no informational gain.
-    while (t < options.t_stop - options.dt_min) {
+    while (t < options.t_stop) {
         // 1. Chord conductances and their rates at t_n.
         const NodeVoltages v = assembler.view(x);
         const NodeVoltages rate_view = assembler.view(dvdt);
@@ -150,25 +148,19 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         } else {
             h = options.dt_init;
         }
-        // Land exactly on breakpoints and on t_stop.
-        while (next_bp < breakpoints.size() &&
-               breakpoints[next_bp] <= t + 1e-18) {
-            ++next_bp;
-        }
-        bool hit_breakpoint = false;
-        if (next_bp < breakpoints.size() &&
-            t + h > breakpoints[next_bp] - 1e-18) {
-            h = breakpoints[next_bp] - t;
-            hit_breakpoint = true;
-        }
-        if (t + h > options.t_stop) {
-            h = options.t_stop - t;
-        }
-        if (h <= 0.0) {
-            // Breakpoint coincides with t (within tolerance) — skip it.
-            ++next_bp;
-            continue;
-        }
+        // Land exactly on breakpoints and on t_stop; any trailing sliver
+        // shorter than dt_min is merged into the final step (a ~1e-21 s
+        // step would make (G + C/h) ill-scaled for no informational
+        // gain), so the last recorded point is exactly t_stop — sweep
+        // metrics and Monte-Carlo sample a solved state, not a
+        // clamped/held one.  See clip_step_to_events for the landing
+        // rules shared with the NR/PWL engines.
+        const ClippedStep clip = clip_step_to_events(
+            t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
+            /*floor_to_dt_min=*/false);
+        h = clip.h;
+        const bool hit_breakpoint = clip.hit_breakpoint;
+        const bool final_step = clip.final_step;
 
         // 3. Predict G_eq at t_{n+1} (eq. 5).
         std::vector<double> geq_pred(nl);
@@ -214,7 +206,8 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             dvdt[i] = (x_next[i] - x[i]) / h;
         }
         x = std::move(x_next);
-        t += h;
+        // Land on t_stop bit-exactly: t + (t_stop - t) may round off.
+        t = final_step ? options.t_stop : t + h;
         h_prev = h;
         ++result.steps_accepted;
         result.min_dt_used = std::min(result.min_dt_used, h);
@@ -238,6 +231,7 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     result.solver_full_factors = cache.stats().full_factors;
     result.solver_fast_refactors = cache.stats().fast_refactors;
     result.solver_dense_solves = cache.stats().dense_solves;
+    result.solver_ordering = make_ordering_stats(cache.stats());
     result.flops = scope.counter();
     return result;
 }

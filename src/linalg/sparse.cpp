@@ -22,6 +22,36 @@ DenseMatrix Triplets::to_dense() const {
     return m;
 }
 
+CscForm compress_columns(const Triplets& t) {
+    CscForm out;
+    out.rows = t.rows();
+    out.cols = t.cols();
+    std::vector<Triplet> sorted = t.entries();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Triplet& a, const Triplet& b) {
+                  return a.col != b.col ? a.col < b.col : a.row < b.row;
+              });
+    out.col_ptr.assign(out.cols + 1, 0);
+    out.row_idx.reserve(sorted.size());
+    out.values.reserve(sorted.size());
+    for (std::size_t i = 0; i < sorted.size();) {
+        const std::size_t c = sorted[i].col;
+        const std::size_t r = sorted[i].row;
+        double sum = 0.0;
+        while (i < sorted.size() && sorted[i].col == c && sorted[i].row == r) {
+            sum += sorted[i].value;
+            ++i;
+        }
+        out.row_idx.push_back(r);
+        out.values.push_back(sum);
+        ++out.col_ptr[c + 1];
+    }
+    for (std::size_t c = 0; c < out.cols; ++c) {
+        out.col_ptr[c + 1] += out.col_ptr[c];
+    }
+    return out;
+}
+
 CsrMatrix::CsrMatrix(const Triplets& t) : rows_(t.rows()), cols_(t.cols()) {
     std::vector<Triplet> sorted = t.entries();
     std::sort(sorted.begin(), sorted.end(),

@@ -53,6 +53,22 @@ private:
     std::vector<Triplet> entries_;
 };
 
+/// Compressed-sparse-column pattern + parallel values of a triplet list:
+/// duplicates summed, rows sorted and unique within each column — the
+/// exact compression SparseLu caches, so `values` can be fed straight to
+/// SparseLu::refactor(values) against a SparseLu built from the same
+/// triplets.  Shared by the solver, the ordering benches and the tests
+/// so the compression rules cannot drift apart.
+struct CscForm {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::size_t> col_ptr; ///< size cols + 1
+    std::vector<std::size_t> row_idx; ///< size nnz, sorted per column
+    std::vector<double> values;       ///< parallel to row_idx
+};
+
+[[nodiscard]] CscForm compress_columns(const Triplets& t);
+
 /// Compressed-sparse-row matrix (immutable once built).
 class CsrMatrix {
 public:

@@ -30,43 +30,33 @@ std::vector<double> SparseLu::set_pattern_from_triplets(const Triplets& a) {
         throw SimError("SparseLu: matrix must be square");
     }
     n_ = a.rows();
-    std::vector<Triplet> sorted = a.entries();
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Triplet& x, const Triplet& y) {
-                  return x.col != y.col ? x.col < y.col : x.row < y.row;
-              });
-    col_ptr_.assign(n_ + 1, 0);
-    row_idx_.clear();
-    row_idx_.reserve(sorted.size());
-    std::vector<double> values;
-    values.reserve(sorted.size());
-    for (std::size_t i = 0; i < sorted.size();) {
-        const std::size_t c = sorted[i].col;
-        const std::size_t r = sorted[i].row;
-        double sum = 0.0;
-        while (i < sorted.size() && sorted[i].col == c && sorted[i].row == r) {
-            sum += sorted[i].value;
-            ++i;
-        }
-        row_idx_.push_back(r);
-        values.push_back(sum);
-        ++col_ptr_[c + 1];
-    }
-    for (std::size_t c = 0; c < n_; ++c) {
-        col_ptr_[c + 1] += col_ptr_[c];
-    }
-    return values;
+    CscForm csc = compress_columns(a);
+    col_ptr_ = std::move(csc.col_ptr);
+    row_idx_ = std::move(csc.row_idx);
+    return std::move(csc.values);
 }
 
 SparseLu::SparseLu(const Triplets& a, double pivot_tol)
+    : SparseLu(a, Permutation{}, pivot_tol) {}
+
+SparseLu::SparseLu(const Triplets& a, const Permutation& ordering,
+                   double pivot_tol)
     : pivot_tol_(pivot_tol) {
     const std::vector<double> values = set_pattern_from_triplets(a);
-    factor_full(values);
+    bake_permutation(ordering);
+    factor_full(to_internal(values));
 }
 
 SparseLu::SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
                    std::vector<std::size_t> row_idx,
                    std::span<const double> values, double pivot_tol)
+    : SparseLu(n, std::move(col_ptr), std::move(row_idx), values,
+               Permutation{}, pivot_tol) {}
+
+SparseLu::SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
+                   std::vector<std::size_t> row_idx,
+                   std::span<const double> values, const Permutation& ordering,
+                   double pivot_tol)
     : n_(n),
       pivot_tol_(pivot_tol),
       col_ptr_(std::move(col_ptr)),
@@ -87,7 +77,35 @@ SparseLu::SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
             }
         }
     }
-    factor_full(values);
+    bake_permutation(ordering);
+    factor_full(to_internal(values));
+}
+
+void SparseLu::bake_permutation(const Permutation& ordering) {
+    if (ordering.empty() || ordering.is_identity()) {
+        return; // natural order: zero-overhead path
+    }
+    if (ordering.size() != n_) {
+        throw SimError("SparseLu: ordering size does not match the matrix");
+    }
+    perm_ = ordering;
+    std::vector<std::size_t> perm_col_ptr;
+    std::vector<std::size_t> perm_row_idx;
+    perm_.permute_pattern(col_ptr_, row_idx_, perm_col_ptr, perm_row_idx,
+                          user_slot_);
+    col_ptr_ = std::move(perm_col_ptr);
+    row_idx_ = std::move(perm_row_idx);
+}
+
+std::span<const double> SparseLu::to_internal(std::span<const double> values) {
+    if (user_slot_.empty()) {
+        return values;
+    }
+    perm_values_.resize(user_slot_.size());
+    for (std::size_t s = 0; s < user_slot_.size(); ++s) {
+        perm_values_[s] = values[user_slot_[s]];
+    }
+    return perm_values_;
 }
 
 void SparseLu::factor_full(std::span<const double> values) {
@@ -318,16 +336,24 @@ bool SparseLu::refactor(std::span<const double> values) {
         throw SimError("SparseLu::refactor: value count does not match the "
                        "cached pattern");
     }
-    if (try_refactor_numeric(values)) {
+    const std::span<const double> internal = to_internal(values);
+    if (try_refactor_numeric(internal)) {
         return true;
     }
-    factor_full(values);
+    factor_full(internal);
     return false;
 }
 
 bool SparseLu::refactor(const Triplets& a) {
     if (a.rows() != a.cols() || a.rows() != n_) {
         throw SimError("SparseLu::refactor: matrix shape mismatch");
+    }
+    if (permuted()) {
+        // The cached pattern lives in permuted space; comparing it against
+        // a freshly compressed caller pattern is meaningless.  The cached
+        // CSC paths (SystemCache) use refactor(values) instead.
+        throw SimError("SparseLu::refactor(Triplets): not supported with a "
+                       "fill-reducing pre-permutation");
     }
     // Compress into (col, row)-sorted summed form and compare patterns.
     const std::vector<std::size_t> old_col_ptr = col_ptr_;
@@ -356,10 +382,28 @@ Vector SparseLu::solve(const Vector& b) const {
     if (b.size() != n_) {
         throw SimError("SparseLu::solve: rhs size mismatch");
     }
+    if (!permuted()) {
+        Vector y;
+        solve_internal(b, y);
+        return y;
+    }
+    // A(q,q) x' = b' with b' = b gathered into permuted space; scatter
+    // x' back to original numbering.  Both intermediates reuse member
+    // scratch — engines call this every accepted step, so like
+    // refactor() the permuted path allocates nothing beyond the
+    // returned vector (in steady state).
+    perm_.apply(b, perm_b_);
+    solve_internal(perm_b_, perm_y_);
+    Vector x(n_);
+    perm_.apply_inverse(perm_y_, x);
+    return x;
+}
+
+void SparseLu::solve_internal(const Vector& b, Vector& y) const {
     std::uint64_t flops = 0;
 
     // y = P b  (y indexed by pivot position).
-    Vector y(n_, 0.0);
+    y.assign(n_, 0.0);
     for (std::size_t i = 0; i < n_; ++i) {
         y[pinv_[i]] = b[i];
     }
@@ -396,7 +440,6 @@ Vector SparseLu::solve(const Vector& b) const {
     counter.lu_solve += flops;
     counter.mul += flops / 2;
     counter.add += flops / 2;
-    return y;
 }
 
 } // namespace nanosim::linalg

@@ -28,16 +28,27 @@
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/ordering.hpp"
 #include "linalg/sparse.hpp"
 
 namespace nanosim::linalg {
 
-/// Sparse LU of a square matrix with row partial pivoting: P A = L U.
+/// Sparse LU of a square matrix with row partial pivoting: P A = L U —
+/// optionally of the symmetrically pre-permuted matrix A(q,q) with a
+/// fill-reducing ordering q (linalg/ordering.hpp).  The pre-permutation
+/// is baked into the symbolic analysis: fresh factorisation and
+/// refactor() both operate in permuted space (values still arrive in the
+/// CALLER's pattern order and are gathered through a slot map), and
+/// solve() permutes rhs/x transparently, so callers never see q.
 class SparseLu {
 public:
     /// Factor from a triplet list.  Throws SingularMatrixError when a
     /// column has no usable pivot (magnitude below pivot_tol * max|A|).
     explicit SparseLu(const Triplets& a, double pivot_tol = 1e-13);
+
+    /// Triplet factorisation with a fill-reducing pre-permutation.
+    SparseLu(const Triplets& a, const Permutation& ordering,
+             double pivot_tol = 1e-13);
 
     /// Factor directly from a CSC pattern + parallel value array (rows
     /// sorted and unique within each column; values[k] belongs to
@@ -47,6 +58,14 @@ public:
     SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
              std::vector<std::size_t> row_idx, std::span<const double> values,
              double pivot_tol = 1e-13);
+
+    /// CSC factorisation with a fill-reducing pre-permutation: factors
+    /// A(q,q) where q = ordering.new_to_old().  `values` (here and in
+    /// every later refactor(values)) stay in the ORIGINAL col_ptr/row_idx
+    /// slot order.  An empty ordering means natural order.
+    SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
+             std::vector<std::size_t> row_idx, std::span<const double> values,
+             const Permutation& ordering, double pivot_tol = 1e-13);
 
     [[nodiscard]] std::size_t order() const noexcept { return n_; }
 
@@ -66,10 +85,13 @@ public:
     /// false).
     bool refactor(const Triplets& a);
 
-    /// Solve A x = b.
+    /// Solve A x = b (rhs/x in original numbering; any pre-permutation
+    /// is applied and undone internally).
     [[nodiscard]] Vector solve(const Vector& b) const;
 
     // ---- cached symbolic pattern (for slot mapping) ----
+    // NOTE: with a pre-permutation these describe the INTERNAL (permuted)
+    // pattern; without one they are exactly the caller's pattern.
     [[nodiscard]] const std::vector<std::size_t>&
     pattern_col_ptr() const noexcept {
         return col_ptr_;
@@ -81,6 +103,9 @@ public:
     [[nodiscard]] std::size_t pattern_nnz() const noexcept {
         return row_idx_.size();
     }
+
+    /// True when a fill-reducing pre-permutation is baked in.
+    [[nodiscard]] bool permuted() const noexcept { return !perm_.empty(); }
 
     // ---- instrumentation ----
     /// Full (symbolic + pivoting) factorisations performed so far.
@@ -106,15 +131,35 @@ private:
     /// Compress `a` into the cached CSC pattern (duplicates summed);
     /// returns the summed values in pattern order.
     std::vector<double> set_pattern_from_triplets(const Triplets& a);
+    /// Rewrite the cached pattern as A(q,q) and build the slot map that
+    /// gathers caller-order values into permuted order.
+    void bake_permutation(const Permutation& ordering);
+    /// Caller-order values -> internal (permuted) order; identity pass-
+    /// through without a permutation.
+    [[nodiscard]] std::span<const double>
+    to_internal(std::span<const double> values);
     void factor_full(std::span<const double> values);
     [[nodiscard]] bool try_refactor_numeric(std::span<const double> values);
+    /// Solve in the internal (possibly permuted) numbering; `y` is
+    /// assigned the solution (caller-owned so the hot path can reuse
+    /// scratch).
+    void solve_internal(const Vector& b, Vector& y) const;
 
     std::size_t n_ = 0;
     double pivot_tol_ = 1e-13;
 
-    // CSC pattern of A (rows sorted and unique within each column).
+    // CSC pattern of A — in permuted space when perm_ is non-empty (rows
+    // sorted and unique within each column).
     std::vector<std::size_t> col_ptr_;
     std::vector<std::size_t> row_idx_;
+
+    // Fill-reducing pre-permutation (empty = natural order) and the slot
+    // gather map: internal slot s holds the caller's slot user_slot_[s].
+    Permutation perm_;
+    std::vector<std::size_t> user_slot_;
+    std::vector<double> perm_values_; // gather scratch (hot path: no alloc)
+    mutable Vector perm_b_;           // solve() rhs-gather scratch
+    mutable Vector perm_y_;           // solve() permuted-solution scratch
 
     // Column-wise factors: lcols_[j] holds strictly-below-diagonal entries
     // of L (unit diagonal implicit); ucols_[j] holds entries of U with

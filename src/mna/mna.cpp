@@ -215,12 +215,30 @@ std::vector<double> MnaAssembler::breakpoints(double t0, double t1) const {
         }
     }
     std::sort(bp.begin(), bp.end());
+    // Coalesce duplicates with a tolerance relative to the window — an
+    // absolute epsilon would keep femtosecond corners apart at second
+    // scales and merge real corners at femtosecond scales.
+    const double tol = k_breakpoint_snap_rel *
+                       std::max(std::abs(t1 - t0), std::abs(t1));
     bp.erase(std::unique(bp.begin(), bp.end(),
-                         [](double a, double b) {
-                             return std::abs(a - b) < 1e-18;
+                         [tol](double a, double b) {
+                             return std::abs(a - b) < tol;
                          }),
              bp.end());
     return bp;
+}
+
+linalg::Triplets swec_step_matrix(const MnaAssembler& assembler, double h,
+                                  double geq) {
+    const auto nl = assembler.nonlinear_devices().size();
+    const std::vector<double> chords(nl, geq);
+    linalg::Triplets a = assembler.static_g();
+    assembler.add_time_varying_stamps(0.0, a);
+    assembler.add_swec_stamps(chords, a);
+    for (const auto& e : assembler.c_triplets().entries()) {
+        a.add(e.row, e.col, e.value / h);
+    }
+    return a;
 }
 
 linalg::Vector solve_system(const linalg::Triplets& a,

@@ -25,6 +25,14 @@
 
 namespace nanosim::mna {
 
+/// Relative tolerance under which two source corner times are the same
+/// breakpoint.  Shared single source of truth: MnaAssembler::breakpoints
+/// deduplicates with it and the transient engines snap with it
+/// (engines::breakpoint_snap_tol) — if they diverged, duplicate corners
+/// could survive dedup yet be skipped by the snap, reintroducing
+/// degenerate sliver steps.
+inline constexpr double k_breakpoint_snap_rel = 1e-12;
+
 /// Stamper writing into triplet matrices + an rhs vector.
 class MnaBuilder final : public Stamper {
 public:
@@ -163,7 +171,8 @@ public:
     }
 
     /// Waveform corner times of all sources inside [t0, t1), sorted,
-    /// deduplicated — transient engines land time points on them.
+    /// deduplicated (tolerance k_breakpoint_snap_rel relative to the
+    /// window) — transient engines land time points on them.
     [[nodiscard]] std::vector<double> breakpoints(double t0, double t1) const;
 
 private:
@@ -185,6 +194,15 @@ private:
 [[nodiscard]] linalg::Vector solve_system(const linalg::Triplets& a,
                                           const linalg::Vector& b,
                                           std::size_t dense_threshold = 64);
+
+/// A representative SWEC per-step system of the circuit:
+/// static G + time-varying stamps at t = 0 + chord conductances `geq`
+/// on every nonlinear device + C/h.  This is the matrix the cached
+/// solver refactors every accepted step; benches and solver tests use it
+/// to measure/compare factorisations without running an engine.
+[[nodiscard]] linalg::Triplets
+swec_step_matrix(const MnaAssembler& assembler, double h,
+                 double geq = 1e-3);
 
 } // namespace nanosim::mna
 

@@ -205,6 +205,70 @@ void SystemCache::freeze_pattern(
     }
     values_.assign(row_idx_.size(), 0.0);
     lu_.reset(); // symbolic analysis is tied to the pattern
+    choose_ordering();
+}
+
+void SystemCache::choose_ordering() {
+    stats_.pattern_nnz = row_idx_.size();
+    ordering_ = linalg::Permutation{};
+    stats_.ordering = linalg::Ordering::natural;
+    stats_.predicted_fill_natural = 0;
+    stats_.predicted_fill_chosen = 0;
+    stats_.factor_nnz = 0; // stale until the new pattern's LU exists
+    if (dense_path()) {
+        return; // dense LU has no fill to reduce
+    }
+
+    const std::size_t fill_natural =
+        linalg::predicted_fill(n_, col_ptr_, row_idx_);
+    stats_.predicted_fill_natural = fill_natural;
+    stats_.predicted_fill_chosen = fill_natural;
+
+    auto adopt = [&](linalg::Ordering which, linalg::Permutation perm,
+                     std::size_t fill) {
+        stats_.ordering = which;
+        stats_.predicted_fill_chosen = fill;
+        ordering_ = std::move(perm);
+    };
+
+    switch (options_.ordering) {
+    case linalg::Ordering::natural:
+        return;
+    case linalg::Ordering::rcm: {
+        linalg::Permutation rcm =
+            linalg::reverse_cuthill_mckee(n_, col_ptr_, row_idx_);
+        const std::size_t fill =
+            linalg::predicted_fill(n_, col_ptr_, row_idx_, rcm);
+        adopt(linalg::Ordering::rcm, std::move(rcm), fill);
+        return;
+    }
+    case linalg::Ordering::min_degree: {
+        linalg::Permutation md =
+            linalg::min_degree_ordering(n_, col_ptr_, row_idx_);
+        const std::size_t fill =
+            linalg::predicted_fill(n_, col_ptr_, row_idx_, md);
+        adopt(linalg::Ordering::min_degree, std::move(md), fill);
+        return;
+    }
+    case linalg::Ordering::automatic:
+        break;
+    }
+
+    // Auto-select: least predicted fill wins; natural keeps ties (it is
+    // free — no gather, no rhs permutation).
+    linalg::Permutation rcm =
+        linalg::reverse_cuthill_mckee(n_, col_ptr_, row_idx_);
+    const std::size_t fill_rcm =
+        linalg::predicted_fill(n_, col_ptr_, row_idx_, rcm);
+    linalg::Permutation md =
+        linalg::min_degree_ordering(n_, col_ptr_, row_idx_);
+    const std::size_t fill_md =
+        linalg::predicted_fill(n_, col_ptr_, row_idx_, md);
+    if (fill_md < fill_natural && fill_md <= fill_rcm) {
+        adopt(linalg::Ordering::min_degree, std::move(md), fill_md);
+    } else if (fill_rcm < fill_natural) {
+        adopt(linalg::Ordering::rcm, std::move(rcm), fill_rcm);
+    }
 }
 
 std::size_t SystemCache::slot_of(std::size_t row,
@@ -285,13 +349,17 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     if (!lu_) {
         lu_ = std::make_unique<linalg::SparseLu>(
             n_, col_ptr_, row_idx_, std::span<const double>(values_),
-            options_.pivot_tol);
+            ordering_, options_.pivot_tol);
         ++stats_.full_factors;
     } else if (lu_->refactor(std::span<const double>(values_))) {
         ++stats_.fast_refactors;
     } else {
         ++stats_.full_factors;
     }
+    // Re-read every step: a degraded-pivot fallback re-pivots and can
+    // change the factor fill (O(n) column-size sum — noise next to the
+    // solve).
+    stats_.factor_nnz = lu_->nnz_factors();
     return lu_->solve(rhs);
 }
 

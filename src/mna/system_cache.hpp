@@ -36,13 +36,20 @@
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/ordering.hpp"
 #include "linalg/sparse_lu.hpp"
 #include "mna/mna.hpp"
 
 namespace nanosim::mna {
 
 /// Pattern-frozen per-step system: restamp values in place, solve through
-/// a cached (dense or pattern-reusing sparse) factorisation.
+/// a cached (dense or pattern-reusing sparse) factorisation.  On the
+/// sparse path the cache additionally selects a fill-reducing node
+/// ordering at pattern-freeze time (linalg/ordering.hpp): RCM and
+/// minimum-degree candidates are scored by predicted factor fill against
+/// natural order, and the winner is baked into the SparseLu's symbolic
+/// analysis — 2-D mesh / power-grid topologies keep their refactor cost
+/// near-linear instead of re-paying O(n^1.5) fill every accepted step.
 class SystemCache {
 public:
     struct Options {
@@ -50,6 +57,10 @@ public:
         /// (mirrors mna::solve_system's auto-select).
         std::size_t dense_threshold = 64;
         double pivot_tol = 1e-13;
+        /// Node ordering for the sparse path.  `automatic` compares
+        /// predicted fill of natural vs RCM vs minimum-degree at freeze
+        /// time; the explicit values force one (tests / benches).
+        linalg::Ordering ordering = linalg::Ordering::automatic;
     };
 
     explicit SystemCache(const MnaAssembler& assembler)
@@ -82,8 +93,20 @@ public:
         std::size_t fast_refactors = 0;   ///< pattern-reusing refactors
         std::size_t dense_solves = 0;     ///< dense-path solves
         std::size_t pattern_rebuilds = 0; ///< overflow-triggered re-freezes
+        // ---- ordering decision (sparse path; natural/0 on dense) ----
+        linalg::Ordering ordering = linalg::Ordering::natural; ///< chosen
+        std::size_t pattern_nnz = 0;           ///< frozen pattern nonzeros
+        std::size_t predicted_fill_natural = 0;///< symbolic L+U, natural
+        std::size_t predicted_fill_chosen = 0; ///< symbolic L+U, chosen
+        std::size_t factor_nnz = 0;            ///< actual L+U of the LU
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    /// The ordering the sparse path will factor with (natural until the
+    /// pattern is frozen on a sparse system).
+    [[nodiscard]] linalg::Ordering chosen_ordering() const noexcept {
+        return stats_.ordering;
+    }
 
     [[nodiscard]] std::size_t unknowns() const noexcept { return n_; }
     [[nodiscard]] std::size_t pattern_nnz() const noexcept {
@@ -97,9 +120,14 @@ public:
 private:
     class ScatterStamper;
 
-    /// Freeze the union pattern from a coordinate list and refresh the
-    /// static/reactive baseline slot arrays.
+    /// Freeze the union pattern from a coordinate list, refresh the
+    /// static/reactive baseline slot arrays, and (sparse path) select the
+    /// fill-reducing ordering for the new pattern.
     void freeze_pattern(std::vector<std::pair<std::size_t, std::size_t>> coords);
+
+    /// Score natural/RCM/min-degree on the frozen pattern and stash the
+    /// winner in ordering_ / stats_ (no-op on the dense path).
+    void choose_ordering();
 
     /// Slot of (row, col) in the CSC pattern, or npos when absent.
     [[nodiscard]] std::size_t slot_of(std::size_t row,
@@ -124,6 +152,7 @@ private:
     std::vector<linalg::Triplet> overflow_;
 
     std::unique_ptr<ScatterStamper> stamper_;
+    linalg::Permutation ordering_; // empty = natural
     std::unique_ptr<linalg::SparseLu> lu_;
     linalg::DenseMatrix dense_; // dense-path work matrix
     Stats stats_;

@@ -69,7 +69,9 @@ ParamAxis parse_param_axis(const std::string& spec) {
 }
 
 void JobPlan::add_axis(ParamAxis axis) {
-    (void)axis.values(); // validate now, not at campaign time
+    // Validate now, not at campaign time — and keep the expansion so the
+    // per-job point() calls are pure lookups.
+    axis_values_.push_back(axis.values());
     axes_.push_back(std::move(axis));
 }
 
@@ -92,7 +94,7 @@ std::vector<double> JobPlan::point(std::size_t index) const {
         const std::size_t n = axes_[a].points;
         const std::size_t i = rem % n;
         rem /= n;
-        out[a] = axes_[a].values()[i];
+        out[a] = axis_values_[a][i];
     }
     return out;
 }

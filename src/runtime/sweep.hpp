@@ -50,11 +50,18 @@ struct ParamAxis {
 /// Cartesian product of parameter axes = the batch of jobs to run.
 class JobPlan {
 public:
-    /// Append an axis (validates it by expanding values()).
+    /// Append an axis (validates and caches its expanded values, so
+    /// point() never re-materialises a linspace per job).
     void add_axis(ParamAxis axis);
 
     [[nodiscard]] const std::vector<ParamAxis>& axes() const noexcept {
         return axes_;
+    }
+
+    /// Cached values of axis `a` (parallel to axes()).
+    [[nodiscard]] const std::vector<double>&
+    axis_values(std::size_t a) const {
+        return axis_values_.at(a);
     }
 
     /// Total number of grid points (1 for an empty plan: the campaign
@@ -62,11 +69,14 @@ public:
     [[nodiscard]] std::size_t size() const noexcept;
 
     /// Parameter values of grid point `index`, parallel to axes().
-    /// Row-major: the LAST axis varies fastest.
+    /// Row-major: the LAST axis varies fastest.  O(axes) — reads the
+    /// per-axis value cache instead of rebuilding each axis's linspace
+    /// (which made a 10^6-point campaign allocate per point per axis).
     [[nodiscard]] std::vector<double> point(std::size_t index) const;
 
 private:
     std::vector<ParamAxis> axes_;
+    std::vector<std::vector<double>> axis_values_; // parallel to axes_
 };
 
 /// Metrics of one grid point.
