@@ -1,12 +1,13 @@
-// Nano-Sim quickstart — build a circuit in code, run a DC sweep, find
-// the RTD's resonance peak.
+// Nano-Sim quickstart — build a circuit in code, run analyses through a
+// SimSession, find the RTD's resonance peak.
 //
 //   $ ./quickstart
 //
 // Walks the three core steps every Nano-Sim program follows:
 //   1. describe the circuit (devices + nodes),
-//   2. pick an engine and run an analysis,
-//   3. post-process the solutions.
+//   2. describe the analyses as AnalysisSpecs and run them through one
+//      SimSession (every run shares the session's cached solver),
+//   3. post-process the typed AnalysisResults.
 #include <iostream>
 
 #include "core/nanosim.hpp"
@@ -24,21 +25,32 @@ int main() {
     ckt.add<Resistor>("R1", in, out, 50.0);
     ckt.add<Rtd>("RTD1", out, k_ground, RtdParams::date05());
 
-    // 2. Sweep the source with the SWEC engine (non-iterative DC: no
-    //    Newton-Raphson anywhere, so the NDR region cannot break it).
-    Simulator sim(std::move(ckt));
-    const auto sweep = sim.dc_sweep("V1", 0.0, 5.0, 0.05);
+    // 2. One session, two analyses.  The DC sweep uses the SWEC engine
+    //    (non-iterative: no Newton-Raphson anywhere, so the NDR region
+    //    cannot break it); the transient that follows reuses the very
+    //    same cached solver — the uniform result header shows the work.
+    SimSession session(std::move(ckt));
+
+    DcSweepSpec dc;
+    dc.source = "V1";
+    dc.start = 0.0;
+    dc.stop = 5.0;
+    dc.step = 0.05;
+    const AnalysisResult swept = session.run(dc);
+    const engines::SweepResult& sweep = swept.sweep();
     std::cout << "swept " << sweep.values.size() << " points, "
               << sweep.failures() << " failures, "
-              << sweep.flops.total() << " flops total\n\n";
+              << sweep.flops.total() << " flops total ["
+              << swept.header.engine << " engine, "
+              << swept.header.elapsed_s * 1e3 << " ms]\n\n";
 
     // 3. Recover the device I-V curve and find the peak.
-    const auto& rtd = sim.circuit().get<Rtd>("RTD1");
-    const auto& assembler = sim.assembler();
+    const auto& rtd = session.circuit().get<Rtd>("RTD1");
+    const auto& assembler = session.assembler();
     analysis::Waveform iv("I(RTD) [mA]");
     for (std::size_t k = 0; k < sweep.values.size(); ++k) {
         const NodeVoltages v = assembler.view(sweep.solutions[k]);
-        const double v_dev = v(sim.circuit().find_node("out"));
+        const double v_dev = v(session.circuit().find_node("out"));
         if (iv.empty() || v_dev > iv.time().back()) {
             iv.append(v_dev, rtd.branch_current(v) * 1e3);
         }
@@ -53,5 +65,26 @@ int main() {
               << v_peak << " V\n"
               << "current at 5 V bias: " << iv.value().back()
               << " mA (NDR region: below the peak)\n";
+
+    // Bonus: a transient on the same session, watched by an observer.
+    // The spec API makes progress + cancellation one parameter away.
+    engines::AnalysisObserver observer;
+    observer.on_progress = [](double f) {
+        static int last = -1;
+        const int pct = static_cast<int>(f * 100.0);
+        if (pct / 25 != last) {
+            last = pct / 25;
+            std::cout << "  transient " << pct << "%\n";
+        }
+    };
+    TranSpec tran;
+    tran.t_stop = 100e-9;
+    const AnalysisResult tr = session.run(tran, &observer);
+    std::cout << "transient: " << tr.tran().steps_accepted
+              << " steps, solver did " << tr.header.solver.full_factors
+              << " full / " << tr.header.solver.fast_refactors
+              << " fast factorisations, " << tr.header.solver.dense_solves
+              << " dense solves (cached pattern " << std::hex
+              << tr.header.cache_signature << std::dec << ")\n";
     return 0;
 }

@@ -6,6 +6,7 @@
 // run options:
 //   --engine swec|nr|mla|pwl   transient/DC engine (default: swec)
 //   --csv PREFIX               write waveforms/sweeps to PREFIX_*.csv
+//   --progress                 live progress meter on stderr
 //   --quiet                    suppress ASCII plots
 //   --verbose                  raise log level to info
 //   --version                  print version and exit
@@ -19,9 +20,13 @@
 //   --out FILE.csv             write the aggregated campaign CSV
 //   --quiet                    suppress ASCII plots
 //
-// `run` executes every analysis card in the deck (.op, .dc, .tran) with
-// the selected engine and prints results in SPICE-batch style.  Exit
-// code 0 on success, 1 on simulation failure, 2 on usage errors.
+// `run` maps every analysis card in the deck (.op, .dc, .tran) onto an
+// AnalysisSpec and executes it through one SimSession — the same single
+// execution path the library facade and the sweep campaigns use, so the
+// whole deck shares one cached symbolic factorisation — then prints
+// results in SPICE-batch style.  Exit code 0 on success, 1 on
+// simulation failure, 2 on usage errors.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -44,6 +49,44 @@ struct CliOptions {
     std::optional<std::string> circuit_spec; ///< built-in generator spec
     double tstop = 200e-9;                   ///< --circuit transient horizon
     bool quiet = false;
+    bool progress = false;                   ///< stderr progress meter
+};
+
+/// Progress meter on stderr, driven by the AnalysisObserver.  Redraws at
+/// >= 1% increments so tight step loops do not drown in terminal writes.
+class ProgressMeter {
+public:
+    void begin(const std::string& label) {
+        label_ = label;
+        last_percent_ = -1;
+        draw(0.0);
+    }
+    void draw(double fraction) {
+        fraction = std::min(std::max(fraction, 0.0), 1.0);
+        const int percent = static_cast<int>(fraction * 100.0);
+        if (percent == last_percent_) {
+            return;
+        }
+        last_percent_ = percent;
+        constexpr int width = 24;
+        const int filled = static_cast<int>(fraction * width);
+        std::cerr << '\r' << "  " << label_ << " [";
+        for (int i = 0; i < width; ++i) {
+            std::cerr << (i < filled ? '=' : (i == filled ? '>' : ' '));
+        }
+        std::cerr << "] " << percent << "%" << std::flush;
+    }
+    void end() {
+        if (last_percent_ >= 0) {
+            std::cerr << '\r' << std::string(label_.size() + 36, ' ')
+                      << '\r' << std::flush;
+            last_percent_ = -1;
+        }
+    }
+
+private:
+    std::string label_;
+    int last_percent_ = -1;
 };
 
 /// Parse "<R>x<C>[:extra]" grid dimensions; returns {rows, cols, extra}
@@ -130,6 +173,7 @@ void usage(std::ostream& os) {
           "run options:\n"
           "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
           "  --csv PREFIX               export results as PREFIX_*.csv\n"
+          "  --progress                 live progress meter on stderr\n"
           "  --circuit SPEC             built-in workload instead of a\n"
           "                             deck: mesh:RxC (RTD-loaded RC\n"
           "                             mesh) or grid:RxC[:vias] (power-\n"
@@ -169,6 +213,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         }
         if (arg == "--quiet") {
             opt.quiet = true;
+        } else if (arg == "--progress") {
+            opt.progress = true;
         } else if (arg == "--verbose") {
             log::set_level(log::Level::info);
         } else if (arg == "--engine") {
@@ -243,19 +289,20 @@ void maybe_plot(const CliOptions& cli,
     analysis::ascii_plot(std::cout, waves, plot);
 }
 
-int run_op(Simulator& sim, const CliOptions& cli, int index) {
+int run_op(const SimSession& session, const AnalysisResult& result,
+           int index) {
     std::cout << "\n* analysis " << index << ": .op (engine "
-              << cli.engine_name << ")\n";
-    const auto op = sim.operating_point(cli.dc_engine);
+              << result.header.engine << ")\n";
+    const auto& op = result.dc();
     if (!op.converged) {
         std::cout << "  OPERATING POINT DID NOT CONVERGE after "
                   << op.iterations << " iterations (residual "
                   << op.residual << ")\n";
         return 1;
     }
-    const auto v = sim.assembler().view(op.x);
-    for (NodeId n = 1; n <= sim.circuit().num_nodes(); ++n) {
-        std::cout << "  v(" << sim.circuit().node_name(n)
+    const auto v = session.assembler().view(op.x);
+    for (NodeId n = 1; n <= session.circuit().num_nodes(); ++n) {
+        std::cout << "  v(" << session.circuit().node_name(n)
                   << ") = " << v(n) << " V\n";
     }
     std::cout << "  [" << op.iterations << " iterations/steps, "
@@ -263,48 +310,45 @@ int run_op(Simulator& sim, const CliOptions& cli, int index) {
     return 0;
 }
 
-int run_dc(Simulator& sim, const CliOptions& cli, const DcCard& card,
+int run_dc(const SimSession& session, const CliOptions& cli,
+           const DcSweepSpec& spec, const AnalysisResult& result,
            int index) {
-    std::cout << "\n* analysis " << index << ": .dc " << card.source
-              << ' ' << card.start << " -> " << card.stop << " step "
-              << card.step << " (engine " << cli.engine_name << ")\n";
-    const auto sweep = sim.dc_sweep(card.source, card.start, card.stop,
-                                    card.step, cli.dc_engine);
+    std::cout << "\n* analysis " << index << ": .dc " << spec.source
+              << ' ' << spec.start << " -> " << spec.stop << " step "
+              << spec.step << " (engine " << result.header.engine << ")\n";
+    const auto& sweep = result.sweep();
     std::cout << "  " << sweep.values.size() << " points, "
               << sweep.failures() << " failures, "
               << sweep.flops.total() << " flops\n";
 
     // One waveform per node, indexed by the sweep value.
     std::vector<analysis::Waveform> waves;
-    for (NodeId n = 1; n <= sim.circuit().num_nodes(); ++n) {
-        analysis::Waveform w("v(" + sim.circuit().node_name(n) + ")");
+    for (NodeId n = 1; n <= session.circuit().num_nodes(); ++n) {
+        analysis::Waveform w("v(" + session.circuit().node_name(n) + ")");
         for (std::size_t k = 0; k < sweep.values.size(); ++k) {
             if (w.empty() || sweep.values[k] > w.time().back()) {
                 w.append(sweep.values[k],
-                         sim.assembler().view(sweep.solutions[k])(n));
+                         session.assembler().view(sweep.solutions[k])(n));
             }
         }
         waves.push_back(std::move(w));
     }
-    maybe_plot(cli, waves, "DC sweep", card.source + " [V]");
+    maybe_plot(cli, waves, "DC sweep", spec.source + " [V]");
     if (cli.csv_prefix) {
         const std::string path =
             *cli.csv_prefix + "_dc" + std::to_string(index) + ".csv";
-        analysis::write_csv_file(path, waves, card.source);
+        analysis::write_csv_file(path, waves, spec.source);
         std::cout << "  wrote " << path << '\n';
     }
     return sweep.failures() == 0 ? 0 : 1;
 }
 
-int run_tran(Simulator& sim, const CliOptions& cli, const TranCard& card,
-             int index) {
-    std::cout << "\n* analysis " << index << ": .tran " << card.tstep
-              << ' ' << card.tstop << " (engine " << cli.engine_name
-              << ")\n";
-    engines::SwecTranOptions opt;
-    opt.t_stop = card.tstop;
-    opt.dt_init = card.tstep;
-    const auto res = sim.transient(opt, cli.tran_engine);
+int run_tran(const CliOptions& cli, const TranSpec& spec,
+             const AnalysisResult& result, int index) {
+    std::cout << "\n* analysis " << index << ": .tran "
+              << spec.common.dt_init << ' ' << spec.t_stop << " (engine "
+              << result.header.engine << ")\n";
+    const auto& res = result.tran();
     std::cout << "  " << res.steps_accepted << " steps ("
               << res.steps_rejected << " rejected), "
               << res.nr_iterations << " nonlinear iterations, "
@@ -395,7 +439,7 @@ std::optional<SweepCliOptions> parse_sweep_args(int argc, char** argv,
 }
 
 int run_sweep(const SweepCliOptions& cli) {
-    const Simulator sim = Simulator::from_deck_file(cli.deck_path);
+    const SimSession session = SimSession::from_deck_file(cli.deck_path);
     std::cout << "nanosim " << version_string() << " | sweep | "
               << cli.deck_path << " | " << cli.plan.size() << " points on "
               << cli.campaign.policy.resolved() << " threads\n";
@@ -405,7 +449,8 @@ int run_sweep(const SweepCliOptions& cli) {
                   << " points)\n";
     }
 
-    const runtime::CampaignResult result = sim.sweep(cli.plan, cli.campaign);
+    const runtime::CampaignResult result =
+        session.sweep(cli.plan, cli.campaign);
     std::cout << "  " << result.rows.size() << " jobs, "
               << result.failures() << " failures, "
               << result.metric_names.size() << " metrics per point\n";
@@ -485,38 +530,69 @@ int main(int argc, char** argv) {
         return 2;
     }
     try {
-        Simulator sim = cli->circuit_spec
-                            ? Simulator(make_builtin_circuit(*cli->circuit_spec))
-                            : Simulator::from_deck_file(cli->deck_path);
+        // One persistent session: every analysis below shares its cached
+        // stamp pattern + symbolic factorisation (the run_deck path).
+        SimSession session =
+            cli->circuit_spec
+                ? SimSession(make_builtin_circuit(*cli->circuit_spec))
+                : SimSession::from_deck_file(cli->deck_path);
         const std::string source =
             cli->circuit_spec ? *cli->circuit_spec : cli->deck_path;
         std::cout << "nanosim " << version_string() << " | " << source
                   << " | "
-                  << sim.circuit().device_count() << " devices, "
-                  << sim.circuit().num_nodes() << " nodes, "
-                  << sim.assembler().unknowns() << " unknowns\n";
-        // Built-in circuits have no deck cards: run .op + .tran.
-        std::vector<AnalysisCard> cards = sim.deck_analyses();
+                  << session.circuit().device_count() << " devices, "
+                  << session.circuit().num_nodes() << " nodes, "
+                  << session.assembler().unknowns() << " unknowns\n";
+        // Deck cards (or .op + .tran for built-in circuits) map onto
+        // specs; --engine applies uniformly.
+        std::vector<AnalysisSpec> specs;
         if (cli->circuit_spec) {
-            cards.clear();
-            cards.emplace_back(OpCard{});
-            cards.emplace_back(TranCard{cli->tstop / 500.0, cli->tstop});
+            OpSpec op;
+            op.engine = cli->dc_engine;
+            specs.emplace_back(std::move(op));
+            TranSpec tran;
+            tran.engine = cli->tran_engine;
+            tran.t_stop = cli->tstop;
+            tran.common.dt_init = cli->tstop / 500.0;
+            specs.emplace_back(std::move(tran));
+        } else {
+            specs = SimSession::specs_from_deck(
+                session.deck_analyses(), cli->dc_engine, cli->tran_engine);
         }
-        if (cards.empty()) {
+        if (specs.empty()) {
             std::cout << "deck has no analysis cards (.op/.dc/.tran); "
                          "nothing to do\n";
             return 0;
         }
+
+        ProgressMeter meter;
+        engines::AnalysisObserver observer;
+        observer.on_progress = [&meter](double f) { meter.draw(f); };
+        const engines::AnalysisObserver* obs =
+            cli->progress ? &observer : nullptr;
+
         int rc = 0;
         int index = 0;
-        for (const auto& card : cards) {
+        for (const AnalysisSpec& spec : specs) {
             ++index;
-            if (std::holds_alternative<OpCard>(card)) {
-                rc |= run_op(sim, *cli, index);
-            } else if (const auto* dc = std::get_if<DcCard>(&card)) {
-                rc |= run_dc(sim, *cli, *dc, index);
-            } else if (const auto* tran = std::get_if<TranCard>(&card)) {
-                rc |= run_tran(sim, *cli, *tran, index);
+            if (obs != nullptr) {
+                meter.begin("analysis " + std::to_string(index));
+            }
+            AnalysisResult result;
+            try {
+                result = session.run(spec, obs);
+            } catch (...) {
+                // Erase the meter line so the error lands on a clean one.
+                meter.end();
+                throw;
+            }
+            meter.end();
+            if (std::holds_alternative<OpSpec>(spec)) {
+                rc |= run_op(session, result, index);
+            } else if (const auto* dc = std::get_if<DcSweepSpec>(&spec)) {
+                rc |= run_dc(session, *cli, *dc, result, index);
+            } else if (const auto* tran = std::get_if<TranSpec>(&spec)) {
+                rc |= run_tran(*cli, *tran, result, index);
             }
         }
         return rc;

@@ -1,0 +1,59 @@
+#include "core/analysis_spec.hpp"
+
+#include <cmath>
+
+#include "linalg/vecops.hpp"
+
+namespace nanosim {
+
+const char* engine_name(DcEngine engine) noexcept {
+    switch (engine) {
+    case DcEngine::swec:
+        return "swec";
+    case DcEngine::newton_raphson:
+        return "nr";
+    case DcEngine::mla:
+        return "mla";
+    }
+    return "?";
+}
+
+const char* engine_name(TranEngine engine) noexcept {
+    switch (engine) {
+    case TranEngine::swec:
+        return "swec";
+    case TranEngine::newton_raphson:
+        return "nr";
+    case TranEngine::pwl:
+        return "pwl";
+    }
+    return "?";
+}
+
+const char* analysis_kind_name(AnalysisKind kind) noexcept {
+    switch (kind) {
+    case AnalysisKind::op:
+        return "op";
+    case AnalysisKind::dc_sweep:
+        return "dc";
+    case AnalysisKind::tran:
+        return "tran";
+    case AnalysisKind::monte_carlo:
+        return "mc";
+    case AnalysisKind::ensemble:
+        return "em";
+    }
+    return "?";
+}
+
+linalg::Vector DcSweepSpec::values() const {
+    if (step == 0.0 || (stop - start) * step < 0.0) {
+        throw AnalysisError("DcSweepSpec '" + name +
+                            "': inconsistent start/stop/step");
+    }
+    const auto count =
+        static_cast<std::size_t>(std::abs((stop - start) / step)) + 1;
+    return linalg::linspace(start, stop, count);
+}
+
+} // namespace nanosim

@@ -1,0 +1,495 @@
+#include "core/sim_session.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "devices/sources.hpp"
+#include "engines/dc_mla.hpp"
+#include "engines/dc_nr.hpp"
+#include "engines/dc_swec.hpp"
+#include "engines/parallel.hpp"
+#include "engines/tran_nr.hpp"
+#include "engines/tran_pwl.hpp"
+#include "util/error.hpp"
+
+namespace nanosim {
+
+namespace {
+
+/// Keep the registry bounded: a session alternating between a handful of
+/// circuit variants retains each variant's symbolic analysis, but a
+/// topology explorer must not accumulate caches without limit.
+constexpr std::size_t k_max_cached_patterns = 8;
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Apply the spec-level NR-family tolerance overrides onto a per-engine
+/// options struct (zero = keep the engine's own default) — the one place
+/// the CommonOptions contract maps onto abstol/reltol fields.
+template <typename EngineOptions>
+void apply_tolerances(const CommonOptions& common, EngineOptions& options) {
+    if (common.abstol > 0.0) {
+        options.abstol = common.abstol;
+    }
+    if (common.reltol > 0.0) {
+        options.reltol = common.reltol;
+    }
+}
+
+} // namespace
+
+// ---- SourceWaveGuard --------------------------------------------------
+
+SourceWaveGuard::SourceWaveGuard(Circuit& circuit, const std::string& source)
+    : circuit_(&circuit), source_(source) {
+    if (const Device* d = circuit.find(source); d != nullptr) {
+        if (d->kind() == DeviceKind::vsource) {
+            saved_ = circuit.get_mutable<VSource>(source).wave_ptr();
+            is_vsource_ = true;
+            return;
+        }
+        if (d->kind() == DeviceKind::isource) {
+            saved_ = circuit.get_mutable<ISource>(source).wave_ptr();
+            return;
+        }
+    }
+    throw NetlistError("dc sweep: '" + source +
+                       "' is not a V or I source");
+}
+
+SourceWaveGuard::~SourceWaveGuard() {
+    if (is_vsource_) {
+        circuit_->get_mutable<VSource>(source_).set_wave(saved_);
+    } else {
+        circuit_->get_mutable<ISource>(source_).set_wave(saved_);
+    }
+}
+
+// ---- SimSession -------------------------------------------------------
+
+namespace {
+
+/// One stamp dry-run serving both the registry key and (via the stored
+/// coords) the first SystemCache built for this assembly.
+[[nodiscard]] std::uint64_t compute_signature(
+    const mna::MnaAssembler& assembler,
+    std::vector<std::pair<std::size_t, std::size_t>>& coords_out) {
+    coords_out = mna::union_stamp_pattern(assembler);
+    return mna::stamp_pattern_signature(
+        static_cast<std::size_t>(assembler.unknowns()), coords_out);
+}
+
+} // namespace
+
+SimSession::SimSession(Circuit circuit)
+    : circuit_(std::make_unique<Circuit>(std::move(circuit))) {
+    assembler_ = std::make_unique<mna::MnaAssembler>(*circuit_);
+    signature_ = compute_signature(*assembler_, pattern_coords_);
+}
+
+SimSession::SimSession(ParsedDeck deck)
+    : circuit_(std::make_unique<Circuit>(std::move(deck.circuit))),
+      deck_analyses_(std::move(deck.analyses)) {
+    assembler_ = std::make_unique<mna::MnaAssembler>(*circuit_);
+    signature_ = compute_signature(*assembler_, pattern_coords_);
+}
+
+SimSession SimSession::from_deck(const std::string& deck_text) {
+    SimSession session(parse_deck(deck_text));
+    session.deck_text_ = deck_text;
+    return session;
+}
+
+SimSession SimSession::from_deck_file(const std::string& path) {
+    // Read the text ourselves (rather than parse_deck_file) so sweep()
+    // can re-parse it for per-job circuits.
+    std::ifstream in(path);
+    if (!in) {
+        throw IoError("cannot open deck file '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return from_deck(text.str());
+}
+
+void SimSession::reassemble() {
+    const std::lock_guard<std::mutex> lock(*run_mutex_);
+    assembler_ = std::make_unique<mna::MnaAssembler>(*circuit_);
+    signature_ = compute_signature(*assembler_, pattern_coords_);
+    // Caches for other signatures stay filed (their stale assembler
+    // pointer is never dereferenced until solver_cache() rebinds them);
+    // the current signature's cache is rebound eagerly so its next solve
+    // is a numeric refactor against the fresh assembly.
+    if (const auto it = caches_.find(signature_); it != caches_.end()) {
+        if (it->second->unknowns() ==
+            static_cast<std::size_t>(assembler_->unknowns())) {
+            it->second->rebind(*assembler_);
+        } else {
+            caches_.erase(it); // signature collision across sizes
+        }
+    }
+}
+
+mna::SystemCache& SimSession::solver_cache() {
+    const auto it = caches_.find(signature_);
+    if (it != caches_.end()) {
+        if (it->second->bound_assembler() != assembler_.get()) {
+            it->second->rebind(*assembler_);
+        }
+        return *it->second;
+    }
+    if (caches_.size() >= k_max_cached_patterns) {
+        // Evict an arbitrary non-current entry (map order is as good as
+        // any here: evictions only happen to topology explorers).
+        caches_.erase(caches_.begin());
+    }
+    // Hand the precomputed union pattern to the new cache when it is
+    // still on hand for this assembly; the rare re-creation after an
+    // eviction falls back to the cache's own dry-run.
+    auto cache =
+        pattern_coords_.empty()
+            ? std::make_unique<mna::SystemCache>(*assembler_)
+            : std::make_unique<mna::SystemCache>(
+                  *assembler_, mna::SystemCache::Options{},
+                  std::move(pattern_coords_), signature_);
+    pattern_coords_.clear();
+    mna::SystemCache& ref = *cache;
+    caches_.emplace(signature_, std::move(cache));
+    return ref;
+}
+
+// ---- execution --------------------------------------------------------
+
+AnalysisResult SimSession::run(const AnalysisSpec& spec,
+                               const engines::AnalysisObserver* observer) {
+    const std::lock_guard<std::mutex> lock(*run_mutex_);
+    const auto t0 = Clock::now();
+    mna::SystemCache::Stats before{};
+    if (const auto it = caches_.find(signature_); it != caches_.end()) {
+        before = it->second->stats();
+    }
+
+    AnalysisResult result = std::visit(
+        [&](const auto& s) {
+            using T = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<T, OpSpec>) {
+                return run_op(s, observer);
+            } else if constexpr (std::is_same_v<T, DcSweepSpec>) {
+                return run_dc_sweep(s, observer);
+            } else if constexpr (std::is_same_v<T, TranSpec>) {
+                return run_tran(s, observer);
+            } else if constexpr (std::is_same_v<T, MonteCarloSpec>) {
+                return run_monte_carlo(s, observer);
+            } else {
+                return run_ensemble(s, observer);
+            }
+        },
+        spec);
+
+    if (const auto it = caches_.find(signature_); it != caches_.end()) {
+        const mna::SystemCache::Stats& after = it->second->stats();
+        result.header.solver.full_factors =
+            after.full_factors - before.full_factors;
+        result.header.solver.fast_refactors =
+            after.fast_refactors - before.fast_refactors;
+        result.header.solver.dense_solves =
+            after.dense_solves - before.dense_solves;
+    }
+    result.header.cache_signature = signature_;
+    result.header.elapsed_s = seconds_since(t0);
+    return result;
+}
+
+std::vector<AnalysisResult>
+SimSession::run_all(const std::vector<AnalysisSpec>& specs,
+                    const engines::AnalysisObserver* observer) {
+    std::vector<AnalysisResult> results;
+    results.reserve(specs.size());
+    for (const AnalysisSpec& spec : specs) {
+        results.push_back(run(spec, observer));
+        if (results.back().header.aborted ||
+            (observer != nullptr && observer->cancelled())) {
+            break; // the partial result is the last element
+        }
+    }
+    return results;
+}
+
+std::vector<AnalysisResult>
+SimSession::run_deck(const engines::AnalysisObserver* observer) {
+    return run_all(specs_from_deck(deck_analyses_), observer);
+}
+
+std::vector<AnalysisSpec>
+SimSession::specs_from_deck(const std::vector<AnalysisCard>& cards,
+                            DcEngine dc_engine, TranEngine tran_engine) {
+    std::vector<AnalysisSpec> specs;
+    specs.reserve(cards.size());
+    for (const AnalysisCard& card : cards) {
+        if (std::holds_alternative<OpCard>(card)) {
+            OpSpec spec;
+            spec.engine = dc_engine;
+            specs.emplace_back(std::move(spec));
+        } else if (const auto* dc = std::get_if<DcCard>(&card)) {
+            DcSweepSpec spec;
+            spec.engine = dc_engine;
+            spec.source = dc->source;
+            spec.start = dc->start;
+            spec.stop = dc->stop;
+            spec.step = dc->step;
+            specs.emplace_back(std::move(spec));
+        } else if (const auto* tran = std::get_if<TranCard>(&card)) {
+            TranSpec spec;
+            spec.engine = tran_engine;
+            spec.t_stop = tran->tstop;
+            spec.common.dt_init = tran->tstep;
+            specs.emplace_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+AnalysisResult SimSession::run_op(const OpSpec& spec,
+                                  const engines::AnalysisObserver* observer) {
+    AnalysisResult out;
+    out.header.name = spec.name;
+    out.header.kind = AnalysisKind::op;
+    out.header.engine = engine_name(spec.engine);
+
+    engines::DcResult dc;
+    switch (spec.engine) {
+    case DcEngine::swec: {
+        engines::SwecDcOptions o;
+        if (spec.common.abstol > 0.0) {
+            o.settle_tol = spec.common.abstol;
+        }
+        dc = engines::solve_op_swec(*assembler_, o, 0.0, 1.0,
+                                    &solver_cache(), observer);
+        break;
+    }
+    case DcEngine::newton_raphson: {
+        engines::NrOptions o;
+        apply_tolerances(spec.common, o);
+        dc = engines::solve_op_nr(*assembler_, o);
+        break;
+    }
+    case DcEngine::mla: {
+        engines::MlaOptions o;
+        apply_tolerances(spec.common, o);
+        dc = engines::solve_op_mla(*assembler_, o);
+        break;
+    }
+    }
+    out.header.aborted = dc.aborted;
+    out.payload = std::move(dc);
+    return out;
+}
+
+AnalysisResult
+SimSession::run_dc_sweep(const DcSweepSpec& spec,
+                         const engines::AnalysisObserver* observer) {
+    AnalysisResult out;
+    out.header.name = spec.name;
+    out.header.kind = AnalysisKind::dc_sweep;
+    out.header.engine = engine_name(spec.engine);
+
+    const linalg::Vector values = spec.values();
+    // Exception-safe restore of the swept stimulus: the engines park the
+    // source at the last applied level; the guard puts the exact original
+    // waveform object back on every exit path.
+    const SourceWaveGuard guard(*circuit_, spec.source);
+
+    engines::SweepResult sweep;
+    switch (spec.engine) {
+    case DcEngine::swec: {
+        engines::SwecDcOptions o;
+        if (spec.common.abstol > 0.0) {
+            o.settle_tol = spec.common.abstol;
+        }
+        sweep = engines::dc_sweep_swec(*circuit_, *assembler_, spec.source,
+                                       values, o, observer, &solver_cache());
+        break;
+    }
+    case DcEngine::newton_raphson: {
+        engines::NrOptions o;
+        apply_tolerances(spec.common, o);
+        sweep = engines::dc_sweep_nr(*circuit_, *assembler_, spec.source,
+                                     values, o, observer);
+        break;
+    }
+    case DcEngine::mla: {
+        engines::MlaOptions o;
+        apply_tolerances(spec.common, o);
+        sweep = engines::dc_sweep_mla(*circuit_, *assembler_, spec.source,
+                                      values, o, observer);
+        break;
+    }
+    }
+    out.header.aborted = sweep.aborted;
+    out.payload = std::move(sweep);
+    return out;
+}
+
+AnalysisResult SimSession::run_tran(const TranSpec& spec,
+                                    const engines::AnalysisObserver* observer) {
+    AnalysisResult out;
+    out.header.name = spec.name;
+    out.header.kind = AnalysisKind::tran;
+    out.header.engine = engine_name(spec.engine);
+
+    engines::TranResult tran;
+    switch (spec.engine) {
+    case TranEngine::swec: {
+        engines::SwecTranOptions o;
+        o.t_stop = spec.t_stop;
+        o.dt_init = spec.common.dt_init;
+        o.dt_min = spec.common.dt_min;
+        o.dt_max = spec.common.dt_max;
+        o.eps = spec.eps;
+        o.adaptive = spec.adaptive;
+        o.use_predictor = spec.use_predictor;
+        o.growth_limit = spec.growth_limit;
+        o.geq_floor = spec.geq_floor;
+        o.start_from_dc = spec.start_from_dc;
+        o.initial = spec.initial;
+        o.noise = spec.noise;
+        tran = engines::run_tran_swec(*assembler_, o, observer,
+                                      &solver_cache());
+        break;
+    }
+    case TranEngine::newton_raphson: {
+        engines::NrTranOptions o;
+        o.t_stop = spec.t_stop;
+        o.dt_init = spec.common.dt_init;
+        o.dt_min = spec.common.dt_min;
+        o.dt_max = spec.common.dt_max;
+        apply_tolerances(spec.common, o);
+        o.start_from_dc = spec.start_from_dc;
+        o.initial = spec.initial;
+        o.noise = spec.noise;
+        tran = engines::run_tran_nr(*assembler_, o, observer,
+                                    &solver_cache());
+        break;
+    }
+    case TranEngine::pwl: {
+        engines::PwlTranOptions o;
+        o.t_stop = spec.t_stop;
+        o.dt_init = spec.common.dt_init;
+        o.dt_min = spec.common.dt_min;
+        o.dt_max = spec.common.dt_max;
+        o.start_from_dc = spec.start_from_dc;
+        o.initial = spec.initial;
+        o.noise = spec.noise;
+        tran = engines::run_tran_pwl(*assembler_, o, observer,
+                                     &solver_cache());
+        break;
+    }
+    }
+    out.header.aborted = tran.aborted;
+    out.payload = std::move(tran);
+    return out;
+}
+
+AnalysisResult
+SimSession::run_monte_carlo(const MonteCarloSpec& spec,
+                            const engines::AnalysisObserver* observer) {
+    AnalysisResult out;
+    out.header.name = spec.name;
+    out.header.kind = AnalysisKind::monte_carlo;
+    out.header.engine = "swec"; // per-trial deterministic engine
+
+    engines::McOptions mc;
+    mc.runs = spec.runs;
+    mc.t_stop = spec.t_stop;
+    mc.noise_dt = spec.noise_dt;
+    mc.grid_points = spec.grid_points;
+    mc.tran = spec.tran;
+    if (spec.common.dt_init > 0.0) {
+        mc.tran.dt_init = spec.common.dt_init;
+    }
+    if (spec.common.dt_min > 0.0) {
+        mc.tran.dt_min = spec.common.dt_min;
+    }
+    if (spec.common.dt_max > 0.0) {
+        mc.tran.dt_max = spec.common.dt_max;
+    }
+    const NodeId node = circuit_->find_node(spec.node);
+
+    // Serial: every trial's transient refactors through the ONE session
+    // cache — the symbolic analysis is never repeated.
+    auto serial = [&] {
+        stochastic::Rng rng(spec.seed);
+        return engines::run_monte_carlo(*assembler_, mc, rng, node, observer,
+                                        &solver_cache());
+    };
+    auto parallel = [&] {
+        runtime::ExecutionPolicy policy;
+        policy.threads = spec.threads;
+        return engines::run_monte_carlo_parallel(*assembler_, mc, spec.seed,
+                                                 node, policy, observer);
+    };
+    engines::McResult res = spec.parallel ? parallel() : serial();
+    out.header.aborted = res.aborted;
+    out.payload = std::move(res);
+    return out;
+}
+
+AnalysisResult
+SimSession::run_ensemble(const EnsembleSpec& spec,
+                         const engines::AnalysisObserver* observer) {
+    AnalysisResult out;
+    out.header.name = spec.name;
+    out.header.kind = AnalysisKind::ensemble;
+    out.header.engine = spec.scheme == engines::EmScheme::explicit_em
+                            ? "em-explicit"
+                            : "em-implicit";
+
+    engines::EmOptions o;
+    o.t_stop = spec.t_stop;
+    o.dt = spec.dt;
+    o.scheme = spec.scheme;
+    o.swec_update = spec.swec_update;
+    o.start_from_dc = spec.start_from_dc;
+    o.initial = spec.initial;
+    const engines::EmEngine engine(*assembler_, o);
+    const NodeId node = circuit_->find_node(spec.node);
+
+    auto serial = [&] {
+        stochastic::Rng rng(spec.seed);
+        return engine.run_ensemble(spec.paths, rng, node, observer);
+    };
+    auto parallel = [&] {
+        runtime::ExecutionPolicy policy;
+        policy.threads = spec.threads;
+        return engines::run_em_ensemble_parallel(engine, spec.paths,
+                                                 spec.seed, node, policy,
+                                                 observer);
+    };
+    engines::EmEnsembleResult res = spec.parallel ? parallel() : serial();
+    out.header.aborted = res.aborted;
+    out.payload = std::move(res);
+    return out;
+}
+
+runtime::CampaignResult
+SimSession::sweep(const runtime::JobPlan& plan,
+                  const runtime::CampaignOptions& options) const {
+    if (!deck_text_) {
+        throw AnalysisError(
+            "SimSession::sweep: needs a deck-constructed session "
+            "(use runtime::run_sweep_campaign with a circuit factory "
+            "for programmatic circuits)");
+    }
+    const std::string text = *deck_text_;
+    return runtime::run_sweep_campaign(
+        plan, [text]() { return parse_deck(text).circuit; }, deck_analyses_,
+        options);
+}
+
+} // namespace nanosim

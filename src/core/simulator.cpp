@@ -1,156 +1,132 @@
 #include "core/simulator.hpp"
 
-#include <fstream>
-#include <sstream>
+#include <utility>
+#include <variant>
 
-#include "linalg/vecops.hpp"
 #include "util/error.hpp"
 
 namespace nanosim {
 
-Simulator::Simulator(Circuit circuit) : circuit_(std::move(circuit)) {
-    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
-}
+namespace {
 
-Simulator::Simulator(ParsedDeck deck)
-    : circuit_(std::move(deck.circuit)),
-      deck_analyses_(std::move(deck.analyses)) {
-    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
-}
-
-Simulator Simulator::from_deck(const std::string& deck_text) {
-    Simulator sim(parse_deck(deck_text));
-    sim.deck_text_ = deck_text;
-    return sim;
-}
-
-Simulator Simulator::from_deck_file(const std::string& path) {
-    // Read the text ourselves (rather than parse_deck_file) so sweep()
-    // can re-parse it for per-job circuits.
-    std::ifstream in(path);
-    if (!in) {
-        throw IoError("cannot open deck file '" + path + "'");
+/// Move the typed payload out of an AnalysisResult (facade callers get
+/// engine-native types; copying a mesh transient's waveforms would be
+/// wasteful).
+template <typename T>
+[[nodiscard]] T take(AnalysisResult&& result) {
+    if (T* p = std::get_if<T>(&result.payload)) {
+        return std::move(*p);
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    return from_deck(text.str());
+    throw AnalysisError("Simulator: unexpected analysis payload kind");
 }
 
-void Simulator::reassemble() {
-    assembler_ = std::make_unique<mna::MnaAssembler>(circuit_);
-}
+} // namespace
 
 engines::DcResult Simulator::operating_point(DcEngine engine) const {
-    switch (engine) {
-    case DcEngine::swec:
-        return engines::solve_op_swec(*assembler_);
-    case DcEngine::newton_raphson:
-        return engines::solve_op_nr(*assembler_);
-    case DcEngine::mla:
-        return engines::solve_op_mla(*assembler_);
-    }
-    throw AnalysisError("operating_point: unknown engine");
+    OpSpec spec;
+    spec.engine = engine;
+    return take<engines::DcResult>(session_.run(spec));
 }
 
 engines::SweepResult Simulator::dc_sweep(const std::string& source,
                                          double start, double stop,
                                          double step, DcEngine engine) {
-    if (step == 0.0 || (stop - start) * step < 0.0) {
-        throw AnalysisError("dc_sweep: inconsistent start/stop/step");
-    }
-    const auto count =
-        static_cast<std::size_t>(std::abs((stop - start) / step)) + 1;
-    const linalg::Vector values = linalg::linspace(start, stop, count);
-    switch (engine) {
-    case DcEngine::swec:
-        return engines::dc_sweep_swec(circuit_, source, values);
-    case DcEngine::newton_raphson:
-        return engines::dc_sweep_nr(circuit_, source, values);
-    case DcEngine::mla:
-        return engines::dc_sweep_mla(circuit_, source, values);
-    }
-    throw AnalysisError("dc_sweep: unknown engine");
+    DcSweepSpec spec;
+    spec.engine = engine;
+    spec.source = source;
+    spec.start = start;
+    spec.stop = stop;
+    spec.step = step;
+    return take<engines::SweepResult>(session_.run(spec));
 }
 
 engines::TranResult
 Simulator::transient(const engines::SwecTranOptions& options,
                      TranEngine engine) const {
-    switch (engine) {
-    case TranEngine::swec:
-        return engines::run_tran_swec(*assembler_, options);
-    case TranEngine::newton_raphson: {
-        engines::NrTranOptions nr;
-        nr.t_stop = options.t_stop;
-        nr.dt_init = options.dt_init;
-        nr.dt_min = options.dt_min;
-        nr.dt_max = options.dt_max;
-        nr.start_from_dc = options.start_from_dc;
-        nr.initial = options.initial;
-        nr.noise = options.noise;
-        return engines::run_tran_nr(*assembler_, nr);
-    }
-    case TranEngine::pwl: {
-        engines::PwlTranOptions pwl;
-        pwl.t_stop = options.t_stop;
-        pwl.dt_init = options.dt_init;
-        pwl.dt_min = options.dt_min;
-        pwl.dt_max = options.dt_max;
-        pwl.start_from_dc = options.start_from_dc;
-        pwl.initial = options.initial;
-        pwl.noise = options.noise;
-        return engines::run_tran_pwl(*assembler_, pwl);
-    }
-    }
-    throw AnalysisError("transient: unknown engine");
+    TranSpec spec;
+    spec.engine = engine;
+    spec.t_stop = options.t_stop;
+    spec.common.dt_init = options.dt_init;
+    spec.common.dt_min = options.dt_min;
+    spec.common.dt_max = options.dt_max;
+    spec.eps = options.eps;
+    spec.adaptive = options.adaptive;
+    spec.use_predictor = options.use_predictor;
+    spec.growth_limit = options.growth_limit;
+    spec.geq_floor = options.geq_floor;
+    spec.start_from_dc = options.start_from_dc;
+    spec.initial = options.initial;
+    spec.noise = options.noise;
+    return take<engines::TranResult>(session_.run(spec));
 }
 
 engines::EmEnsembleResult
 Simulator::stochastic_ensemble(const engines::EmOptions& options, int paths,
                                const std::string& node,
                                std::uint64_t seed) const {
-    const engines::EmEngine engine(*assembler_, options);
-    stochastic::Rng rng(seed);
-    return engine.run_ensemble(paths, rng, circuit_.find_node(node));
+    EnsembleSpec spec;
+    spec.node = node;
+    spec.t_stop = options.t_stop;
+    spec.dt = options.dt;
+    spec.scheme = options.scheme;
+    spec.swec_update = options.swec_update;
+    spec.start_from_dc = options.start_from_dc;
+    spec.initial = options.initial;
+    spec.paths = paths;
+    spec.seed = seed;
+    spec.parallel = false; // serial: the historical facade contract
+    return take<engines::EmEnsembleResult>(session_.run(spec));
 }
 
 engines::McResult Simulator::monte_carlo(const engines::McOptions& options,
                                          const std::string& node,
                                          std::uint64_t seed) const {
-    stochastic::Rng rng(seed);
-    return engines::run_monte_carlo(*assembler_, options, rng,
-                                    circuit_.find_node(node));
-}
-
-runtime::CampaignResult
-Simulator::sweep(const runtime::JobPlan& plan,
-                 const runtime::CampaignOptions& options) const {
-    if (!deck_text_) {
-        throw AnalysisError(
-            "Simulator::sweep: needs a deck-constructed simulator "
-            "(use runtime::run_sweep_campaign with a circuit factory "
-            "for programmatic circuits)");
-    }
-    const std::string text = *deck_text_;
-    return runtime::run_sweep_campaign(
-        plan, [text]() { return parse_deck(text).circuit; }, deck_analyses_,
-        options);
+    MonteCarloSpec spec;
+    spec.node = node;
+    spec.t_stop = options.t_stop;
+    spec.runs = options.runs;
+    spec.noise_dt = options.noise_dt;
+    spec.grid_points = options.grid_points;
+    spec.tran = options.tran;
+    spec.seed = seed;
+    spec.parallel = false; // serial: one shared solver cache across trials
+    return take<engines::McResult>(session_.run(spec));
 }
 
 engines::EmEnsembleResult
 Simulator::ensemble(const engines::EmOptions& options, int paths,
                     const std::string& node, std::uint64_t seed,
                     const runtime::ExecutionPolicy& policy) const {
-    const engines::EmEngine engine(*assembler_, options);
-    return engines::run_em_ensemble_parallel(engine, paths, seed,
-                                             circuit_.find_node(node), policy);
+    EnsembleSpec spec;
+    spec.node = node;
+    spec.t_stop = options.t_stop;
+    spec.dt = options.dt;
+    spec.scheme = options.scheme;
+    spec.swec_update = options.swec_update;
+    spec.start_from_dc = options.start_from_dc;
+    spec.initial = options.initial;
+    spec.paths = paths;
+    spec.seed = seed;
+    spec.parallel = true;
+    spec.threads = policy.threads;
+    return take<engines::EmEnsembleResult>(session_.run(spec));
 }
 
 engines::McResult
 Simulator::monte_carlo_parallel(const engines::McOptions& options,
                                 const std::string& node, std::uint64_t seed,
                                 const runtime::ExecutionPolicy& policy) const {
-    return engines::run_monte_carlo_parallel(
-        *assembler_, options, seed, circuit_.find_node(node), policy);
+    MonteCarloSpec spec;
+    spec.node = node;
+    spec.t_stop = options.t_stop;
+    spec.runs = options.runs;
+    spec.noise_dt = options.noise_dt;
+    spec.grid_points = options.grid_points;
+    spec.tran = options.tran;
+    spec.seed = seed;
+    spec.parallel = true;
+    spec.threads = policy.threads;
+    return take<engines::McResult>(session_.run(spec));
 }
 
 } // namespace nanosim

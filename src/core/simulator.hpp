@@ -1,30 +1,34 @@
-// Nano-Sim — top-level simulator facade.
+// Nano-Sim — top-level simulator facade (back-compat shim).
 //
-// One object that owns a circuit (built programmatically or parsed from a
-// SPICE-like deck), assembles it once, and exposes every analysis the
-// library implements behind a single engine-selection enum:
+// Historically the one-object entry point; since the AnalysisSpec API
+// redesign it is a thin veneer over SimSession: every call builds the
+// equivalent spec and executes it through the session's single execution
+// path, so facade users share the session's persistent solver cache —
+// an operating point followed by a sweep followed by a transient runs
+// ONE symbolic LU analysis.
 //
 //     nanosim::Simulator sim = nanosim::Simulator::from_deck_file("x.cir");
 //     auto tran = sim.transient({.t_stop = 1e-6});             // SWEC
 //     auto tran_spice = sim.transient({.t_stop = 1e-6},
-//                                     nanosim::DcEngine::newton_raphson);
+//                                     nanosim::TranEngine::newton_raphson);
 //
-// The facade is a convenience layer: everything it does is available from
-// the engines directly, and power users (the benches) use those APIs.
+// New code should prefer SimSession + AnalysisSpec directly (observer
+// support, uniform result headers, run_deck); see core/sim_session.hpp
+// and the README migration table.
 #ifndef NANOSIM_CORE_SIMULATOR_HPP
 #define NANOSIM_CORE_SIMULATOR_HPP
 
-#include <memory>
-#include <optional>
 #include <string>
 
+#include "core/analysis_spec.hpp"
+#include "core/sim_session.hpp"
 #include "engines/dc_mla.hpp"
 #include "engines/dc_nr.hpp"
 #include "engines/dc_swec.hpp"
 #include "engines/em_engine.hpp"
 #include "engines/monte_carlo.hpp"
-#include "engines/results.hpp"
 #include "engines/parallel.hpp"
+#include "engines/results.hpp"
 #include "engines/tran_nr.hpp"
 #include "engines/tran_pwl.hpp"
 #include "engines/tran_swec.hpp"
@@ -34,43 +38,41 @@
 
 namespace nanosim {
 
-/// DC solver selection.
-enum class DcEngine {
-    swec,           ///< pseudo-transient SWEC (default; paper Sec. 5.1)
-    newton_raphson, ///< plain NR (SPICE behaviour, incl. NDR failures)
-    mla,            ///< Bhattacharya-Mazumder limited NR baseline
-};
-
-/// Transient solver selection.
-enum class TranEngine {
-    swec,           ///< SWEC (default; paper Sec. 3)
-    newton_raphson, ///< SPICE3-like companion-model NR
-    pwl,            ///< ACES-like piecewise linear
-};
-
-/// Facade over circuit + assembler + engines.
+/// Facade over SimSession, returning engine-native result types.
 class Simulator {
 public:
     /// Take ownership of a programmatically built circuit.
-    explicit Simulator(Circuit circuit);
+    explicit Simulator(Circuit circuit) : session_(std::move(circuit)) {}
 
     /// Build from deck text / file (see netlist/parser.hpp for grammar).
-    [[nodiscard]] static Simulator from_deck(const std::string& deck_text);
-    [[nodiscard]] static Simulator from_deck_file(const std::string& path);
+    [[nodiscard]] static Simulator from_deck(const std::string& deck_text) {
+        return Simulator(SimSession::from_deck(deck_text));
+    }
+    [[nodiscard]] static Simulator from_deck_file(const std::string& path) {
+        return Simulator(SimSession::from_deck_file(path));
+    }
 
-    [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
-    [[nodiscard]] Circuit& circuit() noexcept { return circuit_; }
+    [[nodiscard]] const Circuit& circuit() const noexcept {
+        return session_.circuit();
+    }
+    [[nodiscard]] Circuit& circuit() noexcept { return session_.circuit(); }
     [[nodiscard]] const mna::MnaAssembler& assembler() const {
-        return *assembler_;
+        return session_.assembler();
     }
 
     /// Analyses requested by the deck (.op/.dc/.tran cards), if parsed.
     [[nodiscard]] const std::vector<AnalysisCard>& deck_analyses() const {
-        return deck_analyses_;
+        return session_.deck_analyses();
+    }
+
+    /// The underlying session (specs, observers, cache registry).
+    [[nodiscard]] SimSession& session() noexcept { return session_; }
+    [[nodiscard]] const SimSession& session() const noexcept {
+        return session_;
     }
 
     /// Re-assemble after mutating the circuit (source swaps etc.).
-    void reassemble();
+    void reassemble() { session_.reassemble(); }
 
     // ---- analyses ----
 
@@ -78,7 +80,8 @@ public:
     [[nodiscard]] engines::DcResult
     operating_point(DcEngine engine = DcEngine::swec) const;
 
-    /// DC sweep of a named V/I source.
+    /// DC sweep of a named V/I source.  The source's stimulus is
+    /// restored afterwards (exception-safe) — see SourceWaveGuard.
     [[nodiscard]] engines::SweepResult
     dc_sweep(const std::string& source, double start, double stop,
              double step, DcEngine engine = DcEngine::swec);
@@ -103,14 +106,12 @@ public:
     // ---- batch / parallel orchestration (runtime subsystem) ----
 
     /// Parameter-sweep campaign over the deck this simulator was parsed
-    /// from: each grid point re-parses the deck, applies the plan's
-    /// overrides and runs the deck's .op/.tran cards on the policy's
-    /// worker threads.  Requires deck-based construction (from_deck /
-    /// from_deck_file); throws AnalysisError for programmatic circuits —
-    /// use runtime::run_sweep_campaign with your own factory there.
+    /// from (see SimSession::sweep).
     [[nodiscard]] runtime::CampaignResult
     sweep(const runtime::JobPlan& plan,
-          const runtime::CampaignOptions& options = {}) const;
+          const runtime::CampaignOptions& options = {}) const {
+        return session_.sweep(plan, options);
+    }
 
     /// Parallel Euler-Maruyama ensemble (bit-reproducible for any thread
     /// count; see engines/parallel.hpp for the seed contract).
@@ -126,14 +127,12 @@ public:
                          const runtime::ExecutionPolicy& policy = {}) const;
 
 private:
-    Simulator(ParsedDeck deck);
+    explicit Simulator(SimSession session) : session_(std::move(session)) {}
 
-    Circuit circuit_;
-    std::vector<AnalysisCard> deck_analyses_;
-    std::unique_ptr<mna::MnaAssembler> assembler_;
-    /// Deck source text when parsed from a deck — the sweep() factory
-    /// re-parses it to mint per-job circuits.
-    std::optional<std::string> deck_text_;
+    /// Mutable: the session's persistent solver cache is a memoization
+    /// detail — the facade keeps its historical const signatures (only
+    /// dc_sweep, which swaps the source stimulus, stays non-const).
+    mutable SimSession session_;
 };
 
 } // namespace nanosim

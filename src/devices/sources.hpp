@@ -26,6 +26,11 @@ public:
     [[nodiscard]] int branch_count() const noexcept override { return 1; }
 
     [[nodiscard]] const Waveform& wave() const noexcept { return *wave_; }
+    /// Shared handle to the stimulus — what a sweep's restore guard saves
+    /// so the exact original waveform object comes back afterwards.
+    [[nodiscard]] const WaveformPtr& wave_ptr() const noexcept {
+        return wave_;
+    }
     [[nodiscard]] NodeId pos() const noexcept { return pos_; }
     [[nodiscard]] NodeId neg() const noexcept { return neg_; }
 
@@ -57,6 +62,10 @@ public:
         return {pos_, neg_};
     }
     [[nodiscard]] const Waveform& wave() const noexcept { return *wave_; }
+    /// Shared handle to the stimulus (see VSource::wave_ptr).
+    [[nodiscard]] const WaveformPtr& wave_ptr() const noexcept {
+        return wave_;
+    }
     [[nodiscard]] NodeId pos() const noexcept { return pos_; }
     [[nodiscard]] NodeId neg() const noexcept { return neg_; }
 

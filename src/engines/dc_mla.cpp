@@ -130,9 +130,12 @@ DcResult solve_op_mla(const mna::MnaAssembler& assembler,
     return result;
 }
 
-SweepResult dc_sweep_mla(Circuit& circuit, const std::string& source_name,
+SweepResult dc_sweep_mla(Circuit& circuit,
+                         const mna::MnaAssembler& assembler,
+                         const std::string& source_name,
                          const linalg::Vector& values,
-                         const MlaOptions& options) {
+                         const MlaOptions& options,
+                         const AnalysisObserver* observer) {
     const FlopScope scope;
     if (values.empty()) {
         throw AnalysisError("dc_sweep_mla: empty sweep");
@@ -156,10 +159,13 @@ SweepResult dc_sweep_mla(Circuit& circuit, const std::string& source_name,
                            "' is not a V or I source");
     };
 
-    set_level(values.front());
-    const mna::MnaAssembler assembler(circuit);
     MlaOptions opt = options;
+    const int total = static_cast<int>(values.size());
     for (const double v : values) {
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         set_level(v);
         const DcResult point = solve_op_mla(assembler, opt);
         result.values.push_back(v);
@@ -167,9 +173,26 @@ SweepResult dc_sweep_mla(Circuit& circuit, const std::string& source_name,
         result.converged.push_back(point.converged);
         result.total_iterations += point.iterations;
         opt.initial_guess = point.x;
+        if (observer != nullptr) {
+            const int done = static_cast<int>(result.values.size());
+            observer->trial(done, total);
+            observer->progress(static_cast<double>(done) / total);
+        }
     }
     result.flops = scope.counter();
     return result;
+}
+
+SweepResult dc_sweep_mla(Circuit& circuit, const std::string& source_name,
+                         const linalg::Vector& values,
+                         const MlaOptions& options,
+                         const AnalysisObserver* observer) {
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_mla: empty sweep");
+    }
+    const mna::MnaAssembler assembler(circuit);
+    return dc_sweep_mla(circuit, assembler, source_name, values, options,
+                        observer);
 }
 
 } // namespace nanosim::engines

@@ -18,6 +18,7 @@
 #ifndef NANOSIM_ENGINES_DC_MLA_HPP
 #define NANOSIM_ENGINES_DC_MLA_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
 
@@ -43,11 +44,22 @@ struct MlaOptions {
                                     double source_scale = 1.0);
 
 /// DC sweep with the MLA, warm-starting each point (the configuration
-/// Table I measures).
+/// Table I measures).  `observer` gets per-point trial callbacks and may
+/// cancel between points (partial SweepResult flagged `aborted`).
 [[nodiscard]] SweepResult dc_sweep_mla(Circuit& circuit,
                                        const std::string& source_name,
                                        const linalg::Vector& values,
-                                       const MlaOptions& options = {});
+                                       const MlaOptions& options = {},
+                                       const AnalysisObserver* observer = nullptr);
+
+/// DC sweep against a caller-owned assembler built from `circuit` (the
+/// SimSession path; the session's SourceWaveGuard owns the restore).
+[[nodiscard]] SweepResult dc_sweep_mla(Circuit& circuit,
+                                       const mna::MnaAssembler& assembler,
+                                       const std::string& source_name,
+                                       const linalg::Vector& values,
+                                       const MlaOptions& options,
+                                       const AnalysisObserver* observer);
 
 } // namespace nanosim::engines
 

@@ -172,34 +172,60 @@ DcResult solve_op_source_stepping(const mna::MnaAssembler& assembler,
     return last;
 }
 
-SweepResult dc_sweep_nr(Circuit& circuit, const std::string& source_name,
+SweepResult dc_sweep_nr(Circuit& circuit,
+                        const mna::MnaAssembler& assembler,
+                        const std::string& source_name,
                         const linalg::Vector& values,
-                        const NrOptions& options) {
+                        const NrOptions& options,
+                        const AnalysisObserver* observer) {
     const FlopScope scope;
     SweepResult result;
     if (values.empty()) {
         throw AnalysisError("dc_sweep_nr: empty sweep");
     }
+    NrOptions nr = options;
+    const int total = static_cast<int>(values.size());
+    for (const double v : values) {
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
+        swap_source_level(circuit, source_name, v);
+        const DcResult point = solve_op_nr(assembler, nr);
+        result.values.push_back(v);
+        result.solutions.push_back(point.x);
+        result.converged.push_back(point.converged);
+        result.total_iterations += point.iterations;
+        nr.initial_guess = point.x; // warm start the next point
+        if (observer != nullptr) {
+            const int done = static_cast<int>(result.values.size());
+            observer->trial(done, total);
+            observer->progress(static_cast<double>(done) / total);
+        }
+    }
+    result.flops = scope.counter();
+    return result;
+}
+
+SweepResult dc_sweep_nr(Circuit& circuit, const std::string& source_name,
+                        const linalg::Vector& values,
+                        const NrOptions& options,
+                        const AnalysisObserver* observer) {
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_nr: empty sweep");
+    }
     WaveformPtr saved = swap_source_level(circuit, source_name,
                                           values.front());
+    SweepResult result;
     try {
         const mna::MnaAssembler assembler(circuit);
-        NrOptions nr = options;
-        for (const double v : values) {
-            swap_source_level(circuit, source_name, v);
-            const DcResult point = solve_op_nr(assembler, nr);
-            result.values.push_back(v);
-            result.solutions.push_back(point.x);
-            result.converged.push_back(point.converged);
-            result.total_iterations += point.iterations;
-            nr.initial_guess = point.x; // warm start the next point
-        }
+        result = dc_sweep_nr(circuit, assembler, source_name, values,
+                             options, observer);
     } catch (...) {
         restore_source(circuit, source_name, std::move(saved));
         throw;
     }
     restore_source(circuit, source_name, std::move(saved));
-    result.flops = scope.counter();
     return result;
 }
 

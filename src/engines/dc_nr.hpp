@@ -12,6 +12,7 @@
 #ifndef NANOSIM_ENGINES_DC_NR_HPP
 #define NANOSIM_ENGINES_DC_NR_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
 
@@ -53,10 +54,22 @@ solve_op_source_stepping(const mna::MnaAssembler& assembler,
 /// DC sweep: set `source_name` (a VSource or ISource) to each value in
 /// turn and solve with NR, warm-starting from the previous point.
 /// The circuit is mutated (source waveform replaced) and restored after.
+/// `observer` gets per-point trial callbacks and may cancel between
+/// points (partial SweepResult flagged `aborted`).
 [[nodiscard]] SweepResult dc_sweep_nr(Circuit& circuit,
                                       const std::string& source_name,
                                       const linalg::Vector& values,
-                                      const NrOptions& options = {});
+                                      const NrOptions& options = {},
+                                      const AnalysisObserver* observer = nullptr);
+
+/// DC sweep against a caller-owned assembler built from `circuit` (the
+/// SimSession path; the session's SourceWaveGuard owns the restore).
+[[nodiscard]] SweepResult dc_sweep_nr(Circuit& circuit,
+                                      const mna::MnaAssembler& assembler,
+                                      const std::string& source_name,
+                                      const linalg::Vector& values,
+                                      const NrOptions& options,
+                                      const AnalysisObserver* observer);
 
 } // namespace nanosim::engines
 

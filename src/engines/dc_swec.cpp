@@ -28,7 +28,8 @@ void validate(const SwecDcOptions& o) {
 
 DcResult solve_op_swec(const mna::MnaAssembler& assembler,
                        const SwecDcOptions& options, double t,
-                       double source_scale, mna::SystemCache* cache) {
+                       double source_scale, mna::SystemCache* cache,
+                       const AnalysisObserver* observer) {
     validate(options);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
@@ -61,6 +62,12 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
     int settled = 0;
 
     for (int step = 0; step < options.max_steps; ++step) {
+        // Cooperative cancellation at pseudo-step granularity: the last
+        // iterate is returned unconverged with `aborted` set.
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         // Chord conductances at the current state — the SWEC step needs
         // no prediction here because the march only has to *end* right.
         const NodeVoltages v = assembler.view(result.x);
@@ -110,9 +117,13 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
     return result;
 }
 
-SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
+SweepResult dc_sweep_swec(Circuit& circuit,
+                          const mna::MnaAssembler& assembler,
+                          const std::string& source_name,
                           const linalg::Vector& values,
-                          const SwecDcOptions& options) {
+                          const SwecDcOptions& options,
+                          const AnalysisObserver* observer,
+                          mna::SystemCache* cache) {
     const FlopScope scope;
     if (values.empty()) {
         throw AnalysisError("dc_sweep_swec: empty sweep");
@@ -136,14 +147,23 @@ SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
 
     SweepResult result;
     set_level(values.front());
-    const mna::MnaAssembler assembler(circuit);
-    // One shared cache: the sweep re-solves the same structure at every
-    // point, so the symbolic analysis is paid for exactly once.
-    mna::SystemCache cache(assembler);
+    // One cache for the whole sweep: it re-solves the same structure at
+    // every point, so the symbolic analysis is paid for exactly once —
+    // or zero times when the caller shares an already-frozen one.
+    std::optional<mna::SystemCache> local_cache;
+    if (cache == nullptr) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
     SwecDcOptions opt = options;
+    const int total = static_cast<int>(values.size());
     for (const double v : values) {
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         set_level(v);
-        const DcResult point = solve_op_swec(assembler, opt, 0.0, 1.0, &cache);
+        const DcResult point = solve_op_swec(assembler, opt, 0.0, 1.0, cache);
         result.values.push_back(v);
         result.solutions.push_back(point.x);
         result.converged.push_back(point.converged);
@@ -152,9 +172,29 @@ SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
         // A warm-started continuation settles fast; start the next march
         // with a larger pseudo-step (clamped so the options stay valid).
         opt.dt_init = std::min(options.dt_init * 10.0, opt.dt_max);
+        if (observer != nullptr) {
+            const int done = static_cast<int>(result.values.size());
+            observer->trial(done, total);
+            observer->progress(static_cast<double>(done) / total);
+        }
     }
     result.flops = scope.counter();
     return result;
+}
+
+SweepResult dc_sweep_swec(Circuit& circuit, const std::string& source_name,
+                          const linalg::Vector& values,
+                          const SwecDcOptions& options,
+                          const AnalysisObserver* observer) {
+    if (values.empty()) {
+        throw AnalysisError("dc_sweep_swec: empty sweep");
+    }
+    // The assembler only caches structure (the swept DC level lives in
+    // the source waveform, read per rhs evaluation), so building it once
+    // up front is safe for the whole sweep.
+    const mna::MnaAssembler assembler(circuit);
+    return dc_sweep_swec(circuit, assembler, source_name, values, options,
+                         observer, nullptr);
 }
 
 } // namespace nanosim::engines

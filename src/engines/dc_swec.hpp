@@ -12,6 +12,7 @@
 #ifndef NANOSIM_ENGINES_DC_SWEC_HPP
 #define NANOSIM_ENGINES_DC_SWEC_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
 #include "mna/system_cache.hpp"
@@ -35,19 +36,39 @@ struct SwecDcOptions {
 /// independent sources.  iterations in the result counts pseudo-steps.
 /// `cache` optionally reuses a caller-owned SystemCache (and its symbolic
 /// LU analysis) across calls — dc_sweep_swec passes one for the whole
-/// sweep; nullptr makes the solve self-contained.
+/// sweep, SimSession its persistent one; nullptr makes the solve
+/// self-contained.  `observer` may cancel the march at pseudo-step
+/// granularity (the result carries the last iterate, `aborted` set).
 [[nodiscard]] DcResult solve_op_swec(const mna::MnaAssembler& assembler,
                                      const SwecDcOptions& options = {},
                                      double t = 0.0,
                                      double source_scale = 1.0,
-                                     mna::SystemCache* cache = nullptr);
+                                     mna::SystemCache* cache = nullptr,
+                                     const AnalysisObserver* observer = nullptr);
 
 /// DC sweep with SWEC, warm-starting every point from the previous
-/// solution (the configuration of paper Fig. 7 / Table I).
+/// solution (the configuration of paper Fig. 7 / Table I).  Builds its
+/// own assembler + cache for the circuit.
 [[nodiscard]] SweepResult dc_sweep_swec(Circuit& circuit,
                                         const std::string& source_name,
                                         const linalg::Vector& values,
-                                        const SwecDcOptions& options = {});
+                                        const SwecDcOptions& options = {},
+                                        const AnalysisObserver* observer = nullptr);
+
+/// DC sweep against a caller-owned assembler (which must have been built
+/// from `circuit`) and, optionally, a caller-owned SystemCache — the
+/// SimSession path: the symbolic LU analysis is shared with every other
+/// analysis on the same stamp pattern.  The swept source's waveform is
+/// replaced per point; the caller owns restoring it (SimSession wraps
+/// this in a SourceWaveGuard).  `observer` gets per-point trial
+/// callbacks and may cancel between points.
+[[nodiscard]] SweepResult dc_sweep_swec(Circuit& circuit,
+                                        const mna::MnaAssembler& assembler,
+                                        const std::string& source_name,
+                                        const linalg::Vector& values,
+                                        const SwecDcOptions& options,
+                                        const AnalysisObserver* observer,
+                                        mna::SystemCache* cache);
 
 } // namespace nanosim::engines
 

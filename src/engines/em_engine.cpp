@@ -196,7 +196,8 @@ EmEngine::run_path(std::span<const stochastic::WienerPath> paths) const {
 }
 
 EmEnsembleResult EmEngine::run_ensemble(int num_paths, stochastic::Rng& rng,
-                                        NodeId node) const {
+                                        NodeId node,
+                                        const AnalysisObserver* observer) const {
     const FlopScope scope;
     if (num_paths < 1) {
         throw AnalysisError("EmEngine::run_ensemble: need >= 1 path");
@@ -210,6 +211,7 @@ EmEnsembleResult EmEngine::run_ensemble(int num_paths, stochastic::Rng& rng,
                          .mean = analysis::Waveform("mean"),
                          .stddev = analysis::Waveform("stddev"),
                          .stats = stochastic::EnsembleStats(steps_ + 1),
+                         .aborted = false,
                          .flops = {}};
     out.grid.resize(steps_ + 1);
     for (std::size_t j = 0; j <= steps_; ++j) {
@@ -219,12 +221,20 @@ EmEnsembleResult EmEngine::run_ensemble(int num_paths, stochastic::Rng& rng,
     const auto node_idx = static_cast<std::size_t>(node - 1);
     std::vector<double> samples(steps_ + 1);
     for (int p = 0; p < num_paths; ++p) {
+        if (observer != nullptr && observer->cancelled()) {
+            out.aborted = true;
+            break;
+        }
         const EmPathResult path = run_path(rng);
         const auto& w = path.node_waves[node_idx];
         for (std::size_t j = 0; j <= steps_; ++j) {
             samples[j] = w.value_at(j);
         }
         out.stats.add_path(samples);
+        if (observer != nullptr) {
+            observer->trial(p + 1, num_paths);
+            observer->progress(static_cast<double>(p + 1) / num_paths);
+        }
     }
 
     for (std::size_t j = 0; j <= steps_; ++j) {

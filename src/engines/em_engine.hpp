@@ -30,6 +30,7 @@
 
 #include <span>
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
 #include "stochastic/rng.hpp"
@@ -66,6 +67,9 @@ struct EmEnsembleResult {
     analysis::Waveform mean;           ///< E[V_node(t)]
     analysis::Waveform stddev;         ///< sqrt(Var[V_node(t)])
     stochastic::EnsembleStats stats;   ///< full per-point + peak stats
+    /// True when an AnalysisObserver cancelled the ensemble; statistics
+    /// cover the paths completed before the abort.
+    bool aborted = false;
     FlopCounter flops;
 };
 
@@ -92,10 +96,11 @@ public:
     [[nodiscard]] EmPathResult
     run_path(std::span<const stochastic::WienerPath> paths) const;
 
-    /// Run an ensemble and aggregate the voltage of `node`.
-    [[nodiscard]] EmEnsembleResult run_ensemble(int num_paths,
-                                                stochastic::Rng& rng,
-                                                NodeId node) const;
+    /// Run an ensemble and aggregate the voltage of `node`.  `observer`
+    /// gets per-path trial callbacks and may cancel between paths.
+    [[nodiscard]] EmEnsembleResult
+    run_ensemble(int num_paths, stochastic::Rng& rng, NodeId node,
+                 const AnalysisObserver* observer = nullptr) const;
 
 private:
     [[nodiscard]] linalg::Vector initial_state() const;

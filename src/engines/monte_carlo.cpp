@@ -80,7 +80,9 @@ std::vector<double> mc_grid(const McOptions& normalized) {
 std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
                                    const McOptions& normalized,
                                    stochastic::Rng& rng, NodeId node,
-                                   const std::vector<double>& grid) {
+                                   const std::vector<double>& grid,
+                                   const AnalysisObserver* observer,
+                                   mna::SystemCache* cache) {
     const auto holds = static_cast<std::size_t>(
         std::ceil(normalized.t_stop / normalized.noise_dt));
     const double sqrt_dt = std::sqrt(normalized.noise_dt);
@@ -99,7 +101,14 @@ std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
             std::move(hold), normalized.noise_dt));
     }
 
-    const TranResult res = run_tran_swec(assembler, tran);
+    // Cancellation forwarded at the inner transient's step granularity;
+    // progress/step callbacks stay with the outer per-trial scale.
+    const AnalysisObserver inner = cancel_only(observer);
+    const TranResult res = run_tran_swec(
+        assembler, tran, observer != nullptr ? &inner : nullptr, cache);
+    if (res.aborted) {
+        return {}; // partial trial: no usable samples
+    }
     const auto& wave = res.node_waves[static_cast<std::size_t>(node - 1)];
     std::vector<double> samples(grid.size());
     for (std::size_t j = 0; j < grid.size(); ++j) {
@@ -110,7 +119,8 @@ std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
 
 McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                          const McOptions& options_in, stochastic::Rng& rng,
-                         NodeId node) {
+                         NodeId node, const AnalysisObserver* observer,
+                         mna::SystemCache* cache) {
     const FlopScope scope;
     const McOptions options = normalize_mc_options(assembler, options_in, node);
 
@@ -118,11 +128,26 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                  .mean = analysis::Waveform("mean"),
                  .stddev = analysis::Waveform("stddev"),
                  .stats = stochastic::EnsembleStats(options.grid_points),
+                 .aborted = false,
                  .flops = {}};
 
     for (int run = 0; run < options.runs; ++run) {
-        out.stats.add_path(
-            mc_realization(assembler, options, rng, node, out.grid));
+        if (observer != nullptr && observer->cancelled()) {
+            out.aborted = true;
+            break;
+        }
+        std::vector<double> samples =
+            mc_realization(assembler, options, rng, node, out.grid,
+                           observer, cache);
+        if (samples.empty()) { // trial cancelled mid-transient
+            out.aborted = true;
+            break;
+        }
+        out.stats.add_path(samples);
+        if (observer != nullptr) {
+            observer->trial(run + 1, options.runs);
+            observer->progress(static_cast<double>(run + 1) / options.runs);
+        }
     }
 
     for (std::size_t j = 0; j < options.grid_points; ++j) {

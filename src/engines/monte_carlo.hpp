@@ -12,6 +12,7 @@
 #ifndef NANOSIM_ENGINES_MONTE_CARLO_HPP
 #define NANOSIM_ENGINES_MONTE_CARLO_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "engines/tran_swec.hpp"
 #include "mna/mna.hpp"
@@ -37,13 +38,23 @@ struct McResult {
     analysis::Waveform mean;
     analysis::Waveform stddev;
     stochastic::EnsembleStats stats;
+    /// True when an AnalysisObserver cancelled the run; statistics cover
+    /// the trials completed before the abort.
+    bool aborted = false;
     FlopCounter flops;
 };
 
-/// Run the Monte-Carlo analysis, observing `node`.
+/// Run the Monte-Carlo analysis, observing `node`.  `observer` gets
+/// per-trial callbacks and may cancel (between trials, and mid-trial at
+/// the inner transient's step granularity).  `cache` shares one
+/// caller-owned SystemCache across every realization — without it each
+/// trial's transient re-freezes its own pattern and re-runs the symbolic
+/// analysis.
 [[nodiscard]] McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                                        const McOptions& options,
-                                       stochastic::Rng& rng, NodeId node);
+                                       stochastic::Rng& rng, NodeId node,
+                                       const AnalysisObserver* observer = nullptr,
+                                       mna::SystemCache* cache = nullptr);
 
 // ---- realization-level API (shared with the parallel driver) ----
 
@@ -59,11 +70,16 @@ struct McResult {
 
 /// One Monte-Carlo realization: draw a fresh band-limited noise path per
 /// source from `rng`, run the deterministic transient, and sample `node`
-/// on `grid`.  Options must come from normalize_mc_options.
+/// on `grid`.  Options must come from normalize_mc_options.  An empty
+/// return means the inner transient was cancelled by `observer` (the
+/// samples of a partial trial would bias the ensemble).  `cache` is the
+/// shared solver cache handed to the inner transient.
 [[nodiscard]] std::vector<double>
 mc_realization(const mna::MnaAssembler& assembler, const McOptions& normalized,
                stochastic::Rng& rng, NodeId node,
-               const std::vector<double>& grid);
+               const std::vector<double>& grid,
+               const AnalysisObserver* observer = nullptr,
+               mna::SystemCache* cache = nullptr);
 
 } // namespace nanosim::engines
 

@@ -1,0 +1,83 @@
+// Nano-Sim — progress / cancellation hooks for long-running analyses.
+//
+// Every engine entry point accepts an optional `const AnalysisObserver*`.
+// The observer is a plain struct of std::function slots so callers wire
+// only what they need (a CLI progress meter sets on_progress, a test
+// that aborts mid-transient sets cancel, a notebook might set both):
+//
+//     engines::AnalysisObserver obs;
+//     obs.on_progress = [](double f) { draw_meter(f); };
+//     obs.cancel = [&] { return stop_requested.load(); };
+//     auto res = engines::run_tran_swec(assembler, options, &obs);
+//     if (res.aborted) { /* partial waveforms up to the abort point */ }
+//
+// Contract:
+//  * `cancel` is polled at step granularity by the per-step engines
+//    (SWEC/NR/PWL transients, the SWEC pseudo-transient DC march) and at
+//    trial granularity by the batch drivers (DC sweeps, Monte-Carlo,
+//    Euler-Maruyama ensembles).  Returning true makes the engine stop
+//    cooperatively and return its partial result with `aborted = true` —
+//    no exception, no leak, waveforms contain everything accepted so far.
+//  * `on_progress` receives a completed fraction in [0, 1] (time-based
+//    for transients, trial-based for batch drivers).
+//  * `on_step` fires after every accepted step of a per-step engine;
+//    `on_trial` after every completed trial of a batch driver.
+//  * The serial engines invoke all hooks on the calling thread.  The
+//    parallel drivers (engines/parallel.hpp) invoke `on_trial` /
+//    `on_progress` from worker threads — hooks passed there must be
+//    thread-safe.  `cancel` must always be safe to call concurrently.
+#ifndef NANOSIM_ENGINES_OBSERVER_HPP
+#define NANOSIM_ENGINES_OBSERVER_HPP
+
+#include <functional>
+
+namespace nanosim::engines {
+
+/// Progress / cancellation hooks; every slot is optional.
+struct AnalysisObserver {
+    /// Completed fraction in [0, 1].
+    std::function<void(double)> on_progress;
+    /// One accepted step of a per-step engine: (time, accepted steps).
+    std::function<void(double, int)> on_step;
+    /// One completed trial of a batch driver: (done, total).
+    std::function<void(int, int)> on_trial;
+    /// Polled cooperatively; return true to abort with a partial result.
+    std::function<bool()> cancel;
+
+    [[nodiscard]] bool cancelled() const {
+        return cancel && cancel();
+    }
+    void progress(double fraction) const {
+        if (on_progress) {
+            on_progress(fraction);
+        }
+    }
+    void step(double t, int accepted) const {
+        if (on_step) {
+            on_step(t, accepted);
+        }
+    }
+    void trial(int done, int total) const {
+        if (on_trial) {
+            on_trial(done, total);
+        }
+    }
+};
+
+/// Observer forwarding only the cancellation slot of `outer` — what a
+/// batch driver hands to its inner per-step engine so a cancel request
+/// aborts the current trial promptly without leaking the outer driver's
+/// progress scale into the inner engine's callbacks.  Returns a
+/// value-type observer; pass its address while `outer` outlives it.
+[[nodiscard]] inline AnalysisObserver
+cancel_only(const AnalysisObserver* outer) {
+    AnalysisObserver inner;
+    if (outer != nullptr && outer->cancel) {
+        inner.cancel = outer->cancel;
+    }
+    return inner;
+}
+
+} // namespace nanosim::engines
+
+#endif // NANOSIM_ENGINES_OBSERVER_HPP

@@ -1,5 +1,6 @@
 #include "engines/parallel.hpp"
 
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -18,35 +19,66 @@ struct JobSample {
     FlopCounter flops;
 };
 
+/// Shared progress state for the parallel drivers: a completion counter
+/// the workers bump, with the observer's (thread-safe) hooks invoked on
+/// the worker that finishes each trial.
+struct ParallelProgress {
+    const AnalysisObserver* observer = nullptr;
+    std::atomic<int> done{0};
+    int total = 0;
+
+    [[nodiscard]] bool cancelled() const {
+        return observer != nullptr && observer->cancelled();
+    }
+    void completed() {
+        const int k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (observer != nullptr) {
+            observer->trial(k, total);
+            observer->progress(static_cast<double>(k) / total);
+        }
+    }
+};
+
 } // namespace
 
 McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
                                   const McOptions& options_in,
                                   std::uint64_t seed, NodeId node,
-                                  const runtime::ExecutionPolicy& policy) {
+                                  const runtime::ExecutionPolicy& policy,
+                                  const AnalysisObserver* observer) {
     const McOptions options = normalize_mc_options(assembler, options_in, node);
 
     McResult out{.grid = mc_grid(options),
                  .mean = analysis::Waveform("mean"),
                  .stddev = analysis::Waveform("stddev"),
                  .stats = stochastic::EnsembleStats(options.grid_points),
+                 .aborted = false,
                  .flops = {}};
 
     const stochastic::SeedSequence seq(seed);
     const auto runs = static_cast<std::size_t>(options.runs);
     std::vector<JobSample> jobs(runs);
+    ParallelProgress progress{.observer = observer, .total = options.runs};
 
     runtime::ThreadPool pool(policy.resolved());
     runtime::parallel_for(pool, runs, [&](std::size_t run) {
+        if (progress.cancelled()) {
+            return; // leave the job's samples empty — skipped in reduce
+        }
         const FlopScope scope;
         stochastic::Rng rng = seq.stream(run);
         jobs[run].samples =
             mc_realization(assembler, options, rng, node, out.grid);
         jobs[run].flops = scope.counter();
+        progress.completed();
     });
 
     // Reduce in realization order: bit-identical for any thread count.
     for (auto& job : jobs) {
+        if (job.samples.empty()) { // skipped after a cancel
+            out.aborted = true;
+            continue;
+        }
         out.stats.add_path(job.samples);
         out.flops += job.flops;
     }
@@ -61,7 +93,8 @@ McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
 EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
                                           int num_paths, std::uint64_t seed,
                                           NodeId node,
-                                          const runtime::ExecutionPolicy& policy) {
+                                          const runtime::ExecutionPolicy& policy,
+                                          const AnalysisObserver* observer) {
     if (num_paths < 1) {
         throw AnalysisError("run_em_ensemble_parallel: need >= 1 path");
     }
@@ -76,6 +109,7 @@ EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
                          .mean = analysis::Waveform("mean"),
                          .stddev = analysis::Waveform("stddev"),
                          .stats = stochastic::EnsembleStats(steps + 1),
+                         .aborted = false,
                          .flops = {}};
     out.grid.resize(steps + 1);
     for (std::size_t j = 0; j <= steps; ++j) {
@@ -86,9 +120,13 @@ EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
     const auto paths = static_cast<std::size_t>(num_paths);
     const auto node_idx = static_cast<std::size_t>(node - 1);
     std::vector<JobSample> jobs(paths);
+    ParallelProgress progress{.observer = observer, .total = num_paths};
 
     runtime::ThreadPool pool(policy.resolved());
     runtime::parallel_for(pool, paths, [&](std::size_t p) {
+        if (progress.cancelled()) {
+            return; // leave the job's samples empty — skipped in reduce
+        }
         stochastic::Rng rng = seq.stream(p);
         const EmPathResult path = engine.run_path(rng);
         if (node_idx >= path.node_waves.size()) {
@@ -100,9 +138,14 @@ EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
             jobs[p].samples[j] = w.value_at(j);
         }
         jobs[p].flops = path.flops;
+        progress.completed();
     });
 
     for (auto& job : jobs) {
+        if (job.samples.empty()) { // skipped after a cancel
+            out.aborted = true;
+            continue;
+        }
         out.stats.add_path(job.samples);
         out.flops += job.flops;
     }

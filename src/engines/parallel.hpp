@@ -19,23 +19,30 @@
 
 #include "engines/em_engine.hpp"
 #include "engines/monte_carlo.hpp"
+#include "engines/observer.hpp"
 #include "runtime/execution_policy.hpp"
 
 namespace nanosim::engines {
 
 /// Parallel Monte-Carlo baseline: options.runs independent realizations
-/// on the policy's worker count.
+/// on the policy's worker count.  Observer hooks fire from worker
+/// threads (must be thread-safe); a cancel skips the realizations not
+/// yet started and flags the result `aborted` — completed realizations
+/// still reduce in index order, keeping the thread-count determinism.
 [[nodiscard]] McResult
 run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
                          const McOptions& options, std::uint64_t seed,
                          NodeId node,
-                         const runtime::ExecutionPolicy& policy = {});
+                         const runtime::ExecutionPolicy& policy = {},
+                         const AnalysisObserver* observer = nullptr);
 
-/// Parallel Euler-Maruyama ensemble over `engine`'s grid.
+/// Parallel Euler-Maruyama ensemble over `engine`'s grid.  Same observer
+/// contract as run_monte_carlo_parallel.
 [[nodiscard]] EmEnsembleResult
 run_em_ensemble_parallel(const EmEngine& engine, int num_paths,
                          std::uint64_t seed, NodeId node,
-                         const runtime::ExecutionPolicy& policy = {});
+                         const runtime::ExecutionPolicy& policy = {},
+                         const AnalysisObserver* observer = nullptr);
 
 } // namespace nanosim::engines
 

@@ -41,6 +41,9 @@ template <typename CacheStats>
 struct DcResult {
     linalg::Vector x;            ///< unknown vector [v_nodes; i_branches]
     bool converged = false;
+    /// True when an AnalysisObserver cancelled the solve cooperatively;
+    /// `x` is the last iterate reached before the abort.
+    bool aborted = false;
     bool oscillation_detected = false; ///< NR cycling (the Fig. 2 failure)
     int iterations = 0;          ///< NR iterations (or SWEC pseudo-steps)
     double residual = 0.0;       ///< final update norm
@@ -64,6 +67,9 @@ struct SweepResult {
     std::vector<linalg::Vector> solutions;    ///< per-point solutions
     std::vector<bool> converged;              ///< per-point status
     int total_iterations = 0;
+    /// True when an AnalysisObserver cancelled the sweep; values/
+    /// solutions/converged hold the points completed before the abort.
+    bool aborted = false;
     FlopCounter flops;
 
     /// Number of sweep points that failed to converge.
@@ -81,6 +87,9 @@ struct TranResult {
     /// One waveform per non-ground node, label "v(<name>)", index
     /// = NodeId - 1.
     std::vector<analysis::Waveform> node_waves;
+    /// True when an AnalysisObserver cancelled the run cooperatively; the
+    /// waveforms hold every step accepted before the abort (t_end < t_stop).
+    bool aborted = false;
     int steps_accepted = 0;
     int steps_rejected = 0;
     int nr_iterations = 0;       ///< total NR iterations (0 for SWEC)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "engines/dc_nr.hpp"
 #include "engines/options_common.hpp"
@@ -80,7 +81,9 @@ StepSolve solve_companion(const mna::MnaAssembler& assembler,
 } // namespace
 
 TranResult run_tran_nr(const mna::MnaAssembler& assembler,
-                       const NrTranOptions& options_in) {
+                       const NrTranOptions& options_in,
+                       const AnalysisObserver* observer,
+                       mna::SystemCache* cache) {
     const NrTranOptions options = resolve(options_in);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
@@ -134,8 +137,14 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
 
     // Cached per-step system shared by every NR iteration of every step:
     // the companion pattern is fixed, so only values are restamped and the
-    // symbolic LU analysis is reused.
-    mna::SystemCache cache(assembler);
+    // symbolic LU analysis is reused — across whole analyses when the
+    // caller shares a SystemCache (SimSession).
+    std::optional<mna::SystemCache> local_cache;
+    if (cache == nullptr) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
+    const mna::SystemCache::Stats stats_before = cache->stats();
     // Static G compressed once for the trapezoidal (linear-only) rhs.
     const linalg::CsrMatrix static_g_csr(assembler.static_g());
 
@@ -146,6 +155,12 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
     double h_prev = 0.0;
     result.min_dt_used = options.dt_max;
     while (t < options.t_stop) {
+        // Cooperative cancellation, polled once per step: the partial
+        // waveforms recorded so far are the result.
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         // Clip to breakpoints / the horizon — shared landing rules
         // (breakpoint first, sliver merged into the final step, exact
         // t_stop landing); see clip_step_to_events.
@@ -174,7 +189,7 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         while (true) {
             if (options.method == Integration::backward_euler ||
                 !assembler.nonlinear_devices().empty()) {
-                step = solve_companion(assembler, cache, options, x, x_pred,
+                step = solve_companion(assembler, *cache, options, x, x_pred,
                                        t + h, h, noise);
             } else {
                 // Trapezoidal (linear only):
@@ -187,8 +202,8 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
                 for (std::size_t i = 0; i < n; ++i) {
                     rhs[i] += rhs_n[i] + 2.0 * cx[i] / h - gx[i];
                 }
-                (void)cache.begin(2.0 / h, rhs); // no dynamic stamps
-                step.x = cache.solve(rhs);
+                (void)cache->begin(2.0 / h, rhs); // no dynamic stamps
+                step.x = cache->solve(rhs);
                 step.converged = true;
                 step.iterations = 1;
             }
@@ -246,6 +261,10 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
             result.min_dt_used = std::min(result.min_dt_used, h);
             result.max_dt_used = std::max(result.max_dt_used, h);
             record(t, x);
+            if (observer != nullptr) {
+                observer->step(t, result.steps_accepted);
+                observer->progress(t / options.t_stop);
+            }
             // Grow the step after an easy point.
             if (step.iterations <= options.max_nr_iterations / 4) {
                 h = std::min(h * 1.5, options.dt_max);
@@ -253,10 +272,13 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         }
     }
 
-    result.solver_full_factors = cache.stats().full_factors;
-    result.solver_fast_refactors = cache.stats().fast_refactors;
-    result.solver_dense_solves = cache.stats().dense_solves;
-    result.solver_ordering = make_ordering_stats(cache.stats());
+    result.solver_full_factors =
+        cache->stats().full_factors - stats_before.full_factors;
+    result.solver_fast_refactors =
+        cache->stats().fast_refactors - stats_before.fast_refactors;
+    result.solver_dense_solves =
+        cache->stats().dense_solves - stats_before.dense_solves;
+    result.solver_ordering = make_ordering_stats(cache->stats());
     result.flops = scope.counter();
     return result;
 }

@@ -16,8 +16,10 @@
 #ifndef NANOSIM_ENGINES_TRAN_NR_HPP
 #define NANOSIM_ENGINES_TRAN_NR_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
 
 namespace nanosim::engines {
 
@@ -45,9 +47,14 @@ struct NrTranOptions {
     mna::MnaAssembler::NoiseRealization noise;
 };
 
-/// Run the Newton-Raphson transient.
+/// Run the Newton-Raphson transient.  `observer` (optional) receives
+/// per-step progress and may cancel cooperatively (partial waveforms,
+/// `aborted` set); `cache` (optional) shares a caller-owned SystemCache
+/// across analyses.  Solver stats in the result are deltas over this run.
 [[nodiscard]] TranResult run_tran_nr(const mna::MnaAssembler& assembler,
-                                     const NrTranOptions& options);
+                                     const NrTranOptions& options,
+                                     const AnalysisObserver* observer = nullptr,
+                                     mna::SystemCache* cache = nullptr);
 
 } // namespace nanosim::engines
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "devices/mosfet.hpp"
 #include "engines/options_common.hpp"
@@ -119,7 +120,9 @@ private:
 } // namespace
 
 TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
-                        const PwlTranOptions& options_in) {
+                        const PwlTranOptions& options_in,
+                        const AnalysisObserver* observer,
+                        mna::SystemCache* cache) {
     const PwlTranOptions options = resolve(options_in);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
@@ -135,8 +138,14 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
 
     // Cached per-step system: the PWL Norton stamps always land on the
     // same (drain, source) / (pos, neg) coordinates, so every segment
-    // iteration is an in-place restamp + pattern-reusing solve.
-    mna::SystemCache cache(assembler);
+    // iteration is an in-place restamp + pattern-reusing solve — shared
+    // across whole analyses when the caller supplies the cache.
+    std::optional<mna::SystemCache> local_cache;
+    if (cache == nullptr) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
+    const mna::SystemCache::Stats stats_before = cache->stats();
 
     // Segment fixed-point solve of one companion system.  `h <= 0` means
     // DC (no C/h companion).  Returns convergence of the assignment.
@@ -157,7 +166,7 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
                     rhs[i] += cx[i] / h;
                 }
             }
-            Stamper& stamper = cache.begin(h > 0.0 ? 1.0 / h : 0.0, rhs);
+            Stamper& stamper = cache->begin(h > 0.0 ? 1.0 / h : 0.0, rhs);
             assembler.stamp_time_varying_into(t, stamper);
             {
                 const NodeVoltages vc = assembler.view(x_cur);
@@ -165,7 +174,7 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
                     pwl[k].stamp(stamper, seg[k], pwl[k].gate_voltage(vc));
                 }
             }
-            x_cur = cache.solve(rhs);
+            x_cur = cache->solve(rhs);
 
             // Re-derive the assignment; stable assignment = converged.
             const NodeVoltages vc = assembler.view(x_cur);
@@ -223,6 +232,12 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
     double h = options.dt_init;
     result.min_dt_used = options.dt_max;
     while (t < options.t_stop) {
+        // Cooperative cancellation, polled once per step: the partial
+        // waveforms recorded so far are the result.
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         // Clip to breakpoints / the horizon — shared landing rules
         // (breakpoint first, sliver merged into the final step, exact
         // t_stop landing); see clip_step_to_events.
@@ -269,13 +284,20 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         result.min_dt_used = std::min(result.min_dt_used, h);
         result.max_dt_used = std::max(result.max_dt_used, h);
         record(t, x);
+        if (observer != nullptr) {
+            observer->step(t, result.steps_accepted);
+            observer->progress(t / options.t_stop);
+        }
         h = std::min(h * 1.5, options.dt_max);
     }
 
-    result.solver_full_factors = cache.stats().full_factors;
-    result.solver_fast_refactors = cache.stats().fast_refactors;
-    result.solver_dense_solves = cache.stats().dense_solves;
-    result.solver_ordering = make_ordering_stats(cache.stats());
+    result.solver_full_factors =
+        cache->stats().full_factors - stats_before.full_factors;
+    result.solver_fast_refactors =
+        cache->stats().fast_refactors - stats_before.fast_refactors;
+    result.solver_dense_solves =
+        cache->stats().dense_solves - stats_before.dense_solves;
+    result.solver_ordering = make_ordering_stats(cache->stats());
     result.flops = scope.counter();
     return result;
 }

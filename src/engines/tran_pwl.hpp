@@ -18,8 +18,10 @@
 #ifndef NANOSIM_ENGINES_TRAN_PWL_HPP
 #define NANOSIM_ENGINES_TRAN_PWL_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
 
 namespace nanosim::engines {
 
@@ -39,9 +41,14 @@ struct PwlTranOptions {
     mna::MnaAssembler::NoiseRealization noise;
 };
 
-/// Run the PWL transient.
+/// Run the PWL transient.  `observer` (optional) receives per-step
+/// progress and may cancel cooperatively (partial waveforms, `aborted`
+/// set); `cache` (optional) shares a caller-owned SystemCache across
+/// analyses.  Solver stats in the result are deltas over this run.
 [[nodiscard]] TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
-                                      const PwlTranOptions& options);
+                                      const PwlTranOptions& options,
+                                      const AnalysisObserver* observer = nullptr,
+                                      mna::SystemCache* cache = nullptr);
 
 } // namespace nanosim::engines
 

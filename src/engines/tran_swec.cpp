@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "engines/dc_swec.hpp"
 #include "engines/options_common.hpp"
@@ -33,12 +34,26 @@ SwecTranOptions resolve(const SwecTranOptions& in) {
 } // namespace
 
 TranResult run_tran_swec(const mna::MnaAssembler& assembler,
-                         const SwecTranOptions& options_in) {
+                         const SwecTranOptions& options_in,
+                         const AnalysisObserver* observer,
+                         mna::SystemCache* cache) {
     const SwecTranOptions options = resolve(options_in);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
     const auto& nonlinear = assembler.nonlinear_devices();
     const auto nl = nonlinear.size();
+
+    // Pattern-frozen per-step system: restamp values in place, reuse the
+    // symbolic LU analysis across every accepted step (the SWEC promise —
+    // one cheap numeric refactor + solve per time point).  A caller-owned
+    // cache extends the reuse across whole analyses (SimSession).
+    std::optional<mna::SystemCache> local_cache;
+    const bool shared_cache = cache != nullptr;
+    if (!shared_cache) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
+    const mna::SystemCache::Stats stats_before = cache->stats();
 
     // --- Initial condition. ---
     linalg::Vector x;
@@ -48,7 +63,12 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         }
         x = options.initial;
     } else if (options.start_from_dc) {
-        x = solve_op_swec(assembler).x;
+        // Through the shared cache when one was supplied (the DC march
+        // restamps the same pattern); self-contained otherwise, matching
+        // the historical per-call behaviour.
+        x = solve_op_swec(assembler, {}, 0.0, 1.0,
+                          shared_cache ? cache : nullptr)
+                .x;
     } else {
         x.assign(n, 0.0);
     }
@@ -82,11 +102,6 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         }
     }
 
-    // Pattern-frozen per-step system: restamp values in place, reuse the
-    // symbolic LU analysis across every accepted step (the SWEC promise —
-    // one cheap numeric refactor + solve per time point).
-    mna::SystemCache cache(assembler);
-
     double t = 0.0;
     record(t, x);
 
@@ -104,6 +119,12 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         options.noise.empty() ? nullptr : &options.noise;
 
     while (t < options.t_stop) {
+        // Cooperative cancellation, polled once per step: the partial
+        // waveforms recorded so far are the result.
+        if (observer != nullptr && observer->cancelled()) {
+            result.aborted = true;
+            break;
+        }
         // 1. Chord conductances and their rates at t_n.
         const NodeVoltages v = assembler.view(x);
         const NodeVoltages rate_view = assembler.view(dvdt);
@@ -183,10 +204,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
                 rhs[i] += cx[i] / h;
             }
         }
-        Stamper& stamper = cache.begin(1.0 / h, rhs);
+        Stamper& stamper = cache->begin(1.0 / h, rhs);
         assembler.stamp_time_varying_into(t + h, stamper);
         assembler.stamp_swec_into(geq_pred, stamper);
-        linalg::Vector x_next = cache.solve(rhs);
+        linalg::Vector x_next = cache->solve(rhs);
 
         // 5. Bookkeeping: eq. (10) a-posteriori error, eq. (9) slope.
         // Excluded: the first two steps (slope history not meaningful
@@ -213,6 +234,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         result.min_dt_used = std::min(result.min_dt_used, h);
         result.max_dt_used = std::max(result.max_dt_used, h);
         record(t, x);
+        if (observer != nullptr) {
+            observer->step(t, result.steps_accepted);
+            observer->progress(t / options.t_stop);
+        }
 
         if (hit_breakpoint) {
             // A source corner invalidates the slope history; restart the
@@ -228,10 +253,14 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         result.avg_local_error =
             local_error_sum / static_cast<double>(local_error_count);
     }
-    result.solver_full_factors = cache.stats().full_factors;
-    result.solver_fast_refactors = cache.stats().fast_refactors;
-    result.solver_dense_solves = cache.stats().dense_solves;
-    result.solver_ordering = make_ordering_stats(cache.stats());
+    // Deltas over this run, so a shared cache reports per-analysis work.
+    result.solver_full_factors =
+        cache->stats().full_factors - stats_before.full_factors;
+    result.solver_fast_refactors =
+        cache->stats().fast_refactors - stats_before.fast_refactors;
+    result.solver_dense_solves =
+        cache->stats().dense_solves - stats_before.dense_solves;
+    result.solver_ordering = make_ordering_stats(cache->stats());
     result.flops = scope.counter();
     return result;
 }

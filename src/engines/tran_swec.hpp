@@ -19,8 +19,10 @@
 #ifndef NANOSIM_ENGINES_TRAN_SWEC_HPP
 #define NANOSIM_ENGINES_TRAN_SWEC_HPP
 
+#include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
 
 namespace nanosim::engines {
 
@@ -43,8 +45,16 @@ struct SwecTranOptions {
 };
 
 /// Run the SWEC transient.  Throws AnalysisError on bad options.
+/// `observer` (optional) receives per-step progress and may cancel
+/// cooperatively — a cancelled run returns the partial waveforms with
+/// `aborted` set.  `cache` (optional) reuses a caller-owned SystemCache
+/// (and its symbolic LU analysis) instead of freezing a fresh one —
+/// SimSession passes its persistent cache; nullptr keeps the solve
+/// self-contained.  Solver stats in the result are deltas over this run.
 [[nodiscard]] TranResult run_tran_swec(const mna::MnaAssembler& assembler,
-                                       const SwecTranOptions& options);
+                                       const SwecTranOptions& options,
+                                       const AnalysisObserver* observer = nullptr,
+                                       mna::SystemCache* cache = nullptr);
 
 } // namespace nanosim::engines
 

@@ -110,6 +110,76 @@ private:
 
 } // namespace
 
+std::vector<std::pair<std::size_t, std::size_t>>
+union_stamp_pattern(const MnaAssembler& assembler) {
+    const auto n = static_cast<std::size_t>(assembler.unknowns());
+    std::vector<std::pair<std::size_t, std::size_t>> coords;
+    for (const auto& e : assembler.static_g().entries()) {
+        coords.emplace_back(e.row, e.col);
+    }
+    for (const auto& e : assembler.c_triplets().entries()) {
+        coords.emplace_back(e.row, e.col);
+    }
+    // Node diagonals are always structural: the SWEC DC continuation adds
+    // pseudo-capacitances there, and keeping them guarantees a pivot slot
+    // for every KCL row.
+    for (int i = 0; i < assembler.num_nodes(); ++i) {
+        const auto r = static_cast<std::size_t>(i);
+        coords.emplace_back(r, r);
+    }
+    PatternRecorder recorder(assembler.num_nodes(), coords);
+    assembler.stamp_time_varying_into(0.0, recorder);
+    const std::size_t nl = assembler.nonlinear_devices().size();
+    if (nl > 0) {
+        const std::vector<double> geq(nl, 1.0);
+        assembler.stamp_swec_into(geq, recorder);
+        const linalg::Vector x0(n, 0.0);
+        assembler.stamp_nr_into(x0, recorder);
+    }
+    // CSC order: by column, then row; duplicates collapse.
+    std::sort(coords.begin(), coords.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+              });
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+    return coords;
+}
+
+namespace {
+
+/// FNV-1a accumulator shared by the signature functions (they must emit
+/// bit-identical hashes for the same coordinate stream).
+struct Fnv1a {
+    std::uint64_t h = 14695981039346656037ULL;
+    void mix(std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xffULL;
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+} // namespace
+
+std::uint64_t stamp_pattern_signature(
+    std::size_t unknowns,
+    const std::vector<std::pair<std::size_t, std::size_t>>& coords) {
+    Fnv1a fnv;
+    fnv.mix(static_cast<std::uint64_t>(unknowns));
+    for (const auto& [row, col] : coords) {
+        fnv.mix(static_cast<std::uint64_t>(row));
+        fnv.mix(static_cast<std::uint64_t>(col));
+    }
+    return fnv.h;
+}
+
+std::uint64_t stamp_pattern_signature(const MnaAssembler& assembler) {
+    return stamp_pattern_signature(
+        static_cast<std::size_t>(assembler.unknowns()),
+        union_stamp_pattern(assembler));
+}
+
 /// Per-step stamper: scatters matrix writes into the cached slot array
 /// and rhs writes into the vector bound by begin().
 class SystemCache::ScatterStamper final : public CoordStamper {
@@ -133,38 +203,68 @@ private:
 };
 
 SystemCache::SystemCache(const MnaAssembler& assembler, Options options)
+    // Union pattern dry-run: everything any engine may stamp per step.
+    // Signature 0 = "hash the frozen pattern for me" (at construction
+    // the frozen pattern IS the union pattern, in the same CSC order).
+    : SystemCache(assembler, options, union_stamp_pattern(assembler), 0) {}
+
+SystemCache::SystemCache(
+    const MnaAssembler& assembler, Options options,
+    std::vector<std::pair<std::size_t, std::size_t>> coords,
+    std::uint64_t signature)
     : assembler_(&assembler),
       options_(options),
-      n_(static_cast<std::size_t>(assembler.unknowns())) {
-    // Union pattern dry-run: everything any engine may stamp per step.
-    std::vector<std::pair<std::size_t, std::size_t>> coords;
-    for (const auto& e : assembler.static_g().entries()) {
-        coords.emplace_back(e.row, e.col);
-    }
-    for (const auto& e : assembler.c_triplets().entries()) {
-        coords.emplace_back(e.row, e.col);
-    }
-    // Node diagonals are always structural: the SWEC DC continuation adds
-    // pseudo-capacitances there, and keeping them guarantees a pivot slot
-    // for every KCL row.
-    for (int i = 0; i < assembler.num_nodes(); ++i) {
-        const auto r = static_cast<std::size_t>(i);
-        coords.emplace_back(r, r);
-    }
-    PatternRecorder recorder(assembler.num_nodes(), coords);
-    assembler.stamp_time_varying_into(0.0, recorder);
-    const std::size_t nl = assembler.nonlinear_devices().size();
-    if (nl > 0) {
-        const std::vector<double> geq(nl, 1.0);
-        assembler.stamp_swec_into(geq, recorder);
-        const linalg::Vector x0(n_, 0.0);
-        assembler.stamp_nr_into(x0, recorder);
-    }
+      n_(static_cast<std::size_t>(assembler.unknowns())),
+      signature_(signature) {
     freeze_pattern(std::move(coords));
-
+    if (signature_ == 0) {
+        signature_ = frozen_pattern_signature();
+    }
     stamper_ = std::make_unique<ScatterStamper>(*this, assembler.num_nodes());
     if (dense_path()) {
         dense_ = linalg::DenseMatrix(n_, n_);
+    }
+}
+
+std::uint64_t SystemCache::frozen_pattern_signature() const {
+    // Identical stream to stamp_pattern_signature(n, coords): CSC
+    // traversal yields (row, col) pairs sorted by column then row —
+    // exactly union_stamp_pattern's order.
+    Fnv1a fnv;
+    fnv.mix(static_cast<std::uint64_t>(n_));
+    for (std::size_t c = 0; c < n_; ++c) {
+        for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+            fnv.mix(static_cast<std::uint64_t>(row_idx_[p]));
+            fnv.mix(static_cast<std::uint64_t>(c));
+        }
+    }
+    return fnv.h;
+}
+
+void SystemCache::rebind(const MnaAssembler& assembler) {
+    if (static_cast<std::size_t>(assembler.unknowns()) != n_) {
+        throw AnalysisError(
+            "SystemCache::rebind: unknown count changed; build a fresh "
+            "cache");
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> coords =
+        union_stamp_pattern(assembler);
+    bool fits = true;
+    for (const auto& [row, col] : coords) {
+        if (row >= n_ || col >= n_ || slot_of(row, col) == k_npos) {
+            fits = false;
+            break;
+        }
+    }
+    assembler_ = &assembler;
+    signature_ = stamp_pattern_signature(n_, coords);
+    if (fits) {
+        // Same structure (possibly a subset of an overflow-extended
+        // pattern): keep the symbolic analysis and ordering, refresh the
+        // value baselines only.  The next solve is a numeric refactor.
+        refresh_baselines();
+    } else {
+        freeze_pattern(std::move(coords));
     }
 }
 
@@ -194,6 +294,12 @@ void SystemCache::freeze_pattern(
         col_ptr_[c + 1] += col_ptr_[c];
     }
 
+    refresh_baselines();
+    lu_.reset(); // symbolic analysis is tied to the pattern
+    choose_ordering();
+}
+
+void SystemCache::refresh_baselines() {
     // Baseline slot arrays (static G and C in pattern order).
     static_values_.assign(row_idx_.size(), 0.0);
     for (const auto& e : assembler_->static_g().entries()) {
@@ -204,8 +310,6 @@ void SystemCache::freeze_pattern(
         c_values_[slot_of(e.row, e.col)] += e.value;
     }
     values_.assign(row_idx_.size(), 0.0);
-    lu_.reset(); // symbolic analysis is tied to the pattern
-    choose_ordering();
 }
 
 void SystemCache::choose_ordering() {

@@ -32,7 +32,9 @@
 #define NANOSIM_MNA_SYSTEM_CACHE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "linalg/dense.hpp"
@@ -41,6 +43,30 @@
 #include "mna/mna.hpp"
 
 namespace nanosim::mna {
+
+/// Union stamp-pattern coordinates of an assembled circuit — every
+/// matrix coordinate any engine may touch in a per-step restamp (static
+/// G, the C matrix, node diagonals for pseudo-elements, time-varying
+/// devices, SWEC chords, NR linearisations) — sorted CSC-style (column
+/// major, then row) and deduplicated.  This is the pattern a SystemCache
+/// freezes at construction.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+union_stamp_pattern(const MnaAssembler& assembler);
+
+/// 64-bit FNV-1a signature of union_stamp_pattern(assembler) plus the
+/// unknown count — the key under which a SimSession files its persistent
+/// SystemCache instances.  Two assemblies with equal signatures produce
+/// per-step systems of identical sparsity structure, so one symbolic LU
+/// analysis serves both.
+[[nodiscard]] std::uint64_t
+stamp_pattern_signature(const MnaAssembler& assembler);
+
+/// Same signature from an already-computed union pattern (must be the
+/// sorted/deduplicated output of union_stamp_pattern) — lets callers
+/// that need both the coordinates and the key pay the dry-run once.
+[[nodiscard]] std::uint64_t stamp_pattern_signature(
+    std::size_t unknowns,
+    const std::vector<std::pair<std::size_t, std::size_t>>& coords);
 
 /// Pattern-frozen per-step system: restamp values in place, solve through
 /// a cached (dense or pattern-reusing sparse) factorisation.  On the
@@ -66,6 +92,13 @@ public:
     explicit SystemCache(const MnaAssembler& assembler)
         : SystemCache(assembler, Options{}) {}
     SystemCache(const MnaAssembler& assembler, Options options);
+    /// Construct from an already-computed union pattern (the exact
+    /// output of union_stamp_pattern(assembler) with its signature) —
+    /// callers that key a registry by signature pay the stamp dry-run
+    /// once instead of twice (SimSession).
+    SystemCache(const MnaAssembler& assembler, Options options,
+                std::vector<std::pair<std::size_t, std::size_t>> coords,
+                std::uint64_t signature);
     ~SystemCache();
 
     SystemCache(const SystemCache&) = delete;
@@ -112,6 +145,25 @@ public:
     [[nodiscard]] std::size_t pattern_nnz() const noexcept {
         return row_idx_.size();
     }
+    /// Signature of the union stamp pattern this cache was built (or
+    /// last rebound) against — equals stamp_pattern_signature(assembler).
+    [[nodiscard]] std::uint64_t signature() const noexcept {
+        return signature_;
+    }
+    /// The assembler the cache currently reads baselines from.
+    [[nodiscard]] const MnaAssembler* bound_assembler() const noexcept {
+        return assembler_;
+    }
+
+    /// Re-point the cache at a (re-)assembled circuit.  When the new
+    /// assembly's union stamp pattern fits inside the frozen pattern the
+    /// symbolic LU analysis and ordering survive — only the static/
+    /// reactive baselines are refreshed (a parameter tweak + reassemble
+    /// costs a numeric refactor, not a new symbolic analysis).  A
+    /// pattern that no longer fits triggers a full re-freeze.  Throws
+    /// AnalysisError when the unknown count changed (the cache cannot be
+    /// salvaged; build a fresh one).
+    void rebind(const MnaAssembler& assembler);
     /// True when this system is small enough for the dense auto-select.
     [[nodiscard]] bool dense_path() const noexcept {
         return n_ <= options_.dense_threshold;
@@ -124,6 +176,15 @@ private:
     /// static/reactive baseline slot arrays, and (sparse path) select the
     /// fill-reducing ordering for the new pattern.
     void freeze_pattern(std::vector<std::pair<std::size_t, std::size_t>> coords);
+
+    /// Refill static_values_/c_values_ from the bound assembler (pattern
+    /// unchanged) — the cheap half of a rebind.
+    void refresh_baselines();
+
+    /// FNV-1a of the frozen pattern, bit-compatible with
+    /// stamp_pattern_signature (valid as the union signature only while
+    /// the frozen pattern equals the union pattern, i.e. at freeze time).
+    [[nodiscard]] std::uint64_t frozen_pattern_signature() const;
 
     /// Score natural/RCM/min-degree on the frozen pattern and stash the
     /// winner in ordering_ / stats_ (no-op on the dense path).
@@ -138,6 +199,7 @@ private:
     const MnaAssembler* assembler_;
     Options options_;
     std::size_t n_ = 0;
+    std::uint64_t signature_ = 0;
 
     // Frozen CSC pattern and the per-step value array (pattern order).
     std::vector<std::size_t> col_ptr_;

@@ -8,8 +8,7 @@
 #include <utility>
 #include <variant>
 
-#include "engines/dc_swec.hpp"
-#include "engines/tran_swec.hpp"
+#include "core/sim_session.hpp"
 #include "mna/mna.hpp"
 #include "runtime/params.hpp"
 #include "runtime/thread_pool.hpp"
@@ -232,27 +231,31 @@ struct MetricSchema {
     return schema;
 }
 
-[[nodiscard]] std::vector<double> evaluate_point(const Circuit& circuit,
+[[nodiscard]] std::vector<double> evaluate_point(Circuit circuit,
                                                  const MetricSchema& schema) {
-    const mna::MnaAssembler assembler(circuit);
+    // One per-job session: the job's .op and .tran cards (and every step
+    // inside them) share a single frozen stamp pattern + symbolic LU —
+    // the same execution path the facade, the specs API and the CLI use.
+    SimSession session(std::move(circuit));
+    const std::vector<AnalysisResult> results =
+        session.run_all(SimSession::specs_from_deck(schema.cards));
+
     std::vector<double> metrics;
     metrics.reserve(schema.names.size());
-    for (const auto& card : schema.cards) {
-        if (std::holds_alternative<OpCard>(card)) {
-            const auto op = engines::solve_op_swec(assembler);
+    const NodeId nodes = session.circuit().num_nodes();
+    for (const AnalysisResult& result : results) {
+        if (result.header.kind == AnalysisKind::op) {
+            const engines::DcResult& op = result.dc();
             if (!op.converged) {
                 throw ConvergenceError("operating point did not converge",
                                        op.iterations, op.residual);
             }
-            const auto v = assembler.view(op.x);
-            for (NodeId n = 1; n <= circuit.num_nodes(); ++n) {
+            const auto v = session.assembler().view(op.x);
+            for (NodeId n = 1; n <= nodes; ++n) {
                 metrics.push_back(v(n));
             }
-        } else if (const auto* tran = std::get_if<TranCard>(&card)) {
-            engines::SwecTranOptions opt;
-            opt.t_stop = tran->tstop;
-            opt.dt_init = tran->tstep;
-            const auto res = engines::run_tran_swec(assembler, opt);
+        } else if (result.header.kind == AnalysisKind::tran) {
+            const engines::TranResult& res = result.tran();
             for (const auto& wave : res.node_waves) {
                 metrics.push_back(wave.max_value());
             }
@@ -293,7 +296,7 @@ CampaignResult run_sweep_campaign(const JobPlan& plan,
                 set_device_param(circuit, plan.axes()[a].device,
                                  plan.axes()[a].param, row.params[a]);
             }
-            row.metrics = evaluate_point(circuit, schema);
+            row.metrics = evaluate_point(std::move(circuit), schema);
             row.ok = true;
         } catch (const SimError& e) {
             row.ok = false;
