@@ -41,9 +41,25 @@ double Waveform::at(double t) const {
     if (t >= time_.back()) {
         return value_.back();
     }
-    const auto it = std::upper_bound(time_.begin(), time_.end(), t);
-    const auto hi = static_cast<std::size_t>(it - time_.begin());
-    const std::size_t lo = hi - 1;
+    // Last-segment cursor: try the hinted segment and its successor
+    // before binary-searching.  Segment selection (time_[lo] <= t <
+    // time_[lo+1]) matches upper_bound exactly, so the interpolation is
+    // bit-identical to an uncached lookup.
+    const std::size_t n = time_.size();
+    auto in_segment = [&](std::size_t s) {
+        return s + 1 < n && time_[s] <= t && t < time_[s + 1];
+    };
+    std::size_t lo = cursor_.load(std::memory_order_relaxed);
+    if (!in_segment(lo)) {
+        if (in_segment(lo + 1)) {
+            ++lo;
+        } else {
+            const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+            lo = static_cast<std::size_t>(it - time_.begin()) - 1;
+        }
+        cursor_.store(lo, std::memory_order_relaxed);
+    }
+    const std::size_t hi = lo + 1;
     const double f = (t - time_[lo]) / (time_[hi] - time_[lo]);
     return value_[lo] + f * (value_[hi] - value_[lo]);
 }

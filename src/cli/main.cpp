@@ -28,6 +28,7 @@
 // simulation failure, 2 on usage errors.
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
@@ -50,6 +51,7 @@ struct CliOptions {
     double tstop = 200e-9;                   ///< --circuit transient horizon
     bool quiet = false;
     bool progress = false;                   ///< stderr progress meter
+    bool tabulate = false;                   ///< tabulated SWEC device models
 };
 
 /// Progress meter on stderr, driven by the AnalysisObserver.  Redraws at
@@ -181,6 +183,11 @@ void usage(std::ostream& os) {
           "                             .tran to --tstop\n"
           "  --tstop T                  --circuit transient horizon [s]\n"
           "                             (default 200e-9)\n"
+          "  --tabulate                 tabulated chord-conductance models\n"
+          "                             for the SWEC engines (cubic-Hermite\n"
+          "                             lookup tables, <= 1e-6 rel. error,\n"
+          "                             exact closed-form fallback outside\n"
+          "                             the tabulated voltage range)\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -215,6 +222,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
             opt.quiet = true;
         } else if (arg == "--progress") {
             opt.progress = true;
+        } else if (arg == "--tabulate") {
+            opt.tabulate = true;
         } else if (arg == "--verbose") {
             log::set_level(log::Level::info);
         } else if (arg == "--engine") {
@@ -289,6 +298,29 @@ void maybe_plot(const CliOptions& cli,
     analysis::ascii_plot(std::cout, waves, plot);
 }
 
+/// Per-step wall-time attribution of a cached-solver analysis (the
+/// SolverWork eval/stamp/factor/solve split); silent when the analysis
+/// never went through a SystemCache.
+void print_step_split(const AnalysisHeader& header) {
+    const SolverWork& sw = header.solver;
+    const double total = sw.eval_s + sw.stamp_s + sw.factor_s + sw.solve_s;
+    if (total <= 0.0) {
+        return;
+    }
+    const auto flags = std::cout.flags();
+    const auto precision = std::cout.precision();
+    std::cout << std::fixed << std::setprecision(2) << "  step time: eval "
+              << sw.eval_s * 1e3 << " ms | stamp " << sw.stamp_s * 1e3
+              << " ms | factor " << sw.factor_s * 1e3 << " ms | solve "
+              << sw.solve_s * 1e3 << " ms";
+    if (sw.tables_built > 0) {
+        std::cout << " | " << sw.tables_built << " chord tables built";
+    }
+    std::cout << '\n';
+    std::cout.flags(flags);
+    std::cout.precision(precision);
+}
+
 int run_op(const SimSession& session, const AnalysisResult& result,
            int index) {
     std::cout << "\n* analysis " << index << ": .op (engine "
@@ -307,6 +339,7 @@ int run_op(const SimSession& session, const AnalysisResult& result,
     }
     std::cout << "  [" << op.iterations << " iterations/steps, "
               << op.flops.total() << " flops]\n";
+    print_step_split(result.header);
     return 0;
 }
 
@@ -364,6 +397,7 @@ int run_tran(const CliOptions& cli, const TranSpec& spec,
                   << res.solver_full_factors << " full / "
                   << res.solver_fast_refactors << " fast factorisations\n";
     }
+    print_step_split(result.header);
     maybe_plot(cli, res.node_waves, "transient", "t [s]");
     if (cli.csv_prefix) {
         const std::string path =
@@ -563,6 +597,11 @@ int main(int argc, char** argv) {
             std::cout << "deck has no analysis cards (.op/.dc/.tran); "
                          "nothing to do\n";
             return 0;
+        }
+        if (cli->tabulate) {
+            for (AnalysisSpec& spec : specs) {
+                std::visit([](auto& s) { s.common.tabulate = true; }, spec);
+            }
         }
 
         ProgressMeter meter;

@@ -59,6 +59,12 @@ struct CommonOptions {
     double dt_init = 0.0; ///< transient first step [s]
     double dt_min = 0.0;  ///< transient step floor [s]
     double dt_max = 0.0;  ///< transient step ceiling [s]
+    /// Opt-in tabulated chord-conductance models for the SWEC engines
+    /// (devices/tabulated.hpp): cubic-Hermite lookups replace the
+    /// closed-form transcendentals inside the default voltage range,
+    /// exact fallback outside.  Tables build once per session solver
+    /// cache and are shared across analyses / Monte-Carlo trials.
+    bool tabulate = false;
 };
 
 /// DC operating point.
@@ -157,6 +163,16 @@ struct SolverWork {
     std::size_t full_factors = 0;
     std::size_t fast_refactors = 0;
     std::size_t dense_solves = 0;
+    // ---- wall-time attribution of the per-step work (seconds) ----
+    // eval_s: device-model evaluation (chord conductances / rates);
+    // stamp_s: in-place restamps + step-bound diagonals; factor_s: LU
+    // factorisations/refactorisations; solve_s: triangular solves.
+    double eval_s = 0.0;
+    double stamp_s = 0.0;
+    double factor_s = 0.0;
+    double solve_s = 0.0;
+    /// Chord tables built during this run (0 = reused or disabled).
+    std::size_t tables_built = 0;
 };
 
 /// Uniform result header shared by every analysis kind.

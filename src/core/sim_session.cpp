@@ -200,6 +200,12 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
             after.fast_refactors - before.fast_refactors;
         result.header.solver.dense_solves =
             after.dense_solves - before.dense_solves;
+        result.header.solver.eval_s = after.eval_s - before.eval_s;
+        result.header.solver.stamp_s = after.stamp_s - before.stamp_s;
+        result.header.solver.factor_s = after.factor_s - before.factor_s;
+        result.header.solver.solve_s = after.solve_s - before.solve_s;
+        result.header.solver.tables_built =
+            after.tables_built - before.tables_built;
     }
     result.header.cache_signature = signature_;
     result.header.elapsed_s = seconds_since(t0);
@@ -269,6 +275,7 @@ AnalysisResult SimSession::run_op(const OpSpec& spec,
         if (spec.common.abstol > 0.0) {
             o.settle_tol = spec.common.abstol;
         }
+        o.tables.enabled = spec.common.tabulate;
         dc = engines::solve_op_swec(*assembler_, o, 0.0, 1.0,
                                     &solver_cache(), observer);
         break;
@@ -312,6 +319,7 @@ SimSession::run_dc_sweep(const DcSweepSpec& spec,
         if (spec.common.abstol > 0.0) {
             o.settle_tol = spec.common.abstol;
         }
+        o.tables.enabled = spec.common.tabulate;
         sweep = engines::dc_sweep_swec(*circuit_, *assembler_, spec.source,
                                        values, o, observer, &solver_cache());
         break;
@@ -359,6 +367,7 @@ AnalysisResult SimSession::run_tran(const TranSpec& spec,
         o.start_from_dc = spec.start_from_dc;
         o.initial = spec.initial;
         o.noise = spec.noise;
+        o.tables.enabled = spec.common.tabulate;
         tran = engines::run_tran_swec(*assembler_, o, observer,
                                       &solver_cache());
         break;
@@ -418,6 +427,9 @@ SimSession::run_monte_carlo(const MonteCarloSpec& spec,
     }
     if (spec.common.dt_max > 0.0) {
         mc.tran.dt_max = spec.common.dt_max;
+    }
+    if (spec.common.tabulate) {
+        mc.tran.tables.enabled = true;
     }
     const NodeId node = circuit_->find_node(spec.node);
 

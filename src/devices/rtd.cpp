@@ -104,6 +104,54 @@ double chord_dv(const RtdParams& p, double v) noexcept {
     return (v * didv(p, v) - current(p, v)) / (v * v);
 }
 
+void current_and_didv(const RtdParams& p, double v, double& current_out,
+                      double& didv_out) noexcept {
+    // One evaluation of the subterms j1()/j2()/didv() share.  Each line
+    // reproduces the corresponding expression of those functions exactly
+    // (same operand order), so reusing a subterm instead of recomputing
+    // it cannot change a single bit of either result.
+    const double beta = p.beta();
+    const double a_plus = beta * (p.b - p.c + p.n1 * v);
+    const double a_minus = beta * (p.b - p.c - p.n1 * v);
+    const double log_ratio = softplus(a_plus) - softplus(a_minus);
+    const double u = (p.c - p.n1 * v) / p.d;
+    const double bracket = std::numbers::pi / 2.0 + std::atan(u);
+
+    const double j1v = p.a * log_ratio * bracket;                // j1()
+    const double j2v = p.h * std::expm1(p.n2 * p.beta() * v);    // j2()
+
+    const double dlog = beta * p.n1 * (logistic(a_plus) + logistic(a_minus));
+    const double dbr = (-p.n1 / p.d) / (1.0 + u * u);
+    const double dj1 = p.a * (dlog * bracket + log_ratio * dbr);
+    const double dj2 = p.h * p.n2 * beta * std::exp(p.n2 * beta * v);
+
+    count_special(7); // 2 softplus + atan + expm1 + 2 logistic + exp
+    count_mul(20);
+    count_add(14);
+    count_div(2);
+    current_flops().device_eval += 34;
+    current_out = j1v + j2v;
+    didv_out = dj1 + dj2;
+}
+
+void chord_and_dv(const RtdParams& p, double v, double& chord_out,
+                  double& chord_dv_out) noexcept {
+    if (std::abs(v) < k_v_eps) {
+        chord_out = chord(p, v);
+        chord_dv_out = chord_dv(p, v);
+        return;
+    }
+    double j = 0.0;
+    double dj = 0.0;
+    current_and_didv(p, v, j, dj);
+    count_div();
+    chord_out = j / v;                       // == chord()
+    count_mul(2);
+    count_add(1);
+    count_div(1);
+    chord_dv_out = (v * dj - j) / (v * v);   // == chord_dv()
+}
+
 PeakValley find_peak_valley(const RtdParams& p, double v_max) {
     if (v_max <= 0.0) {
         throw AnalysisError("find_peak_valley: v_max must be positive");

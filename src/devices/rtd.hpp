@@ -80,6 +80,19 @@ namespace rtd_math {
 /// d(chord)/dV in closed form (paper eq. 8): (V J' - J)/V^2.
 [[nodiscard]] double chord_dv(const RtdParams& p, double v) noexcept;
 
+/// J(V) and dJ/dV in one pass, sharing every transcendental subterm the
+/// two closed forms have in common (softplus pair, resonance bracket).
+/// Every shared value is a pure function of the same inputs, so the
+/// results are BIT-IDENTICAL to current() / didv() called separately —
+/// the SWEC fast path relies on that contract.
+void current_and_didv(const RtdParams& p, double v, double& current_out,
+                      double& didv_out) noexcept;
+
+/// G_eq(V) and dG_eq/dV in one pass via current_and_didv; bit-identical
+/// to chord() / chord_dv() called separately.
+void chord_and_dv(const RtdParams& p, double v, double& chord_out,
+                  double& chord_dv_out) noexcept;
+
 /// Locate the resonance peak (first local max of J) and valley (following
 /// local min) by golden-section refinement of a coarse scan over
 /// [0, v_max].  Returns {v_peak, v_valley}; the valley equals v_max when

@@ -1,0 +1,200 @@
+#include "devices/tabulated.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <typeinfo>
+
+#include "devices/diode.hpp"
+#include "devices/nanowire.hpp"
+#include "devices/rtd.hpp"
+#include "util/error.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+
+namespace {
+
+std::atomic<std::uint64_t> g_build_count{0};
+
+/// Append the raw bytes of a scalar to a key string (params are plain
+/// doubles/ints; field-by-field append avoids struct padding bytes).
+template <typename T>
+void append_bytes(std::string& key, const T& v) {
+    const auto* p = reinterpret_cast<const char*>(&v);
+    key.append(p, sizeof(T));
+}
+
+} // namespace
+
+std::uint64_t chord_table_build_count() noexcept {
+    return g_build_count.load(std::memory_order_relaxed);
+}
+
+ChordTable::ChordTable(const Model& model, double v_min, double v_max,
+                       std::size_t points) {
+    if (!(v_max > v_min) || points < 2 || !std::isfinite(v_min) ||
+        !std::isfinite(v_max)) {
+        throw AnalysisError("ChordTable: need finite v_min < v_max and "
+                            "points >= 2");
+    }
+    v_min_ = v_min;
+    v_max_ = v_max;
+    h_ = (v_max - v_min) / static_cast<double>(points - 1);
+    inv_h_ = 1.0 / h_;
+    i_.resize(points);
+    di_.resize(points);
+    g_.resize(points);
+    dg_.resize(points);
+    for (std::size_t k = 0; k < points; ++k) {
+        const double v =
+            v_min + (v_max - v_min) * static_cast<double>(k) /
+                        static_cast<double>(points - 1);
+        i_[k] = model.current(v);
+        di_[k] = model.didv(v);
+        g_[k] = model.chord(v);
+        dg_[k] = model.chord_dv(v);
+    }
+    g_build_count.fetch_add(1, std::memory_order_relaxed);
+
+    // Self-measure the chord accuracy at the interval midpoints — the
+    // maxima of the cubic-Hermite interpolation error.
+    double g_scale = 0.0;
+    for (const double g : g_) {
+        g_scale = std::max(g_scale, std::abs(g));
+    }
+    const double floor = std::max(k_error_floor_frac * g_scale,
+                                  std::numeric_limits<double>::min());
+    for (std::size_t k = 0; k + 1 < points; ++k) {
+        const double v = v_min + h_ * (static_cast<double>(k) + 0.5);
+        const double exact = model.chord(v);
+        const double err = std::abs(chord(v) - exact);
+        max_rel_error_ = std::max(
+            max_rel_error_, err / std::max(std::abs(exact), floor));
+    }
+}
+
+ChordTable::Segment ChordTable::segment(double v) const noexcept {
+    const double f = (v - v_min_) * inv_h_;
+    auto i = static_cast<std::size_t>(f);
+    i = std::min(i, g_.size() - 2); // v == v_max lands in the last segment
+    return Segment{i, (v - (v_min_ + h_ * static_cast<double>(i))) * inv_h_};
+}
+
+namespace {
+
+/// Cubic Hermite basis evaluation on one segment: value from node values
+/// (y0, y1) and node slopes (d0, d1), with h the segment width.
+inline double hermite(double t, double y0, double y1, double d0, double d1,
+                      double h) noexcept {
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    count_fma(8);
+    return (2.0 * t3 - 3.0 * t2 + 1.0) * y0 + (t3 - 2.0 * t2 + t) * h * d0 +
+           (-2.0 * t3 + 3.0 * t2) * y1 + (t3 - t2) * h * d1;
+}
+
+/// Exact derivative (d/dv) of the Hermite patch above.
+inline double hermite_dv(double t, double y0, double y1, double d0,
+                         double d1, double h) noexcept {
+    const double t2 = t * t;
+    count_fma(8);
+    return (6.0 * t2 - 6.0 * t) * (y0 - y1) / h +
+           (3.0 * t2 - 4.0 * t + 1.0) * d0 + (3.0 * t2 - 2.0 * t) * d1;
+}
+
+} // namespace
+
+double ChordTable::chord(double v) const noexcept {
+    const Segment s = segment(v);
+    return hermite(s.t, g_[s.i], g_[s.i + 1], dg_[s.i], dg_[s.i + 1], h_);
+}
+
+double ChordTable::chord_dv(double v) const noexcept {
+    const Segment s = segment(v);
+    return hermite_dv(s.t, g_[s.i], g_[s.i + 1], dg_[s.i], dg_[s.i + 1], h_);
+}
+
+double ChordTable::current(double v) const noexcept {
+    const Segment s = segment(v);
+    return hermite(s.t, i_[s.i], i_[s.i + 1], di_[s.i], di_[s.i + 1], h_);
+}
+
+std::string chord_table_key(const Device& dev, const TableConfig& cfg) {
+    std::string key;
+    if (typeid(dev) == typeid(Rtd)) {
+        const auto& p = static_cast<const Rtd&>(dev).params();
+        key = "rtd:";
+        append_bytes(key, p.a);
+        append_bytes(key, p.b);
+        append_bytes(key, p.c);
+        append_bytes(key, p.d);
+        append_bytes(key, p.n1);
+        append_bytes(key, p.n2);
+        append_bytes(key, p.h);
+        append_bytes(key, p.temp);
+    } else if (typeid(dev) == typeid(Diode)) {
+        const auto& p = static_cast<const Diode&>(dev).params();
+        key = "diode:";
+        append_bytes(key, p.i_sat);
+        append_bytes(key, p.emission);
+        append_bytes(key, p.temp);
+    } else if (typeid(dev) == typeid(Nanowire)) {
+        const auto& p = static_cast<const Nanowire&>(dev).params();
+        key = "nanowire:";
+        append_bytes(key, p.channels);
+        append_bytes(key, p.v_step);
+        append_bytes(key, p.smear);
+        append_bytes(key, p.g0);
+    } else {
+        return {}; // not tabulatable (multi-control or unknown class)
+    }
+    append_bytes(key, cfg.v_min);
+    append_bytes(key, cfg.v_max);
+    append_bytes(key, cfg.points);
+    // rel_tol is part of the identity: acquire() caches accept/REJECT
+    // decisions, and the same grid can pass one tolerance while failing
+    // a stricter one requested by a later analysis.
+    append_bytes(key, cfg.rel_tol);
+    return key;
+}
+
+std::shared_ptr<const ChordTable>
+TableStore::acquire(const Device& dev, const TableConfig& cfg,
+                    std::size_t& builds_out) {
+    const std::string key = chord_table_key(dev, cfg);
+    if (key.empty()) {
+        return nullptr;
+    }
+    if (const auto it = tables_.find(key); it != tables_.end()) {
+        return it->second; // may be a cached rejection (nullptr)
+    }
+
+    // All tabulatable classes are TwoTerminalNonlinear; the virtual
+    // closed forms resolve any per-class overrides (e.g. the RTD's
+    // analytic eq. (8) chord derivative).
+    const auto& tt = dynamic_cast<const TwoTerminalNonlinear&>(dev);
+    ChordTable::Model model;
+    model.current = [&tt](double v) { return tt.current(v); };
+    model.didv = [&tt](double v) { return tt.didv(v); };
+    model.chord = [&tt](double v) { return tt.chord_conductance(v); };
+    model.chord_dv = [&tt](double v) { return tt.chord_conductance_dv(v); };
+
+    auto table = std::make_shared<const ChordTable>(model, cfg.v_min,
+                                                    cfg.v_max, cfg.points);
+    ++builds_out;
+    std::shared_ptr<const ChordTable> result;
+    if (table->max_rel_error() <= cfg.rel_tol) {
+        result = std::move(table);
+    } // else: accuracy gate failed; cache the rejection as nullptr
+
+    if (tables_.size() >= k_max_tables) {
+        tables_.erase(tables_.begin());
+    }
+    tables_.emplace(key, result);
+    return result;
+}
+
+} // namespace nanosim

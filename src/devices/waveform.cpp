@@ -126,6 +126,32 @@ PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
     }
 }
 
+std::size_t PwlWave::segment_of(double t) const {
+    // Cursor fast path: the hinted segment, then its successor (the
+    // forward-marching transient pattern); binary search on a miss.
+    // Selection is identical to upper_bound: segment s holds
+    // points_[s].t <= t < points_[s+1].t, so interpolation is bit-equal
+    // to the pre-cursor implementation.
+    const std::size_t n = points_.size();
+    auto in_segment = [&](std::size_t s) {
+        return s + 1 < n && points_[s].first <= t && t < points_[s + 1].first;
+    };
+    std::size_t s = cursor_.load(std::memory_order_relaxed);
+    if (in_segment(s)) {
+        return s;
+    }
+    if (in_segment(s + 1)) {
+        cursor_.store(s + 1, std::memory_order_relaxed);
+        return s + 1;
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double tt, const auto& p) { return tt < p.first; });
+    s = static_cast<std::size_t>(it - points_.begin()) - 1;
+    cursor_.store(s, std::memory_order_relaxed);
+    return s;
+}
+
 double PwlWave::value(double t) const {
     if (t <= points_.front().first) {
         return points_.front().second;
@@ -133,27 +159,25 @@ double PwlWave::value(double t) const {
     if (t >= points_.back().first) {
         return points_.back().second;
     }
-    const auto it = std::upper_bound(
-        points_.begin(), points_.end(), t,
-        [](double tt, const auto& p) { return tt < p.first; });
-    const auto& hi = *it;
-    const auto& lo = *(it - 1);
+    const std::size_t s = segment_of(t);
+    const auto& lo = points_[s];
+    const auto& hi = points_[s + 1];
     const double f = (t - lo.first) / (hi.first - lo.first);
     return lo.second + f * (hi.second - lo.second);
 }
 
 double PwlWave::slope(double t) const {
-    if (t < points_.front().first || t > points_.back().first) {
+    if (t < points_.front().first || t >= points_.back().first) {
+        // Outside the record the waveform holds constant; at the exact
+        // last point the legacy upper_bound hit end() and returned 0.
         return 0.0;
     }
-    const auto it = std::upper_bound(
-        points_.begin(), points_.end(), t,
-        [](double tt, const auto& p) { return tt < p.first; });
-    if (it == points_.begin() || it == points_.end()) {
+    if (points_.size() < 2) {
         return 0.0;
     }
-    const auto& hi = *it;
-    const auto& lo = *(it - 1);
+    const std::size_t s = segment_of(t);
+    const auto& lo = points_[s];
+    const auto& hi = points_[s + 1];
     return (hi.second - lo.second) / (hi.first - lo.first);
 }
 

@@ -8,6 +8,8 @@
 #ifndef NANOSIM_DEVICES_WAVEFORM_HPP
 #define NANOSIM_DEVICES_WAVEFORM_HPP
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <utility>
@@ -72,10 +74,25 @@ private:
 
 /// Piece-wise linear waveform through (t, v) points; constant before the
 /// first and after the last point.
+///
+/// value()/slope() are called once per source per accepted step; segment
+/// lookup keeps a last-segment cursor (transient time marches forward,
+/// so the next query almost always lands in the same or the following
+/// segment) and only binary-searches on a miss.  The cursor is a relaxed
+/// atomic: waveforms are shared across parallel Monte-Carlo trials
+/// through shared_ptr<const Waveform>, and a stale hint only costs the
+/// fallback search, never a wrong value.
 class PwlWave : public Waveform {
 public:
     /// Points must be strictly increasing in time (throws AnalysisError).
     explicit PwlWave(std::vector<std::pair<double, double>> points);
+
+    PwlWave(const PwlWave& other) : points_(other.points_) {}
+    PwlWave& operator=(const PwlWave& other) {
+        points_ = other.points_;
+        cursor_.store(0, std::memory_order_relaxed);
+        return *this;
+    }
 
     [[nodiscard]] double value(double t) const override;
     [[nodiscard]] double slope(double t) const override;
@@ -84,7 +101,12 @@ public:
     [[nodiscard]] std::string describe() const override;
 
 private:
+    /// Segment index s with points_[s].time <= t < points_[s+1].time;
+    /// only valid for t inside (front, back).
+    [[nodiscard]] std::size_t segment_of(double t) const;
+
     std::vector<std::pair<double, double>> points_;
+    mutable std::atomic<std::size_t> cursor_{0};
 };
 
 /// Damped sine: offset + ampl * sin(2 pi freq (t - delay)) * e^{-theta (t-delay)}.

@@ -41,6 +41,7 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         cache = &*local_cache;
     }
     const mna::SystemCache::Stats stats_before = cache->stats();
+    cache->configure_tables(options.tables);
 
     DcResult result;
     result.x = options.initial_guess.empty()
@@ -50,7 +51,7 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         throw AnalysisError("solve_op_swec: initial guess size mismatch");
     }
 
-    linalg::Vector rhs0 = assembler.rhs(t);
+    linalg::Vector rhs0 = cache->rhs(t);
     if (source_scale != 1.0) {
         for (double& v : rhs0) {
             v *= source_scale;
@@ -70,22 +71,23 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         }
         // Chord conductances at the current state — the SWEC step needs
         // no prediction here because the march only has to *end* right.
-        const NodeVoltages v = assembler.view(result.x);
+        cache->eval_chords(result.x, {}, false, geq, {});
         for (std::size_t k = 0; k < nonlinear.size(); ++k) {
-            geq[k] = std::max(nonlinear[k]->swec_conductance(v), 0.0);
+            geq[k] = std::max(geq[k], 0.0);
         }
 
         // (G_swec + C_pt/h) x_next = C_pt/h x + b  — backward Euler with
         // the artificial node capacitance C_pt on every node, restamped
-        // in place through the cached system.
+        // in place through the cached system (node-diagonal slots
+        // precomputed — no per-node slot search).
         linalg::Vector rhs = rhs0;
-        Stamper& stamper = cache->begin(0.0, rhs);
-        assembler.stamp_time_varying_into(t, stamper);
-        assembler.stamp_swec_into(geq, stamper);
+        cache->begin(0.0, rhs);
+        cache->restamp_time_varying(t);
+        cache->restamp_swec(geq);
         const double cg = options.c_pseudo / h;
         for (int node = 0; node < assembler.num_nodes(); ++node) {
             const auto r = static_cast<std::size_t>(node);
-            cache->add_entry(r, r, cg);
+            cache->add_node_diag(r, cg);
             rhs[r] += cg * result.x[r];
         }
 

@@ -28,6 +28,9 @@ struct SwecDcOptions {
     double settle_tol = 1e-9; ///< |dx| threshold for steady state [V]
     int settle_checks = 3;    ///< consecutive settled steps required
     int max_steps = 2000;
+    /// Opt-in tabulated chord models for the pseudo-transient march (see
+    /// SwecTranOptions::tables); disabled = exact closed forms.
+    TableConfig tables;
     /// Optional warm start (previous sweep point).
     linalg::Vector initial_guess;
 };

@@ -104,6 +104,27 @@ double swec_step_bound_diag(const mna::MnaAssembler& assembler,
     return bound;
 }
 
+double swec_node_step_bound(std::span<const double> c_node_diag,
+                            std::span<const double> node_gdiag,
+                            std::span<const double> dvdt, double eps,
+                            double v_floor) {
+    // Exactly the node loop of swec_step_bound_diag, reading the
+    // precomputed C diagonal instead of c_csr().at per node.
+    double bound = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < c_node_diag.size(); ++r) {
+        const double cj = c_node_diag[r];
+        const double gj = std::abs(node_gdiag[r]);
+        if (cj <= 0.0 || gj <= 0.0) {
+            continue;
+        }
+        const double h_j = eps * cj / gj;
+        if (std::abs(dvdt[r]) * h_j > v_floor) {
+            bound = std::min(bound, h_j);
+        }
+    }
+    return bound;
+}
+
 double measured_local_error(std::span<const double> x_old,
                             std::span<const double> x_new,
                             std::span<const double> dvdt_prev, double h,

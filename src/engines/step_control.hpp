@@ -90,6 +90,20 @@ swec_step_bound_diag(const mna::MnaAssembler& assembler,
                      std::span<const double> dvdt, double eps,
                      double v_floor = 1e-6);
 
+/// The node-capacitance half of eq. (12) alone: min over nodes of
+/// eps * C_j / |G_jj| under the activity guard.  `c_node_diag` holds the
+/// per-node grounded capacitance (the C-matrix diagonal, constant per
+/// assembly — precompute it once per analysis instead of binary-
+/// searching c_csr every step).  The SWEC engine combines this with the
+/// device bounds it gets from the solver cache's compiled evaluation
+/// plan, which reuses the chord/rate values of the current step instead
+/// of re-evaluating every device model through Device::step_limit.
+[[nodiscard]] double
+swec_node_step_bound(std::span<const double> c_node_diag,
+                     std::span<const double> node_gdiag,
+                     std::span<const double> dvdt, double eps,
+                     double v_floor = 1e-6);
+
 /// A-posteriori local error of a step (eq. 10): worst over nodes of
 /// |dv_actual - dv_estimated| / |dv_actual|, where dv_estimated =
 /// h * dvdt_prev.  Nodes whose actual move is below `v_floor` are

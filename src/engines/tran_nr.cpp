@@ -52,7 +52,7 @@ StepSolve solve_companion(const mna::MnaAssembler& assembler,
     out.x = x_guess;
 
     // Constant part of the rhs for this step: b(t) + (C/h) x_n.
-    linalg::Vector rhs_const = assembler.rhs(t_next, noise);
+    linalg::Vector rhs_const = cache.rhs(t_next, noise);
     {
         linalg::Vector cx = assembler.c_csr().multiply(x_n);
         for (std::size_t i = 0; i < n; ++i) {
@@ -62,9 +62,9 @@ StepSolve solve_companion(const mna::MnaAssembler& assembler,
 
     for (int it = 0; it < options.max_nr_iterations; ++it) {
         linalg::Vector rhs = rhs_const;
-        Stamper& stamper = cache.begin(1.0 / h, rhs);
-        assembler.stamp_time_varying_into(t_next, stamper);
-        assembler.stamp_nr_into(out.x, stamper);
+        cache.begin(1.0 / h, rhs);
+        cache.restamp_time_varying(t_next);
+        cache.restamp_nr(out.x);
         linalg::Vector x_new = cache.solve(rhs);
         const double delta = linalg::max_abs_diff(x_new, out.x);
         const double scale = std::max(linalg::norm_inf(x_new), 1.0);
@@ -195,8 +195,8 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
                 // Trapezoidal (linear only):
                 // (G + 2C/h) x_{n+1} = b(t_{n+1}) + b(t_n)
                 //                      + (2C/h) x_n - G x_n.
-                linalg::Vector rhs = assembler.rhs(t + h, noise);
-                const linalg::Vector rhs_n = assembler.rhs(t, noise);
+                linalg::Vector rhs = cache->rhs(t + h, noise);
+                const linalg::Vector rhs_n = cache->rhs(t, noise);
                 const linalg::Vector gx = static_g_csr.multiply(x);
                 const linalg::Vector cx = assembler.c_csr().multiply(x);
                 for (std::size_t i = 0; i < n; ++i) {

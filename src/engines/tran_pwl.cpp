@@ -147,6 +147,14 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
     }
     const mna::SystemCache::Stats stats_before = cache->stats();
 
+    // Fast Norton restamps when the compiled program covers every PWL
+    // device: the segment Nortons are evaluated engine-side (their
+    // endpoint currents depend on the segment table) and scattered
+    // through precomputed slots — no Stamper indirection per device.
+    const bool norton_fast = cache->norton_fast();
+    std::vector<double> norton_g(pwl.size(), 0.0);
+    std::vector<double> norton_ioff(pwl.size(), 0.0);
+
     // Segment fixed-point solve of one companion system.  `h <= 0` means
     // DC (no C/h companion).  Returns convergence of the assignment.
     auto segment_solve = [&](const linalg::Vector& x_n, double t, double h,
@@ -159,7 +167,7 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         linalg::Vector x_cur = x_n;
         for (int it = 0; it < options.max_segment_iters; ++it) {
             iters = it + 1;
-            linalg::Vector rhs = assembler.rhs(t, noise);
+            linalg::Vector rhs = cache->rhs(t, noise);
             if (h > 0.0) {
                 linalg::Vector cx = assembler.c_csr().multiply(x_n);
                 for (std::size_t i = 0; i < n; ++i) {
@@ -167,11 +175,20 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
                 }
             }
             Stamper& stamper = cache->begin(h > 0.0 ? 1.0 / h : 0.0, rhs);
-            assembler.stamp_time_varying_into(t, stamper);
+            cache->restamp_time_varying(t);
             {
                 const NodeVoltages vc = assembler.view(x_cur);
-                for (std::size_t k = 0; k < pwl.size(); ++k) {
-                    pwl[k].stamp(stamper, seg[k], pwl[k].gate_voltage(vc));
+                if (norton_fast) {
+                    for (std::size_t k = 0; k < pwl.size(); ++k) {
+                        pwl[k].norton(seg[k], pwl[k].gate_voltage(vc),
+                                      norton_g[k], norton_ioff[k]);
+                    }
+                    cache->restamp_nortons(norton_g, norton_ioff);
+                } else {
+                    for (std::size_t k = 0; k < pwl.size(); ++k) {
+                        pwl[k].stamp(stamper, seg[k],
+                                     pwl[k].gate_voltage(vc));
+                    }
                 }
             }
             x_cur = cache->solve(rhs);

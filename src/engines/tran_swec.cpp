@@ -40,8 +40,7 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     const SwecTranOptions options = resolve(options_in);
     const FlopScope scope;
     const auto n = static_cast<std::size_t>(assembler.unknowns());
-    const auto& nonlinear = assembler.nonlinear_devices();
-    const auto nl = nonlinear.size();
+    const auto nl = assembler.nonlinear_devices().size();
 
     // Pattern-frozen per-step system: restamp values in place, reuse the
     // symbolic LU analysis across every accepted step (the SWEC promise —
@@ -73,6 +72,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         x.assign(n, 0.0);
     }
 
+    // Tabulated chord models (opt-in): bound after the DC solve so the
+    // operating point keeps its own (closed-form by default) setting.
+    cache->configure_tables(options.tables);
+
     TranResult result;
     result.node_waves.reserve(static_cast<std::size_t>(assembler.num_nodes()));
     for (int i = 0; i < assembler.num_nodes(); ++i) {
@@ -93,13 +96,20 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
 
     // Static part of the node-diagonal conductance sums, computed once;
     // the per-step diagonal adds the SWEC chords and time-varying
-    // devices incrementally (see swec_step_bound_diag).
+    // devices incrementally (see swec_node_step_bound).
     const auto nn = static_cast<std::size_t>(assembler.num_nodes());
     std::vector<double> static_gdiag(nn, 0.0);
     for (const auto& e : assembler.static_g().entries()) {
         if (e.row == e.col && e.row < nn) {
             static_gdiag[e.row] += e.value;
         }
+    }
+    // Grounded node capacitances (eq. 12 node bound) — the C diagonal is
+    // fixed per assembly, so read it once instead of binary-searching
+    // the CSR every step.
+    std::vector<double> c_node_diag(nn, 0.0);
+    for (std::size_t r = 0; r < nn; ++r) {
+        c_node_diag[r] = assembler.c_csr().at(r, r);
     }
 
     double t = 0.0;
@@ -108,6 +118,7 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     linalg::Vector dvdt(n, 0.0);    // eq. (9) backward difference
     std::vector<double> geq(nl, 0.0);
     std::vector<double> geq_rate(nl, 0.0);
+    std::vector<double> geq_pred(nl, 0.0); // hoisted: no per-step alloc
     double h = options.dt_init;
     double h_prev = 0.0;
     int steps_since_corner = 0; // gate for the eq. (10) diagnostic
@@ -125,42 +136,25 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             result.aborted = true;
             break;
         }
-        // 1. Chord conductances and their rates at t_n.
-        const NodeVoltages v = assembler.view(x);
-        const NodeVoltages rate_view = assembler.view(dvdt);
-        for (std::size_t k = 0; k < nl; ++k) {
-            geq[k] = nonlinear[k]->swec_conductance(v);
-            geq_rate[k] =
-                h_prev > 0.0
-                    ? nonlinear[k]->swec_conductance_rate(v, rate_view)
-                    : 0.0;
-        }
+        // 1. Chord conductances and their rates at t_n — one compiled
+        // per-class evaluation pass (closed forms or tables) instead of
+        // a virtual call per device.
+        cache->eval_chords(x, dvdt, h_prev > 0.0, geq, geq_rate);
 
         // 2. Adaptive step (eq. 12) — needs the node-diagonal G sums at
-        // t_n: static part cached, nonlinear/time-varying parts stamped
-        // into a small scratch builder.
+        // t_n: static part cached, nonlinear/time-varying parts added
+        // through the cache's compiled diagonal plan.
         if (options.adaptive) {
             std::vector<double> gdiag = static_gdiag;
-            {
-                mna::MnaBuilder scratch(assembler.num_nodes(),
-                                        assembler.num_branches());
-                for (const Device* dev : assembler.time_varying_devices()) {
-                    dev->stamp_time_varying(
-                        scratch, assembler.branch_base_of(dev), t);
-                }
-                for (std::size_t k = 0; k < nl; ++k) {
-                    nonlinear[k]->stamp_swec(
-                        scratch, assembler.branch_base_of(nonlinear[k]),
-                        geq[k]);
-                }
-                for (const auto& e : scratch.g().entries()) {
-                    if (e.row == e.col && e.row < nn) {
-                        gdiag[e.row] += e.value;
-                    }
-                }
-            }
-            const double bound = swec_step_bound_diag(assembler, gdiag, x,
-                                                      dvdt, options.eps);
+            cache->swec_gdiag(t, geq, gdiag);
+            // Eq. (12): device bounds from the chords/rates evaluated in
+            // step 1 (no model re-evaluation), node RC bounds from the
+            // incremental diagonal.
+            const double bound = std::min(
+                cache->device_step_bound(x, dvdt, geq, geq_rate,
+                                         options.eps),
+                swec_node_step_bound(c_node_diag, gdiag, dvdt,
+                                     options.eps));
             h = std::min(bound, options.dt_max);
             if (h_prev > 0.0) {
                 h = std::min(h, options.growth_limit * h_prev);
@@ -184,7 +178,6 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         const bool final_step = clip.final_step;
 
         // 3. Predict G_eq at t_{n+1} (eq. 5).
-        std::vector<double> geq_pred(nl);
         for (std::size_t k = 0; k < nl; ++k) {
             double g = geq[k];
             if (options.use_predictor) {
@@ -196,7 +189,7 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         // 4. One linear backward-Euler solve through the cached system:
         // values restamped in place (no triplet rebuild), pattern-reusing
         // refactor instead of a fresh symbolic factorisation.
-        linalg::Vector rhs = assembler.rhs(t + h, noise);
+        linalg::Vector rhs = cache->rhs(t + h, noise);
         {
             // rhs += (C/h) x  via the cached CSR C.
             linalg::Vector cx = assembler.c_csr().multiply(x);
@@ -204,9 +197,9 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
                 rhs[i] += cx[i] / h;
             }
         }
-        Stamper& stamper = cache->begin(1.0 / h, rhs);
-        assembler.stamp_time_varying_into(t + h, stamper);
-        assembler.stamp_swec_into(geq_pred, stamper);
+        cache->begin(1.0 / h, rhs);
+        cache->restamp_time_varying(t + h);
+        cache->restamp_swec(geq_pred);
         linalg::Vector x_next = cache->solve(rhs);
 
         // 5. Bookkeeping: eq. (10) a-posteriori error, eq. (9) slope.

@@ -38,6 +38,14 @@ struct SwecTranOptions {
     double growth_limit = 2.0; ///< max step growth per step
     double geq_floor = 1e-12;  ///< conductance floor [S] (matrix safety)
     bool start_from_dc = true; ///< initial condition = SWEC DC op
+    /// Opt-in tabulated chord models (devices/tabulated.hpp): chord /
+    /// dG/dV lookups replace the closed-form transcendentals inside the
+    /// configured voltage range, exact closed-form fallback outside it.
+    /// Tables build once per solver cache and are shared across every
+    /// analysis re-enabling the same config (Monte-Carlo trials, sweep
+    /// points).  Disabled by default — the default path stays
+    /// bit-identical to the closed forms.
+    TableConfig tables;
     /// Explicit initial condition (overrides start_from_dc when set).
     linalg::Vector initial;
     /// Noise realizations for Monte-Carlo runs (see MnaAssembler::rhs).

@@ -33,6 +33,22 @@
 
 namespace nanosim::linalg {
 
+/// Storage layout of the computed L/U factors in the per-step hot path.
+///
+///  * `flat` (default) — after every full factorisation the column
+///    vectors are compiled into contiguous CSC arrays plus a refactor
+///    gather plan; refactor() and solve() run over flat memory with no
+///    per-column indirection or push_back bookkeeping.
+///  * `columns` — the pre-flattening representation (one heap vector of
+///    entries per column), kept selectable as the measured BASELINE of
+///    the device-evaluation fast-path benches: together with
+///    mna::SystemCache's legacy stamping mode it reproduces the seed
+///    per-step loop this PR series replaced.
+///
+/// The numeric sweep performs the same operations in the same order in
+/// both layouts — results are bit-identical (gated by tests).
+enum class FactorStorage { flat, columns };
+
 /// Sparse LU of a square matrix with row partial pivoting: P A = L U —
 /// optionally of the symmetrically pre-permuted matrix A(q,q) with a
 /// fill-reducing ordering q (linalg/ordering.hpp).  The pre-permutation
@@ -65,7 +81,10 @@ public:
     /// slot order.  An empty ordering means natural order.
     SparseLu(std::size_t n, std::vector<std::size_t> col_ptr,
              std::vector<std::size_t> row_idx, std::span<const double> values,
-             const Permutation& ordering, double pivot_tol = 1e-13);
+             const Permutation& ordering, double pivot_tol = 1e-13,
+             FactorStorage storage = FactorStorage::flat);
+
+    [[nodiscard]] FactorStorage storage() const noexcept { return storage_; }
 
     [[nodiscard]] std::size_t order() const noexcept { return n_; }
 
@@ -140,6 +159,12 @@ private:
     to_internal(std::span<const double> values);
     void factor_full(std::span<const double> values);
     [[nodiscard]] bool try_refactor_numeric(std::span<const double> values);
+    [[nodiscard]] bool
+    try_refactor_numeric_columns(std::span<const double> values);
+    /// Rebuild the flat factor arrays + refactor gather plan from
+    /// lcols_/ucols_ (after every full factorisation in flat mode).
+    void flatten_factors();
+    void solve_internal_columns(const Vector& b, Vector& y) const;
     /// Solve in the internal (possibly permuted) numbering; `y` is
     /// assigned the solution (caller-owned so the hot path can reuse
     /// scratch).
@@ -147,6 +172,7 @@ private:
 
     std::size_t n_ = 0;
     double pivot_tol_ = 1e-13;
+    FactorStorage storage_ = FactorStorage::flat;
 
     // CSC pattern of A — in permuted space when perm_ is non-empty (rows
     // sorted and unique within each column).
@@ -165,10 +191,32 @@ private:
     // of L (unit diagonal implicit); ucols_[j] holds entries of U with
     // row <= j, diagonal last.  Patterns are structural (exact numeric
     // zeros are kept) so they stay valid across refactorisations.
+    // factor_full() always assembles columns here (the DFS discovers the
+    // pattern incrementally).  In FactorStorage::flat mode they are then
+    // compiled into the contiguous arrays below, which refactor()/solve()
+    // — the per-step hot path — read and write exclusively (the values
+    // here go stale after a refactor); in `columns` mode (the measured
+    // baseline of the fast-path benches) refactor()/solve() keep
+    // operating on the column vectors as the seed implementation did.
     std::vector<std::vector<Entry>> lcols_;
     std::vector<std::vector<Entry>> ucols_;
     std::vector<std::size_t> pinv_;      // pinv_[orig_row] = permuted position
     std::vector<std::size_t> pivot_row_; // pivot_row_[j] = orig row of pivot j
+
+    // ---- flattened factors (CSC; entry order = build push order, so the
+    // numeric sweep is operation-for-operation identical to the
+    // column-vector representation — bit-identical results) ----
+    std::vector<std::size_t> l_ptr_;  // n_ + 1
+    std::vector<std::size_t> l_row_;  // ORIGINAL row index per L entry
+    std::vector<std::size_t> l_prow_; // pinv_[l_row_] (solve fast path)
+    std::vector<double> l_val_;
+    std::vector<std::size_t> u_ptr_;  // n_ + 1; diagonal last per column
+    std::vector<std::size_t> u_row_;  // pivot-space row per U entry
+    std::vector<double> u_val_;
+    /// Refactor gather plan, parallel to reach_nodes_: where column j's
+    /// reach position lands.  dst >= 0: u_val_[dst] (incl. the diagonal);
+    /// dst < 0: l_val_[~dst], scaled by 1/ujj on the way in.
+    std::vector<std::ptrdiff_t> gather_dst_;
 
     // Recorded symbolic analysis: reach_nodes_[reach_ptr_[j] ..
     // reach_ptr_[j+1]) is column j's reach set in DFS postorder

@@ -1,6 +1,9 @@
 #include "mna/system_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "linalg/lu.hpp"
@@ -9,6 +12,26 @@
 namespace nanosim::mna {
 
 namespace {
+
+/// Accumulate a scope's wall time into one Stats field (the per-step
+/// eval/stamp/factor/solve attribution).  steady_clock::now() costs tens
+/// of nanoseconds — noise next to a restamp or a factorisation.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(double& acc) noexcept
+        : acc_(&acc), t0_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+        *acc_ += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+    }
+
+private:
+    double* acc_;
+    std::chrono::steady_clock::time_point t0_;
+};
 
 /// Maps device-level stamps onto matrix coordinates exactly like
 /// MnaBuilder (ground rows dropped, node n -> row n-1, branch b -> row
@@ -262,7 +285,10 @@ void SystemCache::rebind(const MnaAssembler& assembler) {
         // Same structure (possibly a subset of an overflow-extended
         // pattern): keep the symbolic analysis and ordering, refresh the
         // value baselines only.  The next solve is a numeric refactor.
+        // The stamp program still recompiles — it caches device pointers
+        // and parameter addresses of the assembler it was built against.
         refresh_baselines();
+        rebuild_program();
     } else {
         freeze_pattern(std::move(coords));
     }
@@ -294,9 +320,28 @@ void SystemCache::freeze_pattern(
         col_ptr_[c + 1] += col_ptr_[c];
     }
 
+    diag_slots_.resize(
+        static_cast<std::size_t>(assembler_->num_nodes()));
+    for (std::size_t i = 0; i < diag_slots_.size(); ++i) {
+        diag_slots_[i] = slot_of(i, i); // always structural (union pattern)
+    }
+
     refresh_baselines();
     lu_.reset(); // symbolic analysis is tied to the pattern
     choose_ordering();
+    rebuild_program();
+}
+
+void SystemCache::rebuild_program() {
+    program_.reset();
+    if (!options_.use_stamp_program) {
+        return;
+    }
+    program_ = std::make_unique<StampProgram>(
+        *assembler_, [this](std::size_t row, std::size_t col) {
+            const std::size_t s = slot_of(row, col);
+            return s == k_npos ? StampProgram::k_npos : s;
+        });
 }
 
 void SystemCache::refresh_baselines() {
@@ -392,12 +437,147 @@ Stamper& SystemCache::begin(double reactive_scale, linalg::Vector& rhs) {
     if (rhs.size() != n_) {
         throw AnalysisError("SystemCache::begin: rhs size mismatch");
     }
+    const ScopedTimer timer(stats_.stamp_s);
     overflow_.clear();
     for (std::size_t s = 0; s < values_.size(); ++s) {
         values_[s] = static_values_[s] + reactive_scale * c_values_[s];
     }
+    bound_rhs_ = &rhs;
     stamper_->bind(&rhs);
     return *stamper_;
+}
+
+void SystemCache::eval_chords(std::span<const double> x,
+                              std::span<const double> dvdt, bool with_rate,
+                              std::span<double> geq,
+                              std::span<double> geq_rate) {
+    const ScopedTimer timer(stats_.eval_s);
+    const NodeVoltages v = assembler_->view(x);
+    const NodeVoltages rate_view = assembler_->view(dvdt);
+    if (program_ != nullptr) {
+        program_->eval_chords(v, rate_view, with_rate, geq, geq_rate);
+        return;
+    }
+    const auto& nonlinear = assembler_->nonlinear_devices();
+    for (std::size_t k = 0; k < nonlinear.size(); ++k) {
+        geq[k] = nonlinear[k]->swec_conductance(v);
+        if (!geq_rate.empty()) {
+            geq_rate[k] =
+                with_rate
+                    ? nonlinear[k]->swec_conductance_rate(v, rate_view)
+                    : 0.0;
+        }
+    }
+}
+
+linalg::Vector
+SystemCache::rhs(double t, const MnaAssembler::NoiseRealization* noise) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (program_ != nullptr && program_->rhs_fast()) {
+        linalg::Vector out;
+        program_->eval_rhs(t, noise, out);
+        return out;
+    }
+    return assembler_->rhs(t, noise);
+}
+
+void SystemCache::restamp_time_varying(double t) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (program_ != nullptr) {
+        program_->apply_time_varying(t, values_, *stamper_);
+    } else {
+        assembler_->stamp_time_varying_into(t, *stamper_);
+    }
+}
+
+void SystemCache::restamp_swec(std::span<const double> geq) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (program_ != nullptr) {
+        program_->apply_swec(geq, values_, *stamper_);
+    } else {
+        assembler_->stamp_swec_into(geq, *stamper_);
+    }
+}
+
+void SystemCache::restamp_nr(std::span<const double> x) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (program_ != nullptr) {
+        if (bound_rhs_ == nullptr) {
+            throw AnalysisError("SystemCache::restamp_nr: no begin() rhs");
+        }
+        program_->apply_nr(x, values_, *bound_rhs_, *stamper_);
+    } else {
+        assembler_->stamp_nr_into(x, *stamper_);
+    }
+}
+
+void SystemCache::restamp_nortons(std::span<const double> g,
+                                  std::span<const double> ioff) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (!norton_fast() || bound_rhs_ == nullptr) {
+        throw AnalysisError(
+            "SystemCache::restamp_nortons: norton fast path unavailable");
+    }
+    program_->apply_nortons(g, ioff, values_, *bound_rhs_);
+}
+
+void SystemCache::add_node_diag(std::size_t node_row, double value) {
+    values_[diag_slots_[node_row]] += value;
+}
+
+void SystemCache::swec_gdiag(double t, std::span<const double> geq,
+                             std::span<double> gdiag) {
+    const ScopedTimer timer(stats_.stamp_s);
+    if (program_ != nullptr && program_->gdiag_fast()) {
+        program_->add_swec_gdiag(t, geq, gdiag);
+        return;
+    }
+    // Legacy pass: stamp time-varying + SWEC contributions into a
+    // scratch builder and keep the node-diagonal entries (exactly the
+    // historical per-step block of run_tran_swec).
+    const auto nn = static_cast<std::size_t>(assembler_->num_nodes());
+    MnaBuilder scratch(assembler_->num_nodes(), assembler_->num_branches());
+    assembler_->stamp_time_varying_into(t, scratch);
+    assembler_->stamp_swec_into(geq, scratch);
+    for (const auto& e : scratch.g().entries()) {
+        if (e.row == e.col && e.row < nn) {
+            gdiag[e.row] += e.value;
+        }
+    }
+}
+
+double SystemCache::device_step_bound(std::span<const double> x,
+                                      std::span<const double> dvdt,
+                                      std::span<const double> geq,
+                                      std::span<const double> geq_rate,
+                                      double eps) {
+    const ScopedTimer timer(stats_.eval_s);
+    const NodeVoltages v = assembler_->view(x);
+    const NodeVoltages rate = assembler_->view(dvdt);
+    if (program_ != nullptr) {
+        return program_->device_step_bound(v, rate, geq, geq_rate, eps);
+    }
+    double bound = std::numeric_limits<double>::infinity();
+    for (const Device* dev : assembler_->nonlinear_devices()) {
+        bound = std::min(bound, dev->step_limit(v, rate, eps));
+    }
+    return bound;
+}
+
+void SystemCache::configure_tables(const TableConfig& cfg) {
+    if (program_ == nullptr) {
+        return; // legacy baseline: closed forms only
+    }
+    if (!cfg.enabled) {
+        program_->unbind_tables();
+        bound_table_cfg_ = cfg;
+        return;
+    }
+    if (program_->tables_bound() && cfg == bound_table_cfg_) {
+        return; // shared across MC trials / sweep points: nothing to do
+    }
+    stats_.tables_built += program_->bind_tables(table_store_, cfg);
+    bound_table_cfg_ = cfg;
 }
 
 void SystemCache::add_entry(std::size_t row, std::size_t col, double value) {
@@ -415,6 +595,7 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     ++stats_.steps;
 
     if (!overflow_.empty()) {
+        const ScopedTimer timer(stats_.factor_s);
         linalg::Triplets t(n_, n_);
         for (std::size_t c = 0; c < n_; ++c) {
             for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
@@ -440,30 +621,46 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     }
 
     if (dense_path()) {
-        dense_.set_zero();
-        for (std::size_t c = 0; c < n_; ++c) {
-            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
-                dense_(row_idx_[p], c) += values_[p];
+        std::optional<linalg::DenseLu> lu;
+        {
+            const ScopedTimer timer(stats_.factor_s);
+            dense_.set_zero();
+            for (std::size_t c = 0; c < n_; ++c) {
+                for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                    dense_(row_idx_[p], c) += values_[p];
+                }
             }
+            lu.emplace(dense_, options_.pivot_tol);
         }
         ++stats_.dense_solves;
-        return linalg::DenseLu(dense_, options_.pivot_tol).solve(rhs);
+        const ScopedTimer timer(stats_.solve_s);
+        return lu->solve(rhs);
     }
 
-    if (!lu_) {
-        lu_ = std::make_unique<linalg::SparseLu>(
-            n_, col_ptr_, row_idx_, std::span<const double>(values_),
-            ordering_, options_.pivot_tol);
-        ++stats_.full_factors;
-    } else if (lu_->refactor(std::span<const double>(values_))) {
-        ++stats_.fast_refactors;
-    } else {
-        ++stats_.full_factors;
+    {
+        const ScopedTimer timer(stats_.factor_s);
+        if (!lu_) {
+            // The legacy (no-program) baseline also keeps the seed's
+            // column-vector factor storage, so benches measuring
+            // "program vs legacy" compare whole per-step hot paths.
+            lu_ = std::make_unique<linalg::SparseLu>(
+                n_, col_ptr_, row_idx_, std::span<const double>(values_),
+                ordering_, options_.pivot_tol,
+                options_.use_stamp_program
+                    ? linalg::FactorStorage::flat
+                    : linalg::FactorStorage::columns);
+            ++stats_.full_factors;
+        } else if (lu_->refactor(std::span<const double>(values_))) {
+            ++stats_.fast_refactors;
+        } else {
+            ++stats_.full_factors;
+        }
     }
     // Re-read every step: a degraded-pivot fallback re-pivots and can
     // change the factor fill (O(n) column-size sum — noise next to the
     // solve).
     stats_.factor_nnz = lu_->nnz_factors();
+    const ScopedTimer timer(stats_.solve_s);
     return lu_->solve(rhs);
 }
 

@@ -37,10 +37,12 @@
 #include <utility>
 #include <vector>
 
+#include "devices/tabulated.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/ordering.hpp"
 #include "linalg/sparse_lu.hpp"
 #include "mna/mna.hpp"
+#include "mna/stamp_program.hpp"
 
 namespace nanosim::mna {
 
@@ -87,6 +89,12 @@ public:
         /// predicted fill of natural vs RCM vs minimum-degree at freeze
         /// time; the explicit values force one (tests / benches).
         linalg::Ordering ordering = linalg::Ordering::automatic;
+        /// Compile a StampProgram at pattern-freeze time (the default):
+        /// per-step restamps and chord evaluations run through flat
+        /// slot/SoA plans with zero virtual dispatch.  `false` keeps the
+        /// legacy virtual-stamping path — the benches' baseline, bit-
+        /// identical to the program by contract.
+        bool use_stamp_program = true;
     };
 
     explicit SystemCache(const MnaAssembler& assembler)
@@ -120,6 +128,87 @@ public:
     /// begin() after all dynamic contributions.
     [[nodiscard]] linalg::Vector solve(const linalg::Vector& rhs);
 
+    // ---- engine-facing fast paths ------------------------------------
+    // Each method routes through the compiled StampProgram when one
+    // exists and falls back to the legacy virtual stamping path
+    // otherwise, so engines contain a single code path.  The restamp_*
+    // calls are only valid between begin() and solve().
+
+    /// True when per-step work runs through a compiled StampProgram.
+    [[nodiscard]] bool has_program() const noexcept {
+        return program_ != nullptr;
+    }
+
+    /// Chord conductances (and rates when `with_rate`) of every
+    /// nonlinear device at state x, parallel to nonlinear_devices().
+    /// Usable outside begin()/solve().  Time lands in Stats::eval_s.
+    void eval_chords(std::span<const double> x,
+                     std::span<const double> dvdt, bool with_rate,
+                     std::span<double> geq, std::span<double> geq_rate);
+
+    /// Source vector b(t) — the compiled rhs plan (sources only, no
+    /// scratch builder, no virtual sweep over rhs-inert devices) when
+    /// available, MnaAssembler::rhs otherwise.  Usable outside
+    /// begin()/solve().
+    [[nodiscard]] linalg::Vector
+    rhs(double t,
+        const MnaAssembler::NoiseRealization* noise = nullptr);
+
+    /// Restamp all time-varying linear devices at time t.
+    void restamp_time_varying(double t);
+
+    /// Restamp SWEC chord conductances (parallel to nonlinear_devices()).
+    void restamp_swec(std::span<const double> geq);
+
+    /// Restamp the Newton-Raphson linearisation at trial point x
+    /// (tangents into the matrix, Norton currents into the rhs bound by
+    /// begin()).
+    void restamp_nr(std::span<const double> x);
+
+    /// True when restamp_nortons covers every nonlinear device (PWL
+    /// fast path; requires a program).
+    [[nodiscard]] bool norton_fast() const noexcept {
+        return program_ != nullptr && program_->norton_fast();
+    }
+
+    /// Restamp per-device Norton pairs (PWL): conductance g[k] across
+    /// device k's principal nodes, offset current ioff[k] into its rhs
+    /// rows.  Only valid when norton_fast().
+    void restamp_nortons(std::span<const double> g,
+                         std::span<const double> ioff);
+
+    /// values[(row,row)] += value via the precomputed node-diagonal slot
+    /// (the SWEC DC continuation's pseudo-capacitance; no slot search).
+    void add_node_diag(std::size_t node_row, double value);
+
+    /// ADD the node-diagonal conductance sums of time-varying stamps at
+    /// time t plus SWEC chords `geq` into gdiag (size num_nodes) — the
+    /// eq. (12) step-bound input.
+    void swec_gdiag(double t, std::span<const double> geq,
+                    std::span<double> gdiag);
+
+    /// Device half of the eq. (12) step bound at state x.  With a
+    /// program, the chord-rate device classes reuse the step's already-
+    /// evaluated geq/geq_rate (no model re-evaluation); the legacy
+    /// fallback is the historical virtual Device::step_limit sweep.
+    [[nodiscard]] double device_step_bound(std::span<const double> x,
+                                           std::span<const double> dvdt,
+                                           std::span<const double> geq,
+                                           std::span<const double> geq_rate,
+                                           double eps);
+
+    /// Enable/disable tabulated chord models for eval_chords.  Tables
+    /// are built once per (device class, params, grid) through the
+    /// cache's TableStore and shared across every later analysis that
+    /// re-enables the same config (Monte-Carlo trials, sweep points).
+    /// Ignored on caches without a program (the legacy baseline).
+    void configure_tables(const TableConfig& cfg);
+
+    /// Devices currently evaluating through a table.
+    [[nodiscard]] std::size_t tabulated_devices() const noexcept {
+        return program_ != nullptr ? program_->tabulated_devices() : 0;
+    }
+
     struct Stats {
         std::size_t steps = 0;            ///< solve() calls
         std::size_t full_factors = 0;     ///< symbolic + pivoting factors
@@ -132,6 +221,17 @@ public:
         std::size_t predicted_fill_natural = 0;///< symbolic L+U, natural
         std::size_t predicted_fill_chosen = 0; ///< symbolic L+U, chosen
         std::size_t factor_nnz = 0;            ///< actual L+U of the LU
+        // ---- per-step wall-time attribution (seconds, cumulative) ----
+        // eval_s: device-model evaluation (eval_chords); stamp_s: begin()
+        // baselines + restamps + gdiag; factor_s: LU factor/refactor
+        // (incl. dense build+factor and overflow rebuilds); solve_s:
+        // triangular solves.  NR restamps are fused eval+stamp and land
+        // in stamp_s.
+        double eval_s = 0.0;
+        double stamp_s = 0.0;
+        double factor_s = 0.0;
+        double solve_s = 0.0;
+        std::size_t tables_built = 0; ///< ChordTable builds by this cache
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -181,6 +281,12 @@ private:
     /// unchanged) — the cheap half of a rebind.
     void refresh_baselines();
 
+    /// (Re)compile the StampProgram against the current assembler and
+    /// frozen pattern (no-op on the legacy baseline).  Any bound tables
+    /// are dropped; the next configure_tables() re-attaches them from
+    /// the store.
+    void rebuild_program();
+
     /// FNV-1a of the frozen pattern, bit-compatible with
     /// stamp_pattern_signature (valid as the union signature only while
     /// the frozen pattern equals the union pattern, i.e. at freeze time).
@@ -212,6 +318,18 @@ private:
     // Stamps that missed the frozen pattern this step (rare; triggers the
     // legacy solve + a pattern re-freeze).
     std::vector<linalg::Triplet> overflow_;
+
+    /// Node-diagonal slots (always structural), for add_node_diag.
+    std::vector<std::size_t> diag_slots_;
+
+    /// Compiled per-step execution plan (null on the legacy baseline).
+    std::unique_ptr<StampProgram> program_;
+    /// Shared chord tables + the config they were last bound under.
+    TableStore table_store_;
+    TableConfig bound_table_cfg_;
+
+    /// rhs vector bound by the last begin() (restamp targets).
+    linalg::Vector* bound_rhs_ = nullptr;
 
     std::unique_ptr<ScatterStamper> stamper_;
     linalg::Permutation ordering_; // empty = natural
