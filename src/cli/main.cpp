@@ -1,12 +1,15 @@
 // nanosim — command-line batch simulator.
 //
 //   nanosim [run] [options] deck.cir        single-deck batch run
+//   nanosim report [options] deck.cir       run + per-analysis RunReport
 //   nanosim sweep deck.cir --param DEV:P=start:stop:points [...]
 //
 // run options:
 //   --engine swec|nr|mla|pwl   transient/DC engine (default: swec)
 //   --csv PREFIX               write waveforms/sweeps to PREFIX_*.csv
-//   --progress                 live progress meter on stderr
+//   --trace FILE.json          Chrome/Perfetto trace of the run
+//   --metrics FILE.json        dump the metrics registry after the run
+//   --progress                 live progress meter (rate + ETA) on stderr
 //   --quiet                    suppress ASCII plots
 //   --verbose                  raise log level to info
 //   --version                  print version and exit
@@ -18,7 +21,11 @@
 //                              (repeatable; engineering notation ok)
 //   --threads N                worker threads (default: all cores)
 //   --out FILE.csv             write the aggregated campaign CSV
+//   --trace / --metrics        as for run (pool queue-wait shows up here)
 //   --quiet                    suppress ASCII plots
+//
+// The NANOSIM_LOG environment variable (trace|debug|info|warn|error|off)
+// sets the log threshold before flags are parsed; --verbose overrides it.
 //
 // `run` maps every analysis card in the deck (.op, .dc, .tran) onto an
 // AnalysisSpec and executes it through one SimSession — the same single
@@ -27,15 +34,19 @@
 // results in SPICE-batch style.  Exit code 0 on success, 1 on
 // simulation failure, 2 on usage errors.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <variant>
 
 #include "core/nanosim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace nanosim;
 
@@ -52,43 +63,96 @@ struct CliOptions {
     bool quiet = false;
     bool progress = false;                   ///< stderr progress meter
     bool tabulate = false;                   ///< tabulated SWEC device models
+    bool report = false;                     ///< `report` verb: pretty RunReports
+    std::optional<std::string> trace_path;   ///< --trace FILE.json
+    std::optional<std::string> metrics_path; ///< --metrics FILE.json
 };
 
-/// Progress meter on stderr, driven by the AnalysisObserver.  Redraws at
-/// >= 1% increments so tight step loops do not drown in terminal writes.
+/// Progress meter on stderr, driven by the AnalysisObserver.  Redraws on
+/// >= 1% increments or every 250 ms (whichever comes first) so the rate
+/// and ETA fields stay live without drowning tight step loops in
+/// terminal writes.  Rate comes from the on_step/on_trial item counts;
+/// ETA extrapolates the completed fraction against elapsed wall time.
 class ProgressMeter {
 public:
     void begin(const std::string& label) {
         label_ = label;
         last_percent_ = -1;
-        draw(0.0);
+        max_len_ = 0;
+        items_ = 0;
+        unit_ = nullptr;
+        start_ = Clock::now();
+        last_draw_ = start_;
+        draw(0.0, /*force=*/true);
     }
-    void draw(double fraction) {
+    /// Latest item count from on_step (accepted steps) / on_trial (done
+    /// trials); gives the rate field its numerator and unit label.
+    void items(long count, const char* unit) {
+        items_ = count;
+        unit_ = unit;
+    }
+    void draw(double fraction, bool force = false) {
         fraction = std::min(std::max(fraction, 0.0), 1.0);
         const int percent = static_cast<int>(fraction * 100.0);
-        if (percent == last_percent_) {
+        const auto now = Clock::now();
+        if (!force && percent == last_percent_ &&
+            now - last_draw_ < std::chrono::milliseconds(250)) {
             return;
         }
         last_percent_ = percent;
+        last_draw_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+
+        std::ostringstream line;
+        line << "  " << label_ << " [";
         constexpr int width = 24;
         const int filled = static_cast<int>(fraction * width);
-        std::cerr << '\r' << "  " << label_ << " [";
         for (int i = 0; i < width; ++i) {
-            std::cerr << (i < filled ? '=' : (i == filled ? '>' : ' '));
+            line << (i < filled ? '=' : (i == filled ? '>' : ' '));
         }
-        std::cerr << "] " << percent << "%" << std::flush;
+        line << "] " << percent << '%';
+        if (items_ > 0 && unit_ != nullptr && elapsed > 0.0) {
+            line << " | " << std::setprecision(3)
+                 << static_cast<double>(items_) / elapsed << ' ' << unit_
+                 << "/s";
+        }
+        // ETA once there is enough signal to extrapolate from.
+        if (fraction > 0.0 && fraction < 1.0 && elapsed > 0.1) {
+            const double eta = elapsed * (1.0 - fraction) / fraction;
+            line << " | ETA ";
+            if (eta < 60.0) {
+                line << std::fixed << std::setprecision(1) << eta << "s";
+                line.unsetf(std::ios::fixed);
+            } else {
+                line << static_cast<long>(eta / 60.0) << "m"
+                     << static_cast<long>(eta) % 60 << "s";
+            }
+        }
+        const std::string text = line.str();
+        // Pad to the longest line written so a shrinking ETA does not
+        // leave stale characters behind the cursor.
+        max_len_ = std::max(max_len_, text.size());
+        std::cerr << '\r' << text
+                  << std::string(max_len_ - text.size(), ' ') << std::flush;
     }
     void end() {
         if (last_percent_ >= 0) {
-            std::cerr << '\r' << std::string(label_.size() + 36, ' ')
-                      << '\r' << std::flush;
+            std::cerr << '\r' << std::string(max_len_, ' ') << '\r'
+                      << std::flush;
             last_percent_ = -1;
         }
     }
 
 private:
+    using Clock = std::chrono::steady_clock;
     std::string label_;
     int last_percent_ = -1;
+    std::size_t max_len_ = 0;
+    long items_ = 0;
+    const char* unit_ = nullptr;
+    Clock::time_point start_;
+    Clock::time_point last_draw_;
 };
 
 /// Parse "<R>x<C>[:extra]" grid dimensions; returns {rows, cols, extra}
@@ -171,11 +235,19 @@ Circuit make_builtin_circuit(const std::string& spec) {
 void usage(std::ostream& os) {
     os << "usage: nanosim [run] [options] deck.cir\n"
           "       nanosim run --circuit mesh:RxC [options]\n"
+          "       nanosim report [options] deck.cir\n"
           "       nanosim sweep deck.cir --param DEV:P=start:stop:points\n"
           "run options:\n"
           "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
           "  --csv PREFIX               export results as PREFIX_*.csv\n"
-          "  --progress                 live progress meter on stderr\n"
+          "  --trace FILE.json          write a Chrome/Perfetto trace of\n"
+          "                             the run (load in ui.perfetto.dev\n"
+          "                             or chrome://tracing)\n"
+          "  --metrics FILE.json        enable the metrics registry and\n"
+          "                             dump it (counters + histograms)\n"
+          "                             after the run\n"
+          "  --progress                 live progress meter with rate and\n"
+          "                             ETA on stderr\n"
           "  --circuit SPEC             built-in workload instead of a\n"
           "                             deck: mesh:RxC (RTD-loaded RC\n"
           "                             mesh) or grid:RxC[:vias] (power-\n"
@@ -191,6 +263,10 @@ void usage(std::ostream& os) {
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
+          "report verb: run the deck's analyses like `run`, then print a\n"
+          "  structured per-run solver report (step-bound winners, factor\n"
+          "  strategy mix, analyze/eval/stamp/factor/solve time split)\n"
+          "  instead of waveform plots; accepts all run options\n"
           "sweep options:\n"
           "  --param DEV:P=a:b:n        axis: device DEV, parameter P, n\n"
           "                             points in [a, b]; repeat for a\n"
@@ -199,7 +275,13 @@ void usage(std::ostream& os) {
           "                             DC; NOISE SIGMA)\n"
           "  --threads N                worker threads (default all cores)\n"
           "  --out FILE.csv             aggregated campaign CSV\n"
+          "  --trace FILE.json          Chrome/Perfetto trace (as in run)\n"
+          "  --metrics FILE.json        metrics registry dump (as in run)\n"
           "  --quiet                    no ASCII plots\n"
+          "environment:\n"
+          "  NANOSIM_LOG=LEVEL          log threshold before flag parsing\n"
+          "                             (trace|debug|info|warn|error|off);\n"
+          "                             --verbose overrides it\n"
           "example:\n"
           "  nanosim sweep deck.cir --param RTD1:A=1e-3:2e-3:11 \\\n"
           "      --threads 8 --out sweep.csv\n";
@@ -252,6 +334,16 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.csv_prefix = argv[i];
+        } else if (arg == "--trace") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.trace_path = argv[i];
+        } else if (arg == "--metrics") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.metrics_path = argv[i];
         } else if (arg == "--circuit") {
             if (++i >= argc) {
                 return std::nullopt;
@@ -299,17 +391,20 @@ void maybe_plot(const CliOptions& cli,
 }
 
 /// Per-step wall-time attribution of a cached-solver analysis (the
-/// SolverWork eval/stamp/factor/solve split); silent when the analysis
-/// never went through a SystemCache.
+/// SolverWork analyze/eval/stamp/factor/solve split); silent when the
+/// analysis never went through a SystemCache.
 void print_step_split(const AnalysisHeader& header) {
     const SolverWork& sw = header.solver;
-    const double total = sw.eval_s + sw.stamp_s + sw.factor_s + sw.solve_s;
+    const double total = sw.analyze_s + sw.eval_s + sw.stamp_s +
+                         sw.factor_s + sw.solve_s;
     if (total <= 0.0) {
         return;
     }
     const auto flags = std::cout.flags();
     const auto precision = std::cout.precision();
-    std::cout << std::fixed << std::setprecision(2) << "  step time: eval "
+    std::cout << std::fixed << std::setprecision(2)
+              << "  step time: analyze " << sw.analyze_s * 1e3
+              << " ms | eval "
               << sw.eval_s * 1e3 << " ms | stamp " << sw.stamp_s * 1e3
               << " ms | factor " << sw.factor_s * 1e3 << " ms | solve "
               << sw.solve_s * 1e3 << " ms";
@@ -408,6 +503,42 @@ int run_tran(const CliOptions& cli, const TranSpec& spec,
     return 0;
 }
 
+/// Enable the telemetry backends requested on the command line.  Called
+/// before the first analysis so the session's symbolic setup is covered.
+void start_telemetry(const std::optional<std::string>& trace_path,
+                     const std::optional<std::string>& metrics_path,
+                     bool report) {
+    if (metrics_path || report) {
+        // The report verb reads the pool counters, which only tick when
+        // the registry is live.
+        obs::set_metrics_enabled(true);
+    }
+    if (trace_path) {
+        obs::start_trace();
+    }
+}
+
+/// Write the --trace / --metrics artifacts after the analyses complete
+/// (shared by the run/report and sweep verbs).
+void write_telemetry(const std::optional<std::string>& trace_path,
+                     const std::optional<std::string>& metrics_path) {
+    if (trace_path) {
+        obs::stop_trace();
+        obs::write_trace_file(*trace_path);
+        std::cout << "  wrote " << *trace_path << " ("
+                  << obs::trace_event_count() << " trace events";
+        if (obs::trace_dropped_count() > 0) {
+            std::cout << ", " << obs::trace_dropped_count() << " dropped";
+        }
+        std::cout << ")\n";
+    }
+    if (metrics_path) {
+        obs::metrics().write_json_file(*metrics_path);
+        std::cout << "  wrote " << *metrics_path << " ("
+                  << obs::metrics().size() << " instruments)\n";
+    }
+}
+
 // ---- sweep verb -------------------------------------------------------
 
 struct SweepCliOptions {
@@ -415,6 +546,8 @@ struct SweepCliOptions {
     runtime::JobPlan plan;
     runtime::CampaignOptions campaign;
     std::optional<std::string> out_path;
+    std::optional<std::string> trace_path;
+    std::optional<std::string> metrics_path;
     bool quiet = false;
 };
 
@@ -458,6 +591,16 @@ std::optional<SweepCliOptions> parse_sweep_args(int argc, char** argv,
                 return std::nullopt;
             }
             opt.out_path = argv[i];
+        } else if (arg == "--trace") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.trace_path = argv[i];
+        } else if (arg == "--metrics") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.metrics_path = argv[i];
         } else if (!arg.empty() && arg[0] == '-') {
             return std::nullopt;
         } else if (opt.deck_path.empty()) {
@@ -473,6 +616,7 @@ std::optional<SweepCliOptions> parse_sweep_args(int argc, char** argv,
 }
 
 int run_sweep(const SweepCliOptions& cli) {
+    start_telemetry(cli.trace_path, cli.metrics_path, /*report=*/false);
     const SimSession session = SimSession::from_deck_file(cli.deck_path);
     std::cout << "nanosim " << version_string() << " | sweep | "
               << cli.deck_path << " | " << cli.plan.size() << " points on "
@@ -500,6 +644,7 @@ int run_sweep(const SweepCliOptions& cli) {
         result.write_csv_file(*cli.out_path);
         std::cout << "  wrote " << *cli.out_path << '\n';
     }
+    write_telemetry(cli.trace_path, cli.metrics_path);
 
     // 1-D campaigns: plot every metric against the swept parameter.
     if (!cli.quiet && cli.plan.axes().size() == 1) {
@@ -524,16 +669,24 @@ int run_sweep(const SweepCliOptions& cli) {
 } // namespace
 
 int main(int argc, char** argv) {
-    // Verb dispatch: "sweep" runs a campaign, "run" (or a bare deck
+    // Environment-driven log threshold first, so parse/setup diagnostics
+    // already honour it; --verbose below still overrides.
+    log::set_level_from_env();
+    // Verb dispatch: "sweep" runs a campaign, "report" runs the deck's
+    // cards and prints structured solver reports, "run" (or a bare deck
     // path, for compatibility) runs the deck's own analysis cards.
     int first = 1;
     bool sweep_verb = false;
+    bool report_verb = false;
     if (argc > 1) {
         const std::string verb = argv[1];
         if (verb == "sweep") {
             sweep_verb = true;
             first = 2;
         } else if (verb == "run") {
+            first = 2;
+        } else if (verb == "report") {
+            report_verb = true;
             first = 2;
         }
     }
@@ -558,12 +711,14 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto cli = parse_args(argc - (first - 1), argv + (first - 1));
+    auto cli = parse_args(argc - (first - 1), argv + (first - 1));
     if (!cli) {
         usage(std::cerr);
         return 2;
     }
+    cli->report = report_verb;
     try {
+        start_telemetry(cli->trace_path, cli->metrics_path, cli->report);
         // One persistent session: every analysis below shares its cached
         // stamp pattern + symbolic factorisation (the run_deck path).
         SimSession session =
@@ -607,6 +762,15 @@ int main(int argc, char** argv) {
         ProgressMeter meter;
         engines::AnalysisObserver observer;
         observer.on_progress = [&meter](double f) { meter.draw(f); };
+        observer.on_step = [&meter](double, int accepted) {
+            meter.items(accepted, "steps");
+        };
+        observer.on_trial = [&meter](int done, int total) {
+            meter.items(done, "trials");
+            if (total > 0) {
+                meter.draw(static_cast<double>(done) / total);
+            }
+        };
         const engines::AnalysisObserver* obs =
             cli->progress ? &observer : nullptr;
 
@@ -626,6 +790,12 @@ int main(int argc, char** argv) {
                 throw;
             }
             meter.end();
+            if (cli->report) {
+                // Structured per-run solver report instead of waveforms.
+                std::cout << "\n* analysis " << index << ": "
+                          << result.report.pretty();
+                continue;
+            }
             if (std::holds_alternative<OpSpec>(spec)) {
                 rc |= run_op(session, result, index);
             } else if (const auto* dc = std::get_if<DcSweepSpec>(&spec)) {
@@ -634,6 +804,7 @@ int main(int argc, char** argv) {
                 rc |= run_tran(*cli, *tran, result, index);
             }
         }
+        write_telemetry(cli->trace_path, cli->metrics_path);
         return rc;
     } catch (const SimError& e) {
         std::cerr << "nanosim: " << e.what() << '\n';

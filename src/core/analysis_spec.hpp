@@ -28,6 +28,7 @@
 #include "engines/results.hpp"
 #include "engines/tran_swec.hpp"
 #include "linalg/dense.hpp"
+#include "obs/report.hpp"
 #include "util/error.hpp"
 
 namespace nanosim {
@@ -163,10 +164,18 @@ struct SolverWork {
     std::size_t full_factors = 0;
     std::size_t fast_refactors = 0;
     std::size_t dense_solves = 0;
+    /// refactor() pivot-degradation fallbacks (subset of full_factors).
+    std::size_t pivot_fallbacks = 0;
+    /// Stamp-pattern misses that forced a re-freeze (exotic devices only).
+    std::size_t pattern_rebuilds = 0;
     // ---- wall-time attribution of the per-step work (seconds) ----
-    // eval_s: device-model evaluation (chord conductances / rates);
-    // stamp_s: in-place restamps + step-bound diagonals; factor_s: LU
-    // factorisations/refactorisations; solve_s: triangular solves.
+    // analyze_s: symbolic analysis — pattern freeze, ordering selection,
+    // stamp-program compile (previously unattributed, so the printed
+    // split under-counted the first step); eval_s: device-model
+    // evaluation (chord conductances / rates); stamp_s: in-place
+    // restamps + step-bound diagonals; factor_s: LU factorisations/
+    // refactorisations; solve_s: triangular solves.
+    double analyze_s = 0.0;
     double eval_s = 0.0;
     double stamp_s = 0.0;
     double factor_s = 0.0;
@@ -197,6 +206,11 @@ struct AnalysisResult {
 
     AnalysisHeader header;
     Payload payload;
+    /// Aggregated per-run diagnostics (obs/report.hpp): step-control
+    /// outcomes, solver-cache work, time attribution, pool pressure.
+    /// Machine-readable via report.to_json(); the CLI `report` verb
+    /// pretty-prints it.
+    obs::RunReport report;
 
     [[nodiscard]] const engines::DcResult& dc() const {
         return get<engines::DcResult>("DcResult");

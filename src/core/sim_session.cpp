@@ -12,6 +12,8 @@
 #include "engines/parallel.hpp"
 #include "engines/tran_nr.hpp"
 #include "engines/tran_pwl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim {
@@ -169,10 +171,25 @@ mna::SystemCache& SimSession::solver_cache() {
 AnalysisResult SimSession::run(const AnalysisSpec& spec,
                                const engines::AnalysisObserver* observer) {
     const std::lock_guard<std::mutex> lock(*run_mutex_);
+    // One span per analysis — the root of the trace hierarchy (analysis
+    // -> trial -> step -> eval/stamp/factor/solve).  Owned-name form:
+    // the label carries the spec name.
+    const obs::Span analysis_span(
+        "analysis:" +
+            std::visit([](const auto& s) { return s.name; }, spec),
+        "session");
     const auto t0 = Clock::now();
     mna::SystemCache::Stats before{};
     if (const auto it = caches_.find(signature_); it != caches_.end()) {
         before = it->second->stats();
+    }
+    // Pool queue-wait deltas survive the short-lived pools the parallel
+    // drivers own because the workers also bill the global registry.
+    std::uint64_t pool_tasks0 = 0;
+    std::uint64_t pool_wait_ns0 = 0;
+    if (obs::metrics_enabled()) {
+        pool_tasks0 = obs::metrics().counter("pool.tasks").value();
+        pool_wait_ns0 = obs::metrics().counter("pool.queue_wait_ns").value();
     }
 
     AnalysisResult result = std::visit(
@@ -200,6 +217,11 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
             after.fast_refactors - before.fast_refactors;
         result.header.solver.dense_solves =
             after.dense_solves - before.dense_solves;
+        result.header.solver.pivot_fallbacks =
+            after.pivot_fallbacks - before.pivot_fallbacks;
+        result.header.solver.pattern_rebuilds =
+            after.pattern_rebuilds - before.pattern_rebuilds;
+        result.header.solver.analyze_s = after.analyze_s - before.analyze_s;
         result.header.solver.eval_s = after.eval_s - before.eval_s;
         result.header.solver.stamp_s = after.stamp_s - before.stamp_s;
         result.header.solver.factor_s = after.factor_s - before.factor_s;
@@ -209,6 +231,64 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
     }
     result.header.cache_signature = signature_;
     result.header.elapsed_s = seconds_since(t0);
+
+    // ---- RunReport: header + payload diagnostics in one flat record ---
+    obs::RunReport& report = result.report;
+    report.analysis = result.header.name;
+    report.kind = analysis_kind_name(result.header.kind);
+    report.engine = result.header.engine;
+    report.elapsed_s = result.header.elapsed_s;
+    report.aborted = result.header.aborted;
+    const SolverWork& work = result.header.solver;
+    report.full_factors = work.full_factors;
+    report.fast_refactors = work.fast_refactors;
+    report.dense_solves = work.dense_solves;
+    report.pivot_fallbacks = work.pivot_fallbacks;
+    report.pattern_rebuilds = work.pattern_rebuilds;
+    report.tables_built = work.tables_built;
+    report.analyze_s = work.analyze_s;
+    report.eval_s = work.eval_s;
+    report.stamp_s = work.stamp_s;
+    report.factor_s = work.factor_s;
+    report.solve_s = work.solve_s;
+    report.cache_signature = result.header.cache_signature;
+    std::visit(
+        [&report](const auto& payload) {
+            using T = std::decay_t<decltype(payload)>;
+            if constexpr (std::is_same_v<T, engines::DcResult>) {
+                report.steps_accepted =
+                    static_cast<std::uint64_t>(payload.iterations);
+            } else if constexpr (std::is_same_v<T, engines::SweepResult>) {
+                report.trials = payload.values.size();
+                report.nr_iterations =
+                    static_cast<std::uint64_t>(payload.total_iterations);
+            } else if constexpr (std::is_same_v<T, engines::TranResult>) {
+                report.steps_accepted =
+                    static_cast<std::uint64_t>(payload.steps_accepted);
+                report.steps_rejected =
+                    static_cast<std::uint64_t>(payload.steps_rejected);
+                report.nr_iterations =
+                    static_cast<std::uint64_t>(payload.nr_iterations);
+                report.nonconverged_steps =
+                    static_cast<std::uint64_t>(payload.nonconverged_steps);
+                report.bounds = payload.step_bounds;
+                report.min_dt = payload.min_dt_used;
+                report.max_dt = payload.max_dt_used;
+            } else {
+                // McResult / EmEnsembleResult: completed trials / paths.
+                report.trials = payload.stats.paths();
+            }
+        },
+        result.payload);
+    if (obs::metrics_enabled()) {
+        report.pool_tasks =
+            obs::metrics().counter("pool.tasks").value() - pool_tasks0;
+        report.pool_queue_wait_s =
+            static_cast<double>(
+                obs::metrics().counter("pool.queue_wait_ns").value() -
+                pool_wait_ns0) *
+            1e-9;
+    }
     return result;
 }
 

@@ -7,6 +7,7 @@
 #include "devices/sources.hpp"
 #include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
@@ -69,6 +70,7 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
             result.aborted = true;
             break;
         }
+        const obs::Span step_span("step", "engine");
         // Chord conductances at the current state — the SWEC step needs
         // no prediction here because the march only has to *end* right.
         cache->eval_chords(result.x, {}, false, geq, {});
@@ -164,6 +166,7 @@ SweepResult dc_sweep_swec(Circuit& circuit,
             result.aborted = true;
             break;
         }
+        const obs::Span point_span("sweep-point", "engine");
         set_level(v);
         const DcResult point = solve_op_swec(assembler, opt, 0.0, 1.0, cache);
         result.values.push_back(v);

@@ -7,6 +7,7 @@
 #include "devices/sources.hpp"
 #include "engines/dc_swec.hpp"
 #include "linalg/lu.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
@@ -225,6 +226,7 @@ EmEnsembleResult EmEngine::run_ensemble(int num_paths, stochastic::Rng& rng,
             out.aborted = true;
             break;
         }
+        const obs::Span path_span("trial", "em");
         const EmPathResult path = run_path(rng);
         const auto& w = path.node_waves[node_idx];
         for (std::size_t j = 0; j <= steps_; ++j) {

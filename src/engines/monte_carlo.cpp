@@ -1,9 +1,12 @@
 #include "engines/monte_carlo.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "devices/sources.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
@@ -131,14 +134,30 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                  .aborted = false,
                  .flops = {}};
 
+    // Trial wall-time distribution (metrics on only).
+    obs::Histogram* trial_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& th = obs::metrics().histogram(
+            "mc.trial_s", obs::time_buckets());
+        trial_hist = &th;
+    }
+
     for (int run = 0; run < options.runs; ++run) {
         if (observer != nullptr && observer->cancelled()) {
             out.aborted = true;
             break;
         }
+        const obs::Span trial_span("trial", "mc");
+        const auto trial_t0 = std::chrono::steady_clock::now();
         std::vector<double> samples =
             mc_realization(assembler, options, rng, node, out.grid,
                            observer, cache);
+        if (trial_hist != nullptr) {
+            trial_hist->observe(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    trial_t0)
+                                    .count());
+        }
         if (samples.empty()) { // trial cancelled mid-transient
             out.aborted = true;
             break;

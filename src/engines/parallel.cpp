@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "stochastic/seed_sequence.hpp"
 #include "util/error.hpp"
@@ -65,6 +66,7 @@ McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
         if (progress.cancelled()) {
             return; // leave the job's samples empty — skipped in reduce
         }
+        const obs::Span trial_span("trial", "mc");
         const FlopScope scope;
         stochastic::Rng rng = seq.stream(run);
         jobs[run].samples =
@@ -127,6 +129,7 @@ EmEnsembleResult run_em_ensemble_parallel(const EmEngine& engine,
         if (progress.cancelled()) {
             return; // leave the job's samples empty — skipped in reduce
         }
+        const obs::Span trial_span("trial", "em");
         stochastic::Rng rng = seq.stream(p);
         const EmPathResult path = engine.run_path(rng);
         if (node_idx >= path.node_waves.size()) {

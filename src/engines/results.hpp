@@ -9,6 +9,7 @@
 #include "linalg/dense.hpp"
 #include "linalg/ordering.hpp"
 #include "netlist/circuit.hpp"
+#include "obs/report.hpp"
 #include "util/flops.hpp"
 
 namespace nanosim::engines {
@@ -102,6 +103,10 @@ struct TranResult {
     /// avg_local_error tracks typical step-control quality.
     double max_local_error = 0.0;
     double avg_local_error = 0.0;
+    /// Which bound limited each accepted step (sums to steps_accepted).
+    /// Adaptive engines attribute the winning constraint per step; the
+    /// fixed-step baselines count everything under `fixed`.
+    obs::StepBoundCounts step_bounds;
     FlopCounter flops;
     /// Cached-solver instrumentation (mna::SystemCache): the accepted-step
     /// loop should show full_factors == 1 and fast_refactors ~ steps on

@@ -9,6 +9,8 @@
 #include "engines/step_control.hpp"
 #include "linalg/vecops.hpp"
 #include "mna/system_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -150,6 +152,15 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
 
     double t = 0.0;
     record(t, x);
+
+    // Per-step NR-iteration distribution (metrics on only).
+    obs::Histogram* it_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& ih = obs::metrics().histogram(
+            "nr.iterations", obs::iteration_buckets());
+        it_hist = &ih;
+    }
+
     linalg::Vector x_older = x; // for the forward-Euler predictor
     double h = options.dt_init;
     double h_prev = 0.0;
@@ -161,12 +172,14 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
             result.aborted = true;
             break;
         }
+        const obs::Span step_span("step", "engine");
         // Clip to breakpoints / the horizon — shared landing rules
         // (breakpoint first, sliver merged into the final step, exact
         // t_stop landing); see clip_step_to_events.
         const ClippedStep clip = clip_step_to_events(
             t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
             /*floor_to_dt_min=*/true);
+        const bool clip_changed = clip.h != h;
         h = clip.h;
         bool final_step = clip.final_step;
 
@@ -258,6 +271,23 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
             t = final_step ? options.t_stop : t + h;
             h_prev = h;
             ++result.steps_accepted;
+            // Step-bound attribution: an un-halved clipped step was
+            // event-sized; a halved one was shrunk by the LTE/convergence
+            // error control (dt_min when it hit the floor); otherwise the
+            // growth heuristic (or its dt_max ceiling) proposed it.
+            if (clip_changed && halvings == 0) {
+                ++(clip.hit_breakpoint ? result.step_bounds.breakpoint
+                                       : result.step_bounds.horizon);
+            } else if (halvings > 0) {
+                ++(h <= options.dt_min ? result.step_bounds.dt_min
+                                       : result.step_bounds.device);
+            } else {
+                ++(h >= options.dt_max ? result.step_bounds.dt_max
+                                       : result.step_bounds.growth);
+            }
+            if (it_hist != nullptr) {
+                it_hist->observe(static_cast<double>(step.iterations));
+            }
             result.min_dt_used = std::min(result.min_dt_used, h);
             result.max_dt_used = std::max(result.max_dt_used, h);
             record(t, x);

@@ -9,6 +9,7 @@
 #include "engines/step_control.hpp"
 #include "linalg/vecops.hpp"
 #include "mna/system_cache.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::engines {
@@ -255,12 +256,14 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
             result.aborted = true;
             break;
         }
+        const obs::Span step_span("step", "engine");
         // Clip to breakpoints / the horizon — shared landing rules
         // (breakpoint first, sliver merged into the final step, exact
         // t_stop landing); see clip_step_to_events.
         const ClippedStep clip = clip_step_to_events(
             t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
             /*floor_to_dt_min=*/true);
+        const bool clip_changed = clip.h != h;
         h = clip.h;
         bool final_step = clip.final_step;
 
@@ -298,6 +301,19 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         // Land on t_stop bit-exactly: t + (t_stop - t) may round off.
         t = final_step ? options.t_stop : t + h;
         ++result.steps_accepted;
+        // Step-bound attribution mirrors tran_nr: event clip, then
+        // segment-cycling halving (floored at dt_min), else the growth
+        // heuristic / its ceiling.
+        if (clip_changed && halvings == 0) {
+            ++(clip.hit_breakpoint ? result.step_bounds.breakpoint
+                                   : result.step_bounds.horizon);
+        } else if (halvings > 0) {
+            ++(h <= options.dt_min ? result.step_bounds.dt_min
+                                   : result.step_bounds.device);
+        } else {
+            ++(h >= options.dt_max ? result.step_bounds.dt_max
+                                   : result.step_bounds.growth);
+        }
         result.min_dt_used = std::min(result.min_dt_used, h);
         result.max_dt_used = std::max(result.max_dt_used, h);
         record(t, x);

@@ -9,6 +9,8 @@
 #include "engines/step_control.hpp"
 #include "linalg/vecops.hpp"
 #include "mna/system_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -115,6 +117,15 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     double t = 0.0;
     record(t, x);
 
+    // Accepted-step-size distribution (metrics on only; registered once,
+    // then two relaxed atomics per accepted step).
+    obs::Histogram* h_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& sh = obs::metrics().histogram(
+            "swec.step_size_s", obs::log_buckets(1e-15, 1.0, 2));
+        h_hist = &sh;
+    }
+
     linalg::Vector dvdt(n, 0.0);    // eq. (9) backward difference
     std::vector<double> geq(nl, 0.0);
     std::vector<double> geq_rate(nl, 0.0);
@@ -136,6 +147,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             result.aborted = true;
             break;
         }
+        const obs::Span step_span("step", "engine");
+        // Which constraint produced the step actually taken (RunReport
+        // step-bound attribution); repointed as each clamp below wins.
+        std::uint64_t* bound_src = &result.step_bounds.fixed;
         // 1. Chord conductances and their rates at t_n — one compiled
         // per-class evaluation pass (closed forms or tables) instead of
         // a virtual call per device.
@@ -150,16 +165,26 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
             // Eq. (12): device bounds from the chords/rates evaluated in
             // step 1 (no model re-evaluation), node RC bounds from the
             // incremental diagonal.
-            const double bound = std::min(
-                cache->device_step_bound(x, dvdt, geq, geq_rate,
-                                         options.eps),
-                swec_node_step_bound(c_node_diag, gdiag, dvdt,
-                                     options.eps));
-            h = std::min(bound, options.dt_max);
-            if (h_prev > 0.0) {
-                h = std::min(h, options.growth_limit * h_prev);
+            const double device_bound = cache->device_step_bound(
+                x, dvdt, geq, geq_rate, options.eps);
+            const double node_bound = swec_node_step_bound(
+                c_node_diag, gdiag, dvdt, options.eps);
+            bound_src = device_bound <= node_bound
+                            ? &result.step_bounds.device
+                            : &result.step_bounds.node;
+            h = std::min(device_bound, node_bound);
+            if (options.dt_max < h) {
+                h = options.dt_max;
+                bound_src = &result.step_bounds.dt_max;
             }
-            h = std::max(h, options.dt_min);
+            if (h_prev > 0.0 && options.growth_limit * h_prev < h) {
+                h = options.growth_limit * h_prev;
+                bound_src = &result.step_bounds.growth;
+            }
+            if (h < options.dt_min) {
+                h = options.dt_min;
+                bound_src = &result.step_bounds.dt_min;
+            }
         } else {
             h = options.dt_init;
         }
@@ -173,6 +198,12 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         const ClippedStep clip = clip_step_to_events(
             t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
             /*floor_to_dt_min=*/false);
+        if (clip.h != h) {
+            // The clip actually changed the step: an event, not a bound,
+            // decided its size.
+            bound_src = clip.hit_breakpoint ? &result.step_bounds.breakpoint
+                                            : &result.step_bounds.horizon;
+        }
         h = clip.h;
         const bool hit_breakpoint = clip.hit_breakpoint;
         const bool final_step = clip.final_step;
@@ -224,6 +255,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         t = final_step ? options.t_stop : t + h;
         h_prev = h;
         ++result.steps_accepted;
+        ++*bound_src;
+        if (h_hist != nullptr) {
+            h_hist->observe(h);
+        }
         result.min_dt_used = std::min(result.min_dt_used, h);
         result.max_dt_used = std::max(result.max_dt_used, h);
         record(t, x);

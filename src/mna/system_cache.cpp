@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "linalg/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::mna {
@@ -14,22 +16,35 @@ namespace nanosim::mna {
 namespace {
 
 /// Accumulate a scope's wall time into one Stats field (the per-step
-/// eval/stamp/factor/solve attribution).  steady_clock::now() costs tens
-/// of nanoseconds — noise next to a restamp or a factorisation.
+/// analyze/eval/stamp/factor/solve attribution).  steady_clock::now()
+/// costs tens of nanoseconds — noise next to a restamp or a
+/// factorisation.  `span_name` doubles as an obs trace span (a no-op
+/// object unless tracing is on); `hist` (optional) receives the scope
+/// duration in seconds — resolve it behind obs::metrics_enabled().
 class ScopedTimer {
 public:
-    explicit ScopedTimer(double& acc) noexcept
-        : acc_(&acc), t0_(std::chrono::steady_clock::now()) {}
+    explicit ScopedTimer(double& acc, const char* span_name = "cache",
+                         obs::Histogram* hist = nullptr) noexcept
+        : span_(span_name, "cache"),
+          acc_(&acc),
+          hist_(hist),
+          t0_(std::chrono::steady_clock::now()) {}
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
     ~ScopedTimer() {
-        *acc_ += std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0_)
-                     .count();
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0_)
+                              .count();
+        *acc_ += dt;
+        if (hist_ != nullptr) {
+            hist_->observe(dt);
+        }
     }
 
 private:
+    obs::Span span_; // first member: brackets the timed scope
     double* acc_;
+    obs::Histogram* hist_;
     std::chrono::steady_clock::time_point t0_;
 };
 
@@ -287,6 +302,7 @@ void SystemCache::rebind(const MnaAssembler& assembler) {
         // value baselines only.  The next solve is a numeric refactor.
         // The stamp program still recompiles — it caches device pointers
         // and parameter addresses of the assembler it was built against.
+        const ScopedTimer timer(stats_.analyze_s, "analyze");
         refresh_baselines();
         rebuild_program();
     } else {
@@ -298,6 +314,10 @@ SystemCache::~SystemCache() = default;
 
 void SystemCache::freeze_pattern(
     std::vector<std::pair<std::size_t, std::size_t>> coords) {
+    // The symbolic-analysis bucket: pattern freeze + ordering selection
+    // + StampProgram compilation (the previously unattributed first-step
+    // cost the CLI "step time:" line under-counted).
+    const ScopedTimer timer(stats_.analyze_s, "analyze");
     // CSC order: by column, then row; duplicates collapse.
     std::sort(coords.begin(), coords.end(),
               [](const auto& a, const auto& b) {
@@ -437,7 +457,7 @@ Stamper& SystemCache::begin(double reactive_scale, linalg::Vector& rhs) {
     if (rhs.size() != n_) {
         throw AnalysisError("SystemCache::begin: rhs size mismatch");
     }
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     overflow_.clear();
     for (std::size_t s = 0; s < values_.size(); ++s) {
         values_[s] = static_values_[s] + reactive_scale * c_values_[s];
@@ -451,7 +471,7 @@ void SystemCache::eval_chords(std::span<const double> x,
                               std::span<const double> dvdt, bool with_rate,
                               std::span<double> geq,
                               std::span<double> geq_rate) {
-    const ScopedTimer timer(stats_.eval_s);
+    const ScopedTimer timer(stats_.eval_s, "eval");
     const NodeVoltages v = assembler_->view(x);
     const NodeVoltages rate_view = assembler_->view(dvdt);
     if (program_ != nullptr) {
@@ -472,7 +492,7 @@ void SystemCache::eval_chords(std::span<const double> x,
 
 linalg::Vector
 SystemCache::rhs(double t, const MnaAssembler::NoiseRealization* noise) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (program_ != nullptr && program_->rhs_fast()) {
         linalg::Vector out;
         program_->eval_rhs(t, noise, out);
@@ -482,7 +502,7 @@ SystemCache::rhs(double t, const MnaAssembler::NoiseRealization* noise) {
 }
 
 void SystemCache::restamp_time_varying(double t) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (program_ != nullptr) {
         program_->apply_time_varying(t, values_, *stamper_);
     } else {
@@ -491,7 +511,7 @@ void SystemCache::restamp_time_varying(double t) {
 }
 
 void SystemCache::restamp_swec(std::span<const double> geq) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (program_ != nullptr) {
         program_->apply_swec(geq, values_, *stamper_);
     } else {
@@ -500,7 +520,7 @@ void SystemCache::restamp_swec(std::span<const double> geq) {
 }
 
 void SystemCache::restamp_nr(std::span<const double> x) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (program_ != nullptr) {
         if (bound_rhs_ == nullptr) {
             throw AnalysisError("SystemCache::restamp_nr: no begin() rhs");
@@ -513,7 +533,7 @@ void SystemCache::restamp_nr(std::span<const double> x) {
 
 void SystemCache::restamp_nortons(std::span<const double> g,
                                   std::span<const double> ioff) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (!norton_fast() || bound_rhs_ == nullptr) {
         throw AnalysisError(
             "SystemCache::restamp_nortons: norton fast path unavailable");
@@ -527,7 +547,7 @@ void SystemCache::add_node_diag(std::size_t node_row, double value) {
 
 void SystemCache::swec_gdiag(double t, std::span<const double> geq,
                              std::span<double> gdiag) {
-    const ScopedTimer timer(stats_.stamp_s);
+    const ScopedTimer timer(stats_.stamp_s, "stamp");
     if (program_ != nullptr && program_->gdiag_fast()) {
         program_->add_swec_gdiag(t, geq, gdiag);
         return;
@@ -551,7 +571,7 @@ double SystemCache::device_step_bound(std::span<const double> x,
                                       std::span<const double> geq,
                                       std::span<const double> geq_rate,
                                       double eps) {
-    const ScopedTimer timer(stats_.eval_s);
+    const ScopedTimer timer(stats_.eval_s, "eval");
     const NodeVoltages v = assembler_->view(x);
     const NodeVoltages rate = assembler_->view(dvdt);
     if (program_ != nullptr) {
@@ -594,36 +614,55 @@ void SystemCache::add_entry(std::size_t row, std::size_t col, double value) {
 linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     ++stats_.steps;
 
+    // Factor-time distribution (metrics on only): registered once, then
+    // the cached reference is a couple of relaxed atomics per solve.
+    obs::Histogram* factor_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& h =
+            obs::metrics().histogram("cache.factor_s", obs::time_buckets());
+        factor_hist = &h;
+    }
+
     if (!overflow_.empty()) {
-        const ScopedTimer timer(stats_.factor_s);
-        linalg::Triplets t(n_, n_);
-        for (std::size_t c = 0; c < n_; ++c) {
-            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
-                t.add(row_idx_[p], c, values_[p]);
-            }
-        }
+        linalg::Vector x;
         std::vector<std::pair<std::size_t, std::size_t>> coords;
-        coords.reserve(row_idx_.size() + overflow_.size());
-        for (std::size_t c = 0; c < n_; ++c) {
-            for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
-                coords.emplace_back(row_idx_[p], c);
+        {
+            const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
+            linalg::Triplets t(n_, n_);
+            for (std::size_t c = 0; c < n_; ++c) {
+                for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                    t.add(row_idx_[p], c, values_[p]);
+                }
             }
+            coords.reserve(row_idx_.size() + overflow_.size());
+            for (std::size_t c = 0; c < n_; ++c) {
+                for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                    coords.emplace_back(row_idx_[p], c);
+                }
+            }
+            for (const auto& o : overflow_) {
+                t.add(o.row, o.col, o.value);
+                coords.emplace_back(o.row, o.col);
+            }
+            overflow_.clear();
+            x = solve_system(t, rhs, options_.dense_threshold);
         }
-        for (const auto& o : overflow_) {
-            t.add(o.row, o.col, o.value);
-            coords.emplace_back(o.row, o.col);
-        }
-        overflow_.clear();
-        linalg::Vector x = solve_system(t, rhs, options_.dense_threshold);
+        // The re-freeze bills its own time to analyze_s (it IS symbolic
+        // analysis), so it runs outside the factor scope.
         freeze_pattern(std::move(coords));
         ++stats_.pattern_rebuilds;
+        if (obs::metrics_enabled()) {
+            static obs::Counter& c =
+                obs::metrics().counter("cache.pattern_rebuilds");
+            c.inc();
+        }
         return x;
     }
 
     if (dense_path()) {
         std::optional<linalg::DenseLu> lu;
         {
-            const ScopedTimer timer(stats_.factor_s);
+            const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
             dense_.set_zero();
             for (std::size_t c = 0; c < n_; ++c) {
                 for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
@@ -633,12 +672,12 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
             lu.emplace(dense_, options_.pivot_tol);
         }
         ++stats_.dense_solves;
-        const ScopedTimer timer(stats_.solve_s);
+        const ScopedTimer timer(stats_.solve_s, "solve");
         return lu->solve(rhs);
     }
 
     {
-        const ScopedTimer timer(stats_.factor_s);
+        const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
         if (!lu_) {
             // The legacy (no-program) baseline also keeps the seed's
             // column-vector factor storage, so benches measuring
@@ -654,13 +693,19 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
             ++stats_.fast_refactors;
         } else {
             ++stats_.full_factors;
+            ++stats_.pivot_fallbacks;
+            if (obs::metrics_enabled()) {
+                static obs::Counter& c =
+                    obs::metrics().counter("cache.pivot_fallbacks");
+                c.inc();
+            }
         }
     }
     // Re-read every step: a degraded-pivot fallback re-pivots and can
     // change the factor fill (O(n) column-size sum — noise next to the
     // solve).
     stats_.factor_nnz = lu_->nnz_factors();
-    const ScopedTimer timer(stats_.solve_s);
+    const ScopedTimer timer(stats_.solve_s, "solve");
     return lu_->solve(rhs);
 }
 

@@ -215,6 +215,10 @@ public:
         std::size_t fast_refactors = 0;   ///< pattern-reusing refactors
         std::size_t dense_solves = 0;     ///< dense-path solves
         std::size_t pattern_rebuilds = 0; ///< overflow-triggered re-freezes
+        /// refactor() detected pivot degradation and fell back to a full
+        /// re-pivoting factorisation (a subset of full_factors after the
+        /// first one).
+        std::size_t pivot_fallbacks = 0;
         // ---- ordering decision (sparse path; natural/0 on dense) ----
         linalg::Ordering ordering = linalg::Ordering::natural; ///< chosen
         std::size_t pattern_nnz = 0;           ///< frozen pattern nonzeros
@@ -222,11 +226,15 @@ public:
         std::size_t predicted_fill_chosen = 0; ///< symbolic L+U, chosen
         std::size_t factor_nnz = 0;            ///< actual L+U of the LU
         // ---- per-step wall-time attribution (seconds, cumulative) ----
+        // analyze_s: symbolic analysis — pattern freeze, fill-reducing
+        // ordering selection, StampProgram compilation (freeze_pattern /
+        // rebind; the numeric half of the first LU stays in factor_s);
         // eval_s: device-model evaluation (eval_chords); stamp_s: begin()
         // baselines + restamps + gdiag; factor_s: LU factor/refactor
         // (incl. dense build+factor and overflow rebuilds); solve_s:
         // triangular solves.  NR restamps are fused eval+stamp and land
         // in stamp_s.
+        double analyze_s = 0.0;
         double eval_s = 0.0;
         double stamp_s = 0.0;
         double factor_s = 0.0;

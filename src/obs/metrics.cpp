@@ -1,0 +1,290 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nanosim::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Relaxed atomic min/max update loop (contention-free in practice:
+/// the window shrinks to no-ops once the extrema settle).
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/// Format a double for JSON: shortest round-trip-ish representation,
+/// never "inf"/"nan" (both are invalid JSON; clamp to null).
+void append_number(std::ostream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+}
+
+} // namespace
+
+bool metrics_enabled() noexcept {
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+    g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- Histogram --------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+    if (edges_.empty()) {
+        throw AnalysisError("obs::Histogram: need at least one bucket edge");
+    }
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        if (!(edges_[i - 1] < edges_[i])) {
+            throw AnalysisError(
+                "obs::Histogram: bucket edges must be strictly increasing");
+        }
+    }
+}
+
+void Histogram::observe(double v) noexcept {
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    const auto b = static_cast<std::size_t>(it - edges_.begin());
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+        // First observation seeds both extrema; concurrent first
+        // observers race benignly through the CAS loops below.
+        min_.store(v, std::memory_order_relaxed);
+        max_.store(v, std::memory_order_relaxed);
+    }
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+}
+
+double Histogram::min() const noexcept {
+    return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+    for (auto& c : counts_) {
+        c.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> log_buckets(double lo, double hi, int per_decade) {
+    if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) {
+        throw AnalysisError("obs::log_buckets: need 0 < lo < hi, "
+                            "per_decade >= 1");
+    }
+    const double ratio = std::pow(10.0, 1.0 / per_decade);
+    std::vector<double> edges;
+    // hi * (1 + eps) so accumulated pow round-off cannot drop the last
+    // intended edge.
+    for (double e = lo; e <= hi * (1.0 + 1e-12); e *= ratio) {
+        edges.push_back(e);
+    }
+    return edges;
+}
+
+const std::vector<double>& time_buckets() {
+    static const std::vector<double> edges = log_buckets(1e-7, 10.0, 3);
+    return edges;
+}
+
+const std::vector<double>& iteration_buckets() {
+    static const std::vector<double> edges = [] {
+        std::vector<double> e;
+        for (double v = 1.0; v <= 1024.0; v *= 2.0) {
+            e.push_back(v);
+        }
+        return e;
+    }();
+    return edges;
+}
+
+// ---- MetricsRegistry --------------------------------------------------
+
+struct MetricsRegistry::Impl {
+    mutable std::mutex mutex;
+    // std::map keeps export deterministic (sorted by name); unique_ptr
+    // keeps instrument addresses stable across rehash-free inserts.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (const auto it = impl_->counters.find(name);
+        it != impl_->counters.end()) {
+        return *it->second;
+    }
+    auto& slot = impl_->counters[std::string(name)];
+    slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (const auto it = impl_->gauges.find(name);
+        it != impl_->gauges.end()) {
+        return *it->second;
+    }
+    auto& slot = impl_->gauges[std::string(name)];
+    slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& edges) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (const auto it = impl_->histograms.find(name);
+        it != impl_->histograms.end()) {
+        return *it->second;
+    }
+    auto& slot = impl_->histograms[std::string(name)];
+    slot = std::make_unique<Histogram>(edges);
+    return *slot;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto& [name, c] : impl_->counters) {
+        c->reset();
+    }
+    for (auto& [name, g] : impl_->gauges) {
+        g->reset();
+    }
+    for (auto& [name, h] : impl_->histograms) {
+        h->reset();
+    }
+}
+
+std::size_t MetricsRegistry::size() const {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->counters.size() + impl_->gauges.size() +
+           impl_->histograms.size();
+}
+
+std::string MetricsRegistry::to_json() const {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : impl_->counters) {
+        os << (first ? "" : ",") << '"' << json_escape(name)
+           << "\":" << c->value();
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : impl_->gauges) {
+        os << (first ? "" : ",") << '"' << json_escape(name) << "\":";
+        append_number(os, g->value());
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : impl_->histograms) {
+        os << (first ? "" : ",") << '"' << json_escape(name)
+           << "\":{\"count\":" << h->count() << ",\"sum\":";
+        append_number(os, h->sum());
+        os << ",\"min\":";
+        append_number(os, h->min());
+        os << ",\"max\":";
+        append_number(os, h->max());
+        os << ",\"buckets\":[";
+        const auto& edges = h->edges();
+        for (std::size_t b = 0; b <= edges.size(); ++b) {
+            os << (b == 0 ? "" : ",") << "{\"le\":";
+            if (b < edges.size()) {
+                append_number(os, edges[b]);
+            } else {
+                os << "\"inf\""; // the overflow bucket
+            }
+            os << ",\"count\":" << h->bucket_count(b) << '}';
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw IoError("obs: cannot write metrics file '" + path + "'");
+    }
+    out << to_json() << '\n';
+}
+
+MetricsRegistry& metrics() {
+    // Leaked on purpose: engines may cache instrument references in
+    // static locals whose destruction order vs this registry would
+    // otherwise be unspecified.
+    static auto* registry = new MetricsRegistry();
+    return *registry;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace nanosim::obs

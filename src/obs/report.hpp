@@ -1,0 +1,97 @@
+// Nano-Sim — structured per-run solver report.
+//
+// A RunReport is the machine-readable summary of one analysis run,
+// attached to every AnalysisResult: step-control outcomes (accepted /
+// rejected counts, which bound limited each accepted step), solver-cache
+// work (factor strategy mix, pivot fallbacks, pattern rebuilds, table
+// builds), the five-way wall-time attribution including the symbolic
+// analyze bucket, and thread-pool queue pressure.  It aggregates data
+// the engines already track plus the counters this subsystem adds, so a
+// regression harness (or the `nanosim report` verb) can diff runs
+// without scraping log output.
+//
+// Deliberately std-only (no engine/mna includes): core/analysis_spec.hpp
+// embeds a RunReport by value, so this header must sit below everything.
+#ifndef NANOSIM_OBS_REPORT_HPP
+#define NANOSIM_OBS_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nanosim::obs {
+
+/// How many accepted steps were limited by each step-size bound.  For
+/// adaptive engines the per-step winner is whichever constraint produced
+/// the step actually taken; fixed-step engines count everything under
+/// `fixed`.  Sums to the engine's accepted-step count.
+struct StepBoundCounts {
+    /// Local-error control: the eq. (12) device bound (SWEC) or an
+    /// LTE/segment-cycling halving (NR/PWL baselines).
+    std::uint64_t device = 0;
+    std::uint64_t node = 0;       ///< SWEC per-node voltage-change bound
+    /// growth_limit vs the previous step (SWEC), or the 1.5x growth
+    /// heuristic proposing the step unopposed (NR/PWL).
+    std::uint64_t growth = 0;
+    std::uint64_t dt_max = 0;     ///< user step ceiling
+    std::uint64_t dt_min = 0;     ///< clamped up to the step floor
+    std::uint64_t breakpoint = 0; ///< clipped to a source breakpoint
+    std::uint64_t horizon = 0;    ///< clipped to land exactly on t_stop
+    std::uint64_t fixed = 0;      ///< fixed-step engine (no adaptation)
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return device + node + growth + dt_max + dt_min + breakpoint +
+               horizon + fixed;
+    }
+};
+
+/// Aggregated diagnostics for one analysis run.
+struct RunReport {
+    // ---- identity -----------------------------------------------------
+    std::string analysis;   ///< spec name
+    std::string kind;       ///< analysis kind ("tran", "monte_carlo", ...)
+    std::string engine;     ///< engine display name
+    double elapsed_s = 0.0; ///< wall-clock for the whole run
+    bool aborted = false;
+
+    // ---- step control -------------------------------------------------
+    std::uint64_t steps_accepted = 0;
+    std::uint64_t steps_rejected = 0;
+    std::uint64_t nr_iterations = 0;     ///< total (0 for SWEC)
+    std::uint64_t nonconverged_steps = 0;
+    StepBoundCounts bounds;              ///< per-bound winner counts
+    double min_dt = 0.0;                 ///< smallest accepted step [s]
+    double max_dt = 0.0;                 ///< largest accepted step [s]
+
+    // ---- batch drivers ------------------------------------------------
+    std::uint64_t trials = 0; ///< MC trials / EM paths / sweep points
+
+    // ---- solver cache work (deltas for this run) ----------------------
+    std::uint64_t full_factors = 0;
+    std::uint64_t fast_refactors = 0;
+    std::uint64_t dense_solves = 0;
+    std::uint64_t pivot_fallbacks = 0;  ///< refactor() bailed to full LU
+    std::uint64_t pattern_rebuilds = 0; ///< stamp-pattern misses
+    std::uint64_t tables_built = 0;     ///< chord tables built this run
+
+    // ---- wall-time attribution [s] ------------------------------------
+    double analyze_s = 0.0; ///< symbolic analysis + ordering + compile
+    double eval_s = 0.0;    ///< device-model evaluation
+    double stamp_s = 0.0;   ///< matrix restamps
+    double factor_s = 0.0;  ///< LU factor / refactor
+    double solve_s = 0.0;   ///< triangular solves
+
+    // ---- infrastructure -----------------------------------------------
+    std::uint64_t cache_signature = 0;  ///< stamp-pattern signature
+    std::uint64_t pool_tasks = 0;       ///< thread-pool tasks this run
+    double pool_queue_wait_s = 0.0;     ///< summed submit→dequeue latency
+
+    /// One JSON object (keys in declaration order; deterministic).
+    [[nodiscard]] std::string to_json() const;
+
+    /// Human-readable multi-line rendering for the CLI `report` verb.
+    [[nodiscard]] std::string pretty() const;
+};
+
+} // namespace nanosim::obs
+
+#endif // NANOSIM_OBS_REPORT_HPP

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp" // json_escape
+#include "util/error.hpp"
+
+namespace nanosim::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Per-thread buffers beyond this many events stop growing and count
+/// drops instead — a 100k-step transient with 5 spans/step stays well
+/// under it, while a runaway loop cannot eat all memory.
+constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+/// One thread's recorded spans.  Owned jointly by the recording thread
+/// (via a thread_local shared_ptr) and the global registry, so events
+/// survive thread exit until the next start_trace().
+struct ThreadBuffer {
+    std::mutex mutex; ///< append vs export/reset
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    std::size_t dropped = 0;
+};
+
+struct TraceState {
+    std::mutex mutex; ///< guards buffers list + epoch + tid assignment
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::uint32_t next_tid = 1;
+    Clock::time_point epoch = Clock::now();
+};
+
+TraceState& state() {
+    // Leaked on purpose: recording threads may outlive static
+    // destruction of this translation unit.
+    static auto* s = new TraceState();
+    return *s;
+}
+
+ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        auto& s = state();
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        b->tid = s.next_tid++;
+        s.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+std::int64_t epoch_ns() {
+    auto& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               s.epoch.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+bool trace_enabled() noexcept {
+    return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void start_trace() {
+    auto& s = state();
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        for (auto& buf : s.buffers) {
+            const std::lock_guard<std::mutex> blk(buf->mutex);
+            buf->events.clear();
+            buf->dropped = 0;
+        }
+        s.epoch = Clock::now();
+    }
+    g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_trace() {
+    g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::int64_t Span::now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+Span::Span(std::string name, const char* category)
+    : category_(category) {
+    if (trace_enabled()) {
+        owned_name_ = std::move(name);
+        t0_ns_ = now_ns();
+    }
+}
+
+void Span::finish() noexcept {
+    const std::int64_t t1 = now_ns();
+    const std::int64_t t0_rel = t0_ns_ - epoch_ns();
+    ThreadBuffer& buf = local_buffer();
+    const std::lock_guard<std::mutex> lock(buf.mutex);
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    TraceEvent ev;
+    ev.name = owned_name_.empty() ? std::string(name_)
+                                  : std::move(owned_name_);
+    ev.category = category_;
+    // Clamp to 0: a span constructed just before start_trace() reset the
+    // epoch would otherwise go negative and confuse viewers.
+    ev.ts_ns = std::max<std::int64_t>(0, t0_rel);
+    ev.dur_ns = std::max<std::int64_t>(0, t1 - t0_ns_);
+    ev.tid = buf.tid;
+    buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+    auto& s = state();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        buffers = s.buffers;
+    }
+    std::vector<TraceEvent> out;
+    for (auto& buf : buffers) {
+        const std::lock_guard<std::mutex> lock(buf->mutex);
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.tid != b.tid) {
+                      return a.tid < b.tid;
+                  }
+                  if (a.ts_ns != b.ts_ns) {
+                      return a.ts_ns < b.ts_ns;
+                  }
+                  // Equal starts: the longer span is the enclosing one.
+                  return a.dur_ns > b.dur_ns;
+              });
+    return out;
+}
+
+std::size_t trace_event_count() {
+    auto& s = state();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        buffers = s.buffers;
+    }
+    std::size_t n = 0;
+    for (auto& buf : buffers) {
+        const std::lock_guard<std::mutex> lock(buf->mutex);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+std::size_t trace_dropped_count() {
+    auto& s = state();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        buffers = s.buffers;
+    }
+    std::size_t n = 0;
+    for (auto& buf : buffers) {
+        const std::lock_guard<std::mutex> lock(buf->mutex);
+        n += buf->dropped;
+    }
+    return n;
+}
+
+namespace {
+
+/// ns → µs with three fractional digits ("12345" ns → "12.345"), the
+/// Chrome trace-event timestamp unit.
+void append_us(std::ostream& os, std::int64_t ns) {
+    char frac[8];
+    std::snprintf(frac, sizeof frac, "%03d",
+                  static_cast<int>(ns % 1000));
+    os << (ns / 1000) << '.' << frac;
+}
+
+} // namespace
+
+std::string trace_to_json() {
+    const std::vector<TraceEvent> events = trace_snapshot();
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent& ev : events) {
+        os << (first ? "" : ",") << "{\"name\":\""
+           << json_escape(ev.name) << "\",\"cat\":\""
+           << json_escape(ev.category) << "\",\"ph\":\"X\",\"ts\":";
+        append_us(os, ev.ts_ns);
+        os << ",\"dur\":";
+        append_us(os, ev.dur_ns);
+        os << ",\"pid\":1,\"tid\":" << ev.tid << '}';
+        first = false;
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+void write_trace_file(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        throw IoError("obs: cannot write trace file '" + path + "'");
+    }
+    out << trace_to_json() << '\n';
+}
+
+} // namespace nanosim::obs

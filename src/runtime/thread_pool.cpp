@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
@@ -35,7 +35,28 @@ void ThreadPool::worker_loop() {
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task(); // packaged_task captures any exception into the future
+        if (task.timed) {
+            // Submit-to-dequeue latency: the queue-pressure signal the
+            // RunReport surfaces (pool.queue_wait).  Billed to both this
+            // pool's Stats and the global registry so per-run deltas
+            // survive pool destruction (parallel drivers own short-lived
+            // pools).
+            const auto wait = std::chrono::steady_clock::now() - task.enqueued;
+            const auto wait_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+                    .count());
+            tasks_.fetch_add(1, std::memory_order_relaxed);
+            wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+            if (obs::metrics_enabled()) {
+                static obs::Counter& tasks =
+                    obs::metrics().counter("pool.tasks");
+                static obs::Counter& waited =
+                    obs::metrics().counter("pool.queue_wait_ns");
+                tasks.inc();
+                waited.inc(wait_ns);
+            }
+        }
+        task.fn(); // packaged_task captures any exception into the future
     }
 }
 

@@ -11,8 +11,11 @@
 #ifndef NANOSIM_RUNTIME_THREAD_POOL_HPP
 #define NANOSIM_RUNTIME_THREAD_POOL_HPP
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -23,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/execution_policy.hpp"
 
 namespace nanosim::runtime {
@@ -49,6 +53,21 @@ public:
         return workers_.size();
     }
 
+    /// Queue-pressure telemetry: tasks executed and their summed
+    /// submit-to-dequeue latency.  Only collected while
+    /// obs::metrics_enabled() was true at submit time — near-zero cost
+    /// otherwise (one relaxed load per submit).
+    struct Stats {
+        std::uint64_t tasks = 0;
+        double queue_wait_s = 0.0;
+    };
+    [[nodiscard]] Stats stats() const noexcept {
+        return Stats{tasks_.load(std::memory_order_relaxed),
+                     static_cast<double>(wait_ns_.load(
+                         std::memory_order_relaxed)) *
+                         1e-9};
+    }
+
     /// Enqueue a callable; the future carries its result or exception.
     template <typename F>
     [[nodiscard]] auto submit(F&& fn)
@@ -57,22 +76,37 @@ public:
         auto task =
             std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         std::future<R> future = task->get_future();
+        Task entry;
+        entry.fn = [task]() { (*task)(); };
+        if (obs::metrics_enabled()) {
+            entry.enqueued = std::chrono::steady_clock::now();
+            entry.timed = true;
+        }
         {
             const std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace_back([task]() { (*task)(); });
+            queue_.push_back(std::move(entry));
         }
         cv_.notify_one();
         return future;
     }
 
 private:
+    struct Task {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+        bool timed = false; ///< metrics were on at submit time
+    };
+
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    // Queue-wait telemetry (relaxed atomics; see Stats).
+    std::atomic<std::uint64_t> tasks_{0};
+    std::atomic<std::uint64_t> wait_ns_{0};
 };
 
 /// Run body(0) .. body(n-1) on the pool and wait for all of them.  If any

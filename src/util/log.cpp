@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -34,6 +36,39 @@ void set_stream(std::ostream* os) noexcept { g_stream.store(os); }
 
 bool enabled(Level lv) noexcept {
     return static_cast<int>(lv) >= static_cast<int>(g_level.load());
+}
+
+std::optional<Level> level_from_name(std::string_view name) {
+    std::string lower(name);
+    for (char& c : lower) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (lower == "trace") return Level::trace;
+    if (lower == "debug") return Level::debug;
+    if (lower == "info") return Level::info;
+    if (lower == "warn" || lower == "warning") return Level::warn;
+    if (lower == "error") return Level::error;
+    if (lower == "off" || lower == "none") return Level::off;
+    return std::nullopt;
+}
+
+bool set_level_from_env() {
+    const char* env = std::getenv("NANOSIM_LOG");
+    if (env == nullptr) {
+        return false;
+    }
+    const std::optional<Level> lv = level_from_name(env);
+    if (!lv) {
+        // Report through the logger itself at the current threshold; a
+        // typo should be visible, not silently ignored.
+        write(Level::warn, std::string("NANOSIM_LOG='") + env +
+                               "' is not a level (trace|debug|info|warn|"
+                               "error|off); keeping current level");
+        return false;
+    }
+    set_level(*lv);
+    return true;
 }
 
 void write(Level lv, const std::string& message) {

@@ -9,8 +9,10 @@
 #define NANOSIM_UTIL_LOG_HPP
 
 #include <iosfwd>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace nanosim::log {
 
@@ -29,6 +31,15 @@ void set_stream(std::ostream* os) noexcept;
 
 /// True if a message at `level` would be emitted.
 [[nodiscard]] bool enabled(Level level) noexcept;
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off";
+/// case-insensitive).  nullopt for anything else.
+[[nodiscard]] std::optional<Level> level_from_name(std::string_view name);
+
+/// Apply the NANOSIM_LOG environment variable (if set and valid) to the
+/// global threshold.  Returns true when a level was applied.  The CLI
+/// calls this at startup; library embedders may opt in explicitly.
+bool set_level_from_env();
 
 /// Emit one line at the given level (no-op when below threshold).
 void write(Level level, const std::string& message);
