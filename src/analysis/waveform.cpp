@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "util/error.hpp"
@@ -31,6 +32,30 @@ void Waveform::append(double t, double v) {
     value_.push_back(v);
 }
 
+namespace {
+
+/// Per-thread last-segment hints, direct-mapped by waveform identity.
+/// Each sampling thread advances its own cursors, so concurrent readers
+/// of one waveform never contend (the shared-atomic design ping-ponged
+/// the hint between threads, degrading every reader to binary search).
+/// A slot holding a dangling pointer is harmless: the identity is used
+/// only as a hash key, never dereferenced, and a wrong hint is validated
+/// against the time axis before use.
+struct CursorHint {
+    const void* wave = nullptr;
+    std::size_t segment = 0;
+};
+constexpr std::size_t k_cursor_slots = 8; // power of two
+
+CursorHint& cursor_slot(const void* wave) noexcept {
+    thread_local CursorHint slots[k_cursor_slots];
+    const auto key = reinterpret_cast<std::uintptr_t>(wave);
+    // Low bits are alignment zeros; fold in some higher ones.
+    return slots[(key >> 6) & (k_cursor_slots - 1)];
+}
+
+} // namespace
+
 double Waveform::at(double t) const {
     if (empty()) {
         throw AnalysisError("Waveform::at: empty waveform");
@@ -49,7 +74,8 @@ double Waveform::at(double t) const {
     auto in_segment = [&](std::size_t s) {
         return s + 1 < n && time_[s] <= t && t < time_[s + 1];
     };
-    std::size_t lo = cursor_.load(std::memory_order_relaxed);
+    CursorHint& hint = cursor_slot(this);
+    std::size_t lo = hint.wave == this ? hint.segment : 0;
     if (!in_segment(lo)) {
         if (in_segment(lo + 1)) {
             ++lo;
@@ -57,8 +83,9 @@ double Waveform::at(double t) const {
             const auto it = std::upper_bound(time_.begin(), time_.end(), t);
             lo = static_cast<std::size_t>(it - time_.begin()) - 1;
         }
-        cursor_.store(lo, std::memory_order_relaxed);
     }
+    hint.wave = this;
+    hint.segment = lo;
     const std::size_t hi = lo + 1;
     const double f = (t - time_[lo]) / (time_[hi] - time_[lo]);
     return value_[lo] + f * (value_[hi] - value_[lo]);

@@ -8,7 +8,6 @@
 #ifndef NANOSIM_ANALYSIS_WAVEFORM_HPP
 #define NANOSIM_ANALYSIS_WAVEFORM_HPP
 
-#include <atomic>
 #include <cstddef>
 #include <string>
 #include <utility>
@@ -28,30 +27,6 @@ public:
     /// strictly increasing; throws AnalysisError).
     Waveform(std::string label, std::vector<double> time,
              std::vector<double> value);
-
-    // Copies/moves transfer the samples but not the interpolation
-    // cursor (an optimisation hint, see at()); spelled out because the
-    // atomic cursor suppresses the defaults.
-    Waveform(const Waveform& other)
-        : label_(other.label_), time_(other.time_), value_(other.value_) {}
-    Waveform(Waveform&& other) noexcept
-        : label_(std::move(other.label_)),
-          time_(std::move(other.time_)),
-          value_(std::move(other.value_)) {}
-    Waveform& operator=(const Waveform& other) {
-        label_ = other.label_;
-        time_ = other.time_;
-        value_ = other.value_;
-        cursor_.store(0, std::memory_order_relaxed);
-        return *this;
-    }
-    Waveform& operator=(Waveform&& other) noexcept {
-        label_ = std::move(other.label_);
-        time_ = std::move(other.time_);
-        value_ = std::move(other.value_);
-        cursor_.store(0, std::memory_order_relaxed);
-        return *this;
-    }
 
     [[nodiscard]] const std::string& label() const noexcept { return label_; }
     void set_label(std::string label) { label_ = std::move(label); }
@@ -80,8 +55,12 @@ public:
     /// waveforms on monotone grids (resampled(), the measure:: helpers,
     /// Monte-Carlo statistics), so the next query almost always lands in
     /// the hinted or the following segment — O(1) instead of a binary
-    /// search per sample.  The cursor is a relaxed atomic hint, safe
-    /// under concurrent readers; a stale value only costs the search.
+    /// search per sample.  The cursor lives in a small THREAD-LOCAL
+    /// cache keyed by waveform identity: concurrent samplers of the same
+    /// waveform each advance their own hint instead of ping-ponging a
+    /// shared one (which silently degraded every reader to repeated
+    /// binary searches).  Values are bit-identical either way — the hint
+    /// only chooses how the segment is found, never which one.
     [[nodiscard]] double at(double t) const;
 
     /// Uniform resampling with n >= 2 points across [t_begin, t_end].
@@ -95,8 +74,6 @@ private:
     std::string label_;
     std::vector<double> time_;
     std::vector<double> value_;
-    /// Last interior segment hit by at() (hint only; see at()).
-    mutable std::atomic<std::size_t> cursor_{0};
 };
 
 /// Measurements on waveforms (delay, crossings, peaks, error norms).

@@ -64,6 +64,7 @@ struct CliOptions {
     bool progress = false;                   ///< stderr progress meter
     bool tabulate = false;                   ///< tabulated SWEC device models
     bool report = false;                     ///< `report` verb: pretty RunReports
+    int threads = 1;                         ///< factor-path workers
     std::optional<std::string> trace_path;   ///< --trace FILE.json
     std::optional<std::string> metrics_path; ///< --metrics FILE.json
 };
@@ -260,6 +261,10 @@ void usage(std::ostream& os) {
           "                             lookup tables, <= 1e-6 rel. error,\n"
           "                             exact closed-form fallback outside\n"
           "                             the tabulated voltage range)\n"
+          "  --threads N                worker threads for the sparse\n"
+          "                             numeric refactor (0 = all cores,\n"
+          "                             default 1 = serial; results are\n"
+          "                             bit-identical at any value)\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -344,6 +349,19 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.metrics_path = argv[i];
+        } else if (arg == "--threads") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            try {
+                std::size_t used = 0;
+                opt.threads = std::stoi(argv[i], &used);
+                if (used != std::strlen(argv[i]) || opt.threads < 0) {
+                    return std::nullopt;
+                }
+            } catch (const std::exception&) {
+                return std::nullopt;
+            }
         } else if (arg == "--circuit") {
             if (++i >= argc) {
                 return std::nullopt;
@@ -725,6 +743,14 @@ int main(int argc, char** argv) {
             cli->circuit_spec
                 ? SimSession(make_builtin_circuit(*cli->circuit_spec))
                 : SimSession::from_deck_file(cli->deck_path);
+        if (cli->threads != 1) {
+            // 0 = all cores (ExecutionPolicy semantics); results stay
+            // bit-identical to the serial factor path by construction.
+            session.set_factor_threads(
+                cli->threads > 0
+                    ? cli->threads
+                    : runtime::ExecutionPolicy{}.resolved());
+        }
         const std::string source =
             cli->circuit_spec ? *cli->circuit_spec : cli->deck_path;
         std::cout << "nanosim " << version_string() << " | " << source

@@ -182,6 +182,12 @@ struct SolverWork {
     double solve_s = 0.0;
     /// Chord tables built during this run (0 = reused or disabled).
     std::size_t tables_built = 0;
+    // ---- parallel-refactor shape (sparse flat path; defaults on dense).
+    // Counts, not deltas: the schedule is a property of the factoriser,
+    // not work accumulated during the run.
+    std::size_t factor_threads = 1;    ///< workers on the factor path
+    std::size_t factor_supernodes = 0; ///< supernodes in the level schedule
+    std::size_t factor_levels = 0;     ///< levels in the schedule
 };
 
 /// Uniform result header shared by every analysis kind.

@@ -154,16 +154,26 @@ mna::SystemCache& SimSession::solver_cache() {
     // Hand the precomputed union pattern to the new cache when it is
     // still on hand for this assembly; the rare re-creation after an
     // eviction falls back to the cache's own dry-run.
+    mna::SystemCache::Options options{};
+    options.factor_threads = factor_threads_;
     auto cache =
         pattern_coords_.empty()
-            ? std::make_unique<mna::SystemCache>(*assembler_)
+            ? std::make_unique<mna::SystemCache>(*assembler_, options)
             : std::make_unique<mna::SystemCache>(
-                  *assembler_, mna::SystemCache::Options{},
-                  std::move(pattern_coords_), signature_);
+                  *assembler_, options, std::move(pattern_coords_),
+                  signature_);
     pattern_coords_.clear();
     mna::SystemCache& ref = *cache;
     caches_.emplace(signature_, std::move(cache));
     return ref;
+}
+
+void SimSession::set_factor_threads(int threads) {
+    const std::lock_guard<std::mutex> lock(*run_mutex_);
+    factor_threads_ = threads > 0 ? threads : 1;
+    for (auto& [sig, cache] : caches_) {
+        cache->set_factor_threads(factor_threads_);
+    }
 }
 
 // ---- execution --------------------------------------------------------
@@ -228,6 +238,11 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
         result.header.solver.solve_s = after.solve_s - before.solve_s;
         result.header.solver.tables_built =
             after.tables_built - before.tables_built;
+        // Schedule shape: current values, not deltas (properties of the
+        // factoriser, not accumulated work).
+        result.header.solver.factor_threads = after.factor_threads;
+        result.header.solver.factor_supernodes = after.factor_supernodes;
+        result.header.solver.factor_levels = after.factor_levels;
     }
     result.header.cache_signature = signature_;
     result.header.elapsed_s = seconds_since(t0);
@@ -251,6 +266,9 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
     report.stamp_s = work.stamp_s;
     report.factor_s = work.factor_s;
     report.solve_s = work.solve_s;
+    report.factor_threads = work.factor_threads;
+    report.factor_supernodes = work.factor_supernodes;
+    report.factor_levels = work.factor_levels;
     report.cache_signature = result.header.cache_signature;
     std::visit(
         [&report](const auto& payload) {

@@ -152,6 +152,16 @@ public:
         return caches_.size();
     }
 
+    /// Worker threads for the sparse numeric refactor (the CLI's
+    /// --threads).  Applies to every live cache and to caches created
+    /// later; 1 (the default) keeps the factor path serial.  Results
+    /// are bit-identical at any value — the level schedule fixes the
+    /// arithmetic, threads only change who executes it.
+    void set_factor_threads(int threads);
+    [[nodiscard]] int factor_threads() const noexcept {
+        return factor_threads_;
+    }
+
 private:
     explicit SimSession(ParsedDeck deck);
 
@@ -186,6 +196,9 @@ private:
     std::vector<std::pair<std::size_t, std::size_t>> pattern_coords_;
     /// Persistent solver caches keyed by stamp-pattern signature.
     std::map<std::uint64_t, std::unique_ptr<mna::SystemCache>> caches_;
+    /// Factor-path worker count applied to every cache (see
+    /// set_factor_threads).
+    int factor_threads_ = 1;
     /// Serializes run()/reassemble(): analyses share the caches above.
     /// Behind a pointer so sessions stay movable.
     std::unique_ptr<std::mutex> run_mutex_ = std::make_unique<std::mutex>();

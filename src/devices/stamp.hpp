@@ -95,6 +95,12 @@ public:
     [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
     [[nodiscard]] bool valid() const noexcept { return !x_.empty(); }
 
+    /// The wrapped unknown vector itself (node voltages first, then
+    /// branch currents) — lets vectorised consumers build a ground-
+    /// padded copy and gather by slot index instead of calling the
+    /// branchy operator() per terminal (mna::StampProgram::eval_chords).
+    [[nodiscard]] std::span<const double> raw() const noexcept { return x_; }
+
 private:
     std::span<const double> x_;
     std::size_t num_nodes_ = 0;

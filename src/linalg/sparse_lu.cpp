@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/flops.hpp"
 
@@ -298,26 +300,96 @@ void SparseLu::flatten_factors() {
             }
         }
     }
+
+    build_schedule();
 }
 
-bool SparseLu::try_refactor_numeric(std::span<const double> values) {
-    if (storage_ == FactorStorage::columns) {
-        return try_refactor_numeric_columns(values);
+void SparseLu::build_schedule() {
+    // --- Supernodes: maximal runs of columns with NESTED L patterns —
+    // l_row_(j-1) must equal [pivot_row_[j]] followed by l_row_(j) as an
+    // exact sequence (push order included), which makes the run a perfect
+    // trapezoid over contiguous flat storage AND guarantees the chain
+    // kernel visits memory in the same order as the scalar sweep.  The
+    // mesh/grid workloads' repeated column structure is what makes these
+    // runs long in practice. ---
+    sn_of_col_.assign(n_, 0);
+    sn_ptr_.clear();
+    sn_ptr_.reserve(n_ + 1);
+    sn_ptr_.push_back(0);
+    for (std::size_t j = 1; j < n_; ++j) {
+        const std::size_t prev_begin = l_ptr_[j - 1];
+        const std::size_t prev_len = l_ptr_[j] - prev_begin;
+        const std::size_t cur_len = l_ptr_[j + 1] - l_ptr_[j];
+        const bool nested =
+            j - sn_ptr_.back() < k_supernode_max_cols &&
+            prev_len == cur_len + 1 &&
+            l_row_[prev_begin] == pivot_row_[j] &&
+            std::equal(l_row_.begin() +
+                           static_cast<std::ptrdiff_t>(prev_begin + 1),
+                       l_row_.begin() + static_cast<std::ptrdiff_t>(l_ptr_[j]),
+                       l_row_.begin() +
+                           static_cast<std::ptrdiff_t>(l_ptr_[j]));
+        if (!nested) {
+            sn_ptr_.push_back(j);
+        }
+        sn_of_col_[j] = sn_ptr_.size() - 1;
     }
-    const double tol = pivot_tol_ * std::max(max_abs_value(values), 1e-300);
+    sn_ptr_.push_back(n_);
 
-    if (work_.size() != n_) {
-        work_.assign(n_, 0.0);
+    // --- Level schedule over the supernode DAG.  dep(j) = {pinv_[i] :
+    // i in reach(j), pinv_[i] < j} — exactly the columns whose L entries
+    // the numeric sweep of column j reads.  A supernode's level is one
+    // past the deepest external dependency; all supernodes of one level
+    // are mutually independent.  Ascending supernode order is valid
+    // because every dependency has a smaller column (hence supernode)
+    // index. ---
+    const std::size_t nsn = sn_ptr_.size() - 1;
+    std::vector<std::size_t> sn_level(nsn, 0);
+    std::size_t max_level = 0;
+    for (std::size_t s = 0; s < nsn; ++s) {
+        std::size_t lvl = 0;
+        for (std::size_t j = sn_ptr_[s]; j < sn_ptr_[s + 1]; ++j) {
+            for (std::size_t it = reach_ptr_[j]; it < reach_ptr_[j + 1];
+                 ++it) {
+                const std::size_t k = pinv_[reach_nodes_[it]];
+                if (k < j && sn_of_col_[k] != s) {
+                    lvl = std::max(lvl, sn_level[sn_of_col_[k]] + 1);
+                }
+            }
+        }
+        sn_level[s] = lvl;
+        max_level = std::max(max_level, lvl);
     }
-    std::vector<double>& x = work_;
-    std::uint64_t flops = 0;
+    const std::size_t nlevels = nsn == 0 ? 0 : max_level + 1;
+    level_ptr_.assign(nlevels + 1, 0);
+    for (std::size_t s = 0; s < nsn; ++s) {
+        ++level_ptr_[sn_level[s] + 1];
+    }
+    for (std::size_t l = 0; l < nlevels; ++l) {
+        level_ptr_[l + 1] += level_ptr_[l];
+    }
+    level_sns_.resize(nsn);
+    std::vector<std::size_t> fill = level_ptr_;
+    for (std::size_t s = 0; s < nsn; ++s) { // ascending within each level
+        level_sns_[fill[sn_level[s]]++] = s;
+    }
+}
 
-    for (std::size_t j = 0; j < n_; ++j) {
+bool SparseLu::refactor_supernode(std::size_t s, std::size_t e,
+                                  std::span<const double> values, double tol,
+                                  std::vector<double>& x,
+                                  std::uint64_t& flops) noexcept {
+    // The chain kernel: columns of a supernode are processed in order
+    // (each depends on its predecessor), streaming the supernode's
+    // contiguous L trapezoid [l_ptr_[s], l_ptr_[e]).  Per column this is
+    // the exact serial sweep — same operations, same order — which is
+    // what keeps parallel factors bit-identical to factor_full().
+    std::uint64_t f = 0;
+    for (std::size_t j = s; j < e; ++j) {
         const std::size_t reach_begin = reach_ptr_[j];
         const std::size_t reach_end = reach_ptr_[j + 1];
 
-        // Scatter A(:,j) and eliminate along the recorded reach set — the
-        // exact numeric sweep of factor_full() minus the DFS.
+        // Scatter A(:,j) and eliminate along the recorded reach set.
         for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
             x[row_idx_[p]] += values[p];
         }
@@ -331,16 +403,14 @@ bool SparseLu::try_refactor_numeric(std::span<const double> values) {
             if (xi == 0.0) {
                 continue;
             }
-            // Eliminate along the flat L column (same entries, same
-            // order as the build-time column vector).
             const std::size_t lp_end = l_ptr_[k + 1];
             for (std::size_t p = l_ptr_[k]; p < lp_end; ++p) {
                 x[l_row_[p]] -= l_val_[p] * xi;
             }
-            flops += 2 * (lp_end - l_ptr_[k]);
+            f += 2 * (lp_end - l_ptr_[k]);
         }
 
-        // --- Pivot check: keep the recorded pivot unless it degraded. ---
+        // Pivot check: keep the recorded pivot unless it degraded.
         const std::size_t pivot_row = pivot_row_[j];
         const double pivot_mag = std::abs(x[pivot_row]);
         double cand_max = 0.0;
@@ -352,21 +422,19 @@ bool SparseLu::try_refactor_numeric(std::span<const double> values) {
         }
         if (pivot_mag < tol ||
             pivot_mag < k_refactor_pivot_ratio * cand_max) {
-            // Degraded pivot: clear this column's scatter and bail out so
-            // the caller can redo a full re-pivoting factorisation.
+            // Degraded: restore x's zero invariant, flag the column, and
+            // bill NOTHING for the attempt — the fallback full
+            // factorisation accounts for this step's factor cost exactly
+            // once (and the tally stays identical at any thread count).
             for (std::size_t it = reach_begin; it < reach_end; ++it) {
                 x[reach_nodes_[it]] = 0.0;
             }
-            auto& counter = current_flops();
-            counter.lu_factor += flops;
-            counter.mul += flops / 2;
-            counter.add += flops / 2;
+            col_failed_[j] = 1;
             return false;
         }
         const double ujj = x[pivot_row];
 
-        // --- Gather through the precomputed destination plan (same
-        // structural classification, same value expressions). ---
+        // Gather through the precomputed destination plan.
         for (std::size_t it = reach_begin; it < reach_end; ++it) {
             const std::size_t i = reach_nodes_[it];
             const double xi = x[i];
@@ -376,11 +444,146 @@ bool SparseLu::try_refactor_numeric(std::span<const double> values) {
                 u_val_[static_cast<std::size_t>(dst)] = xi;
             } else {
                 l_val_[static_cast<std::size_t>(~dst)] = xi / ujj;
-                ++flops;
+                ++f;
+            }
+        }
+    }
+    flops += f;
+    return true;
+}
+
+bool SparseLu::try_refactor_numeric(std::span<const double> values) {
+    if (storage_ == FactorStorage::columns) {
+        return try_refactor_numeric_columns(values);
+    }
+    const double tol = pivot_tol_ * std::max(max_abs_value(values), 1e-300);
+
+    if (pool_ != nullptr && n_ >= k_parallel_min_cols) {
+        return try_refactor_parallel(values, tol);
+    }
+
+    if (work_.size() != n_) {
+        work_.assign(n_, 0.0);
+    }
+    if (col_failed_.size() != n_) {
+        col_failed_.assign(n_, 0);
+    }
+    std::uint64_t flops = 0;
+
+    // Serial path: walk the supernodes in column order through the chain
+    // kernel — operation-for-operation the plain j = 0..n-1 sweep of
+    // factor_full() minus the DFS, so the factors stay bit-identical.
+    const std::size_t nsn = supernode_count();
+    for (std::size_t s = 0; s < nsn; ++s) {
+        if (!refactor_supernode(sn_ptr_[s], sn_ptr_[s + 1], values, tol,
+                                work_, flops)) {
+            // Degraded pivot: bail out (billing nothing — see the kernel)
+            // so the caller can redo a full re-pivoting factorisation.
+            std::fill(col_failed_.begin(), col_failed_.end(), 0);
+            return false;
+        }
+    }
+
+    ++fast_refactors_;
+    auto& counter = current_flops();
+    counter.lu_factor += flops;
+    counter.mul += flops / 2;
+    counter.add += flops / 2;
+    return true;
+}
+
+bool SparseLu::try_refactor_parallel(std::span<const double> values,
+                                     double tol) {
+    // Level-scheduled parallel sweep.  Within a level, supernodes are
+    // mutually independent: each writes only its own columns' L/U slices
+    // and its private scatter vector, and reads L columns finished in
+    // earlier levels.  Chunk boundaries depend only on the schedule and
+    // thread count — never on timing — and each column's arithmetic is
+    // the exact serial kernel, so the factors are bit-identical to the
+    // serial path at any thread count.
+    const std::size_t nthreads = std::max<std::size_t>(pool_->size(), 1);
+    if (par_x_.size() != nthreads) {
+        par_x_.assign(nthreads, std::vector<double>(n_, 0.0));
+    }
+    par_flops_.assign(nthreads, 0);
+    if (col_failed_.size() != n_) {
+        col_failed_.assign(n_, 0);
+    }
+    if (work_.size() != n_) {
+        work_.assign(n_, 0.0);
+    }
+
+    bool failed = false;
+    std::uint64_t serial_flops = 0;
+    const std::size_t nlevels = level_count();
+    for (std::size_t l = 0; l < nlevels && !failed; ++l) {
+        const std::size_t lvl_begin = level_ptr_[l];
+        const std::size_t lvl_count = level_ptr_[l + 1] - lvl_begin;
+        const std::size_t nchunks = std::min(lvl_count, nthreads);
+
+        if (nchunks < k_parallel_min_level_sns) {
+            // Narrow level: run inline on the caller's scratch — cheaper
+            // than a task round-trip and identical arithmetic.
+            for (std::size_t c = 0; c < lvl_count; ++c) {
+                const std::size_t s = level_sns_[lvl_begin + c];
+                if (!refactor_supernode(sn_ptr_[s], sn_ptr_[s + 1], values,
+                                        tol, work_, serial_flops)) {
+                    failed = true;
+                    break;
+                }
+            }
+            continue;
+        }
+
+        runtime::parallel_for(*pool_, nchunks, [&](std::size_t c) {
+            obs::Span span("factor.level", "linalg");
+            // Deterministic chunk boundaries: supernode c*count/n ..
+            // (c+1)*count/n of this level, ascending.  Chunk c owns
+            // scratch slot c — chunks of one level never share a slot.
+            const std::size_t b = lvl_begin + c * lvl_count / nchunks;
+            const std::size_t e = lvl_begin + (c + 1) * lvl_count / nchunks;
+            std::vector<double>& x = par_x_[c];
+            for (std::size_t q = b; q < e; ++q) {
+                const std::size_t s = level_sns_[q];
+                if (!refactor_supernode(sn_ptr_[s], sn_ptr_[s + 1], values,
+                                        tol, x, par_flops_[c])) {
+                    // col_failed_ flags the column; finish nothing
+                    // further in this chunk.  Other chunks complete —
+                    // their columns are independent of ours.
+                    break;
+                }
+            }
+        });
+
+        // Post-level scan, ascending: the lowest-indexed failing column
+        // decides the fallback — same verdict as the serial sweep, no
+        // matter how the chunks interleaved.
+        for (std::size_t q = lvl_begin; q < level_ptr_[l + 1] && !failed;
+             ++q) {
+            const std::size_t s = level_sns_[q];
+            for (std::size_t j = sn_ptr_[s]; j < sn_ptr_[s + 1]; ++j) {
+                if (col_failed_[j] != 0) {
+                    failed = true;
+                    break;
+                }
             }
         }
     }
 
+    if (failed) {
+        // Bill nothing for the abandoned attempt: the fallback full
+        // factorisation accounts for this step exactly once, keeping
+        // SolverWork identical at any thread count.
+        std::fill(col_failed_.begin(), col_failed_.end(), 0);
+        return false;
+    }
+
+    // Integer flop totals commute across chunks: the sum equals the
+    // serial tally exactly, billed once from the calling thread.
+    std::uint64_t flops = serial_flops;
+    for (const std::uint64_t f : par_flops_) {
+        flops += f;
+    }
     ++fast_refactors_;
     auto& counter = current_flops();
     counter.lu_factor += flops;
@@ -439,10 +642,10 @@ bool SparseLu::try_refactor_numeric_columns(std::span<const double> values) {
             for (std::size_t it = reach_begin; it < reach_end; ++it) {
                 x[reach_nodes_[it]] = 0.0;
             }
-            auto& counter = current_flops();
-            counter.lu_factor += flops;
-            counter.mul += flops / 2;
-            counter.add += flops / 2;
+            // Abandoned attempt: bill nothing.  The caller's fallback
+            // full factorisation accounts for this step exactly once —
+            // previously the partial sweep was billed here AND the full
+            // factor billed again, double-counting the step's flops.
             return false;
         }
         const double ujj = x[pivot_row];

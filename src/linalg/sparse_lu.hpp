@@ -24,12 +24,17 @@
 #define NANOSIM_LINALG_SPARSE_LU_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "linalg/dense.hpp"
 #include "linalg/ordering.hpp"
 #include "linalg/sparse.hpp"
+
+namespace nanosim::runtime {
+class ThreadPool; // avoid linalg -> runtime header coupling (see .cpp)
+} // namespace nanosim::runtime
 
 namespace nanosim::linalg {
 
@@ -141,6 +146,58 @@ public:
     /// re-pivoting (KLU uses the same style of threshold pivoting).
     static constexpr double k_refactor_pivot_ratio = 1e-3;
 
+    // ---- parallel numeric refactorisation (flat storage only) ----------
+    //
+    // refactor() can run its numeric sweep level-scheduled on a worker
+    // pool: flatten_factors() extracts the column elimination DAG from
+    // the recorded reach sets (dep(j) = columns whose pivot rows appear
+    // in reach(j)), groups columns into supernodes (maximal runs with
+    // nested L patterns — contiguous trapezoids in the flat arrays), and
+    // buckets supernodes into levels; all supernodes of one level are
+    // independent and run as pool tasks.  Every column's arithmetic is
+    // self-contained (it reads the new values plus finished earlier-level
+    // columns and writes only its own L/U segments), so parallel results
+    // are BIT-IDENTICAL to the serial sweep at any thread count, and a
+    // degraded pivot is collected per column and resolved after the level
+    // joins — the lowest-indexed failing column triggers the fallback
+    // regardless of thread interleaving (deterministic counters).
+
+    /// Opt-in parallel refactor on `pool` (non-owning; nullptr = serial,
+    /// the default).  Only engaged in flat storage on systems with at
+    /// least k_parallel_min_cols columns.
+    void set_refactor_pool(runtime::ThreadPool* pool) noexcept {
+        pool_ = pool;
+    }
+    [[nodiscard]] runtime::ThreadPool* refactor_pool() const noexcept {
+        return pool_;
+    }
+
+    /// Below this many columns the level-scheduled path is skipped (task
+    /// overhead would dominate the numeric work).
+    static constexpr std::size_t k_parallel_min_cols = 64;
+    /// A level with fewer supernodes than this runs inline on the calling
+    /// thread (no submit/join round trip for trivial levels).
+    static constexpr std::size_t k_parallel_min_level_sns = 2;
+    /// Supernode width cap: bounds a task's span and the per-chunk
+    /// imbalance within a level.
+    static constexpr std::size_t k_supernode_max_cols = 32;
+
+    // ---- schedule introspection (stats / benches; flat mode) ----
+    [[nodiscard]] std::size_t supernode_count() const noexcept {
+        return sn_ptr_.empty() ? 0 : sn_ptr_.size() - 1;
+    }
+    [[nodiscard]] std::size_t level_count() const noexcept {
+        return level_ptr_.empty() ? 0 : level_ptr_.size() - 1;
+    }
+    /// Flat factor values (flat mode) — parallel-vs-serial bit-identity
+    /// gates memcmp these.
+    [[nodiscard]] std::span<const double> l_values() const noexcept {
+        return l_val_;
+    }
+    [[nodiscard]] std::span<const double> u_values() const noexcept {
+        return u_val_;
+    }
+
 private:
     struct Entry {
         std::size_t row;
@@ -164,6 +221,25 @@ private:
     /// Rebuild the flat factor arrays + refactor gather plan from
     /// lcols_/ucols_ (after every full factorisation in flat mode).
     void flatten_factors();
+    /// Detect supernodes and bucket them into elimination-tree levels
+    /// (called at the end of flatten_factors; see the parallel-refactor
+    /// block above).
+    void build_schedule();
+    /// Numeric sweep of supernode columns [s, e): scatter, eliminate
+    /// along the recorded reach sets, pivot-check, gather through the
+    /// flat plan.  Operation-for-operation the serial per-column sweep —
+    /// the chain kernel only streams the supernode's contiguous L
+    /// trapezoid — so results are bit-identical in any schedule.  On a
+    /// degraded pivot: restores x's zeros, flags the column in
+    /// col_failed_, returns false (no flops billed — the caller's full
+    /// re-factorisation accounts for the step exactly once).
+    bool refactor_supernode(std::size_t s, std::size_t e,
+                            std::span<const double> values, double tol,
+                            std::vector<double>& x,
+                            std::uint64_t& flops) noexcept;
+    /// Level-scheduled numeric sweep on pool_ (flat mode).
+    [[nodiscard]] bool try_refactor_parallel(std::span<const double> values,
+                                             double tol);
     void solve_internal_columns(const Vector& b, Vector& y) const;
     /// Solve in the internal (possibly permuted) numbering; `y` is
     /// assigned the solution (caller-owned so the hot path can reuse
@@ -231,6 +307,25 @@ private:
     // path allocates nothing.  Invariant: all-zero between calls (every
     // exit path of try_refactor_numeric restores the zeros it wrote).
     std::vector<double> work_;
+
+    // ---- level schedule over supernodes (flat mode; rebuilt by every
+    // flatten_factors(), i.e. whenever the pivot sequence can change) ----
+    runtime::ThreadPool* pool_ = nullptr; // non-owning; nullptr = serial
+    std::vector<std::size_t> sn_ptr_;    // supernode s = columns
+                                         // [sn_ptr_[s], sn_ptr_[s+1])
+    std::vector<std::size_t> sn_of_col_; // column -> supernode
+    std::vector<std::size_t> level_ptr_; // level l = level_sns_
+                                         // [level_ptr_[l], level_ptr_[l+1])
+    std::vector<std::size_t> level_sns_; // ascending within each level
+    /// Per-column pivot-degradation flags for the parallel sweep.  Each
+    /// task writes only its own columns' flags (no atomics needed); the
+    /// post-level scan resolves the lowest-indexed failure.
+    std::vector<std::uint8_t> col_failed_;
+    /// Per-chunk numeric scratch (same zero invariant as work_) and flop
+    /// tallies — summed after the sweep, so the billed total equals the
+    /// serial sum exactly (integer addition commutes).
+    std::vector<std::vector<double>> par_x_;
+    std::vector<std::uint64_t> par_flops_;
 };
 
 } // namespace nanosim::linalg

@@ -1,6 +1,8 @@
 #include "mna/stamp_program.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <typeinfo>
@@ -175,6 +177,23 @@ StampProgram::StampProgram(const MnaAssembler& assembler,
         rhs_b_[k] = node_row_of(b);
     }
 
+    // Terminal slots for the vectorised eval gather: node i sits at
+    // index i of the ground-padded voltage copy, ground at index 0 —
+    // the branchy per-terminal ground test becomes a plain load.
+    auto fill_slots = [](const std::vector<NodeId>& nodes,
+                         std::vector<std::uint32_t>& slots) {
+        slots.resize(nodes.size());
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            slots[i] = static_cast<std::uint32_t>(nodes[i]);
+        }
+    };
+    fill_slots(rtds_.pos, rtds_.pos_slot);
+    fill_slots(rtds_.neg, rtds_.neg_slot);
+    fill_slots(diodes_.pos, diodes_.pos_slot);
+    fill_slots(diodes_.neg, diodes_.neg_slot);
+    fill_slots(wires_.pos, wires_.pos_slot);
+    fill_slots(wires_.neg, wires_.neg_slot);
+
     // ---- compiled rhs plan ----
     // Only V/I sources write b(t); every other known class's stamp_rhs
     // is the empty default.  A device of unrecognised concrete type
@@ -268,6 +287,25 @@ template <typename Dev>
 
 } // namespace
 
+namespace {
+
+/// Vectorisable terminal-difference gather: out[i] = vp[pos[i]] -
+/// vp[neg[i]] over a ground-padded voltage array.  Contiguous output,
+/// branch-free body, __restrict'ed streams — the compiler's auto-
+/// vectoriser turns this into SIMD gathers + packed subtracts.  The
+/// subtraction is the exact expression the scalar path computed
+/// (v(pos) - v(neg)), so downstream values stay bit-identical.
+void gather_vd(const double* __restrict vp,
+               const std::uint32_t* __restrict pos,
+               const std::uint32_t* __restrict neg, double* __restrict out,
+               std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = vp[pos[i]] - vp[neg[i]];
+    }
+}
+
+} // namespace
+
 void StampProgram::eval_chords(const NodeVoltages& v,
                                const NodeVoltages& dvdt, bool with_rate,
                                std::span<double> geq,
@@ -277,16 +315,46 @@ void StampProgram::eval_chords(const NodeVoltages& v,
     }
     const bool tables = tables_on_;
 
-    for (std::size_t i = 0; i < rtds_.dev.size(); ++i) {
-        const double vd = v(rtds_.pos[i]) - v(rtds_.neg[i]);
+    // Ground-padded voltage (and rate) copies: index 0 reads exactly
+    // 0.0, node i at index i.  One memcpy each, then every two-terminal
+    // class's vd/vdot comes from one SIMD gather-subtract pass instead
+    // of four branchy NodeVoltages calls per device.
+    const std::size_t num_nodes =
+        std::min(v.num_nodes(), v.raw().size()); // branch rows excluded
+    vpad_.resize(num_nodes + 1);
+    vpad_[0] = 0.0;
+    if (num_nodes > 0) {
+        std::memcpy(vpad_.data() + 1, v.raw().data(),
+                    num_nodes * sizeof(double));
+    }
+    if (with_rate) {
+        dpad_.resize(num_nodes + 1);
+        dpad_[0] = 0.0;
+        if (num_nodes > 0) {
+            std::memcpy(dpad_.data() + 1, dvdt.raw().data(),
+                        num_nodes * sizeof(double));
+        }
+    }
+    const std::size_t max_class = std::max(
+        {rtds_.dev.size(), diodes_.dev.size(), wires_.dev.size()});
+    vd_.resize(max_class);
+    vdot_.resize(with_rate ? max_class : 0);
+
+    const std::size_t n_rtd = rtds_.dev.size();
+    gather_vd(vpad_.data(), rtds_.pos_slot.data(), rtds_.neg_slot.data(),
+              vd_.data(), n_rtd);
+    if (with_rate) {
+        gather_vd(dpad_.data(), rtds_.pos_slot.data(),
+                  rtds_.neg_slot.data(), vdot_.data(), n_rtd);
+    }
+    for (std::size_t i = 0; i < n_rtd; ++i) {
+        const double vd = vd_[i];
         const std::uint32_t k = rtds_.idx[i];
         const ChordTable* tb = tables ? rtds_.table[i] : nullptr;
         if (tb != nullptr && tb->contains(vd)) {
             geq[k] = tb->chord(vd);
             if (with_rate) {
-                const double vdot =
-                    dvdt(rtds_.pos[i]) - dvdt(rtds_.neg[i]);
-                geq_rate[k] = tb->chord_dv(vd) * vdot;
+                geq_rate[k] = tb->chord_dv(vd) * vdot_[i];
             }
             continue;
         }
@@ -298,56 +366,63 @@ void StampProgram::eval_chords(const NodeVoltages& v,
             double dg = 0.0;
             rtd_math::chord_and_dv(rtds_.params[i], vd, g, dg);
             geq[k] = g;
-            const double vdot = dvdt(rtds_.pos[i]) - dvdt(rtds_.neg[i]);
             count_mul(1);
             count_add(2);
-            geq_rate[k] = dg * vdot;
+            geq_rate[k] = dg * vdot_[i];
         } else {
             geq[k] = rtd_math::chord(rtds_.params[i], vd);
         }
     }
 
-    for (std::size_t i = 0; i < diodes_.dev.size(); ++i) {
-        const double vd = v(diodes_.pos[i]) - v(diodes_.neg[i]);
+    const std::size_t n_diode = diodes_.dev.size();
+    gather_vd(vpad_.data(), diodes_.pos_slot.data(),
+              diodes_.neg_slot.data(), vd_.data(), n_diode);
+    if (with_rate) {
+        gather_vd(dpad_.data(), diodes_.pos_slot.data(),
+                  diodes_.neg_slot.data(), vdot_.data(), n_diode);
+    }
+    for (std::size_t i = 0; i < n_diode; ++i) {
+        const double vd = vd_[i];
         const std::uint32_t k = diodes_.idx[i];
         const ChordTable* tb = tables ? diodes_.table[i] : nullptr;
         if (tb != nullptr && tb->contains(vd)) {
             geq[k] = tb->chord(vd);
             if (with_rate) {
-                const double vdot =
-                    dvdt(diodes_.pos[i]) - dvdt(diodes_.neg[i]);
-                geq_rate[k] = tb->chord_dv(vd) * vdot;
+                geq_rate[k] = tb->chord_dv(vd) * vdot_[i];
             }
             continue;
         }
         geq[k] = chord_2t(diodes_.dev[i], vd);
         if (with_rate) {
-            const double vdot = dvdt(diodes_.pos[i]) - dvdt(diodes_.neg[i]);
             count_mul(1);
             count_add(2);
-            geq_rate[k] = chord_dv_2t(diodes_.dev[i], vd) * vdot;
+            geq_rate[k] = chord_dv_2t(diodes_.dev[i], vd) * vdot_[i];
         }
     }
 
-    for (std::size_t i = 0; i < wires_.dev.size(); ++i) {
-        const double vd = v(wires_.pos[i]) - v(wires_.neg[i]);
+    const std::size_t n_wire = wires_.dev.size();
+    gather_vd(vpad_.data(), wires_.pos_slot.data(), wires_.neg_slot.data(),
+              vd_.data(), n_wire);
+    if (with_rate) {
+        gather_vd(dpad_.data(), wires_.pos_slot.data(),
+                  wires_.neg_slot.data(), vdot_.data(), n_wire);
+    }
+    for (std::size_t i = 0; i < n_wire; ++i) {
+        const double vd = vd_[i];
         const std::uint32_t k = wires_.idx[i];
         const ChordTable* tb = tables ? wires_.table[i] : nullptr;
         if (tb != nullptr && tb->contains(vd)) {
             geq[k] = tb->chord(vd);
             if (with_rate) {
-                const double vdot =
-                    dvdt(wires_.pos[i]) - dvdt(wires_.neg[i]);
-                geq_rate[k] = tb->chord_dv(vd) * vdot;
+                geq_rate[k] = tb->chord_dv(vd) * vdot_[i];
             }
             continue;
         }
         geq[k] = chord_2t(wires_.dev[i], vd);
         if (with_rate) {
-            const double vdot = dvdt(wires_.pos[i]) - dvdt(wires_.neg[i]);
             count_mul(1);
             count_add(2);
-            geq_rate[k] = chord_dv_2t(wires_.dev[i], vd) * vdot;
+            geq_rate[k] = chord_dv_2t(wires_.dev[i], vd) * vdot_[i];
         }
     }
 

@@ -232,18 +232,23 @@ private:
         /// the program.
         std::vector<RtdParams> params;
         std::vector<NodeId> pos, neg;
+        /// Terminal slots into the ground-padded voltage array (slot 0
+        /// reads exactly 0.0) — the vectorised gather of eval_chords.
+        std::vector<std::uint32_t> pos_slot, neg_slot;
         std::vector<std::uint32_t> idx;
         std::vector<const ChordTable*> table;
     };
     struct DiodeSoA {
         std::vector<const Diode*> dev;
         std::vector<NodeId> pos, neg;
+        std::vector<std::uint32_t> pos_slot, neg_slot;
         std::vector<std::uint32_t> idx;
         std::vector<const ChordTable*> table;
     };
     struct WireSoA {
         std::vector<const Nanowire*> dev;
         std::vector<NodeId> pos, neg;
+        std::vector<std::uint32_t> pos_slot, neg_slot;
         std::vector<std::uint32_t> idx;
         std::vector<const ChordTable*> table;
     };
@@ -304,6 +309,12 @@ private:
     bool norton_fast_ = true;
     bool gdiag_fast_ = true;
     bool tables_on_ = false;
+    // ---- vectorised eval scratch (eval_chords) ------------------------
+    // vpad_/dpad_: ground-padded copies of the step's node voltages /
+    // rates (index 0 = ground = 0.0, node i at index i) so terminal
+    // lookups become branch-free gathers; vd_/vdot_: the per-class
+    // contiguous terminal differences the model loops then read.
+    mutable std::vector<double> vpad_, dpad_, vd_, vdot_;
     /// Pins the shared tables the SoA raw pointers refer to.
     std::vector<std::shared_ptr<const ChordTable>> table_refs_;
 };

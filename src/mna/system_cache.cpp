@@ -9,6 +9,7 @@
 #include "linalg/lu.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace nanosim::mna {
@@ -311,6 +312,28 @@ void SystemCache::rebind(const MnaAssembler& assembler) {
 }
 
 SystemCache::~SystemCache() = default;
+
+void SystemCache::set_factor_threads(int threads) {
+    const int want = threads > 0 ? threads : 1;
+    options_.factor_threads = want;
+    if (want <= 1) {
+        if (lu_) {
+            lu_->set_refactor_pool(nullptr);
+        }
+        factor_pool_.reset();
+        return;
+    }
+    if (!factor_pool_ ||
+        factor_pool_->size() != static_cast<std::size_t>(want)) {
+        if (lu_) { // detach before the old pool is torn down
+            lu_->set_refactor_pool(nullptr);
+        }
+        factor_pool_ = std::make_unique<runtime::ThreadPool>(want);
+    }
+    if (lu_) {
+        lu_->set_refactor_pool(factor_pool_.get());
+    }
+}
 
 void SystemCache::freeze_pattern(
     std::vector<std::pair<std::size_t, std::size_t>> coords) {
@@ -677,6 +700,10 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     }
 
     {
+        // The ScopedTimer bills this block's WALL time on the calling
+        // thread.  The parallel refactor's per-worker durations appear
+        // as "factor.level" trace spans only — summing them here would
+        // report factor_s > elapsed_s on multi-core.
         const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
         if (!lu_) {
             // The legacy (no-program) baseline also keeps the seed's
@@ -688,6 +715,11 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
                 options_.use_stamp_program
                     ? linalg::FactorStorage::flat
                     : linalg::FactorStorage::columns);
+            if (options_.factor_threads > 1 && !factor_pool_) {
+                factor_pool_ = std::make_unique<runtime::ThreadPool>(
+                    options_.factor_threads);
+            }
+            lu_->set_refactor_pool(factor_pool_.get());
             ++stats_.full_factors;
         } else if (lu_->refactor(std::span<const double>(values_))) {
             ++stats_.fast_refactors;
@@ -703,8 +735,12 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     }
     // Re-read every step: a degraded-pivot fallback re-pivots and can
     // change the factor fill (O(n) column-size sum — noise next to the
-    // solve).
+    // solve) and reshape the level schedule.
     stats_.factor_nnz = lu_->nnz_factors();
+    stats_.factor_threads =
+        factor_pool_ ? factor_pool_->size() : std::size_t{1};
+    stats_.factor_supernodes = lu_->supernode_count();
+    stats_.factor_levels = lu_->level_count();
     const ScopedTimer timer(stats_.solve_s, "solve");
     return lu_->solve(rhs);
 }

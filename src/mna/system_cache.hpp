@@ -95,6 +95,12 @@ public:
         /// legacy virtual-stamping path — the benches' baseline, bit-
         /// identical to the program by contract.
         bool use_stamp_program = true;
+        /// Worker threads for the level-scheduled parallel refactor
+        /// (flat sparse path only).  1 = serial; >1 lazily spawns an
+        /// owned pool and attaches it to the SparseLu.  Results are
+        /// bit-identical at any value — the schedule fixes the
+        /// arithmetic, threads only change who executes it.
+        int factor_threads = 1;
     };
 
     explicit SystemCache(const MnaAssembler& assembler)
@@ -240,6 +246,10 @@ public:
         double factor_s = 0.0;
         double solve_s = 0.0;
         std::size_t tables_built = 0; ///< ChordTable builds by this cache
+        // ---- parallel-refactor shape (sparse flat path; 0 on dense) ----
+        std::size_t factor_threads = 1;   ///< workers the factor path uses
+        std::size_t factor_supernodes = 0;///< supernodes in the schedule
+        std::size_t factor_levels = 0;    ///< levels in the schedule
     };
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -275,6 +285,15 @@ public:
     /// True when this system is small enough for the dense auto-select.
     [[nodiscard]] bool dense_path() const noexcept {
         return n_ <= options_.dense_threshold;
+    }
+
+    /// Re-target the parallel factor path at `threads` workers (1 =
+    /// serial, releasing any pool).  Safe between steps; the attached
+    /// SparseLu keeps its symbolic analysis and factors bit-identically
+    /// under the new thread count.
+    void set_factor_threads(int threads);
+    [[nodiscard]] int factor_threads() const noexcept {
+        return options_.factor_threads;
     }
 
 private:
@@ -341,6 +360,9 @@ private:
 
     std::unique_ptr<ScatterStamper> stamper_;
     linalg::Permutation ordering_; // empty = natural
+    /// Owned worker pool for the parallel refactor (null when
+    /// factor_threads <= 1); attached to lu_ via set_refactor_pool.
+    std::unique_ptr<runtime::ThreadPool> factor_pool_;
     std::unique_ptr<linalg::SparseLu> lu_;
     linalg::DenseMatrix dense_; // dense-path work matrix
     Stats stats_;

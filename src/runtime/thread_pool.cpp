@@ -45,8 +45,13 @@ void ThreadPool::worker_loop() {
             const auto wait_ns = static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
                     .count());
-            tasks_.fetch_add(1, std::memory_order_relaxed);
-            wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+            {
+                // Both fields under one lock: readers snapshot a
+                // consistent (tasks, wait) pair, never a torn one.
+                const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+                ++stats_tasks_;
+                stats_wait_ns_ += wait_ns;
+            }
             if (obs::metrics_enabled()) {
                 static obs::Counter& tasks =
                     obs::metrics().counter("pool.tasks");

@@ -61,11 +61,12 @@ public:
         std::uint64_t tasks = 0;
         double queue_wait_s = 0.0;
     };
+    /// Tear-free snapshot: both fields come from the same critical
+    /// section a worker updates them in, so a reader never sees a task
+    /// counted whose wait time is missing (or vice versa).
     [[nodiscard]] Stats stats() const noexcept {
-        return Stats{tasks_.load(std::memory_order_relaxed),
-                     static_cast<double>(wait_ns_.load(
-                         std::memory_order_relaxed)) *
-                         1e-9};
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        return Stats{stats_tasks_, static_cast<double>(stats_wait_ns_) * 1e-9};
     }
 
     /// Enqueue a callable; the future carries its result or exception.
@@ -104,9 +105,11 @@ private:
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
-    // Queue-wait telemetry (relaxed atomics; see Stats).
-    std::atomic<std::uint64_t> tasks_{0};
-    std::atomic<std::uint64_t> wait_ns_{0};
+    // Queue-wait telemetry: a pair that must move together — guarded by
+    // its own mutex so stats() snapshots are tear-free (see Stats).
+    mutable std::mutex stats_mutex_;
+    std::uint64_t stats_tasks_ = 0;
+    std::uint64_t stats_wait_ns_ = 0;
 };
 
 /// Run body(0) .. body(n-1) on the pool and wait for all of them.  If any

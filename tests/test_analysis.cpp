@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "analysis/ascii_plot.hpp"
 #include "analysis/csv.hpp"
@@ -47,6 +49,77 @@ TEST(Waveform, Resample) {
     ASSERT_EQ(r.size(), 5u);
     EXPECT_DOUBLE_EQ(r.time_at(2), 1.0);
     EXPECT_DOUBLE_EQ(r.value_at(2), 2.0);
+}
+
+TEST(Waveform, ConcurrentSamplingIsExactAndRaceFree) {
+    // at() keeps its last-segment cursor in a THREAD-LOCAL cache keyed by
+    // waveform identity (the historical shared cursor made concurrent
+    // readers ping-pong one hint — a data race in a const method).  Many
+    // threads sweeping the same waveform, some forward and some backward,
+    // must each get exactly the single-threaded answers.
+    Waveform w("shared");
+    for (int i = 0; i <= 400; ++i) {
+        const double t = 0.01 * i;
+        w.append(t, std::sin(t) + 0.25 * t);
+    }
+
+    constexpr int kSamples = 2000;
+    std::vector<double> query(kSamples);
+    std::vector<double> expected(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+        query[i] = -0.5 + 5.0 * i / (kSamples - 1); // incl. clamped ends
+        expected[i] = w.at(query[i]);               // single-threaded ref
+    }
+
+    constexpr int kThreads = 8;
+    std::vector<std::vector<double>> got(
+        kThreads, std::vector<double>(kSamples, 0.0));
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&w, &got, &query, t] {
+                // Even threads sweep forward, odd threads backward —
+                // maximally divergent cursor positions on one waveform.
+                if (t % 2 == 0) {
+                    for (int i = 0; i < kSamples; ++i) {
+                        got[t][static_cast<std::size_t>(i)] = w.at(query[i]);
+                    }
+                } else {
+                    for (int i = kSamples - 1; i >= 0; --i) {
+                        got[t][static_cast<std::size_t>(i)] = w.at(query[i]);
+                    }
+                }
+            });
+        }
+        for (auto& th : workers) {
+            th.join();
+        }
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kSamples; ++i) {
+            // Bit-exact: the cursor only chooses HOW the segment is
+            // found, never which segment interpolates.
+            ASSERT_EQ(got[t][static_cast<std::size_t>(i)], expected[i])
+                << "thread " << t << " sample " << i;
+        }
+    }
+}
+
+TEST(Waveform, CursorCacheSurvivesInterleavedWaveforms) {
+    // Two waveforms sampled alternately on one thread: the direct-mapped
+    // hint slots may collide, which must only cost a re-search — never a
+    // wrong value.
+    Waveform a("a"), b("b");
+    for (int i = 0; i <= 100; ++i) {
+        a.append(0.1 * i, 1.0 * i);
+        b.append(0.1 * i, -2.0 * i);
+    }
+    for (int i = 0; i <= 1000; ++i) {
+        const double t = 0.01 * i;
+        EXPECT_DOUBLE_EQ(a.at(t), 10.0 * t);
+        EXPECT_DOUBLE_EQ(b.at(t), -20.0 * t);
+    }
 }
 
 TEST(Waveform, Extrema) {

@@ -1,0 +1,579 @@
+// Parallel level-scheduled refactorisation suite.
+//
+// The contract under test (PR: parallel numeric refactor):
+//
+//  * refactor() on a worker pool produces BIT-IDENTICAL L/U factors and
+//    solutions to the serial sweep at any thread count — the level
+//    schedule fixes the arithmetic, threads only change who executes it
+//    (memcmp, not a tolerance);
+//  * a degraded pivot falls back deterministically: the same verdict,
+//    the same full_factor/fast_refactor counters and the same factors no
+//    matter how the level's chunks interleaved;
+//  * a FAILED fast-refactor attempt bills zero flops — the fallback full
+//    factorisation accounts for the step exactly once (the historical
+//    double-count regression);
+//  * the circuit-level path (SystemCache / SimSession with
+//    factor_threads) inherits all of the above, including the
+//    pivot_fallbacks counter algebra: one fallback = full_factors + 1
+//    and pivot_fallbacks + 1, never fast_refactors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/ref_circuits.hpp"
+#include "core/sim_session.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ordering.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "linalg/vecops.hpp"
+#include "mna/mna.hpp"
+#include "mna/system_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/flops.hpp"
+
+namespace nanosim {
+namespace {
+
+using linalg::SparseLu;
+using linalg::Triplets;
+using linalg::Vector;
+
+bool bit_identical(const Vector& a, const Vector& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bit_identical(std::span<const double> a, std::span<const double> b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// k x k 5-point grid Laplacian with a dominant diagonal — the canonical
+/// mesh pattern whose elimination tree has wide levels (lots of
+/// independent columns for the schedule to exploit).
+Triplets laplacian2d(std::size_t k, double diag = 8.0) {
+    const std::size_t n = k * k;
+    Triplets a(n, n);
+    for (std::size_t r = 0; r < k; ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+            const std::size_t i = r * k + c;
+            a.add(i, i, diag + 0.01 * static_cast<double>(i % 7));
+            if (r + 1 < k) {
+                a.add(i, i + k, -1.0);
+                a.add(i + k, i, -1.0);
+            }
+            if (c + 1 < k) {
+                a.add(i, i + 1, -1.0);
+                a.add(i + 1, i, -1.0);
+            }
+        }
+    }
+    return a;
+}
+
+/// Same pattern, deterministically perturbed values (diagonal dominance
+/// preserved so the recorded pivot sequence stays usable).
+Triplets perturb(const Triplets& a, std::uint32_t seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(0.9, 1.1);
+    Triplets out(a.rows(), a.cols());
+    for (const auto& e : a.entries()) {
+        out.add(e.row, e.col, e.value * dist(gen));
+    }
+    return out;
+}
+
+/// Random diagonally dominant sparse system (same construction as the
+/// solver-equivalence suite, sized for the parallel path).
+Triplets random_system(std::mt19937& gen, std::size_t n, double density) {
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    Triplets a(n, n);
+    std::vector<double> row_sum(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j || coin(gen) >= density) {
+                continue;
+            }
+            const double v = dist(gen);
+            a.add(i, j, v);
+            row_sum[i] += std::abs(v);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        a.add(i, i, row_sum[i] + 1.0);
+    }
+    return a;
+}
+
+/// Caller-order CSC pattern of a mesh plus the fill-reducing ordering the
+/// parallel schedule feeds on.  Natural order gives a 2-D grid a
+/// chain-shaped elimination tree (every level holds one supernode and the
+/// schedule degenerates to the inline sweep); min-degree gives the bushy
+/// tree whose wide levels actually dispatch pool tasks — the same
+/// ordering family SystemCache auto-selects for mesh circuits.  A
+/// permuted SparseLu only refactors through the cached-pattern span
+/// overload (values in caller slot order), hence slots().
+struct OrderedMesh {
+    std::vector<std::size_t> col_ptr;
+    std::vector<std::size_t> row_idx;
+    linalg::Permutation perm;
+
+    /// Values of `t` (which must share the pattern) in caller slot order.
+    [[nodiscard]] std::vector<double> slots(const Triplets& t) const {
+        std::vector<double> v(row_idx.size(), 0.0);
+        for (const auto& e : t.entries()) {
+            for (std::size_t p = col_ptr[e.col]; p < col_ptr[e.col + 1];
+                 ++p) {
+                if (row_idx[p] == e.row) {
+                    v[p] += e.value;
+                    break;
+                }
+            }
+        }
+        return v;
+    }
+};
+
+OrderedMesh analyse_mesh(const Triplets& a) {
+    const SparseLu probe(a); // natural probe: caller-order pattern
+    OrderedMesh out;
+    out.col_ptr = probe.pattern_col_ptr();
+    out.row_idx = probe.pattern_row_idx();
+    out.perm =
+        linalg::min_degree_ordering(probe.order(), out.col_ptr, out.row_idx);
+    return out;
+}
+
+Vector make_rhs(std::size_t n, std::uint32_t seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    Vector b(n);
+    for (auto& v : b) {
+        v = dist(gen);
+    }
+    return b;
+}
+
+/// Blow up both orientations of the grid edge (k, k+grid) to 1e9:
+/// whichever of the two columns is eliminated later (under any
+/// ordering), its recorded O(1) diagonal pivot drops below
+/// k_refactor_pivot_ratio of the new below-diagonal candidate — a
+/// rescue by elimination fill-in is impossible against nine decades —
+/// so refactor() must fall back to full re-pivoting (which then pivots
+/// on the huge row instead).
+Triplets degrade_pivot(const Triplets& a, std::size_t k, std::size_t grid) {
+    Triplets out(a.rows(), a.cols());
+    for (const auto& e : a.entries()) {
+        const bool edge = (e.row == k + grid && e.col == k) ||
+                          (e.row == k && e.col == k + grid);
+        out.add(e.row, e.col, edge ? -1e9 : e.value);
+    }
+    return out;
+}
+
+// ---- SparseLu level: bit identity -----------------------------------------
+
+TEST(FactorParallel, GridBitIdenticalAcrossThreadCounts) {
+    const std::size_t k = 10; // n = 100 >= k_parallel_min_cols
+    const Triplets a = laplacian2d(k);
+    const std::size_t n = k * k;
+    ASSERT_GE(n, SparseLu::k_parallel_min_cols);
+    const OrderedMesh mesh = analyse_mesh(a);
+    const Vector b = make_rhs(n, 42);
+
+    // Three refactor rounds with perturbed values through the serial
+    // sweep establish the reference factors and solutions.
+    std::vector<std::vector<double>> rounds;
+    for (std::uint32_t r = 0; r < 3; ++r) {
+        rounds.push_back(mesh.slots(perturb(a, 100 + r)));
+    }
+
+    SparseLu serial(a, mesh.perm);
+    std::vector<std::vector<double>> ref_l, ref_u;
+    std::vector<Vector> ref_x;
+    for (const std::vector<double>& values : rounds) {
+        ASSERT_TRUE(serial.refactor(std::span<const double>(values)));
+        ref_l.emplace_back(serial.l_values().begin(), serial.l_values().end());
+        ref_u.emplace_back(serial.u_values().begin(), serial.u_values().end());
+        ref_x.push_back(serial.solve(b));
+    }
+    ASSERT_EQ(serial.full_factor_count(), 1u);
+    ASSERT_EQ(serial.fast_refactor_count(), 3u);
+
+    for (const int threads : {2, 4, 8}) {
+        runtime::ThreadPool pool(threads);
+        SparseLu par(a, mesh.perm);
+        par.set_refactor_pool(&pool);
+        EXPECT_GT(par.supernode_count(), 0u);
+        EXPECT_GT(par.level_count(), 0u);
+        // Under the fill-reducing ordering the elimination tree is bushy:
+        // strictly fewer levels than supernodes, so wide levels really do
+        // dispatch chunks to the pool (natural order would degenerate to
+        // a chain and the whole test would silently run inline).
+        EXPECT_LT(par.level_count(), par.supernode_count());
+        EXPECT_GE(par.supernode_count(), n / SparseLu::k_supernode_max_cols);
+
+        for (std::size_t r = 0; r < rounds.size(); ++r) {
+            ASSERT_TRUE(par.refactor(std::span<const double>(rounds[r])))
+                << threads << " threads";
+            EXPECT_TRUE(bit_identical(par.l_values(),
+                                      std::span<const double>(ref_l[r])))
+                << threads << " threads, round " << r << ": L diverged";
+            EXPECT_TRUE(bit_identical(par.u_values(),
+                                      std::span<const double>(ref_u[r])))
+                << threads << " threads, round " << r << ": U diverged";
+            EXPECT_TRUE(bit_identical(par.solve(b), ref_x[r]))
+                << threads << " threads, round " << r << ": x diverged";
+        }
+        EXPECT_EQ(par.full_factor_count(), serial.full_factor_count());
+        EXPECT_EQ(par.fast_refactor_count(), serial.fast_refactor_count());
+    }
+}
+
+TEST(FactorParallel, RandomSystemsBitIdenticalToSerial) {
+    std::mt19937 gen(20260809);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    runtime::ThreadPool pool(4);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t n = 64 + gen() % 64;
+        const Triplets a = random_system(gen, n, 0.03 + 0.15 * coin(gen));
+        const Triplets a2 = perturb(a, 7000 + static_cast<std::uint32_t>(trial));
+        const Vector b = make_rhs(n, 9000 + static_cast<std::uint32_t>(trial));
+
+        SparseLu serial(a);
+        ASSERT_TRUE(serial.refactor(a2)) << "trial " << trial;
+        const Vector x_serial = serial.solve(b);
+
+        SparseLu par(a);
+        par.set_refactor_pool(&pool);
+        ASSERT_TRUE(par.refactor(a2)) << "trial " << trial;
+        EXPECT_TRUE(bit_identical(par.l_values(), serial.l_values()))
+            << "trial " << trial << " (n=" << n << ")";
+        EXPECT_TRUE(bit_identical(par.u_values(), serial.u_values()))
+            << "trial " << trial << " (n=" << n << ")";
+        ASSERT_TRUE(bit_identical(par.solve(b), x_serial))
+            << "trial " << trial << " (n=" << n << ")";
+
+        // Cross-check against the dense solver.
+        const Vector x_dense = linalg::lu_solve(a2.to_dense(), b);
+        EXPECT_LT(linalg::max_abs_diff(x_serial, x_dense),
+                  1e-8 * std::max(1.0, linalg::norm_inf(x_dense)))
+            << "trial " << trial;
+    }
+}
+
+TEST(FactorParallel, RefactorIsBitStableAcrossRepeatsOnPool) {
+    // Refactoring the same values twice on the pool must be a fixed
+    // point, exactly like the serial contract.
+    const Triplets a = laplacian2d(9); // n = 81
+    const Vector b = make_rhs(81, 3);
+    runtime::ThreadPool pool(4);
+    SparseLu lu(a);
+    lu.set_refactor_pool(&pool);
+    const Vector x0 = lu.solve(b);
+    for (int r = 0; r < 5; ++r) {
+        ASSERT_TRUE(lu.refactor(a));
+        ASSERT_TRUE(bit_identical(x0, lu.solve(b))) << "repeat " << r;
+    }
+    EXPECT_EQ(lu.full_factor_count(), 1u);
+    EXPECT_EQ(lu.fast_refactor_count(), 5u);
+}
+
+// ---- SparseLu level: deterministic fallback --------------------------------
+
+TEST(FactorParallel, FallbackDeterministicAcrossThreadCounts) {
+    const std::size_t k = 10;
+    const std::size_t n = k * k;
+    const Triplets a = laplacian2d(k);
+    const Triplets degraded = degrade_pivot(a, 57, k);
+    const OrderedMesh mesh = analyse_mesh(a);
+    const std::vector<double> degraded_slots = mesh.slots(degraded);
+    const Vector b = make_rhs(n, 17);
+
+    // Serial reference: the degraded pivot forces the fallback.
+    SparseLu serial(a, mesh.perm);
+    ASSERT_FALSE(serial.refactor(std::span<const double>(degraded_slots)));
+    ASSERT_EQ(serial.full_factor_count(), 2u);
+    ASSERT_EQ(serial.fast_refactor_count(), 0u);
+    const std::vector<double> ref_l(serial.l_values().begin(),
+                                    serial.l_values().end());
+    const std::vector<double> ref_u(serial.u_values().begin(),
+                                    serial.u_values().end());
+    const Vector x_ref = serial.solve(b);
+
+    // The re-pivoted factorisation must still be correct.
+    const Vector x_dense = linalg::lu_solve(degraded.to_dense(), b);
+    EXPECT_LT(linalg::max_abs_diff(x_ref, x_dense),
+              1e-8 * std::max(1.0, linalg::norm_inf(x_dense)));
+
+    for (const int threads : {2, 4, 8}) {
+        runtime::ThreadPool pool(threads);
+        SparseLu par(a, mesh.perm);
+        par.set_refactor_pool(&pool);
+        EXPECT_FALSE(par.refactor(std::span<const double>(degraded_slots)))
+            << threads << " threads: fallback verdict must not depend on "
+               "thread count";
+        EXPECT_EQ(par.full_factor_count(), 2u) << threads << " threads";
+        EXPECT_EQ(par.fast_refactor_count(), 0u) << threads << " threads";
+        EXPECT_TRUE(bit_identical(par.l_values(),
+                                  std::span<const double>(ref_l)))
+            << threads << " threads";
+        EXPECT_TRUE(bit_identical(par.u_values(),
+                                  std::span<const double>(ref_u)))
+            << threads << " threads";
+        EXPECT_TRUE(bit_identical(par.solve(b), x_ref)) << threads
+                                                        << " threads";
+
+        // The fallback rebuilt the schedule; the pool keeps working on
+        // the new pivot sequence.
+        EXPECT_GT(par.supernode_count(), 0u);
+        // Same values again: the re-pivoted factorisation is now cached.
+        ASSERT_TRUE(par.refactor(std::span<const double>(degraded_slots)));
+        EXPECT_TRUE(bit_identical(par.solve(b), x_ref));
+    }
+}
+
+TEST(FactorParallel, FailedAttemptBillsNoFlops) {
+    // Counter-algebra regression (historical double-count): a failed fast
+    // refactor must bill ZERO flops — the total billed by the whole
+    // refactor() call equals a from-scratch full factorisation of the
+    // same values, at every thread count.
+    const std::size_t k = 10;
+    const Triplets a = laplacian2d(k);
+    const Triplets degraded = degrade_pivot(a, 57, k);
+    const OrderedMesh mesh = analyse_mesh(a);
+    const std::vector<double> degraded_slots = mesh.slots(degraded);
+    const std::vector<double> a_slots = mesh.slots(a);
+
+    // Baseline: a fresh full factorisation of the degraded values under
+    // the same ordering the refactor path will fall back through.
+    std::uint64_t full_factor_flops = 0;
+    {
+        FlopScope scope;
+        const SparseLu direct(degraded, mesh.perm);
+        full_factor_flops = scope.counter().lu_factor;
+    }
+    ASSERT_GT(full_factor_flops, 0u);
+
+    for (const int threads : {1, 2, 4}) {
+        runtime::ThreadPool pool(std::max(threads, 1));
+        SparseLu lu(a, mesh.perm);
+        if (threads > 1) {
+            lu.set_refactor_pool(&pool);
+        }
+        FlopScope scope;
+        ASSERT_FALSE(lu.refactor(std::span<const double>(degraded_slots)));
+        EXPECT_EQ(scope.counter().lu_factor, full_factor_flops)
+            << threads << " threads: a failed attempt must bill nothing "
+               "beyond the fallback full factorisation";
+    }
+
+    // Sanity: a SUCCESSFUL fast refactor does bill factor work, and the
+    // billed total is thread-count independent.
+    std::uint64_t serial_refactor_flops = 0;
+    {
+        SparseLu lu(a, mesh.perm);
+        FlopScope scope;
+        ASSERT_TRUE(lu.refactor(std::span<const double>(a_slots)));
+        serial_refactor_flops = scope.counter().lu_factor;
+    }
+    EXPECT_GT(serial_refactor_flops, 0u);
+    {
+        runtime::ThreadPool pool(4);
+        SparseLu lu(a, mesh.perm);
+        lu.set_refactor_pool(&pool);
+        FlopScope scope;
+        ASSERT_TRUE(lu.refactor(std::span<const double>(a_slots)));
+        EXPECT_EQ(scope.counter().lu_factor, serial_refactor_flops)
+            << "billed refactor flops must not depend on the thread count";
+    }
+}
+
+// ---- SystemCache level: fallback counter algebra ---------------------------
+
+/// Drive a SystemCache through factor -> fast refactor -> pivot-degrading
+/// restamp (a huge off-diagonal pair overwhelms the recorded pivot) and
+/// return the stats plus the three solutions.
+struct CacheRun {
+    Vector x_full, x_fast, x_degraded;
+    mna::SystemCache::Stats stats;
+};
+
+CacheRun run_cache_fallback(const mna::MnaAssembler& assembler,
+                            std::size_t r0, std::size_t r1, int threads) {
+    mna::SystemCache::Options opt;
+    opt.factor_threads = threads;
+    mna::SystemCache cache(assembler, opt);
+    const auto nl = assembler.nonlinear_devices().size();
+    const std::vector<double> geq(nl, 1e-3);
+
+    CacheRun out;
+    const auto step = [&](bool degrade) {
+        Vector rhs = assembler.rhs(0.0);
+        Stamper& st = cache.begin(1.0 / 1e-10, rhs);
+        assembler.stamp_time_varying_into(0.0, st);
+        assembler.stamp_swec_into(geq, st);
+        if (degrade) {
+            // Both orientations of an existing mesh edge: whichever
+            // column position survives the ordering, the recorded pivot
+            // degrades below k_refactor_pivot_ratio of the new candidate.
+            cache.add_entry(r0, r1, -1e9);
+            cache.add_entry(r1, r0, -1e9);
+        }
+        return cache.solve(rhs);
+    };
+    out.x_full = step(false);     // first solve: full factor
+    out.x_fast = step(false);     // unchanged values: fast refactor
+    out.x_degraded = step(true);  // degraded pivot: fallback
+    out.stats = cache.stats();
+    return out;
+}
+
+TEST(FactorParallel, SystemCacheFallbackCountersIdenticalAcrossThreads) {
+    const Circuit ckt = refckt::rc_mesh(12, 12);
+    const mna::MnaAssembler assembler(ckt);
+    ASSERT_GE(assembler.unknowns(), 64); // sparse path + parallel window
+    const auto r0 = static_cast<std::size_t>(ckt.find_node("n0_0") - 1);
+    const auto r1 = static_cast<std::size_t>(ckt.find_node("n0_1") - 1);
+
+    const CacheRun serial = run_cache_fallback(assembler, r0, r1, 1);
+    // Counter algebra: one fallback = full_factors + 1 and
+    // pivot_fallbacks + 1; the fast counter never moves on a fallback.
+    EXPECT_EQ(serial.stats.full_factors, 2u);
+    EXPECT_EQ(serial.stats.pivot_fallbacks, 1u);
+    EXPECT_EQ(serial.stats.fast_refactors, 1u);
+    EXPECT_EQ(serial.stats.factor_threads, 1u);
+
+    // The degraded system is wildly different from the healthy one —
+    // make sure the fallback actually resolved it.
+    EXPECT_FALSE(bit_identical(serial.x_full, serial.x_degraded));
+    EXPECT_TRUE(bit_identical(serial.x_full, serial.x_fast));
+
+    for (const int threads : {2, 4, 8}) {
+        const CacheRun par = run_cache_fallback(assembler, r0, r1, threads);
+        EXPECT_EQ(par.stats.full_factors, serial.stats.full_factors)
+            << threads << " threads";
+        EXPECT_EQ(par.stats.fast_refactors, serial.stats.fast_refactors)
+            << threads << " threads";
+        EXPECT_EQ(par.stats.pivot_fallbacks, serial.stats.pivot_fallbacks)
+            << threads << " threads";
+        EXPECT_EQ(par.stats.factor_threads,
+                  static_cast<std::size_t>(threads))
+            << threads << " threads";
+        EXPECT_GT(par.stats.factor_supernodes, 0u);
+        EXPECT_GT(par.stats.factor_levels, 0u);
+        EXPECT_TRUE(bit_identical(par.x_full, serial.x_full))
+            << threads << " threads";
+        EXPECT_TRUE(bit_identical(par.x_fast, serial.x_fast))
+            << threads << " threads";
+        EXPECT_TRUE(bit_identical(par.x_degraded, serial.x_degraded))
+            << threads << " threads";
+    }
+}
+
+// ---- SimSession level: circuit analyses ------------------------------------
+
+bool waves_bit_identical(const engines::TranResult& a,
+                         const engines::TranResult& b) {
+    if (a.node_waves.size() != b.node_waves.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.node_waves.size(); ++i) {
+        const auto& wa = a.node_waves[i];
+        const auto& wb = b.node_waves[i];
+        if (wa.size() != wb.size() ||
+            !bit_identical(std::span<const double>(wa.time()),
+                           std::span<const double>(wb.time())) ||
+            !bit_identical(std::span<const double>(wa.value()),
+                           std::span<const double>(wb.value()))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(FactorParallel, SessionTransientBitIdenticalAcrossFactorThreads) {
+    TranSpec spec;
+    spec.t_stop = 40e-9;
+
+    auto run_at = [&](int threads) {
+        SimSession session(refckt::rc_mesh(12, 12));
+        session.set_factor_threads(threads);
+        return session.run(spec);
+    };
+
+    const AnalysisResult serial = run_at(1);
+    ASSERT_FALSE(serial.header.aborted);
+    EXPECT_GT(serial.header.solver.fast_refactors, 0u);
+    EXPECT_EQ(serial.header.solver.factor_threads, 1u);
+
+    for (const int threads : {2, 4, 8}) {
+        const AnalysisResult par = run_at(threads);
+        ASSERT_FALSE(par.header.aborted);
+        EXPECT_TRUE(waves_bit_identical(par.tran(), serial.tran()))
+            << threads << " threads: transient diverged from serial";
+        EXPECT_EQ(par.header.solver.full_factors,
+                  serial.header.solver.full_factors)
+            << threads << " threads";
+        EXPECT_EQ(par.header.solver.fast_refactors,
+                  serial.header.solver.fast_refactors)
+            << threads << " threads";
+        EXPECT_EQ(par.header.solver.pivot_fallbacks,
+                  serial.header.solver.pivot_fallbacks)
+            << threads << " threads";
+        EXPECT_EQ(par.header.solver.factor_threads,
+                  static_cast<std::size_t>(threads));
+        EXPECT_GT(par.header.solver.factor_supernodes, 0u);
+        EXPECT_GT(par.header.solver.factor_levels, 0u);
+        EXPECT_EQ(par.tran().solver_factor.threads,
+                  static_cast<std::size_t>(threads));
+    }
+}
+
+TEST(FactorParallel, SessionPowerGridOpBitIdenticalAcrossFactorThreads) {
+    auto run_at = [&](int threads) {
+        SimSession session(refckt::power_grid(12, 12, 4));
+        session.set_factor_threads(threads);
+        return session.run(OpSpec{});
+    };
+    const AnalysisResult serial = run_at(1);
+    ASSERT_TRUE(serial.dc().converged);
+    for (const int threads : {2, 4}) {
+        const AnalysisResult par = run_at(threads);
+        ASSERT_TRUE(par.dc().converged);
+        EXPECT_TRUE(bit_identical(par.dc().x, serial.dc().x))
+            << threads << " threads";
+        EXPECT_EQ(par.dc().iterations, serial.dc().iterations);
+        EXPECT_EQ(par.header.solver.full_factors,
+                  serial.header.solver.full_factors);
+        EXPECT_EQ(par.header.solver.fast_refactors,
+                  serial.header.solver.fast_refactors);
+    }
+}
+
+TEST(FactorParallel, SessionDensePathIgnoresFactorThreads) {
+    // Small circuits ride the dense LU: --threads must be a no-op there,
+    // not an error (and certainly not a numeric change).
+    TranSpec spec;
+    spec.t_stop = 30e-9;
+    auto run_at = [&](int threads) {
+        SimSession session(refckt::fet_rtd_inverter());
+        session.set_factor_threads(threads);
+        return session.run(spec);
+    };
+    const AnalysisResult serial = run_at(1);
+    const AnalysisResult par = run_at(8);
+    EXPECT_TRUE(waves_bit_identical(par.tran(), serial.tran()));
+    EXPECT_GT(serial.header.solver.dense_solves, 0u);
+}
+
+} // namespace
+} // namespace nanosim

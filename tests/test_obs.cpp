@@ -6,6 +6,7 @@
 // changes simulation results).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <future>
@@ -549,6 +550,92 @@ TEST(ObsPool, QueueWaitCollectedWhenEnabled) {
     const runtime::ThreadPool::Stats stats = pool.stats();
     EXPECT_EQ(stats.tasks, 16u);
     EXPECT_GE(stats.queue_wait_s, 0.0);
+}
+
+TEST(ObsPool, StatsSnapshotTearFreeUnderHammer) {
+    // Stats{tasks, queue_wait_s} must move together: the historical
+    // implementation kept them in two independent relaxed atomics, so a
+    // reader could pair a post-update task count with a pre-update wait
+    // sum (a torn snapshot).  Hammer an 8-worker pool while a reader
+    // polls; every snapshot must be monotone in BOTH fields and the
+    // final one exact.
+    const TelemetryOff off;
+    obs::set_metrics_enabled(true);
+    constexpr int kThreads = 8;
+    constexpr int kTasks = 4000;
+    runtime::ThreadPool pool(kThreads);
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&pool, &stop] {
+        runtime::ThreadPool::Stats prev{};
+        while (!stop.load(std::memory_order_relaxed)) {
+            const runtime::ThreadPool::Stats s = pool.stats();
+            EXPECT_GE(s.tasks, prev.tasks);
+            EXPECT_GE(s.queue_wait_s, prev.queue_wait_s);
+            EXPECT_LE(s.tasks, static_cast<std::uint64_t>(kTasks));
+            prev = s;
+        }
+    });
+
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        done.push_back(pool.submit([] {}));
+    }
+    for (auto& f : done) {
+        f.get();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    const runtime::ThreadPool::Stats final_stats = pool.stats();
+    EXPECT_EQ(final_stats.tasks, static_cast<std::uint64_t>(kTasks));
+    EXPECT_GE(final_stats.queue_wait_s, 0.0);
+}
+
+// ---- factor-time attribution under the parallel refactor ---------------
+
+TEST(ObsReport, FactorTimeIsCallerWallClockUnderParallelRefactor) {
+    // Attribution contract: factor_s is the CALLER's wall clock over the
+    // factor section — never the sum of per-worker durations, which
+    // would report factor_s > elapsed_s on multi-core.  The per-worker
+    // detail lives in "factor.level" trace spans instead.
+    const TelemetryOff off;
+    obs::set_metrics_enabled(true);
+    obs::start_trace();
+
+    SimSession session(refckt::rc_mesh(12, 12));
+    session.set_factor_threads(4);
+    TranSpec spec;
+    spec.t_stop = 40e-9;
+    spec.common.dt_init = 0.1e-9;
+    const AnalysisResult result = session.run(spec);
+    obs::stop_trace();
+    obs::set_metrics_enabled(false);
+
+    const obs::RunReport& rep = result.report;
+    EXPECT_EQ(rep.factor_threads, 4u);
+    EXPECT_GT(rep.factor_supernodes, 0u);
+    EXPECT_GT(rep.factor_levels, 0u);
+    EXPECT_GT(rep.fast_refactors, 0u);
+    EXPECT_GT(rep.factor_s, 0.0);
+    EXPECT_LE(rep.factor_s, rep.elapsed_s)
+        << "factor attribution must be wall clock, not per-worker sums";
+    EXPECT_LE(rep.analyze_s + rep.eval_s + rep.stamp_s + rep.factor_s +
+                  rep.solve_s,
+              rep.elapsed_s)
+        << "time-split buckets are disjoint sections of one wall clock";
+
+    // The workers did record their per-level spans.
+    bool saw_level_span = false;
+    for (const obs::TraceEvent& e : obs::trace_snapshot()) {
+        if (e.name == "factor.level") {
+            saw_level_span = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_level_span)
+        << "parallel factor levels should appear as trace spans";
 }
 
 // ---- NANOSIM_LOG ------------------------------------------------------
