@@ -42,7 +42,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <variant>
+#include <vector>
 
 #include "core/nanosim.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +67,8 @@ struct CliOptions {
     bool tabulate = false;                   ///< tabulated SWEC device models
     bool report = false;                     ///< `report` verb: pretty RunReports
     int threads = 1;                         ///< factor-path workers
+    int mc_batch = 0;                        ///< Monte-Carlo trial-batch width
+    std::vector<std::string> probes;         ///< extra MC observation nodes
     std::optional<std::string> trace_path;   ///< --trace FILE.json
     std::optional<std::string> metrics_path; ///< --metrics FILE.json
 };
@@ -265,6 +269,15 @@ void usage(std::ostream& os) {
           "                             numeric refactor (0 = all cores,\n"
           "                             default 1 = serial; results are\n"
           "                             bit-identical at any value)\n"
+          "  --mc-batch K               Monte-Carlo trial-batch width:\n"
+          "                             keep K trials in flight with\n"
+          "                             batched evaluation/refactors and\n"
+          "                             shared-factor multi-RHS solves;\n"
+          "                             bit-identical to the serial\n"
+          "                             driver at any K\n"
+          "  --probe n1,n2,...          extra Monte-Carlo observation\n"
+          "                             nodes (per-node mean/stddev\n"
+          "                             alongside the primary node)\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -361,6 +374,40 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 }
             } catch (const std::exception&) {
                 return std::nullopt;
+            }
+        } else if (arg == "--mc-batch") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            try {
+                std::size_t used = 0;
+                opt.mc_batch = std::stoi(argv[i], &used);
+                if (used != std::strlen(argv[i]) || opt.mc_batch < 1) {
+                    return std::nullopt;
+                }
+            } catch (const std::exception&) {
+                return std::nullopt;
+            }
+        } else if (arg == "--probe") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            std::string list = argv[i];
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (name.empty()) {
+                    return std::nullopt;
+                }
+                opt.probes.push_back(name);
+                if (comma == std::string::npos) {
+                    break;
+                }
+                pos = comma + 1;
             }
         } else if (arg == "--circuit") {
             if (++i >= argc) {
@@ -782,6 +829,23 @@ int main(int argc, char** argv) {
         if (cli->tabulate) {
             for (AnalysisSpec& spec : specs) {
                 std::visit([](auto& s) { s.common.tabulate = true; }, spec);
+            }
+        }
+        if (cli->mc_batch > 0 || !cli->probes.empty()) {
+            for (AnalysisSpec& spec : specs) {
+                std::visit(
+                    [&](auto& s) {
+                        if constexpr (std::is_same_v<std::decay_t<decltype(s)>,
+                                                     MonteCarloSpec>) {
+                            if (cli->mc_batch > 0) {
+                                s.batch = cli->mc_batch;
+                            }
+                            if (!cli->probes.empty()) {
+                                s.probes = cli->probes;
+                            }
+                        }
+                    },
+                    spec);
             }
         }
 

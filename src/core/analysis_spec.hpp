@@ -125,6 +125,14 @@ struct MonteCarloSpec {
     /// for any `threads`, but a different seed contract than serial.
     bool parallel = false;
     int threads = 0; ///< parallel worker count; 0 = all cores
+    /// Trial-batch width for the batched driver (engines/mc_batch.hpp):
+    /// > 1 keeps that many trials in flight with batched evaluation,
+    /// refactorisation, and shared-factor solves, bit-identical to the
+    /// serial driver.  Takes precedence over `parallel`.  0/1 = serial.
+    int batch = 0;
+    /// Extra nodes to observe alongside `node` (per-node mean/stddev
+    /// blocks in the result).
+    std::vector<std::string> probes;
     /// Base options for the per-trial transient (t_stop/noise overridden
     /// per trial); lets a spec reproduce engines::McOptions exactly.
     engines::SwecTranOptions tran;
@@ -188,6 +196,10 @@ struct SolverWork {
     std::size_t factor_threads = 1;    ///< workers on the factor path
     std::size_t factor_supernodes = 0; ///< supernodes in the level schedule
     std::size_t factor_levels = 0;     ///< levels in the schedule
+    // ---- trial-batched Monte-Carlo (engines/mc_batch.hpp) ----
+    std::size_t mc_batch_width = 0;      ///< frontier width (0 = not batched)
+    std::size_t batched_solves = 0;      ///< steps solved via solve_batch
+    std::size_t shared_factor_solves = 0; ///< solves that reused a lane factor
 };
 
 /// Uniform result header shared by every analysis kind.

@@ -1,5 +1,6 @@
 #include "core/sim_session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "engines/dc_mla.hpp"
 #include "engines/dc_nr.hpp"
 #include "engines/dc_swec.hpp"
+#include "engines/mc_batch.hpp"
 #include "engines/parallel.hpp"
 #include "engines/tran_nr.hpp"
 #include "engines/tran_pwl.hpp"
@@ -238,6 +240,10 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
         result.header.solver.solve_s = after.solve_s - before.solve_s;
         result.header.solver.tables_built =
             after.tables_built - before.tables_built;
+        result.header.solver.batched_solves =
+            after.batched_solves - before.batched_solves;
+        result.header.solver.shared_factor_solves =
+            after.shared_factor_solves - before.shared_factor_solves;
         // Schedule shape: current values, not deltas (properties of the
         // factoriser, not accumulated work).
         result.header.solver.factor_threads = after.factor_threads;
@@ -269,6 +275,9 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
     report.factor_threads = work.factor_threads;
     report.factor_supernodes = work.factor_supernodes;
     report.factor_levels = work.factor_levels;
+    report.mc_batch_width = work.mc_batch_width;
+    report.batched_solves = work.batched_solves;
+    report.shared_factor_solves = work.shared_factor_solves;
     report.cache_signature = result.header.cache_signature;
     std::visit(
         [&report](const auto& payload) {
@@ -530,6 +539,9 @@ SimSession::run_monte_carlo(const MonteCarloSpec& spec,
         mc.tran.tables.enabled = true;
     }
     const NodeId node = circuit_->find_node(spec.node);
+    for (const std::string& probe : spec.probes) {
+        mc.probe_nodes.push_back(circuit_->find_node(probe));
+    }
 
     // Serial: every trial's transient refactors through the ONE session
     // cache — the symbolic analysis is never repeated.
@@ -538,13 +550,27 @@ SimSession::run_monte_carlo(const MonteCarloSpec& spec,
         return engines::run_monte_carlo(*assembler_, mc, rng, node, observer,
                                         &solver_cache());
     };
+    // Batched: a frontier of spec.batch trials through the session cache,
+    // bit-identical to serial (takes precedence over `parallel`).
+    auto batched = [&] {
+        stochastic::Rng rng(spec.seed);
+        return engines::run_monte_carlo_batched(*assembler_, mc, rng, node,
+                                                spec.batch, observer,
+                                                &solver_cache());
+    };
     auto parallel = [&] {
         runtime::ExecutionPolicy policy;
         policy.threads = spec.threads;
         return engines::run_monte_carlo_parallel(*assembler_, mc, spec.seed,
                                                  node, policy, observer);
     };
-    engines::McResult res = spec.parallel ? parallel() : serial();
+    engines::McResult res = spec.batch > 1  ? batched()
+                            : spec.parallel ? parallel()
+                                            : serial();
+    if (spec.batch > 1) {
+        out.header.solver.mc_batch_width =
+            static_cast<std::size_t>(std::min(spec.batch, spec.runs));
+    }
     out.header.aborted = res.aborted;
     out.payload = std::move(res);
     return out;

@@ -1,0 +1,243 @@
+#include "engines/mc_batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "engines/swec_stepper.hpp"
+#include "mna/system_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+/// One trial in flight: its stepper plus the round-local solve slot.
+struct Lane {
+    int trial = -1;
+    std::unique_ptr<SwecStepper> stepper;
+    std::chrono::steady_clock::time_point t0;
+};
+
+} // namespace
+
+McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
+                                 const McOptions& options_in,
+                                 stochastic::Rng& rng, NodeId node, int batch,
+                                 const AnalysisObserver* observer,
+                                 mna::SystemCache* cache) {
+    const FlopScope scope;
+    const McOptions options = normalize_mc_options(assembler, options_in, node);
+    const int width = std::clamp(batch, 1, options.runs);
+
+    // Same base-seed derivation and shared path set as the serial driver:
+    // trial k's noise is identical no matter which driver runs it.
+    const std::uint64_t base = rng.engine()();
+    const stochastic::NoisePathSet noise =
+        mc_noise_paths(assembler, options, base);
+
+    McResult out{.grid = mc_grid(options),
+                 .mean = analysis::Waveform("mean"),
+                 .stddev = analysis::Waveform("stddev"),
+                 .stats = stochastic::EnsembleStats(options.grid_points),
+                 .probes = {},
+                 .trial_steps = {},
+                 .aborted = false,
+                 .flops = {}};
+    for (const NodeId probe : options.probe_nodes) {
+        const std::string name = assembler.circuit().node_name(probe);
+        out.probes.push_back(McNodeStats{
+            .node = probe,
+            .name = name,
+            .mean = analysis::Waveform("mean(v(" + name + "))"),
+            .stddev = analysis::Waveform("stddev(v(" + name + "))"),
+            .stats = stochastic::EnsembleStats(options.grid_points)});
+    }
+
+    // The lanes need one shared solver cache (it is what the plane
+    // capture snapshots).  Without a caller-owned one, own one here —
+    // the serial-equivalent of run_monte_carlo with a shared cache.
+    std::optional<mna::SystemCache> local_cache;
+    if (cache == nullptr) {
+        local_cache.emplace(assembler);
+        cache = &*local_cache;
+    }
+
+    obs::Histogram* trial_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& th = obs::metrics().histogram(
+            "mc.trial_s", obs::time_buckets());
+        trial_hist = &th;
+    }
+
+    // Sample one finished transient on the statistics grid — the exact
+    // epilogue of mc_realization.
+    auto finish = [&](TranResult res) {
+        McTrial t;
+        t.steps_accepted = res.steps_accepted;
+        auto sample = [&](NodeId n) {
+            const auto& wave = res.node_waves[static_cast<std::size_t>(n - 1)];
+            std::vector<double> samples(out.grid.size());
+            for (std::size_t j = 0; j < out.grid.size(); ++j) {
+                samples[j] = wave.at(out.grid[j]);
+            }
+            return samples;
+        };
+        t.samples = sample(node);
+        t.probe_samples.reserve(options.probe_nodes.size());
+        for (const NodeId probe : options.probe_nodes) {
+            t.probe_samples.push_back(sample(probe));
+        }
+        return t;
+    };
+
+    // Cancellation is forwarded to the lane steppers' observer slots at
+    // the serial driver's step granularity (trial/progress stay here).
+    const AnalysisObserver inner = cancel_only(observer);
+    const AnalysisObserver* inner_ptr = observer != nullptr ? &inner : nullptr;
+
+    std::vector<Lane> lanes;
+    lanes.reserve(static_cast<std::size_t>(width));
+    int next_trial = 0; ///< next trial to admit to the frontier
+    int next_emit = 0;  ///< next trial to fold into the statistics
+    std::map<int, McTrial> finished; ///< completed, awaiting prefix emission
+    bool cancelled = false;
+
+    // Admit trials in order: trial 0 enters first, so the cold cache's
+    // symbolic analysis and full factor see the same first operands as
+    // under the serial driver.
+    auto admit = [&]() {
+        while (!cancelled && next_trial < options.runs &&
+               lanes.size() < static_cast<std::size_t>(width)) {
+            Lane lane;
+            lane.trial = next_trial++;
+            lane.t0 = std::chrono::steady_clock::now();
+            SwecTranOptions tran = options.tran;
+            tran.noise = mc_noise_waves(noise, lane.trial);
+            lane.stepper = std::make_unique<SwecStepper>(
+                assembler, resolve_swec_tran_options(tran), *cache,
+                /*dc_through_cache=*/true);
+            lanes.push_back(std::move(lane));
+        }
+    };
+    admit();
+
+    std::vector<mna::SystemCache::EvalLane> eval_reqs;
+    std::vector<mna::SystemCache::SolveLane> round;
+    std::vector<std::size_t> round_lane; // lane index per round slot
+
+    while (!lanes.empty()) {
+        if (observer != nullptr && observer->cancelled()) {
+            // Active lanes are partial trials — discarding them is what
+            // the serial driver does with its one in-flight transient.
+            cancelled = true;
+            out.aborted = true;
+            break;
+        }
+        const obs::Span round_span("mc_round", "mc");
+
+        // (a) Chord evaluation, batched across the frontier.
+        eval_reqs.clear();
+        for (Lane& lane : lanes) {
+            eval_reqs.push_back(lane.stepper->eval_request());
+        }
+        cache->eval_chords_batch(eval_reqs);
+        for (Lane& lane : lanes) {
+            lane.stepper->prepare();
+        }
+
+        // (b) Stamp each lane and snapshot its value plane.  Lanes the
+        // cache cannot snapshot (pattern overflow) solve inline — the
+        // stamped system is about to be overwritten by the next lane.
+        round.clear();
+        round_lane.clear();
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            SwecStepper& stepper = *lanes[i].stepper;
+            stepper.stamp();
+            mna::SystemCache::SolveLane slot;
+            if (!cache->capture_plane(slot.values)) {
+                stepper.accept(cache->solve(stepper.rhs()), inner_ptr);
+                continue;
+            }
+            slot.rhs = stepper.rhs();
+            round.push_back(std::move(slot));
+            round_lane.push_back(i);
+        }
+
+        // (c) One batched refactor dispatch + grouped multi-RHS solves.
+        cache->solve_batch(round);
+        for (std::size_t k = 0; k < round.size(); ++k) {
+            lanes[round_lane[k]].stepper->accept(std::move(round[k].x),
+                                                 inner_ptr);
+        }
+
+        // Retire finished lanes into the emission buffer.
+        for (std::size_t i = 0; i < lanes.size();) {
+            if (!lanes[i].stepper->done()) {
+                ++i;
+                continue;
+            }
+            if (trial_hist != nullptr) {
+                trial_hist->observe(std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now() -
+                                        lanes[i].t0)
+                                        .count());
+            }
+            finished.emplace(lanes[i].trial,
+                             finish(lanes[i].stepper->take_result()));
+            lanes.erase(lanes.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+
+        // Emit the completed prefix in strict trial order, re-checking
+        // the cancel flag before each trial exactly like the serial
+        // loop's per-trial gate — a cancel keeps the same trial prefix.
+        while (true) {
+            auto it = finished.find(next_emit);
+            if (it == finished.end()) {
+                break;
+            }
+            if (observer != nullptr && observer->cancelled()) {
+                cancelled = true;
+                out.aborted = true;
+                break;
+            }
+            McTrial& t = it->second;
+            out.stats.add_path(t.samples);
+            out.trial_steps.push_back(t.steps_accepted);
+            for (std::size_t k = 0; k < out.probes.size(); ++k) {
+                out.probes[k].stats.add_path(t.probe_samples[k]);
+            }
+            finished.erase(it);
+            ++next_emit;
+            if (observer != nullptr) {
+                observer->trial(next_emit, options.runs);
+                observer->progress(static_cast<double>(next_emit) /
+                                   options.runs);
+            }
+        }
+        if (cancelled) {
+            break;
+        }
+        admit();
+    }
+
+    for (std::size_t j = 0; j < options.grid_points; ++j) {
+        const auto& s = out.stats.at(j);
+        out.mean.append(out.grid[j], s.mean());
+        out.stddev.append(out.grid[j], s.stddev());
+        for (McNodeStats& probe : out.probes) {
+            const auto& p = probe.stats.at(j);
+            probe.mean.append(out.grid[j], p.mean());
+            probe.stddev.append(out.grid[j], p.stddev());
+        }
+    }
+    out.flops = scope.counter();
+    return out;
+}
+
+} // namespace nanosim::engines

@@ -57,6 +57,11 @@ McOptions normalize_mc_options(const mna::MnaAssembler& assembler,
     if (node == k_ground || node > assembler.num_nodes()) {
         throw AnalysisError("run_monte_carlo: bad node");
     }
+    for (const NodeId probe : options.probe_nodes) {
+        if (probe == k_ground || probe > assembler.num_nodes()) {
+            throw AnalysisError("run_monte_carlo: bad node");
+        }
+    }
     if (assembler.noise_sources().empty()) {
         throw AnalysisError("run_monte_carlo: circuit has no noise sources");
     }
@@ -80,29 +85,39 @@ std::vector<double> mc_grid(const McOptions& normalized) {
     return grid;
 }
 
-std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
-                                   const McOptions& normalized,
-                                   stochastic::Rng& rng, NodeId node,
-                                   const std::vector<double>& grid,
-                                   const AnalysisObserver* observer,
-                                   mna::SystemCache* cache) {
+stochastic::NoisePathSet mc_noise_paths(const mna::MnaAssembler& assembler,
+                                        const McOptions& normalized,
+                                        std::uint64_t base_seed) {
+    std::vector<double> sigmas;
+    sigmas.reserve(assembler.noise_sources().size());
+    for (const Device* dev : assembler.noise_sources()) {
+        sigmas.push_back(static_cast<const NoiseCurrentSource*>(dev)->sigma());
+    }
     const auto holds = static_cast<std::size_t>(
         std::ceil(normalized.t_stop / normalized.noise_dt));
-    const double sqrt_dt = std::sqrt(normalized.noise_dt);
+    return stochastic::NoisePathSet(base_seed, std::move(sigmas), holds,
+                                    normalized.noise_dt);
+}
 
-    // Realise every noise source: i_k = sigma * xi / sqrt(dt) so the
-    // per-interval integral is sigma * xi * sqrt(dt) = sigma dW.
-    SwecTranOptions tran = normalized.tran;
-    tran.noise.clear();
-    for (const Device* dev : assembler.noise_sources()) {
-        const auto* src = static_cast<const NoiseCurrentSource*>(dev);
-        std::vector<double> hold(holds);
-        for (auto& v : hold) {
-            v = src->sigma() * rng.gauss() / sqrt_dt;
-        }
-        tran.noise.push_back(std::make_shared<StepNoiseWave>(
-            std::move(hold), normalized.noise_dt));
+mna::MnaAssembler::NoiseRealization
+mc_noise_waves(const stochastic::NoisePathSet& noise, int trial) {
+    mna::MnaAssembler::NoiseRealization waves;
+    waves.reserve(noise.num_sources());
+    for (std::size_t s = 0; s < noise.num_sources(); ++s) {
+        waves.push_back(std::make_shared<StepNoiseWave>(
+            noise.samples(trial, s), noise.noise_dt()));
     }
+    return waves;
+}
+
+McTrial mc_realization(const mna::MnaAssembler& assembler,
+                       const McOptions& normalized,
+                       const stochastic::NoisePathSet& noise, int trial,
+                       NodeId node, const std::vector<double>& grid,
+                       const AnalysisObserver* observer,
+                       mna::SystemCache* cache) {
+    SwecTranOptions tran = normalized.tran;
+    tran.noise = mc_noise_waves(noise, trial);
 
     // Cancellation forwarded at the inner transient's step granularity;
     // progress/step callbacks stay with the outer per-trial scale.
@@ -112,12 +127,22 @@ std::vector<double> mc_realization(const mna::MnaAssembler& assembler,
     if (res.aborted) {
         return {}; // partial trial: no usable samples
     }
-    const auto& wave = res.node_waves[static_cast<std::size_t>(node - 1)];
-    std::vector<double> samples(grid.size());
-    for (std::size_t j = 0; j < grid.size(); ++j) {
-        samples[j] = wave.at(grid[j]);
+    McTrial out;
+    out.steps_accepted = res.steps_accepted;
+    auto sample = [&](NodeId n) {
+        const auto& wave = res.node_waves[static_cast<std::size_t>(n - 1)];
+        std::vector<double> samples(grid.size());
+        for (std::size_t j = 0; j < grid.size(); ++j) {
+            samples[j] = wave.at(grid[j]);
+        }
+        return samples;
+    };
+    out.samples = sample(node);
+    out.probe_samples.reserve(normalized.probe_nodes.size());
+    for (const NodeId probe : normalized.probe_nodes) {
+        out.probe_samples.push_back(sample(probe));
     }
-    return samples;
+    return out;
 }
 
 McResult run_monte_carlo(const mna::MnaAssembler& assembler,
@@ -126,13 +151,30 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                          mna::SystemCache* cache) {
     const FlopScope scope;
     const McOptions options = normalize_mc_options(assembler, options_in, node);
+    // One base seed drawn from the caller's generator; every trial's
+    // paths then come from counter-derived streams, so the parallel and
+    // batched drivers reproduce this ensemble exactly.
+    const std::uint64_t base = rng.engine()();
+    const stochastic::NoisePathSet noise =
+        mc_noise_paths(assembler, options, base);
 
     McResult out{.grid = mc_grid(options),
                  .mean = analysis::Waveform("mean"),
                  .stddev = analysis::Waveform("stddev"),
                  .stats = stochastic::EnsembleStats(options.grid_points),
+                 .probes = {},
+                 .trial_steps = {},
                  .aborted = false,
                  .flops = {}};
+    for (const NodeId probe : options.probe_nodes) {
+        const std::string name = assembler.circuit().node_name(probe);
+        out.probes.push_back(McNodeStats{
+            .node = probe,
+            .name = name,
+            .mean = analysis::Waveform("mean(v(" + name + "))"),
+            .stddev = analysis::Waveform("stddev(v(" + name + "))"),
+            .stats = stochastic::EnsembleStats(options.grid_points)});
+    }
 
     // Trial wall-time distribution (metrics on only).
     obs::Histogram* trial_hist = nullptr;
@@ -149,20 +191,23 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
         }
         const obs::Span trial_span("trial", "mc");
         const auto trial_t0 = std::chrono::steady_clock::now();
-        std::vector<double> samples =
-            mc_realization(assembler, options, rng, node, out.grid,
-                           observer, cache);
+        McTrial trial = mc_realization(assembler, options, noise, run, node,
+                                       out.grid, observer, cache);
         if (trial_hist != nullptr) {
             trial_hist->observe(std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     trial_t0)
                                     .count());
         }
-        if (samples.empty()) { // trial cancelled mid-transient
+        if (trial.samples.empty()) { // trial cancelled mid-transient
             out.aborted = true;
             break;
         }
-        out.stats.add_path(samples);
+        out.stats.add_path(trial.samples);
+        out.trial_steps.push_back(trial.steps_accepted);
+        for (std::size_t k = 0; k < out.probes.size(); ++k) {
+            out.probes[k].stats.add_path(trial.probe_samples[k]);
+        }
         if (observer != nullptr) {
             observer->trial(run + 1, options.runs);
             observer->progress(static_cast<double>(run + 1) / options.runs);
@@ -173,6 +218,11 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
         const auto& s = out.stats.at(j);
         out.mean.append(out.grid[j], s.mean());
         out.stddev.append(out.grid[j], s.stddev());
+        for (McNodeStats& probe : out.probes) {
+            const auto& p = probe.stats.at(j);
+            probe.mean.append(out.grid[j], p.mean());
+            probe.stddev.append(out.grid[j], p.stddev());
+        }
     }
     out.flops = scope.counter();
     return out;

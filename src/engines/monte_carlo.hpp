@@ -9,6 +9,11 @@
 // of Monte Carlo simulations" cost of paper Sec. 1 that the EM engine
 // amortises — for a matched path count, MC pays the deterministic
 // engine's full machinery per run.
+//
+// All three drivers — serial (here), parallel (parallel.hpp), and
+// trial-batched (mc_batch.hpp) — draw their noise through one shared
+// stochastic::NoisePathSet keyed by (trial, source), so their per-trial
+// inputs are identical by construction and their outputs bit-identical.
 #ifndef NANOSIM_ENGINES_MONTE_CARLO_HPP
 #define NANOSIM_ENGINES_MONTE_CARLO_HPP
 
@@ -16,6 +21,7 @@
 #include "engines/results.hpp"
 #include "engines/tran_swec.hpp"
 #include "mna/mna.hpp"
+#include "stochastic/noise_paths.hpp"
 #include "stochastic/rng.hpp"
 #include "stochastic/stats.hpp"
 
@@ -27,9 +33,21 @@ struct McOptions {
     double t_stop = 0.0;     ///< horizon [s]
     double noise_dt = 0.0;   ///< noise bandwidth grid; 0 = t_stop/200
     std::size_t grid_points = 201; ///< output sampling for statistics
+    /// Additional nodes to observe alongside the primary one; each gets
+    /// its own mean/stddev/ensemble block in McResult::probes.
+    std::vector<NodeId> probe_nodes;
     /// Base options for the per-run deterministic transient (t_stop and
     /// noise are overridden per run).
     SwecTranOptions tran;
+};
+
+/// Per-node observation block for McOptions::probe_nodes.
+struct McNodeStats {
+    NodeId node = 0;
+    std::string name;
+    analysis::Waveform mean;
+    analysis::Waveform stddev;
+    stochastic::EnsembleStats stats;
 };
 
 /// Ensemble statistics of one node voltage over the MC runs.
@@ -38,6 +56,11 @@ struct McResult {
     analysis::Waveform mean;
     analysis::Waveform stddev;
     stochastic::EnsembleStats stats;
+    /// Optional extra observed nodes, in McOptions::probe_nodes order.
+    std::vector<McNodeStats> probes;
+    /// Accepted step count of each completed trial, in trial order —
+    /// the adaptive-step fingerprint the batched driver must reproduce.
+    std::vector<int> trial_steps;
     /// True when an AnalysisObserver cancelled the run; statistics cover
     /// the trials completed before the abort.
     bool aborted = false;
@@ -56,7 +79,7 @@ struct McResult {
                                        const AnalysisObserver* observer = nullptr,
                                        mna::SystemCache* cache = nullptr);
 
-// ---- realization-level API (shared with the parallel driver) ----
+// ---- realization-level API (shared with the parallel/batched drivers) ----
 
 /// Validate the request and fill defaulted fields (noise_dt, the
 /// transient horizon and its dt_max cap).  Throws AnalysisError exactly
@@ -68,15 +91,36 @@ struct McResult {
 /// The uniform statistics grid of `normalized` options.
 [[nodiscard]] std::vector<double> mc_grid(const McOptions& normalized);
 
-/// One Monte-Carlo realization: draw a fresh band-limited noise path per
-/// source from `rng`, run the deterministic transient, and sample `node`
-/// on `grid`.  Options must come from normalize_mc_options.  An empty
-/// return means the inner transient was cancelled by `observer` (the
-/// samples of a partial trial would bias the ensemble).  `cache` is the
-/// shared solver cache handed to the inner transient.
-[[nodiscard]] std::vector<double>
+/// The shared noise-path set of a run: one sigma per noise source of
+/// `assembler` (in noise_sources() order), holds/noise_dt from the
+/// normalized options, streams seeded from `base_seed`.  Every driver
+/// that starts from the same base seed draws identical per-trial paths.
+[[nodiscard]] stochastic::NoisePathSet
+mc_noise_paths(const mna::MnaAssembler& assembler, const McOptions& normalized,
+               std::uint64_t base_seed);
+
+/// Realise trial `trial`'s noise as sample-and-hold waveforms, one per
+/// source in noise_sources() order — ready for SwecTranOptions::noise.
+[[nodiscard]] mna::MnaAssembler::NoiseRealization
+mc_noise_waves(const stochastic::NoisePathSet& noise, int trial);
+
+/// Everything one realization produces.
+struct McTrial {
+    /// Primary node sampled on the statistics grid; empty = the inner
+    /// transient was cancelled (a partial trial would bias the ensemble).
+    std::vector<double> samples;
+    /// Probe-node samples, McOptions::probe_nodes order.
+    std::vector<std::vector<double>> probe_samples;
+    int steps_accepted = 0;
+};
+
+/// One Monte-Carlo realization: look up trial `trial`'s noise paths, run
+/// the deterministic transient, and sample the observed nodes on `grid`.
+/// Options must come from normalize_mc_options.  `cache` is the shared
+/// solver cache handed to the inner transient.
+[[nodiscard]] McTrial
 mc_realization(const mna::MnaAssembler& assembler, const McOptions& normalized,
-               stochastic::Rng& rng, NodeId node,
+               const stochastic::NoisePathSet& noise, int trial, NodeId node,
                const std::vector<double>& grid,
                const AnalysisObserver* observer = nullptr,
                mna::SystemCache* cache = nullptr);

@@ -17,6 +17,8 @@ namespace {
 /// reduction sums in job order — the totals are scheduling-independent.
 struct JobSample {
     std::vector<double> samples;
+    std::vector<std::vector<double>> probe_samples;
+    int steps_accepted = 0;
     FlopCounter flops;
 };
 
@@ -53,10 +55,28 @@ McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
                  .mean = analysis::Waveform("mean"),
                  .stddev = analysis::Waveform("stddev"),
                  .stats = stochastic::EnsembleStats(options.grid_points),
+                 .probes = {},
+                 .trial_steps = {},
                  .aborted = false,
                  .flops = {}};
+    for (const NodeId probe : options.probe_nodes) {
+        const std::string name = assembler.circuit().node_name(probe);
+        out.probes.push_back(McNodeStats{
+            .node = probe,
+            .name = name,
+            .mean = analysis::Waveform("mean(v(" + name + "))"),
+            .stddev = analysis::Waveform("stddev(v(" + name + "))"),
+            .stats = stochastic::EnsembleStats(options.grid_points)});
+    }
 
-    const stochastic::SeedSequence seq(seed);
+    // Same base-seed derivation as the serial driver (which draws it
+    // from the caller's Rng): one shared path set makes serial,
+    // parallel, and batched runs consume identical noise per trial.
+    stochastic::Rng seeder(seed);
+    const std::uint64_t base = seeder.engine()();
+    const stochastic::NoisePathSet noise =
+        mc_noise_paths(assembler, options, base);
+
     const auto runs = static_cast<std::size_t>(options.runs);
     std::vector<JobSample> jobs(runs);
     ParallelProgress progress{.observer = observer, .total = options.runs};
@@ -68,9 +88,11 @@ McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
         }
         const obs::Span trial_span("trial", "mc");
         const FlopScope scope;
-        stochastic::Rng rng = seq.stream(run);
-        jobs[run].samples =
-            mc_realization(assembler, options, rng, node, out.grid);
+        McTrial trial = mc_realization(assembler, options, noise,
+                                       static_cast<int>(run), node, out.grid);
+        jobs[run].samples = std::move(trial.samples);
+        jobs[run].probe_samples = std::move(trial.probe_samples);
+        jobs[run].steps_accepted = trial.steps_accepted;
         jobs[run].flops = scope.counter();
         progress.completed();
     });
@@ -82,12 +104,21 @@ McResult run_monte_carlo_parallel(const mna::MnaAssembler& assembler,
             continue;
         }
         out.stats.add_path(job.samples);
+        out.trial_steps.push_back(job.steps_accepted);
+        for (std::size_t k = 0; k < out.probes.size(); ++k) {
+            out.probes[k].stats.add_path(job.probe_samples[k]);
+        }
         out.flops += job.flops;
     }
     for (std::size_t j = 0; j < options.grid_points; ++j) {
         const auto& s = out.stats.at(j);
         out.mean.append(out.grid[j], s.mean());
         out.stddev.append(out.grid[j], s.stddev());
+        for (McNodeStats& probe : out.probes) {
+            const auto& p = probe.stats.at(j);
+            probe.mean.append(out.grid[j], p.mean());
+            probe.stddev.append(out.grid[j], p.stddev());
+        }
     }
     return out;
 }

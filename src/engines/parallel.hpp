@@ -2,16 +2,18 @@
 //
 // Batch versions of the Monte-Carlo baseline and the Euler-Maruyama
 // ensemble that fan realizations out over a runtime::ThreadPool.  Both
-// are *deterministic in the thread count*: realization k draws from the
-// independent RNG stream SeedSequence(seed).stream(k) and the ensemble
-// statistics are reduced in realization order, so --threads 1 and
-// --threads 64 produce bit-identical McResult / EmEnsembleResult.
+// are *deterministic in the thread count*: realization k draws from an
+// independent counter-derived RNG stream and the ensemble statistics
+// are reduced in realization order, so --threads 1 and --threads 64
+// produce bit-identical McResult / EmEnsembleResult.
 //
-// Note the contract difference with the serial entry points: the serial
-// drivers consume ONE caller-owned Rng sequentially, so a parallel run
-// matches another parallel run (any thread counts), not a serial run
-// with the same seed — the serial path draws all realizations from a
-// single stream.
+// The Monte-Carlo drivers further share one noise contract: serial,
+// parallel, and trial-batched runs all derive a base seed the same way
+// (the first engine() draw of Rng(seed)) and realise trial k's paths
+// through mc_noise_paths / stochastic::NoisePathSet, so for the same
+// seed a parallel run is bit-identical to the serial driver — not just
+// to other parallel runs.  (The EM ensemble keeps the per-stream
+// contract: parallel matches parallel for any thread count.)
 #ifndef NANOSIM_ENGINES_PARALLEL_HPP
 #define NANOSIM_ENGINES_PARALLEL_HPP
 

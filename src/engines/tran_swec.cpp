@@ -1,48 +1,20 @@
 #include "engines/tran_swec.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <optional>
+#include <utility>
 
-#include "engines/dc_swec.hpp"
-#include "engines/options_common.hpp"
-#include "engines/step_control.hpp"
-#include "linalg/vecops.hpp"
+#include "engines/swec_stepper.hpp"
 #include "mna/system_cache.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "util/error.hpp"
-#include "util/log.hpp"
 
 namespace nanosim::engines {
-
-namespace {
-
-/// Validate and fill defaults derived from t_stop.
-SwecTranOptions resolve(const SwecTranOptions& in) {
-    constexpr const char* who = "run_tran_swec";
-    SwecTranOptions o = in;
-    const StepLimits s =
-        resolve_step_limits(who, o.t_stop, o.dt_init, o.dt_min, o.dt_max);
-    o.dt_init = s.dt_init;
-    o.dt_min = s.dt_min;
-    o.dt_max = s.dt_max;
-    require_positive(who, "eps", o.eps);
-    require_at_least(who, "growth_limit", o.growth_limit, 1.0);
-    require_non_negative(who, "geq_floor", o.geq_floor);
-    return o;
-}
-
-} // namespace
 
 TranResult run_tran_swec(const mna::MnaAssembler& assembler,
                          const SwecTranOptions& options_in,
                          const AnalysisObserver* observer,
                          mna::SystemCache* cache) {
-    const SwecTranOptions options = resolve(options_in);
+    const SwecTranOptions options = resolve_swec_tran_options(options_in);
     const FlopScope scope;
-    const auto n = static_cast<std::size_t>(assembler.unknowns());
-    const auto nl = assembler.nonlinear_devices().size();
 
     // Pattern-frozen per-step system: restamp values in place, reuse the
     // symbolic LU analysis across every accepted step (the SWEC promise —
@@ -56,231 +28,22 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
     }
     const mna::SystemCache::Stats stats_before = cache->stats();
 
-    // --- Initial condition. ---
-    linalg::Vector x;
-    if (!options.initial.empty()) {
-        if (options.initial.size() != n) {
-            throw AnalysisError("run_tran_swec: initial size mismatch");
-        }
-        x = options.initial;
-    } else if (options.start_from_dc) {
-        // Through the shared cache when one was supplied (the DC march
-        // restamps the same pattern); self-contained otherwise, matching
-        // the historical per-call behaviour.
-        x = solve_op_swec(assembler, {}, 0.0, 1.0,
-                          shared_cache ? cache : nullptr)
-                .x;
-    } else {
-        x.assign(n, 0.0);
-    }
-
-    // Tabulated chord models (opt-in): bound after the DC solve so the
-    // operating point keeps its own (closed-form by default) setting.
-    cache->configure_tables(options.tables);
-
-    TranResult result;
-    result.node_waves.reserve(static_cast<std::size_t>(assembler.num_nodes()));
-    for (int i = 0; i < assembler.num_nodes(); ++i) {
-        result.node_waves.emplace_back(
-            "v(" + assembler.circuit().node_name(i + 1) + ")");
-    }
-    auto record = [&](double t, const linalg::Vector& state) {
-        for (int i = 0; i < assembler.num_nodes(); ++i) {
-            result.node_waves[static_cast<std::size_t>(i)].append(
-                t, state[static_cast<std::size_t>(i)]);
-        }
-    };
-
-    // --- Breakpoints (source corners) — never step across one. ---
-    const std::vector<double> breakpoints =
-        assembler.breakpoints(0.0, options.t_stop);
-    std::size_t next_bp = 0;
-
-    // Static part of the node-diagonal conductance sums, computed once;
-    // the per-step diagonal adds the SWEC chords and time-varying
-    // devices incrementally (see swec_node_step_bound).
-    const auto nn = static_cast<std::size_t>(assembler.num_nodes());
-    std::vector<double> static_gdiag(nn, 0.0);
-    for (const auto& e : assembler.static_g().entries()) {
-        if (e.row == e.col && e.row < nn) {
-            static_gdiag[e.row] += e.value;
-        }
-    }
-    // Grounded node capacitances (eq. 12 node bound) — the C diagonal is
-    // fixed per assembly, so read it once instead of binary-searching
-    // the CSR every step.
-    std::vector<double> c_node_diag(nn, 0.0);
-    for (std::size_t r = 0; r < nn; ++r) {
-        c_node_diag[r] = assembler.c_csr().at(r, r);
-    }
-
-    double t = 0.0;
-    record(t, x);
-
-    // Accepted-step-size distribution (metrics on only; registered once,
-    // then two relaxed atomics per accepted step).
-    obs::Histogram* h_hist = nullptr;
-    if (obs::metrics_enabled()) {
-        static obs::Histogram& sh = obs::metrics().histogram(
-            "swec.step_size_s", obs::log_buckets(1e-15, 1.0, 2));
-        h_hist = &sh;
-    }
-
-    linalg::Vector dvdt(n, 0.0);    // eq. (9) backward difference
-    std::vector<double> geq(nl, 0.0);
-    std::vector<double> geq_rate(nl, 0.0);
-    std::vector<double> geq_pred(nl, 0.0); // hoisted: no per-step alloc
-    double h = options.dt_init;
-    double h_prev = 0.0;
-    int steps_since_corner = 0; // gate for the eq. (10) diagnostic
-    double local_error_sum = 0.0;
-    std::size_t local_error_count = 0;
-    result.min_dt_used = options.dt_max;
-
-    const mna::MnaAssembler::NoiseRealization* noise =
-        options.noise.empty() ? nullptr : &options.noise;
-
-    while (t < options.t_stop) {
+    SwecStepper stepper(assembler, options, *cache, shared_cache);
+    while (!stepper.done()) {
         // Cooperative cancellation, polled once per step: the partial
         // waveforms recorded so far are the result.
         if (observer != nullptr && observer->cancelled()) {
-            result.aborted = true;
+            stepper.abort();
             break;
         }
         const obs::Span step_span("step", "engine");
-        // Which constraint produced the step actually taken (RunReport
-        // step-bound attribution); repointed as each clamp below wins.
-        std::uint64_t* bound_src = &result.step_bounds.fixed;
-        // 1. Chord conductances and their rates at t_n — one compiled
-        // per-class evaluation pass (closed forms or tables) instead of
-        // a virtual call per device.
-        cache->eval_chords(x, dvdt, h_prev > 0.0, geq, geq_rate);
-
-        // 2. Adaptive step (eq. 12) — needs the node-diagonal G sums at
-        // t_n: static part cached, nonlinear/time-varying parts added
-        // through the cache's compiled diagonal plan.
-        if (options.adaptive) {
-            std::vector<double> gdiag = static_gdiag;
-            cache->swec_gdiag(t, geq, gdiag);
-            // Eq. (12): device bounds from the chords/rates evaluated in
-            // step 1 (no model re-evaluation), node RC bounds from the
-            // incremental diagonal.
-            const double device_bound = cache->device_step_bound(
-                x, dvdt, geq, geq_rate, options.eps);
-            const double node_bound = swec_node_step_bound(
-                c_node_diag, gdiag, dvdt, options.eps);
-            bound_src = device_bound <= node_bound
-                            ? &result.step_bounds.device
-                            : &result.step_bounds.node;
-            h = std::min(device_bound, node_bound);
-            if (options.dt_max < h) {
-                h = options.dt_max;
-                bound_src = &result.step_bounds.dt_max;
-            }
-            if (h_prev > 0.0 && options.growth_limit * h_prev < h) {
-                h = options.growth_limit * h_prev;
-                bound_src = &result.step_bounds.growth;
-            }
-            if (h < options.dt_min) {
-                h = options.dt_min;
-                bound_src = &result.step_bounds.dt_min;
-            }
-        } else {
-            h = options.dt_init;
-        }
-        // Land exactly on breakpoints and on t_stop; any trailing sliver
-        // shorter than dt_min is merged into the final step (a ~1e-21 s
-        // step would make (G + C/h) ill-scaled for no informational
-        // gain), so the last recorded point is exactly t_stop — sweep
-        // metrics and Monte-Carlo sample a solved state, not a
-        // clamped/held one.  See clip_step_to_events for the landing
-        // rules shared with the NR/PWL engines.
-        const ClippedStep clip = clip_step_to_events(
-            t, h, options.t_stop, options.dt_min, breakpoints, next_bp,
-            /*floor_to_dt_min=*/false);
-        if (clip.h != h) {
-            // The clip actually changed the step: an event, not a bound,
-            // decided its size.
-            bound_src = clip.hit_breakpoint ? &result.step_bounds.breakpoint
-                                            : &result.step_bounds.horizon;
-        }
-        h = clip.h;
-        const bool hit_breakpoint = clip.hit_breakpoint;
-        const bool final_step = clip.final_step;
-
-        // 3. Predict G_eq at t_{n+1} (eq. 5).
-        for (std::size_t k = 0; k < nl; ++k) {
-            double g = geq[k];
-            if (options.use_predictor) {
-                g += 0.5 * h * geq_rate[k];
-            }
-            geq_pred[k] = std::max(g, options.geq_floor);
-        }
-
-        // 4. One linear backward-Euler solve through the cached system:
-        // values restamped in place (no triplet rebuild), pattern-reusing
-        // refactor instead of a fresh symbolic factorisation.
-        linalg::Vector rhs = cache->rhs(t + h, noise);
-        {
-            // rhs += (C/h) x  via the cached CSR C.
-            linalg::Vector cx = assembler.c_csr().multiply(x);
-            for (std::size_t i = 0; i < n; ++i) {
-                rhs[i] += cx[i] / h;
-            }
-        }
-        cache->begin(1.0 / h, rhs);
-        cache->restamp_time_varying(t + h);
-        cache->restamp_swec(geq_pred);
-        linalg::Vector x_next = cache->solve(rhs);
-
-        // 5. Bookkeeping: eq. (10) a-posteriori error, eq. (9) slope.
-        // Excluded: the first two steps (slope history not meaningful
-        // from a possibly inconsistent IC) and the two steps following a
-        // source corner (the slope is discontinuous there by design, so
-        // the prediction-error ratio says nothing about step control).
-        if (h_prev > 0.0 && result.steps_accepted >= 2 &&
-            steps_since_corner >= 2) {
-            const double err = measured_local_error(
-                x, x_next, dvdt, h, assembler.num_nodes());
-            result.max_local_error =
-                std::max(result.max_local_error, err);
-            local_error_sum += err;
-            ++local_error_count;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-            dvdt[i] = (x_next[i] - x[i]) / h;
-        }
-        x = std::move(x_next);
-        // Land on t_stop bit-exactly: t + (t_stop - t) may round off.
-        t = final_step ? options.t_stop : t + h;
-        h_prev = h;
-        ++result.steps_accepted;
-        ++*bound_src;
-        if (h_hist != nullptr) {
-            h_hist->observe(h);
-        }
-        result.min_dt_used = std::min(result.min_dt_used, h);
-        result.max_dt_used = std::max(result.max_dt_used, h);
-        record(t, x);
-        if (observer != nullptr) {
-            observer->step(t, result.steps_accepted);
-            observer->progress(t / options.t_stop);
-        }
-
-        if (hit_breakpoint) {
-            // A source corner invalidates the slope history; restart the
-            // ramp so the bound reacts to the new edge.
-            h_prev = std::min(h_prev, options.dt_init);
-            steps_since_corner = 0;
-        } else {
-            ++steps_since_corner;
-        }
+        stepper.eval();
+        stepper.prepare();
+        stepper.stamp();
+        stepper.accept(cache->solve(stepper.rhs()), observer);
     }
 
-    if (local_error_count > 0) {
-        result.avg_local_error =
-            local_error_sum / static_cast<double>(local_error_count);
-    }
+    TranResult result = stepper.take_result();
     // Deltas over this run, so a shared cache reports per-analysis work.
     result.solver_full_factors =
         cache->stats().full_factors - stats_before.full_factors;

@@ -680,6 +680,282 @@ bool SparseLu::try_refactor_numeric_columns(std::span<const double> values) {
     return true;
 }
 
+bool SparseLu::refactor_lane(std::span<const double> values, double tol,
+                             LaneFactor& f, std::vector<double>& x,
+                             std::uint64_t& flops) const noexcept {
+    // One lane's whole-matrix sweep: per column exactly the serial
+    // refactor_supernode arithmetic, reading/writing the LANE's value
+    // planes instead of the members.  Earlier columns' L entries are the
+    // lane's own (written by this sweep), so the elimination operands
+    // match a serial refactor of the same plane bit for bit.
+    f.l_val.resize(l_val_.size());
+    f.u_val.resize(u_val_.size());
+    double* lv = f.l_val.data();
+    double* uv = f.u_val.data();
+    std::uint64_t fl = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+        const std::size_t reach_begin = reach_ptr_[j];
+        const std::size_t reach_end = reach_ptr_[j + 1];
+
+        for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+            x[row_idx_[p]] += values[p];
+        }
+        for (std::size_t it = reach_end; it-- > reach_begin;) {
+            const std::size_t i = reach_nodes_[it];
+            const std::size_t k = pinv_[i];
+            if (k >= j) { // not yet pivotal at this column
+                continue;
+            }
+            const double xi = x[i];
+            if (xi == 0.0) {
+                continue;
+            }
+            const std::size_t lp_end = l_ptr_[k + 1];
+            for (std::size_t p = l_ptr_[k]; p < lp_end; ++p) {
+                x[l_row_[p]] -= lv[p] * xi;
+            }
+            fl += 2 * (lp_end - l_ptr_[k]);
+        }
+
+        const std::size_t pivot_row = pivot_row_[j];
+        const double pivot_mag = std::abs(x[pivot_row]);
+        double cand_max = 0.0;
+        for (std::size_t it = reach_begin; it < reach_end; ++it) {
+            const std::size_t i = reach_nodes_[it];
+            if (pinv_[i] >= j) {
+                cand_max = std::max(cand_max, std::abs(x[i]));
+            }
+        }
+        if (pivot_mag < tol ||
+            pivot_mag < k_refactor_pivot_ratio * cand_max) {
+            // Degraded: restore x's zero invariant and bill nothing —
+            // the caller replays every lane through the serial
+            // refactor()/fallback path, which accounts for this exactly
+            // as the serial driver would.
+            for (std::size_t it = reach_begin; it < reach_end; ++it) {
+                x[reach_nodes_[it]] = 0.0;
+            }
+            return false;
+        }
+        const double ujj = x[pivot_row];
+
+        for (std::size_t it = reach_begin; it < reach_end; ++it) {
+            const std::size_t i = reach_nodes_[it];
+            const double xi = x[i];
+            x[i] = 0.0;
+            const std::ptrdiff_t dst = gather_dst_[it];
+            if (dst >= 0) {
+                uv[static_cast<std::size_t>(dst)] = xi;
+            } else {
+                lv[static_cast<std::size_t>(~dst)] = xi / ujj;
+                ++fl;
+            }
+        }
+    }
+    flops += fl;
+    return true;
+}
+
+bool SparseLu::refactor_lanes(
+    std::span<const std::span<const double>> lane_values,
+    std::span<LaneFactor> factors, std::span<std::uint64_t> lane_flops) {
+    const std::size_t m = lane_values.size();
+    if (factors.size() != m || lane_flops.size() != m) {
+        throw SimError("SparseLu::refactor_lanes: lane span size mismatch");
+    }
+    if (storage_ != FactorStorage::flat || m == 0) {
+        return false; // caller replays lanes through the serial path
+    }
+    for (const std::span<const double> values : lane_values) {
+        if (values.size() != row_idx_.size()) {
+            throw SimError("SparseLu::refactor_lanes: value count does not "
+                           "match the cached pattern");
+        }
+    }
+    if (lane_vals_.size() < m) {
+        lane_vals_.resize(m);
+    }
+    if (lane_x_.size() < m) {
+        lane_x_.resize(m);
+    }
+    std::vector<std::uint8_t> ok(m, 0);
+
+    auto run_lane = [&](std::size_t i) {
+        std::span<const double> internal = lane_values[i];
+        if (!user_slot_.empty()) {
+            // Lane-private gather into internal (permuted) order — the
+            // shared perm_values_ scratch is single-lane.
+            std::vector<double>& buf = lane_vals_[i];
+            buf.resize(user_slot_.size());
+            for (std::size_t s = 0; s < user_slot_.size(); ++s) {
+                buf[s] = lane_values[i][user_slot_[s]];
+            }
+            internal = buf;
+        }
+        // Same threshold a serial refactor of this plane would use (the
+        // permutation reorders values, so the max is unchanged).
+        const double tol =
+            pivot_tol_ * std::max(max_abs_value(internal), 1e-300);
+        std::vector<double>& x = lane_x_[i];
+        if (x.size() != n_) {
+            x.assign(n_, 0.0);
+        }
+        lane_flops[i] = 0;
+        ok[i] =
+            refactor_lane(internal, tol, factors[i], x, lane_flops[i]) ? 1
+                                                                       : 0;
+    };
+
+    if (pool_ != nullptr && m > 1 && n_ >= k_parallel_min_cols) {
+        runtime::parallel_for(*pool_, m, [&](std::size_t i) {
+            obs::Span span("factor.lane", "linalg");
+            run_lane(i);
+        });
+    } else {
+        for (std::size_t i = 0; i < m; ++i) {
+            run_lane(i);
+        }
+    }
+
+    for (std::size_t i = 0; i < m; ++i) {
+        if (ok[i] == 0) {
+            return false; // nothing billed; all factors invalid
+        }
+    }
+
+    // Bill once from the calling thread, lane by lane so the rounding of
+    // the mul/add halves matches m serial refactors of the same planes.
+    fast_refactors_ += m;
+    auto& counter = current_flops();
+    for (std::size_t i = 0; i < m; ++i) {
+        counter.lu_factor += lane_flops[i];
+        counter.mul += lane_flops[i] / 2;
+        counter.add += lane_flops[i] / 2;
+    }
+    return true;
+}
+
+Vector SparseLu::solve_lane(const LaneFactor& f, const Vector& b) const {
+    Vector out;
+    const Vector* rhs = &b;
+    Vector* x = &out;
+    solve_multi(std::span<const Vector* const>(&rhs, 1),
+                std::span<Vector* const>(&x, 1), &f);
+    return out;
+}
+
+void SparseLu::solve_multi(std::span<const Vector* const> rhs,
+                           std::span<Vector* const> out,
+                           const LaneFactor* f) const {
+    const std::size_t m = rhs.size();
+    if (out.size() != m) {
+        throw SimError("SparseLu::solve_multi: rhs/out span size mismatch");
+    }
+    if (storage_ == FactorStorage::columns) {
+        // Legacy storage has no flat planes (and no LaneFactor source):
+        // per-column solve, which already bills per column.
+        for (std::size_t c = 0; c < m; ++c) {
+            *out[c] = solve(*rhs[c]);
+        }
+        return;
+    }
+    const double* lv = f != nullptr ? f->l_val.data() : l_val_.data();
+    const double* uv = f != nullptr ? f->u_val.data() : u_val_.data();
+
+    // Column work vectors in pivot space: the output vectors double as
+    // the substitution buffers; the permuted path scatters back at the
+    // end (same two-stage gather/scatter as solve()).
+    std::vector<Vector> scratch;
+    std::vector<Vector*> work(m);
+    if (!permuted()) {
+        for (std::size_t c = 0; c < m; ++c) {
+            work[c] = out[c];
+        }
+    } else {
+        scratch.resize(m);
+        for (std::size_t c = 0; c < m; ++c) {
+            work[c] = &scratch[c];
+        }
+    }
+    std::vector<std::uint64_t> col_flops(m, 0);
+    Vector pb; // permuted-rhs gather scratch, reused per column
+    for (std::size_t c = 0; c < m; ++c) {
+        const Vector& b = *rhs[c];
+        if (b.size() != n_) {
+            throw SimError("SparseLu::solve_multi: rhs size mismatch");
+        }
+        Vector& y = *work[c];
+        y.assign(n_, 0.0);
+        if (!permuted()) {
+            for (std::size_t i = 0; i < n_; ++i) {
+                y[pinv_[i]] = b[i];
+            }
+        } else {
+            perm_.apply(b, pb);
+            for (std::size_t i = 0; i < n_; ++i) {
+                y[pinv_[i]] = pb[i];
+            }
+        }
+    }
+
+    // Blocked substitution: each L/U column streams once per block of
+    // rhs columns, but per column the operation sequence (zero-skips
+    // included) is exactly solve_internal's — interleaving independent
+    // columns changes nothing about any one column's arithmetic.
+    for (std::size_t c0 = 0; c0 < m; c0 += k_solve_block) {
+        const std::size_t c1 = std::min(m, c0 + k_solve_block);
+        for (std::size_t j = 0; j < n_; ++j) {
+            const std::size_t lp = l_ptr_[j];
+            const std::size_t lp_end = l_ptr_[j + 1];
+            for (std::size_t c = c0; c < c1; ++c) {
+                Vector& y = *work[c];
+                const double yj = y[j];
+                if (yj == 0.0) {
+                    continue;
+                }
+                for (std::size_t p = lp; p < lp_end; ++p) {
+                    y[l_prow_[p]] -= lv[p] * yj;
+                }
+                col_flops[c] += 2 * (lp_end - lp);
+            }
+        }
+        for (std::size_t jj = n_; jj-- > 0;) {
+            const std::size_t up = u_ptr_[jj];
+            const std::size_t up_end = u_ptr_[jj + 1];
+            const double ujj = uv[up_end - 1];
+            for (std::size_t c = c0; c < c1; ++c) {
+                Vector& y = *work[c];
+                const double xj = y[jj] / ujj;
+                y[jj] = xj;
+                ++col_flops[c];
+                if (xj == 0.0) {
+                    continue;
+                }
+                for (std::size_t k = up; k + 1 < up_end; ++k) {
+                    y[u_row_[k]] -= uv[k] * xj;
+                }
+                col_flops[c] += 2 * (up_end - 1 - up);
+            }
+        }
+    }
+
+    if (permuted()) {
+        for (std::size_t c = 0; c < m; ++c) {
+            out[c]->resize(n_);
+            perm_.apply_inverse(scratch[c], *out[c]);
+        }
+    }
+
+    // Per-column billing, halves rounded per column: K columns count
+    // exactly what K solve() calls on the same rhs vectors would.
+    auto& counter = current_flops();
+    for (std::size_t c = 0; c < m; ++c) {
+        counter.lu_solve += col_flops[c];
+        counter.mul += col_flops[c] / 2;
+        counter.add += col_flops[c] / 2;
+    }
+}
+
 bool SparseLu::refactor(std::span<const double> values) {
     if (values.size() != row_idx_.size()) {
         throw SimError("SparseLu::refactor: value count does not match the "

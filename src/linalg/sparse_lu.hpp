@@ -198,7 +198,68 @@ public:
         return u_val_;
     }
 
+    // ---- trial-batched numeric refactorisation + multi-RHS solve --------
+    //
+    // The batched Monte-Carlo driver factors the systems of K due trials
+    // in one call: every lane shares THIS analysis's symbolic structure
+    // (pattern, reach sets, pivot sequence, gather plan) and differs only
+    // in its value plane.  Each lane's sweep is the exact serial
+    // refactor() arithmetic on lane-private scratch and lane-private
+    // output planes, so the factors are bit-identical to K serial
+    // refactor(values) calls at any thread count — lanes are dispatched
+    // across the refactor pool whole (one task per lane), never split.
+
+    /// One lane's numeric factors over the shared flat symbolic
+    /// structure: value planes parallel to l_values()/u_values().
+    struct LaneFactor {
+        std::vector<double> l_val;
+        std::vector<double> u_val;
+    };
+
+    /// Batched numeric refactorisation (flat storage only; returns false
+    /// immediately otherwise).  lane_values[i] is lane i's value plane in
+    /// the caller's pattern order; on success factors[i] holds its L/U
+    /// planes and lane_flops[i] the factor flops a serial
+    /// refactor(lane_values[i]) would have billed.  The summed flops are
+    /// billed once, on the calling thread, after all lanes join.  When
+    /// ANY lane's recorded pivot degrades the call returns false billing
+    /// nothing and every LaneFactor is invalid — the caller replays the
+    /// lanes through the serial refactor()/full-factor path so counters
+    /// and fallback behaviour stay exactly the serial driver's.
+    [[nodiscard]] bool
+    refactor_lanes(std::span<const std::span<const double>> lane_values,
+                   std::span<LaneFactor> factors,
+                   std::span<std::uint64_t> lane_flops);
+
+    /// Solve A x = b against a lane's factors (original numbering; the
+    /// pre-permutation is applied and undone exactly like solve()).
+    [[nodiscard]] Vector solve_lane(const LaneFactor& f,
+                                    const Vector& b) const;
+
+    /// Blocked multi-RHS forward/back substitution under ONE factor —
+    /// the live factors when `f` is null, a lane's otherwise.  Columns
+    /// are processed in blocks of k_solve_block so each L/U column
+    /// streams once per block, but every rhs column's arithmetic
+    /// (including the zero-skips) is exactly solve()'s, and flops are
+    /// billed per column: K columns cost and count the same as K
+    /// independent solve() calls.
+    void solve_multi(std::span<const Vector* const> rhs,
+                     std::span<Vector* const> out,
+                     const LaneFactor* f = nullptr) const;
+
+    /// Columns per block of the multi-RHS substitution.
+    static constexpr std::size_t k_solve_block = 4;
+
 private:
+    /// Serial whole-matrix numeric sweep of one lane into `f`'s planes
+    /// (flat mode).  Reads only the shared symbolic structure; writes
+    /// only `f`, `x` and `flops` — safe to run concurrently across
+    /// lanes.  Returns false on a degraded pivot (x's zeros restored,
+    /// nothing billed).
+    bool refactor_lane(std::span<const double> values, double tol,
+                       LaneFactor& f, std::vector<double>& x,
+                       std::uint64_t& flops) const noexcept;
+
     struct Entry {
         std::size_t row;
         double value;
@@ -262,6 +323,11 @@ private:
     std::vector<double> perm_values_; // gather scratch (hot path: no alloc)
     mutable Vector perm_b_;           // solve() rhs-gather scratch
     mutable Vector perm_y_;           // solve() permuted-solution scratch
+    /// Per-lane gather + scatter scratch for refactor_lanes (the shared
+    /// perm_values_/work_ scratch is single-lane; concurrent lanes need
+    /// private buffers, indexed by lane).
+    std::vector<std::vector<double>> lane_vals_;
+    std::vector<std::vector<double>> lane_x_;
 
     // Column-wise factors: lcols_[j] holds strictly-below-diagonal entries
     // of L (unit diagonal implicit); ucols_[j] holds entries of U with

@@ -56,7 +56,11 @@ std::string RunReport::to_json() const {
     append_number(os, min_dt);
     os << ",\"max_dt\":";
     append_number(os, max_dt);
-    os << ",\"trials\":" << trials << ",\"full_factors\":" << full_factors
+    os << ",\"trials\":" << trials
+       << ",\"mc_batch_width\":" << mc_batch_width
+       << ",\"batched_solves\":" << batched_solves
+       << ",\"shared_factor_solves\":" << shared_factor_solves
+       << ",\"full_factors\":" << full_factors
        << ",\"fast_refactors\":" << fast_refactors
        << ",\"dense_solves\":" << dense_solves
        << ",\"pivot_fallbacks\":" << pivot_fallbacks
@@ -127,6 +131,15 @@ std::string RunReport::pretty() const {
     }
     if (trials > 0) {
         count_line(os, "trials", trials);
+    }
+    if (mc_batch_width > 0) {
+        count_line(os, "mc batch width", mc_batch_width);
+    }
+    if (batched_solves > 0) {
+        count_line(os, "batched solves", batched_solves);
+    }
+    if (shared_factor_solves > 0) {
+        count_line(os, "shared-factor solves", shared_factor_solves);
     }
 
     os << "solver cache:\n";

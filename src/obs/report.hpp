@@ -64,6 +64,10 @@ struct RunReport {
 
     // ---- batch drivers ------------------------------------------------
     std::uint64_t trials = 0; ///< MC trials / EM paths / sweep points
+    std::uint64_t mc_batch_width = 0; ///< trial frontier (0 = not batched)
+    std::uint64_t batched_solves = 0; ///< steps solved via solve_batch
+    /// Solves that reused another lane's factor (bit-identical planes).
+    std::uint64_t shared_factor_solves = 0;
 
     // ---- solver cache work (deltas for this run) ----------------------
     std::uint64_t full_factors = 0;

@@ -1,0 +1,28 @@
+#include "stochastic/noise_paths.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "stochastic/rng.hpp"
+
+namespace nanosim::stochastic {
+
+NoisePathSet::NoisePathSet(std::uint64_t base_seed,
+                           std::vector<double> sigmas, std::size_t holds,
+                           double noise_dt)
+    : seq_(base_seed), sigmas_(std::move(sigmas)), holds_(holds),
+      noise_dt_(noise_dt), sqrt_dt_(std::sqrt(noise_dt)) {}
+
+std::vector<double> NoisePathSet::samples(int trial,
+                                          std::size_t source) const {
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(trial) * num_sources() + source;
+    Rng rng(seq_.stream_seed(stream));
+    std::vector<double> hold(holds_);
+    for (double& v : hold) {
+        v = sigmas_[source] * rng.gauss() / sqrt_dt_;
+    }
+    return hold;
+}
+
+} // namespace nanosim::stochastic
