@@ -33,15 +33,20 @@
 // whole deck shares one cached symbolic factorisation — then prints
 // results in SPICE-batch style.  Exit code 0 on success, 1 on
 // simulation failure, 2 on usage errors.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <variant>
 #include <vector>
@@ -49,6 +54,10 @@
 #include "core/nanosim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 
 using namespace nanosim;
 
@@ -68,6 +77,7 @@ struct CliOptions {
     bool report = false;                     ///< `report` verb: pretty RunReports
     int threads = 1;                         ///< factor-path workers
     int mc_batch = 0;                        ///< Monte-Carlo trial-batch width
+    double deadline_s = 0.0;                 ///< per-analysis wall budget [s]
     std::vector<std::string> probes;         ///< extra MC observation nodes
     std::optional<std::string> trace_path;   ///< --trace FILE.json
     std::optional<std::string> metrics_path; ///< --metrics FILE.json
@@ -160,88 +170,14 @@ private:
     Clock::time_point last_draw_;
 };
 
-/// Parse "<R>x<C>[:extra]" grid dimensions; returns {rows, cols, extra}
-/// with extra = -1 when absent.  Throws NetlistError on malformed specs.
-struct GridDims {
-    int rows = 0;
-    int cols = 0;
-    int extra = -1;
-};
-
-GridDims parse_grid_dims(const std::string& spec, const std::string& body) {
-    GridDims d;
-    try {
-        const auto x = body.find('x');
-        if (x == std::string::npos || x == 0) {
-            throw std::invalid_argument("no 'x'");
-        }
-        std::size_t used = 0;
-        d.rows = std::stoi(body.substr(0, x), &used);
-        if (used != x) {
-            throw std::invalid_argument("rows");
-        }
-        std::string rest = body.substr(x + 1);
-        const auto colon = rest.find(':');
-        if (colon != std::string::npos) {
-            d.extra = std::stoi(rest.substr(colon + 1), &used);
-            if (used != rest.size() - colon - 1 || d.extra < 0) {
-                // Negative values would collide with the absent-field
-                // sentinel (-1) and silently select the default.
-                throw std::invalid_argument("extra");
-            }
-            rest = rest.substr(0, colon);
-        }
-        d.cols = std::stoi(rest, &used);
-        if (used != rest.size()) {
-            throw std::invalid_argument("cols");
-        }
-    } catch (const std::exception&) {
-        throw NetlistError("bad --circuit spec '" + spec +
-                           "' (want mesh:RxC or grid:RxC[:vias])");
-    }
-    if (d.rows < 1 || d.cols < 1) {
-        throw NetlistError("--circuit " + spec + ": grid must be >= 1x1");
-    }
-    return d;
-}
-
-/// Built-in workload generators: "mesh:RxC" (RC mesh with RTD loads) and
-/// "grid:RxC[:vias]" (power-distribution grid) from core/ref_circuits.
-Circuit make_builtin_circuit(const std::string& spec) {
-    const auto colon = spec.find(':');
-    const std::string kind = spec.substr(0, colon);
-    if (colon == std::string::npos) {
-        throw NetlistError("bad --circuit spec '" + spec +
-                           "' (want mesh:RxC or grid:RxC[:vias])");
-    }
-    const std::string body = spec.substr(colon + 1);
-    if (kind == "mesh") {
-        const GridDims d = parse_grid_dims(spec, body);
-        if (d.extra != -1) {
-            // A third field is a grid:RxC:vias spec typed with the wrong
-            // kind; running a default mesh instead would be silent.
-            throw NetlistError("--circuit mesh takes RxC only (did you "
-                               "mean grid:" + body + "?)");
-        }
-        return refckt::rc_mesh(d.rows, d.cols);
-    }
-    if (kind == "grid" || kind == "power_grid") {
-        const GridDims d = parse_grid_dims(spec, body);
-        // An explicit via count is passed through verbatim so an invalid
-        // one (0, negative) is rejected by power_grid instead of being
-        // silently replaced; only an ABSENT count defaults to 4.
-        return refckt::power_grid(d.rows, d.cols,
-                                  d.extra != -1 ? d.extra : 4);
-    }
-    throw NetlistError("unknown --circuit kind '" + kind +
-                       "' (have: mesh, grid)");
-}
-
 void usage(std::ostream& os) {
     os << "usage: nanosim [run] [options] deck.cir\n"
           "       nanosim run --circuit mesh:RxC [options]\n"
           "       nanosim report [options] deck.cir\n"
           "       nanosim sweep deck.cir --param DEV:P=start:stop:points\n"
+          "       nanosim serve [--port N] [--workers N] [options]\n"
+          "       nanosim submit --port N (deck.cir | --circuit SPEC)\n"
+          "                      [--spec JSON] [options]\n"
           "run options:\n"
           "  --engine swec|nr|mla|pwl   analysis engine (default swec)\n"
           "  --csv PREFIX               export results as PREFIX_*.csv\n"
@@ -278,6 +214,10 @@ void usage(std::ostream& os) {
           "  --probe n1,n2,...          extra Monte-Carlo observation\n"
           "                             nodes (per-node mean/stddev\n"
           "                             alongside the primary node)\n"
+          "  --deadline T               wall-clock budget per analysis [s];\n"
+          "                             on expiry the run is cancelled via\n"
+          "                             the observer path and returns an\n"
+          "                             aborted PARTIAL result (exit 1)\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -296,6 +236,31 @@ void usage(std::ostream& os) {
           "  --trace FILE.json          Chrome/Perfetto trace (as in run)\n"
           "  --metrics FILE.json        metrics registry dump (as in run)\n"
           "  --quiet                    no ASCII plots\n"
+          "serve options (NDJSON analysis service on TCP; see README):\n"
+          "  --host H / --port N        bind address (default 127.0.0.1,\n"
+          "                             port 0 = ephemeral; the bound port\n"
+          "                             is printed as 'listening on ...')\n"
+          "  --workers N                concurrent job executors (default 2)\n"
+          "  --queue-depth N            backpressure bound (default 64)\n"
+          "  --threads N                factor-path workers per session\n"
+          "  --max-sessions N           session-dedup cache capacity\n"
+          "  --metrics FILE.json        dump the metrics registry on stop\n"
+          "  SIGTERM/SIGINT             drain the queue and exit 0; a\n"
+          "                             second signal force-cancels\n"
+          "submit options (client for `nanosim serve`):\n"
+          "  --host H / --port N        server address (--port required)\n"
+          "  deck.cir | --circuit SPEC  circuit source (deck file is sent\n"
+          "                             by value; SPEC as in run)\n"
+          "  --spec JSON                wire-format analysis spec, e.g.\n"
+          "                             '{\"kind\":\"mc\",\"node\":\"n1_1\",\n"
+          "                             \"t_stop\":1e-9}' (default: op)\n"
+          "  --noise NODE:SIGMA         add a noise source at NODE\n"
+          "                             (repeatable)\n"
+          "  --priority P               higher runs first (default 0)\n"
+          "  --deadline T               queue+run wall budget [s]\n"
+          "  --json                     echo raw protocol lines (events +\n"
+          "                             final result document) to stdout\n"
+          "  --no-follow                submit and exit without streaming\n"
           "environment:\n"
           "  NANOSIM_LOG=LEVEL          log threshold before flag parsing\n"
           "                             (trace|debug|info|warn|error|off);\n"
@@ -414,6 +379,18 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.circuit_spec = argv[i];
+        } else if (arg == "--deadline") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            try {
+                opt.deadline_s = parse_value(argv[i]);
+                if (opt.deadline_s <= 0.0) {
+                    return std::nullopt;
+                }
+            } catch (const std::exception&) {
+                return std::nullopt;
+            }
         } else if (arg == "--tstop") {
             if (++i >= argc) {
                 return std::nullopt;
@@ -731,6 +708,327 @@ int run_sweep(const SweepCliOptions& cli) {
     return result.failures() == 0 ? 0 : 1;
 }
 
+// ---- serve verb -------------------------------------------------------
+
+/// Self-pipe for SIGTERM/SIGINT: the handler only write()s (async-signal
+/// safe); a watcher thread turns bytes into Server::stop calls.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_stop_signal(int /*sig*/) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+struct ServeCliOptions {
+    service::ServerOptions server;
+    std::optional<std::string> metrics_path;
+};
+
+std::optional<ServeCliOptions> parse_serve_args(int argc, char** argv,
+                                                int first) {
+    ServeCliOptions opt;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        }
+        if (arg == "--verbose") {
+            log::set_level(log::Level::info);
+            continue;
+        }
+        if (++i >= argc) {
+            return std::nullopt; // every remaining flag takes a value
+        }
+        try {
+            if (arg == "--port") {
+                opt.server.port =
+                    static_cast<int>(parse_int_arg("--port", argv[i]));
+            } else if (arg == "--host") {
+                opt.server.host = argv[i];
+            } else if (arg == "--workers") {
+                opt.server.workers =
+                    static_cast<int>(parse_int_arg("--workers", argv[i]));
+            } else if (arg == "--queue-depth") {
+                opt.server.queue_depth = static_cast<std::size_t>(
+                    parse_int_arg("--queue-depth", argv[i]));
+            } else if (arg == "--threads") {
+                opt.server.factor_threads = static_cast<int>(
+                    parse_int_arg("--threads", argv[i]));
+            } else if (arg == "--max-sessions") {
+                opt.server.max_sessions = static_cast<std::size_t>(
+                    parse_int_arg("--max-sessions", argv[i]));
+            } else if (arg == "--metrics") {
+                opt.metrics_path = argv[i];
+            } else {
+                return std::nullopt;
+            }
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+    }
+    if (opt.server.port < 0 || opt.server.port > 65535 ||
+        opt.server.workers < 1 || opt.server.queue_depth < 1) {
+        return std::nullopt;
+    }
+    return opt;
+}
+
+int run_serve(const ServeCliOptions& cli) {
+    if (cli.metrics_path) {
+        obs::set_metrics_enabled(true);
+    }
+    service::Server server(cli.server);
+    server.start();
+    // Scripted clients (and the CI smoke) parse this exact line to learn
+    // the ephemeral port — keep it first and flushed.
+    std::cout << "listening on " << cli.server.host << ":" << server.port()
+              << '\n'
+              << std::flush;
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::cerr << "nanosim serve: cannot create signal pipe\n";
+        return 1;
+    }
+    std::signal(SIGTERM, on_stop_signal);
+    std::signal(SIGINT, on_stop_signal);
+    std::thread watcher([&server] {
+        char byte = 0;
+        int stops = 0;
+        while (::read(g_signal_pipe[0], &byte, 1) == 1) {
+            ++stops;
+            if (stops == 1) {
+                // First signal: graceful — drain everything queued.
+                std::cerr << "nanosim serve: draining queue...\n";
+                server.stop(/*drain=*/true);
+            } else {
+                // Second signal: force — cancel queued and running jobs.
+                std::cerr << "nanosim serve: force stop\n";
+                server.stop(/*drain=*/false);
+                break;
+            }
+        }
+    });
+
+    // Blocks until a signal or an {"op":"shutdown"} request stops the
+    // server and the queue finishes per the stop mode.
+    server.wait();
+
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    ::close(g_signal_pipe[1]); // EOF unblocks the watcher's read()
+    watcher.join();
+    ::close(g_signal_pipe[0]);
+
+    if (cli.metrics_path) {
+        obs::metrics().write_json_file(*cli.metrics_path);
+        std::cerr << "nanosim serve: wrote " << *cli.metrics_path << '\n';
+    }
+    std::cout << "stopped\n";
+    return 0;
+}
+
+// ---- submit verb ------------------------------------------------------
+
+struct SubmitCliOptions {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string deck_path;                   ///< positional deck file
+    std::optional<std::string> circuit_spec; ///< --circuit generator spec
+    std::vector<service::wire::NoiseInjection> noise;
+    std::optional<std::string> spec_json;    ///< --spec raw wire JSON
+    int priority = 0;
+    double deadline_s = 0.0;
+    bool follow = true;   ///< subscribe + stream events until terminal
+    bool json_out = false; ///< echo raw protocol lines instead of prose
+};
+
+std::optional<SubmitCliOptions> parse_submit_args(int argc, char** argv,
+                                                  int first) {
+    SubmitCliOptions opt;
+    bool port_set = false;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        }
+        if (arg == "--no-follow") {
+            opt.follow = false;
+            continue;
+        }
+        if (arg == "--json") {
+            opt.json_out = true;
+            continue;
+        }
+        if (!arg.empty() && arg[0] != '-') {
+            if (!opt.deck_path.empty()) {
+                return std::nullopt;
+            }
+            opt.deck_path = arg;
+            continue;
+        }
+        if (++i >= argc) {
+            return std::nullopt;
+        }
+        try {
+            if (arg == "--host") {
+                opt.host = argv[i];
+            } else if (arg == "--port") {
+                opt.port = static_cast<int>(parse_int_arg("--port", argv[i]));
+                port_set = true;
+            } else if (arg == "--circuit") {
+                opt.circuit_spec = argv[i];
+            } else if (arg == "--spec") {
+                opt.spec_json = argv[i];
+            } else if (arg == "--priority") {
+                opt.priority =
+                    static_cast<int>(parse_int_arg("--priority", argv[i]));
+            } else if (arg == "--deadline") {
+                opt.deadline_s = parse_value(argv[i]);
+                if (opt.deadline_s <= 0.0) {
+                    return std::nullopt;
+                }
+            } else if (arg == "--noise") {
+                // NODE:SIGMA — matched against circuit node names server
+                // side, so errors surface in the job result.
+                const std::string pair = argv[i];
+                const auto colon = pair.rfind(':');
+                if (colon == std::string::npos || colon == 0) {
+                    return std::nullopt;
+                }
+                service::wire::NoiseInjection inj;
+                inj.node = pair.substr(0, colon);
+                inj.sigma = parse_value(pair.substr(colon + 1));
+                opt.noise.push_back(std::move(inj));
+            } else {
+                return std::nullopt;
+            }
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+    }
+    if (!port_set || opt.port < 1 || opt.port > 65535) {
+        return std::nullopt;
+    }
+    if (opt.deck_path.empty() == !opt.circuit_spec.has_value()) {
+        return std::nullopt; // exactly one of deck / --circuit
+    }
+    return opt;
+}
+
+int run_submit(const SubmitCliOptions& cli) {
+    namespace json = service::json;
+
+    service::wire::CircuitSource circuit;
+    if (cli.circuit_spec) {
+        circuit.builtin = *cli.circuit_spec;
+    } else {
+        std::ifstream in(cli.deck_path, std::ios::binary);
+        if (!in) {
+            throw IoError("submit: cannot read deck '" + cli.deck_path +
+                          "'");
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        circuit.deck = text.str();
+    }
+    circuit.noise = cli.noise;
+
+    json::Value request{json::Object{}};
+    request.set("op", "submit");
+    request.set("circuit", circuit.to_json());
+    if (cli.spec_json) {
+        // Validate the wire spec locally so a typo is a usage error here
+        // rather than a rejected request there.
+        request.set("spec", service::wire::spec_to_json(
+                                service::wire::spec_from_json(
+                                    json::parse(*cli.spec_json))));
+    }
+    if (cli.priority != 0) {
+        request.set("priority", json::Value(cli.priority));
+    }
+    if (cli.deadline_s > 0.0) {
+        request.set("deadline_s", json::Value(cli.deadline_s));
+    }
+    request.set("subscribe", json::Value(cli.follow));
+
+    // Events may legitimately interleave ahead of the submit response on
+    // a subscribed connection (the worker can even finish a small job
+    // first), so the same collector runs during every request; a
+    // terminal event seen early short-circuits wait_for_terminal.
+    std::optional<json::Value> early_terminal;
+    const auto on_event = [&](const json::Value& event) {
+        if (cli.json_out) {
+            std::cout << event.dump() << '\n' << std::flush;
+        } else if (const json::Value* f = event.find("fraction")) {
+            std::cerr << "\r  " << static_cast<int>(f->as_number() * 100)
+                      << "%" << std::flush;
+        } else if (event.find("done") != nullptr &&
+                   event.find("total") != nullptr) {
+            std::cerr << "\r  trial " << event.at("done").as_int() << '/'
+                      << event.at("total").as_int() << std::flush;
+        }
+        const std::string& name = event.at("event").as_string();
+        if (name == "done" || name == "failed" || name == "cancelled" ||
+            name == "expired") {
+            early_terminal = event;
+        }
+    };
+
+    service::Client client(cli.host, cli.port);
+    const json::Value reply = client.request(request, on_event);
+    if (cli.json_out) {
+        std::cout << reply.dump() << '\n' << std::flush;
+    }
+    if (!reply.at("ok").as_bool()) {
+        if (!cli.json_out) {
+            std::cerr << "nanosim submit: rejected: "
+                      << reply.at("error").as_string() << '\n';
+        }
+        return 1;
+    }
+    const std::uint64_t id = reply.at("id").as_uint();
+    if (!cli.json_out) {
+        std::cout << "submitted job " << id << '\n';
+    }
+    if (!cli.follow) {
+        return 0;
+    }
+
+    const json::Value terminal = early_terminal
+                                     ? *early_terminal
+                                     : client.wait_for_terminal(id, on_event);
+    if (!cli.json_out) {
+        std::cerr << '\r';
+    }
+    const std::string& outcome = terminal.at("event").as_string();
+
+    if (outcome == "done" || outcome == "cancelled") {
+        json::Value fetch{json::Object{}};
+        fetch.set("op", "result");
+        fetch.set("id", json::Value(static_cast<double>(id)));
+        const json::Value result = client.request(fetch);
+        if (cli.json_out) {
+            std::cout << result.dump() << '\n' << std::flush;
+        } else if (result.at("ok").as_bool()) {
+            const json::Value& header =
+                result.at("result").at("header");
+            std::cout << "job " << id << ' ' << outcome << ": "
+                      << header.at("kind").as_string() << " via "
+                      << header.at("engine").as_string() << ", "
+                      << header.at("elapsed_s").as_number() << " s\n";
+        }
+    } else if (!cli.json_out) {
+        std::cout << "job " << id << ' ' << outcome;
+        if (const json::Value* err = terminal.find("error")) {
+            std::cout << ": " << err->as_string();
+        }
+        std::cout << '\n';
+    }
+    return outcome == "done" ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -743,6 +1041,8 @@ int main(int argc, char** argv) {
     int first = 1;
     bool sweep_verb = false;
     bool report_verb = false;
+    bool serve_verb = false;
+    bool submit_verb = false;
     if (argc > 1) {
         const std::string verb = argv[1];
         if (verb == "sweep") {
@@ -753,6 +1053,38 @@ int main(int argc, char** argv) {
         } else if (verb == "report") {
             report_verb = true;
             first = 2;
+        } else if (verb == "serve") {
+            serve_verb = true;
+            first = 2;
+        } else if (verb == "submit") {
+            submit_verb = true;
+            first = 2;
+        }
+    }
+    if (serve_verb) {
+        const auto cli = parse_serve_args(argc, argv, first);
+        if (!cli) {
+            usage(std::cerr);
+            return 2;
+        }
+        try {
+            return run_serve(*cli);
+        } catch (const SimError& e) {
+            std::cerr << "nanosim: " << e.what() << '\n';
+            return 1;
+        }
+    }
+    if (submit_verb) {
+        const auto cli = parse_submit_args(argc, argv, first);
+        if (!cli) {
+            usage(std::cerr);
+            return 2;
+        }
+        try {
+            return run_submit(*cli);
+        } catch (const SimError& e) {
+            std::cerr << "nanosim: " << e.what() << '\n';
+            return 1;
         }
     }
     if (sweep_verb) {
@@ -788,7 +1120,7 @@ int main(int argc, char** argv) {
         // stamp pattern + symbolic factorisation (the run_deck path).
         SimSession session =
             cli->circuit_spec
-                ? SimSession(make_builtin_circuit(*cli->circuit_spec))
+                ? SimSession(refckt::builtin_circuit(*cli->circuit_spec))
                 : SimSession::from_deck_file(cli->deck_path);
         if (cli->threads != 1) {
             // 0 = all cores (ExecutionPolicy semantics); results stay
@@ -829,6 +1161,13 @@ int main(int argc, char** argv) {
         if (cli->tabulate) {
             for (AnalysisSpec& spec : specs) {
                 std::visit([](auto& s) { s.common.tabulate = true; }, spec);
+            }
+        }
+        if (cli->deadline_s > 0.0) {
+            for (AnalysisSpec& spec : specs) {
+                std::visit(
+                    [&](auto& s) { s.common.deadline_s = cli->deadline_s; },
+                    spec);
             }
         }
         if (cli->mc_batch > 0 || !cli->probes.empty()) {
@@ -880,6 +1219,15 @@ int main(int argc, char** argv) {
                 throw;
             }
             meter.end();
+            if (result.header.aborted) {
+                // Deadline (or observer cancel) path: partial results are
+                // still printed below, but the exit code flags the cut.
+                std::cout << "\n* analysis " << index
+                          << " ABORTED after " << std::setprecision(3)
+                          << result.header.elapsed_s
+                          << " s (deadline/cancel) — partial results\n";
+                rc |= 1;
+            }
             if (cli->report) {
                 // Structured per-run solver report instead of waveforms.
                 std::cout << "\n* analysis " << index << ": "

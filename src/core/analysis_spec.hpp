@@ -66,6 +66,11 @@ struct CommonOptions {
     /// exact fallback outside.  Tables build once per session solver
     /// cache and are shared across analyses / Monte-Carlo trials.
     bool tabulate = false;
+    /// Wall-clock budget for the whole analysis [s]; 0 = none.  When the
+    /// budget runs out the run is cancelled through the observer path and
+    /// returns an `aborted` partial result (never an exception) — the
+    /// same contract as a client-initiated cancel.
+    double deadline_s = 0.0;
 };
 
 /// DC operating point.

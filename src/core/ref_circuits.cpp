@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -318,6 +319,84 @@ Circuit rc_lowpass(double r, double c, double v_step) {
     ckt.add<Resistor>("R1", in, out, r);
     ckt.add<Capacitor>("C1", out, k_ground, c);
     return ckt;
+}
+
+namespace {
+
+/// Parse "<R>x<C>[:extra]" grid dimensions; returns {rows, cols, extra}
+/// with extra = -1 when absent.  Throws NetlistError on malformed specs.
+struct GridDims {
+    int rows = 0;
+    int cols = 0;
+    int extra = -1;
+};
+
+GridDims parse_grid_dims(const std::string& spec, const std::string& body) {
+    GridDims d;
+    try {
+        const auto x = body.find('x');
+        if (x == std::string::npos || x == 0) {
+            throw std::invalid_argument("no 'x'");
+        }
+        std::size_t used = 0;
+        d.rows = std::stoi(body.substr(0, x), &used);
+        if (used != x) {
+            throw std::invalid_argument("rows");
+        }
+        std::string rest = body.substr(x + 1);
+        const auto colon = rest.find(':');
+        if (colon != std::string::npos) {
+            d.extra = std::stoi(rest.substr(colon + 1), &used);
+            if (used != rest.size() - colon - 1 || d.extra < 0) {
+                // Negative values would collide with the absent-field
+                // sentinel (-1) and silently select the default.
+                throw std::invalid_argument("extra");
+            }
+            rest = rest.substr(0, colon);
+        }
+        d.cols = std::stoi(rest, &used);
+        if (used != rest.size()) {
+            throw std::invalid_argument("cols");
+        }
+    } catch (const std::exception&) {
+        throw NetlistError("bad circuit spec '" + spec +
+                           "' (want mesh:RxC or grid:RxC[:vias])");
+    }
+    if (d.rows < 1 || d.cols < 1) {
+        throw NetlistError("circuit spec " + spec + ": grid must be >= 1x1");
+    }
+    return d;
+}
+
+} // namespace
+
+Circuit builtin_circuit(const std::string& spec) {
+    const auto colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    if (colon == std::string::npos) {
+        throw NetlistError("bad circuit spec '" + spec +
+                           "' (want mesh:RxC or grid:RxC[:vias])");
+    }
+    const std::string body = spec.substr(colon + 1);
+    if (kind == "mesh") {
+        const GridDims d = parse_grid_dims(spec, body);
+        if (d.extra != -1) {
+            // A third field is a grid:RxC:vias spec typed with the wrong
+            // kind; running a default mesh instead would be silent.
+            throw NetlistError("circuit spec mesh takes RxC only (did you "
+                               "mean grid:" + body + "?)");
+        }
+        return rc_mesh(d.rows, d.cols);
+    }
+    if (kind == "grid" || kind == "power_grid") {
+        const GridDims d = parse_grid_dims(spec, body);
+        // An explicit via count is passed through verbatim so an invalid
+        // one (0, negative) is rejected by power_grid instead of being
+        // silently replaced; only an ABSENT count defaults to 4.
+        return power_grid(d.rows, d.cols, d.extra != -1 ? d.extra : 4);
+    }
+    throw NetlistError("unknown circuit kind '" + kind +
+                       "' (have: mesh, grid)");
 }
 
 } // namespace nanosim::refckt

@@ -150,6 +150,14 @@ struct PowerGridSpec {
 [[nodiscard]] Circuit power_grid(const PowerGridSpec& spec = {});
 [[nodiscard]] Circuit power_grid(int rows, int cols, int vias);
 
+/// Built-in workload generators by textual spec — "mesh:RxC" (RTD-loaded
+/// RC mesh) and "grid:RxC[:vias]" / "power_grid:RxC[:vias]" (power-
+/// distribution grid).  The one parser behind the CLI's --circuit flag
+/// and the service wire protocol's "builtin" circuit source, so both
+/// agree on what a spec string means.  Throws NetlistError on malformed
+/// specs or unknown kinds.
+[[nodiscard]] Circuit builtin_circuit(const std::string& spec);
+
 } // namespace nanosim::refckt
 
 #endif // NANOSIM_CORE_REF_CIRCUITS_HPP

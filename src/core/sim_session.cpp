@@ -182,7 +182,36 @@ void SimSession::set_factor_threads(int threads) {
 
 AnalysisResult SimSession::run(const AnalysisSpec& spec,
                                const engines::AnalysisObserver* observer) {
+    // Wall-clock deadline (CommonOptions::deadline_s): folded into the
+    // observer's cancel slot BEFORE taking the session lock, so time
+    // spent queueing behind another analysis counts against the budget.
+    const double deadline_s =
+        std::visit([](const auto& s) { return s.common.deadline_s; }, spec);
+    engines::AnalysisObserver deadline_observer;
+    if (deadline_s > 0.0) {
+        deadline_observer = engines::with_deadline(
+            observer,
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(deadline_s)));
+        observer = &deadline_observer;
+    }
+    // Re-entrant run() from an observer callback would self-deadlock on
+    // the non-recursive session mutex — fail loudly instead.
+    if (running_thread_->load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+        throw AnalysisError(
+            "SimSession::run is not re-entrant: called again from the "
+            "thread already running an analysis (observer callback?)");
+    }
     const std::lock_guard<std::mutex> lock(*run_mutex_);
+    running_thread_->store(std::this_thread::get_id(),
+                           std::memory_order_relaxed);
+    struct RunningReset {
+        std::atomic<std::thread::id>* owner;
+        ~RunningReset() {
+            owner->store(std::thread::id{}, std::memory_order_relaxed);
+        }
+    } running_reset{running_thread_.get()};
     // One span per analysis — the root of the trace hierarchy (analysis
     // -> trial -> step -> eval/stamp/factor/solve).  Owned-name form:
     // the label carries the spec name.

@@ -24,11 +24,13 @@
 #ifndef NANOSIM_CORE_SIM_SESSION_HPP
 #define NANOSIM_CORE_SIM_SESSION_HPP
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis_spec.hpp"
@@ -98,11 +100,20 @@ public:
     /// Run one analysis.  The observer (optional) receives progress /
     /// per-step / per-trial callbacks and may cancel cooperatively — a
     /// cancelled run returns its partial result with header.aborted set.
-    /// Concurrent run() calls on one session serialize on an internal
-    /// mutex (they share the persistent solver cache); the historical
-    /// "const Simulator is safe to share across threads" contract is
-    /// preserved that way.  Note dc-sweep specs swap the source stimulus
-    /// under the same lock.
+    /// When the spec's CommonOptions::deadline_s is positive the observer
+    /// is additionally wrapped with engines::with_deadline, so a run that
+    /// outlives its wall-clock budget (measured from this call, including
+    /// any wait for the session lock) aborts through the same cooperative
+    /// path.
+    ///
+    /// CONCURRENCY CONTRACT: run()/run_all()/run_deck()/reassemble()/
+    /// set_factor_threads() serialize on an internal mutex — concurrent
+    /// calls from DIFFERENT threads are safe (they share the persistent
+    /// solver cache and block each other; the service worker pool relies
+    /// on exactly this).  A RE-ENTRANT run() from the same thread (e.g.
+    /// from inside an observer callback) would self-deadlock and throws
+    /// AnalysisError instead.  Note dc-sweep specs swap the source
+    /// stimulus under the same lock.
     [[nodiscard]] AnalysisResult
     run(const AnalysisSpec& spec,
         const engines::AnalysisObserver* observer = nullptr);
@@ -202,6 +213,10 @@ private:
     /// Serializes run()/reassemble(): analyses share the caches above.
     /// Behind a pointer so sessions stay movable.
     std::unique_ptr<std::mutex> run_mutex_ = std::make_unique<std::mutex>();
+    /// Thread currently inside run() (default id = none) — detects the
+    /// self-deadlocking re-entrant call the concurrency contract forbids.
+    std::unique_ptr<std::atomic<std::thread::id>> running_thread_ =
+        std::make_unique<std::atomic<std::thread::id>>();
 };
 
 } // namespace nanosim

@@ -29,6 +29,7 @@
 #ifndef NANOSIM_ENGINES_OBSERVER_HPP
 #define NANOSIM_ENGINES_OBSERVER_HPP
 
+#include <chrono>
 #include <functional>
 
 namespace nanosim::engines {
@@ -41,6 +42,11 @@ struct AnalysisObserver {
     std::function<void(double, int)> on_step;
     /// One completed trial of a batch driver: (done, total).
     std::function<void(int, int)> on_trial;
+    /// One accepted sample of the observed solution: (time, node voltage
+    /// vector, length).  Fires beside on_step with the engine's accepted
+    /// iterate — the streaming-results hook (service subscribers); the
+    /// pointer is only valid for the duration of the call.
+    std::function<void(double, const double*, int)> on_sample;
     /// Polled cooperatively; return true to abort with a partial result.
     std::function<bool()> cancel;
 
@@ -62,6 +68,11 @@ struct AnalysisObserver {
             on_trial(done, total);
         }
     }
+    void sample(double t, const double* x, int n) const {
+        if (on_sample) {
+            on_sample(t, x, n);
+        }
+    }
 };
 
 /// Observer forwarding only the cancellation slot of `outer` — what a
@@ -75,6 +86,31 @@ cancel_only(const AnalysisObserver* outer) {
     if (outer != nullptr && outer->cancel) {
         inner.cancel = outer->cancel;
     }
+    return inner;
+}
+
+/// Observer forwarding every slot of `outer` with an additional
+/// wall-clock deadline folded into `cancel`: once steady_clock passes
+/// `deadline`, the engine sees a cancel request and winds down with an
+/// `aborted` partial result — exactly the client-initiated-cancel path,
+/// so a deadline can never produce a result shape a cancel could not.
+/// Returns a value-type observer; pass its address while `outer`
+/// outlives it.  `outer` may be null (deadline only).
+[[nodiscard]] inline AnalysisObserver
+with_deadline(const AnalysisObserver* outer,
+              std::chrono::steady_clock::time_point deadline) {
+    AnalysisObserver inner;
+    if (outer != nullptr) {
+        inner = *outer;
+    }
+    std::function<bool()> base =
+        outer != nullptr ? outer->cancel : std::function<bool()>{};
+    inner.cancel = [base = std::move(base), deadline] {
+        if (base && base()) {
+            return true;
+        }
+        return std::chrono::steady_clock::now() >= deadline;
+    };
     return inner;
 }
 

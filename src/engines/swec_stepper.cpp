@@ -236,6 +236,7 @@ void SwecStepper::accept(linalg::Vector x_next,
     record(t_, x_);
     if (observer != nullptr) {
         observer->step(t_, result_.steps_accepted);
+        observer->sample(t_, x_.data(), static_cast<int>(x_.size()));
         observer->progress(t_ / options_.t_stop);
     }
 

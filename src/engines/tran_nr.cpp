@@ -293,6 +293,7 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
             record(t, x);
             if (observer != nullptr) {
                 observer->step(t, result.steps_accepted);
+                observer->sample(t, x.data(), static_cast<int>(x.size()));
                 observer->progress(t / options.t_stop);
             }
             // Grow the step after an easy point.

@@ -319,6 +319,7 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
         record(t, x);
         if (observer != nullptr) {
             observer->step(t, result.steps_accepted);
+            observer->sample(t, x.data(), static_cast<int>(x.size()));
             observer->progress(t / options.t_stop);
         }
         h = std::min(h * 1.5, options.dt_max);

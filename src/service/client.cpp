@@ -1,0 +1,129 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace nanosim::service {
+
+Client::Client(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        throw IoError("client: cannot create socket");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        throw IoError("client: bad host '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd_);
+        throw IoError("client: cannot connect to " + host + ":" +
+                      std::to_string(port));
+    }
+}
+
+Client::~Client() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+void Client::send(const json::Value& message) {
+    std::string line = message.dump();
+    line.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n = ::send(fd_, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            throw IoError("client: connection lost while sending");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::optional<json::Value> Client::read() {
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (line.empty()) {
+                continue;
+            }
+            return json::parse(line);
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            return std::nullopt;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+json::Value Client::request(
+    const json::Value& message,
+    const std::function<void(const json::Value&)>& on_event) {
+    send(message);
+    for (;;) {
+        std::optional<json::Value> line = read();
+        if (!line.has_value()) {
+            throw IoError("client: connection closed before a response");
+        }
+        if (line->find("event") != nullptr) {
+            if (on_event) {
+                on_event(*line);
+            }
+            continue;
+        }
+        return *std::move(line);
+    }
+}
+
+json::Value Client::wait_for_terminal(
+    std::uint64_t id,
+    const std::function<void(const json::Value&)>& on_event) {
+    for (;;) {
+        std::optional<json::Value> line = read();
+        if (!line.has_value()) {
+            throw IoError(
+                "client: connection closed while waiting for job " +
+                std::to_string(id));
+        }
+        const json::Value* event = line->find("event");
+        if (event == nullptr) {
+            continue; // stray response (interleaved request elsewhere)
+        }
+        if (on_event) {
+            on_event(*line);
+        }
+        const json::Value* jid = line->find("id");
+        if (jid == nullptr || jid->as_uint() != id) {
+            continue;
+        }
+        const std::string& name = event->as_string();
+        if (name == "done" || name == "failed" || name == "cancelled" ||
+            name == "expired") {
+            return *std::move(line);
+        }
+    }
+}
+
+} // namespace nanosim::service

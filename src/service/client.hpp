@@ -1,0 +1,60 @@
+// Nano-Sim — blocking NDJSON client for the analysis service.
+//
+// Thin wrapper over a connected TCP socket: send() writes one request
+// line, read() returns the next line parsed (responses AND event lines
+// in arrival order), request() sends and waits for the next RESPONSE
+// (lines with an "event" key are handed to an optional callback and
+// skipped).  Used by `nanosim submit` and the service tests; the
+// protocol itself is documented in server.hpp.
+#ifndef NANOSIM_SERVICE_CLIENT_HPP
+#define NANOSIM_SERVICE_CLIENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "service/json.hpp"
+
+namespace nanosim::service {
+
+/// Blocking service connection (see file comment).  Not thread-safe.
+class Client {
+public:
+    /// Connect; throws IoError when the host/port cannot be reached.
+    Client(const std::string& host, int port);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Write `message` as one NDJSON line.
+    void send(const json::Value& message);
+
+    /// Next line from the server, parsed; nullopt on EOF.  Throws
+    /// ServiceError when the server sends malformed JSON.
+    [[nodiscard]] std::optional<json::Value> read();
+
+    /// send() then read() until a non-event line arrives.  Event lines
+    /// seen on the way are passed to `on_event` (when set).  Throws
+    /// IoError if the connection closes before a response.
+    json::Value request(
+        const json::Value& message,
+        const std::function<void(const json::Value&)>& on_event = {});
+
+    /// Read until the terminal event for job `id` ("done", "failed",
+    /// "cancelled", "expired"); every event line seen (including the
+    /// terminal one) is passed to `on_event`.  Returns the terminal
+    /// event.  The connection must be subscribed to the job.
+    json::Value wait_for_terminal(
+        std::uint64_t id,
+        const std::function<void(const json::Value&)>& on_event = {});
+
+private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace nanosim::service
+
+#endif // NANOSIM_SERVICE_CLIENT_HPP

@@ -1,0 +1,140 @@
+#include "service/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::service {
+
+const char* job_phase_name(JobPhase phase) noexcept {
+    switch (phase) {
+    case JobPhase::queued: return "queued";
+    case JobPhase::running: return "running";
+    case JobPhase::done: return "done";
+    case JobPhase::failed: return "failed";
+    case JobPhase::cancelled: return "cancelled";
+    case JobPhase::expired: return "expired";
+    }
+    return "unknown";
+}
+
+JobQueue::JobQueue(std::size_t max_depth)
+    : max_depth_(std::max<std::size_t>(max_depth, 1)) {}
+
+void JobQueue::update_depth_gauge(std::size_t depth) const {
+    if (obs::metrics_enabled()) {
+        obs::metrics()
+            .gauge("service.queue_depth")
+            .set(static_cast<double>(depth));
+    }
+}
+
+bool JobQueue::push(JobPtr job) {
+    if (job == nullptr) {
+        throw ServiceError("JobQueue::push: null job");
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || queue_.size() >= max_depth_) {
+            return false;
+        }
+        const Key key{job->priority, next_seq_++};
+        by_id_.emplace(job->id, key);
+        queue_.emplace(key, std::move(job));
+        update_depth_gauge(queue_.size());
+    }
+    ready_.notify_one();
+    return true;
+}
+
+JobPtr JobQueue::pop(std::vector<JobPtr>& expired_out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Sweep queued deadlines first so an expired job is never
+        // preferred over a live lower-priority one.
+        const auto now = std::chrono::steady_clock::now();
+        auto soonest = std::chrono::steady_clock::time_point::max();
+        for (auto it = queue_.begin(); it != queue_.end();) {
+            const auto deadline = it->second->deadline();
+            if (deadline <= now) {
+                JobPtr job = std::move(it->second);
+                by_id_.erase(job->id);
+                it = queue_.erase(it);
+                job->cancel_requested.store(true,
+                                            std::memory_order_relaxed);
+                job->phase.store(JobPhase::expired,
+                                 std::memory_order_release);
+                expired_out.push_back(std::move(job));
+            } else {
+                soonest = std::min(soonest, deadline);
+                ++it;
+            }
+        }
+        if (!queue_.empty()) {
+            auto it = queue_.begin();
+            JobPtr job = std::move(it->second);
+            queue_.erase(it);
+            by_id_.erase(job->id);
+            update_depth_gauge(queue_.size());
+            return job;
+        }
+        update_depth_gauge(0);
+        if (closed_) {
+            return nullptr;
+        }
+        if (!expired_out.empty()) {
+            // Let the caller report the expirations before blocking.
+            return nullptr;
+        }
+        if (soonest == std::chrono::steady_clock::time_point::max()) {
+            ready_.wait(lock);
+        } else {
+            ready_.wait_until(lock, soonest);
+        }
+    }
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+    JobPtr job;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = by_id_.find(id);
+        if (it == by_id_.end()) {
+            return false;
+        }
+        const auto qit = queue_.find(it->second);
+        if (qit != queue_.end()) {
+            job = std::move(qit->second);
+            queue_.erase(qit);
+        }
+        by_id_.erase(it);
+        update_depth_gauge(queue_.size());
+    }
+    if (job != nullptr) {
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+        job->phase.store(JobPhase::cancelled, std::memory_order_release);
+    }
+    return true;
+}
+
+void JobQueue::close() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool JobQueue::closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace nanosim::service

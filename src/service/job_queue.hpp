@@ -1,0 +1,155 @@
+// Nano-Sim — priority job queue for the analysis service.
+//
+// One Job is one analysis request travelling from a client connection to
+// a worker: circuit source + spec + scheduling metadata (priority,
+// wall-clock deadline) + the atomics the worker and the connection share
+// (phase, cancel flag).  The queue itself is deliberately networking-free
+// so its scheduling semantics are unit-testable in-process:
+//
+//  * BOUNDED: push() on a full queue returns false immediately — the
+//    server turns that into a backpressure rejection, it never blocks a
+//    reader thread on queue space.
+//  * PRIORITY: higher `priority` pops first; equal priorities pop FIFO
+//    (submission order) — a starving-free total order.
+//  * DEADLINES: a job whose wall-clock deadline passes while still
+//    QUEUED is never handed to a worker; pop() expires it (phase =
+//    expired) and returns it through `expired_out` so the server can
+//    notify the submitter.  Deadlines of RUNNING jobs are the engine
+//    observer's business (engines::with_deadline), not the queue's.
+//  * CANCELLATION: cancel() flips the job's cancel flag; a still-queued
+//    job is additionally removed from the queue right away (phase =
+//    cancelled) so it never occupies a worker.
+#ifndef NANOSIM_SERVICE_JOB_QUEUE_HPP
+#define NANOSIM_SERVICE_JOB_QUEUE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/analysis_spec.hpp"
+#include "service/wire.hpp"
+
+namespace nanosim::service {
+
+/// Lifecycle of a job.  queued -> running -> {done, failed, cancelled};
+/// queued -> {cancelled, expired} without ever running.
+enum class JobPhase {
+    queued,    ///< accepted, waiting for a worker
+    running,   ///< a worker is executing it
+    done,      ///< finished; result_json holds the wire-format result
+    failed,    ///< threw; error holds the message
+    cancelled, ///< client cancel (queued or cooperative mid-run)
+    expired,   ///< wall-clock deadline passed while still queued
+};
+
+[[nodiscard]] const char* job_phase_name(JobPhase phase) noexcept;
+
+/// True for the phases a job can no longer leave.
+[[nodiscard]] constexpr bool job_phase_terminal(JobPhase phase) noexcept {
+    return phase != JobPhase::queued && phase != JobPhase::running;
+}
+
+/// One analysis request in flight.  Shared between the submitting
+/// connection (status queries, cancel) and the executing worker; the
+/// mutable fields are atomics or written strictly before the terminal
+/// phase store (release) and read after its load (acquire).
+struct Job {
+    std::uint64_t id = 0;
+    int priority = 0;        ///< higher pops first
+    /// Wall-clock budget from `submitted` [s]; 0 = none.  Spent queue
+    /// time counts: the worker hands the engine only the remainder.
+    double deadline_s = 0.0;
+    std::chrono::steady_clock::time_point submitted;
+    wire::CircuitSource circuit;
+    AnalysisSpec spec;
+
+    std::atomic<JobPhase> phase{JobPhase::queued};
+    std::atomic<bool> cancel_requested{false};
+    /// Failure message (phase == failed); written before the phase store.
+    std::string error;
+    /// Wire-format result document (phase == done / cancelled-mid-run);
+    /// written before the phase store.
+    std::shared_ptr<const std::string> result_json;
+
+    /// Absolute wall-clock deadline, or time_point::max() when none.
+    [[nodiscard]] std::chrono::steady_clock::time_point deadline() const {
+        if (deadline_s <= 0.0) {
+            return std::chrono::steady_clock::time_point::max();
+        }
+        return submitted +
+               std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(deadline_s));
+    }
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+/// Bounded priority queue of jobs (see file comment for semantics).
+class JobQueue {
+public:
+    /// `max_depth` >= 1: jobs admitted but not yet popped.
+    explicit JobQueue(std::size_t max_depth);
+
+    /// Admit a job.  Returns false (and leaves the job untouched) when
+    /// the queue is full or closed — the backpressure signal.
+    [[nodiscard]] bool push(JobPtr job);
+
+    /// Block until a job is runnable, the queue closes, or a queued
+    /// job's deadline passes.  Expired jobs (phase set to `expired`,
+    /// cancel flag raised) are appended to `expired_out` and never
+    /// returned as runnable.  Returns nullptr in two cases the caller
+    /// tells apart via closed(): the queue is closed and drained (stop),
+    /// or expirations happened with no runnable job left (report them,
+    /// then pop again).
+    [[nodiscard]] JobPtr pop(std::vector<JobPtr>& expired_out);
+
+    /// Request cancellation of job `id`.  A still-queued job is removed
+    /// immediately (phase = cancelled); a running job only gets its
+    /// cancel flag raised — the worker winds it down cooperatively.
+    /// Returns true when the id was known to this queue (still queued).
+    bool cancel(std::uint64_t id);
+
+    /// Stop admitting; wake every popper once drained.
+    void close();
+
+    [[nodiscard]] std::size_t depth() const;
+    [[nodiscard]] std::size_t max_depth() const noexcept {
+        return max_depth_;
+    }
+    [[nodiscard]] bool closed() const;
+
+private:
+    /// Pop order: priority descending, then submission sequence
+    /// ascending (FIFO within a priority class).
+    struct Key {
+        int priority;
+        std::uint64_t seq;
+        bool operator<(const Key& other) const noexcept {
+            if (priority != other.priority) {
+                return priority > other.priority;
+            }
+            return seq < other.seq;
+        }
+    };
+
+    void update_depth_gauge(std::size_t depth) const;
+
+    const std::size_t max_depth_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::map<Key, JobPtr> queue_;
+    std::map<std::uint64_t, Key> by_id_;
+    std::uint64_t next_seq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace nanosim::service
+
+#endif // NANOSIM_SERVICE_JOB_QUEUE_HPP

@@ -21,6 +21,7 @@ enum class ErrorCode {
     netlist,         ///< bad circuit description (parse error, bad pin, ...)
     analysis,        ///< invalid analysis request (bad time step, bounds, ...)
     io,              ///< file could not be read/written
+    service,         ///< malformed wire message / service protocol violation
 };
 
 /// Root of the Nano-Sim exception hierarchy.
@@ -84,6 +85,16 @@ class IoError : public SimError {
 public:
     explicit IoError(const std::string& what_arg)
         : SimError(what_arg, ErrorCode::io) {}
+};
+
+/// Malformed service wire message: bad JSON, unknown field, wrong type,
+/// or a protocol-level violation (unknown op, bad job id, ...).  The
+/// server catches this per-request and answers with an error line; it
+/// must never take the daemon down.
+class ServiceError : public SimError {
+public:
+    explicit ServiceError(const std::string& what_arg)
+        : SimError(what_arg, ErrorCode::service) {}
 };
 
 } // namespace nanosim
