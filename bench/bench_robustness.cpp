@@ -1,0 +1,325 @@
+// Nano-Sim bench — fail-point framework overhead + resume fidelity gate.
+//
+//   $ ./bench_robustness [mc_runs] [out.json] [mesh]
+//
+// The robustness contract (util/failpoints.hpp + the rescue ladder):
+// injection sites compiled into every hot path must be near-free while
+// DISABLED (the default), arming sites that never fire must not perturb
+// a single ulp, and a campaign killed at a checkpoint must resume to the
+// bit-identical result.  All four are enforced by the exit code:
+//
+//   1. disabled-site cost: a tight loop over failpoints::fire() with
+//      nothing armed (one relaxed atomic load + branch) must stay under
+//      25 ns per site — catching an accidental lock or map lookup on the
+//      disabled path.
+//   2. predicted disabled overhead <= 1%: gate evaluations per MC run
+//      (counted exactly by an armed-but-never-firing run) x measured
+//      ns/site must be under 1% of the run's wall time.  Like
+//      bench_obs_overhead, the bound is computed from two reproducible
+//      numbers instead of comparing two noisy wall-clock populations.
+//   3. bit identity, disabled vs armed-never-firing: the same seeded
+//      Monte-Carlo campaign with the framework off and with sites armed
+//      at an unreachable Nth evaluation must agree bit-for-bit.
+//   4. kill-and-resume bit identity: a campaign checkpointed mid-flight
+//      and resumed from that checkpoint in a fresh session must
+//      reproduce the uninterrupted campaign bit-for-bit (mean, stddev,
+//      per-trial step fingerprint).
+//
+// Writes BENCH_robustness.json with every number behind the gates.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/ref_circuits.hpp"
+#include "core/sim_session.hpp"
+#include "devices/sources.hpp"
+#include "engines/monte_carlo.hpp"
+#include "util/failpoints.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace nanosim;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/// The MC workload: an RC mesh with a white-noise injection at the
+/// centre node, fixed-step trials on the noise grid — every solver,
+/// engine, and MC-driver injection site sits on this path.
+Circuit make_workload(int mesh) {
+    Circuit ckt = refckt::rc_mesh(mesh, mesh);
+    const std::string center = "n" + std::to_string(mesh / 2) + "_" +
+                               std::to_string(mesh / 2);
+    ckt.add<NoiseCurrentSource>("NOISE1", k_ground, ckt.find_node(center),
+                                1e-9);
+    return ckt;
+}
+
+MonteCarloSpec make_spec(int mesh, int mc_runs) {
+    MonteCarloSpec mc;
+    mc.node =
+        "n" + std::to_string(mesh / 2) + "_" + std::to_string(mesh / 2);
+    mc.t_stop = 5e-9;
+    mc.noise_dt = 2.5e-10;
+    mc.runs = mc_runs;
+    mc.grid_points = 26;
+    mc.tran.adaptive = false;
+    mc.tran.dt_init = mc.noise_dt;
+    return mc;
+}
+
+struct McRun {
+    double ms = 0.0;
+    std::optional<engines::McResult> result;
+    std::vector<engines::McCheckpoint> checkpoints;
+};
+
+McRun run_workload(int mesh, const MonteCarloSpec& spec,
+                   bool capture_checkpoints = false) {
+    SimSession session(make_workload(mesh));
+    engines::AnalysisObserver observer;
+    McRun out;
+    if (capture_checkpoints) {
+        observer.on_checkpoint = [&](const engines::McCheckpoint& cp) {
+            out.checkpoints.push_back(cp);
+        };
+    }
+    const auto t0 = Clock::now();
+    AnalysisResult r =
+        session.run(spec, capture_checkpoints ? &observer : nullptr);
+    out.ms = ms_since(t0);
+    out.result.emplace(std::get<engines::McResult>(std::move(r.payload)));
+    return out;
+}
+
+double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Bit-exact waveform comparison (no tolerance: a fail-point site that
+/// never fires must not perturb a single ulp).
+bool identical(const analysis::Waveform& a, const analysis::Waveform& b) {
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.time_at(i) != b.time_at(i) ||
+            a.value_at(i) != b.value_at(i)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool identical_mc(const engines::McResult& a, const engines::McResult& b) {
+    return identical(a.mean, b.mean) && identical(a.stddev, b.stddev) &&
+           a.stats.paths() == b.stats.paths() &&
+           a.trial_steps == b.trial_steps &&
+           a.failed_trials.size() == b.failed_trials.size();
+}
+
+/// ns per disabled injection site: exactly the guarded evaluation every
+/// call site pays when nothing is armed anywhere.
+double measure_disabled_site_ns() {
+    failpoints::disarm_all();
+    auto& fp = failpoints::site("bench.disabled_probe");
+    constexpr std::int64_t kIters = 1 << 22;
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < kIters; ++i) {
+        sink += failpoints::fire(fp) ? 1u : 0u;
+        asm volatile("" : : "r"(&sink) : "memory");
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0)
+            .count() /
+        static_cast<double>(kIters);
+    if (sink != 0) {
+        std::cout << "  (impossible: disabled site fired)\n";
+    }
+    return ns;
+}
+
+/// Sum of fire() evaluations across every registered site.
+std::uint64_t total_evaluations() {
+    std::uint64_t total = 0;
+    for (const auto& [name, mode] : failpoints::catalog()) {
+        total += failpoints::site(name.c_str()).evaluations();
+    }
+    return total;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int mc_runs = argc > 1 ? std::stoi(argv[1]) : 40;
+    const std::string out_path =
+        argc > 2 ? argv[2] : "BENCH_robustness.json";
+    const int mesh = argc > 3 ? std::stoi(argv[3]) : 8;
+    const bool full = mc_runs >= 20;
+    const int reps = full ? 5 : 1;
+
+    nanosim::bench::banner(
+        "fail-point overhead + resume fidelity gate "
+        "(BENCH_robustness.json)",
+        "disabled-path cost, armed-never-firing bit identity, "
+        "kill-and-resume bit identity, 1% overhead bound");
+    std::cout << "  workload: " << mesh << 'x' << mesh << " RC mesh + "
+              << "white noise, " << mc_runs << "-trial Monte-Carlo ("
+              << (full ? "full" : "smoke") << " mode, " << reps
+              << " rep(s))\n";
+
+    // ---- 1. disabled-site micro cost -----------------------------------
+    nanosim::bench::section("disabled-path site cost");
+    const double site_ns = measure_disabled_site_ns();
+    std::cout << "  fire() with nothing armed: " << std::fixed
+              << std::setprecision(2) << site_ns << " ns/site\n";
+
+    // ---- 2. interleaved disabled / armed-never-firing runs -------------
+    nanosim::bench::section(
+        "interleaved Monte-Carlo runs (disabled / armed, never firing)");
+    const MonteCarloSpec spec = make_spec(mesh, mc_runs);
+    failpoints::disarm_all();
+    run_workload(mesh, spec); // warm-up: page-in, allocator, tables
+
+    std::vector<double> off_ms;
+    std::vector<double> armed_ms;
+    std::uint64_t evals_per_run = 0;
+    std::optional<engines::McResult> off_result;
+    std::optional<engines::McResult> armed_result;
+    for (int rep = 0; rep < reps; ++rep) {
+        failpoints::disarm_all();
+        McRun off = run_workload(mesh, spec);
+        off_ms.push_back(off.ms);
+        off_result = std::move(off.result);
+
+        // Armed at the billionth evaluation: the global gate is open and
+        // every site counts its evaluations, but nothing ever fires.
+        failpoints::arm_from_spec("bench.sentinel=1000000000,"
+                                  "mc.trial_fail=1000000000,"
+                                  "linalg.singular_pivot=1000000000");
+        const std::uint64_t evals_before = total_evaluations();
+        McRun armed = run_workload(mesh, spec);
+        evals_per_run = total_evaluations() - evals_before;
+        failpoints::disarm_all();
+        armed_ms.push_back(armed.ms);
+        armed_result = std::move(armed.result);
+        std::cout << "  rep " << rep << ": disabled "
+                  << std::setprecision(2) << off.ms << " ms | armed "
+                  << armed.ms << " ms\n";
+    }
+
+    const double off_median = median(off_ms);
+    const double armed_median = median(armed_ms);
+    // Disabled overhead predicted from first principles: the exact gate
+    // count per run (evaluations only happen where the disabled path
+    // checks the gate) x the measured per-check cost, doubled for
+    // headroom — compare bench_obs_overhead's 2% telemetry bound.
+    const double predicted_pct = 100.0 * 2.0 *
+                                 static_cast<double>(evals_per_run) *
+                                 site_ns / (off_median * 1e6);
+    std::cout << "  disabled median " << off_median << " ms, armed median "
+              << armed_median << " ms\n"
+              << "  " << evals_per_run << " gate checks/run -> predicted "
+              << "disabled overhead " << std::setprecision(4)
+              << predicted_pct << "%\n";
+
+    // ---- 3. bit identity (disabled vs armed-never-firing) --------------
+    nanosim::bench::section("bit identity (disabled vs armed)");
+    const bool armed_identical = identical_mc(*off_result, *armed_result);
+    const bool no_quarantine = off_result->failed_trials.empty() &&
+                               armed_result->failed_trials.empty();
+    std::cout << "  mean/stddev/steps "
+              << (armed_identical ? "bit-identical" : "DIFFER")
+              << ", quarantine "
+              << (no_quarantine ? "empty" : "NON-EMPTY") << '\n';
+
+    // ---- 4. kill-and-resume bit identity -------------------------------
+    nanosim::bench::section("kill-and-resume bit identity");
+    failpoints::disarm_all();
+    MonteCarloSpec cp_spec = spec;
+    cp_spec.checkpoint_every = std::max(1, mc_runs / 4);
+    McRun checkpointed = run_workload(mesh, cp_spec, true);
+    bool resume_identical = false;
+    std::size_t resumed_at = 0;
+    if (checkpointed.checkpoints.empty()) {
+        std::cout << "  no checkpoints emitted (runs too small?)\n";
+    } else {
+        // "Kill" after the middle checkpoint: everything past it is
+        // discarded, a fresh session resumes from the persisted state.
+        const std::size_t mid = (checkpointed.checkpoints.size() - 1) / 2;
+        const engines::McCheckpoint& cp = checkpointed.checkpoints[mid];
+        resumed_at = static_cast<std::size_t>(cp.next_trial);
+        MonteCarloSpec resume_spec = spec;
+        resume_spec.resume =
+            std::make_shared<engines::McCheckpoint>(cp);
+        McRun resumed = run_workload(mesh, resume_spec);
+        resume_identical =
+            identical_mc(*off_result, *resumed.result) &&
+            identical_mc(*off_result, *checkpointed.result);
+        std::cout << "  killed after trial " << resumed_at << '/'
+                  << mc_runs << "; resumed result "
+                  << (resume_identical ? "bit-identical to uninterrupted"
+                                       : "DIFFERS")
+                  << '\n';
+    }
+
+    // ---- gates ----------------------------------------------------------
+    nanosim::bench::section("gates");
+    const bool gate_site = site_ns <= 25.0;
+    const bool gate_predicted = predicted_pct <= 1.0;
+    const bool pass = gate_site && gate_predicted && armed_identical &&
+                      no_quarantine && resume_identical;
+    std::cout << "  site cost <= 25 ns            "
+              << (gate_site ? "PASS" : "FAIL") << '\n'
+              << "  predicted overhead <= 1%      "
+              << (gate_predicted ? "PASS" : "FAIL") << '\n'
+              << "  armed-never-firing identity   "
+              << (armed_identical && no_quarantine ? "PASS" : "FAIL")
+              << '\n'
+              << "  kill-and-resume identity      "
+              << (resume_identical ? "PASS" : "FAIL") << '\n';
+
+    std::ofstream os(out_path);
+    os << std::setprecision(17)
+       << "{\n"
+       << "  \"bench\": \"robustness\",\n"
+       << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
+       << "  \"mesh\": " << mesh << ",\n"
+       << "  \"mc_runs\": " << mc_runs << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"disabled_site_ns\": " << site_ns << ",\n"
+       << "  \"gate_checks_per_run\": " << evals_per_run << ",\n"
+       << "  \"disabled_ms_median\": " << off_median << ",\n"
+       << "  \"armed_ms_median\": " << armed_median << ",\n"
+       << "  \"predicted_disabled_overhead_pct\": " << predicted_pct
+       << ",\n"
+       << "  \"resumed_at_trial\": " << resumed_at << ",\n"
+       << "  \"gates\": {\n"
+       << "    \"site_cost\": " << (gate_site ? "true" : "false") << ",\n"
+       << "    \"predicted_overhead\": "
+       << (gate_predicted ? "true" : "false") << ",\n"
+       << "    \"armed_identity\": "
+       << (armed_identical && no_quarantine ? "true" : "false") << ",\n"
+       << "    \"resume_identity\": "
+       << (resume_identical ? "true" : "false") << "\n"
+       << "  },\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+       << "}\n";
+    std::cout << "\n  wrote " << out_path << '\n'
+              << "  overall: " << (pass ? "PASS" : "FAIL") << '\n';
+    return pass ? 0 : 1;
+}

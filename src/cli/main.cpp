@@ -38,8 +38,10 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iomanip>
 #include <iostream>
 #include <optional>
@@ -58,6 +60,7 @@
 #include "service/json.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
+#include "util/failpoints.hpp"
 
 using namespace nanosim;
 
@@ -81,6 +84,7 @@ struct CliOptions {
     std::vector<std::string> probes;         ///< extra MC observation nodes
     std::optional<std::string> trace_path;   ///< --trace FILE.json
     std::optional<std::string> metrics_path; ///< --metrics FILE.json
+    std::optional<std::string> failpoints;   ///< --failpoints SPEC
 };
 
 /// Progress meter on stderr, driven by the AnalysisObserver.  Redraws on
@@ -218,6 +222,10 @@ void usage(std::ostream& os) {
           "                             on expiry the run is cancelled via\n"
           "                             the observer path and returns an\n"
           "                             aborted PARTIAL result (exit 1)\n"
+          "  --failpoints SPEC          arm fault-injection sites (chaos\n"
+          "                             testing): comma list of name=mode,\n"
+          "                             mode off|always|1inN|N; see README\n"
+          "                             'Robustness' for the site catalog\n"
           "  --quiet                    no ASCII plots\n"
           "  --verbose                  info-level logging\n"
           "  --version                  print version\n"
@@ -244,7 +252,13 @@ void usage(std::ostream& os) {
           "  --queue-depth N            backpressure bound (default 64)\n"
           "  --threads N                factor-path workers per session\n"
           "  --max-sessions N           session-dedup cache capacity\n"
+          "  --idle-timeout T           per-connection read idle budget\n"
+          "                             [s]: one quiet interval sends a\n"
+          "                             heartbeat probe, a second closes\n"
+          "                             the connection (0 = wait forever)\n"
           "  --metrics FILE.json        dump the metrics registry on stop\n"
+          "  --failpoints SPEC          arm fault-injection sites (as in\n"
+          "                             run)\n"
           "  SIGTERM/SIGINT             drain the queue and exit 0; a\n"
           "                             second signal force-cancels\n"
           "submit options (client for `nanosim serve`):\n"
@@ -261,10 +275,35 @@ void usage(std::ostream& os) {
           "  --json                     echo raw protocol lines (events +\n"
           "                             final result document) to stdout\n"
           "  --no-follow                submit and exit without streaming\n"
+          "  --connect-timeout T        TCP connect budget [s] (default 5;\n"
+          "                             0 = blocking POSIX connect)\n"
+          "  --read-timeout T           per-read budget [s] while waiting\n"
+          "                             for responses/events (default 0 =\n"
+          "                             wait forever; pair with the\n"
+          "                             server's --idle-timeout heartbeat)\n"
+          "  --retries N                submit attempts on connection\n"
+          "                             errors with capped exponential\n"
+          "                             backoff (default 3); resubmits\n"
+          "                             carry an idempotency key so the\n"
+          "                             job runs at most once\n"
+          "  --checkpoint FILE          persist the latest mc checkpoint\n"
+          "                             event doc to FILE (atomic rename);\n"
+          "                             requires an mc --spec with\n"
+          "                             \"checkpoint_every\" set\n"
+          "  --resume FILE              resume an mc job from a checkpoint\n"
+          "                             written by --checkpoint; requires\n"
+          "                             the SAME --spec as the original\n"
+          "                             run (surviving trials stay bit-\n"
+          "                             identical to an uninterrupted run)\n"
+          "  --failpoints SPEC          arm fault-injection sites in the\n"
+          "                             SERVER process (sent on the wire)\n"
           "environment:\n"
           "  NANOSIM_LOG=LEVEL          log threshold before flag parsing\n"
           "                             (trace|debug|info|warn|error|off);\n"
           "                             --verbose overrides it\n"
+          "  NANOSIM_FAILPOINTS=SPEC    arm fault-injection sites before\n"
+          "                             any verb runs (same syntax as\n"
+          "                             --failpoints)\n"
           "example:\n"
           "  nanosim sweep deck.cir --param RTD1:A=1e-3:2e-3:11 \\\n"
           "      --threads 8 --out sweep.csv\n";
@@ -327,6 +366,11 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             opt.metrics_path = argv[i];
+        } else if (arg == "--failpoints") {
+            if (++i >= argc) {
+                return std::nullopt;
+            }
+            opt.failpoints = argv[i];
         } else if (arg == "--threads") {
             if (++i >= argc) {
                 return std::nullopt;
@@ -722,6 +766,7 @@ extern "C" void on_stop_signal(int /*sig*/) {
 struct ServeCliOptions {
     service::ServerOptions server;
     std::optional<std::string> metrics_path;
+    std::optional<std::string> failpoints; ///< --failpoints SPEC
 };
 
 std::optional<ServeCliOptions> parse_serve_args(int argc, char** argv,
@@ -758,8 +803,15 @@ std::optional<ServeCliOptions> parse_serve_args(int argc, char** argv,
             } else if (arg == "--max-sessions") {
                 opt.server.max_sessions = static_cast<std::size_t>(
                     parse_int_arg("--max-sessions", argv[i]));
+            } else if (arg == "--idle-timeout") {
+                opt.server.idle_timeout_s = parse_value(argv[i]);
+                if (opt.server.idle_timeout_s < 0.0) {
+                    return std::nullopt;
+                }
             } else if (arg == "--metrics") {
                 opt.metrics_path = argv[i];
+            } else if (arg == "--failpoints") {
+                opt.failpoints = argv[i];
             } else {
                 return std::nullopt;
             }
@@ -777,6 +829,9 @@ std::optional<ServeCliOptions> parse_serve_args(int argc, char** argv,
 int run_serve(const ServeCliOptions& cli) {
     if (cli.metrics_path) {
         obs::set_metrics_enabled(true);
+    }
+    if (cli.failpoints) {
+        failpoints::arm_from_spec(*cli.failpoints);
     }
     service::Server server(cli.server);
     server.start();
@@ -841,6 +896,11 @@ struct SubmitCliOptions {
     double deadline_s = 0.0;
     bool follow = true;   ///< subscribe + stream events until terminal
     bool json_out = false; ///< echo raw protocol lines instead of prose
+    service::ClientOptions client;           ///< --connect/--read-timeout
+    int retries = 3;                         ///< --retries (submit attempts)
+    std::optional<std::string> failpoints;   ///< --failpoints SPEC (server side)
+    std::optional<std::string> checkpoint_path; ///< --checkpoint FILE
+    std::optional<std::string> resume_path;     ///< --resume FILE
 };
 
 std::optional<SubmitCliOptions> parse_submit_args(int argc, char** argv,
@@ -889,6 +949,28 @@ std::optional<SubmitCliOptions> parse_submit_args(int argc, char** argv,
                 if (opt.deadline_s <= 0.0) {
                     return std::nullopt;
                 }
+            } else if (arg == "--connect-timeout") {
+                opt.client.connect_timeout_s = parse_value(argv[i]);
+                if (opt.client.connect_timeout_s < 0.0) {
+                    return std::nullopt;
+                }
+            } else if (arg == "--read-timeout") {
+                opt.client.read_timeout_s = parse_value(argv[i]);
+                if (opt.client.read_timeout_s < 0.0) {
+                    return std::nullopt;
+                }
+            } else if (arg == "--retries") {
+                opt.retries =
+                    static_cast<int>(parse_int_arg("--retries", argv[i]));
+                if (opt.retries < 1) {
+                    return std::nullopt;
+                }
+            } else if (arg == "--failpoints") {
+                opt.failpoints = argv[i];
+            } else if (arg == "--checkpoint") {
+                opt.checkpoint_path = argv[i];
+            } else if (arg == "--resume") {
+                opt.resume_path = argv[i];
             } else if (arg == "--noise") {
                 // NODE:SIGMA — matched against circuit node names server
                 // side, so errors surface in the job result.
@@ -914,7 +996,24 @@ std::optional<SubmitCliOptions> parse_submit_args(int argc, char** argv,
     if (opt.deck_path.empty() == !opt.circuit_spec.has_value()) {
         return std::nullopt; // exactly one of deck / --circuit
     }
+    if (opt.resume_path && !opt.spec_json) {
+        // A checkpoint only carries accumulator state — the mc spec it
+        // belongs to must be restated so the resumed run is well-defined.
+        return std::nullopt;
+    }
     return opt;
+}
+
+/// Read a whole file (deck, checkpoint JSON) or throw IoError.
+std::string slurp_file(const std::string& path, const char* what) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw IoError(std::string("submit: cannot read ") + what + " '" +
+                      path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
 }
 
 int run_submit(const SubmitCliOptions& cli) {
@@ -924,14 +1023,7 @@ int run_submit(const SubmitCliOptions& cli) {
     if (cli.circuit_spec) {
         circuit.builtin = *cli.circuit_spec;
     } else {
-        std::ifstream in(cli.deck_path, std::ios::binary);
-        if (!in) {
-            throw IoError("submit: cannot read deck '" + cli.deck_path +
-                          "'");
-        }
-        std::ostringstream text;
-        text << in.rdbuf();
-        circuit.deck = text.str();
+        circuit.deck = slurp_file(cli.deck_path, "deck");
     }
     circuit.noise = cli.noise;
 
@@ -939,11 +1031,25 @@ int run_submit(const SubmitCliOptions& cli) {
     request.set("op", "submit");
     request.set("circuit", circuit.to_json());
     if (cli.spec_json) {
+        json::Value spec = json::parse(*cli.spec_json);
+        if (cli.resume_path) {
+            // Accept either the bare checkpoint document or a full
+            // {"event":"checkpoint",...} line captured from the stream.
+            json::Value doc =
+                json::parse(slurp_file(*cli.resume_path, "checkpoint"));
+            if (doc.find("event") != nullptr &&
+                doc.find("checkpoint") != nullptr) {
+                doc = doc.at("checkpoint");
+            }
+            spec.set("resume", std::move(doc));
+        }
         // Validate the wire spec locally so a typo is a usage error here
         // rather than a rejected request there.
         request.set("spec", service::wire::spec_to_json(
-                                service::wire::spec_from_json(
-                                    json::parse(*cli.spec_json))));
+                                service::wire::spec_from_json(spec)));
+    }
+    if (cli.failpoints) {
+        request.set("failpoints", json::Value(*cli.failpoints));
     }
     if (cli.priority != 0) {
         request.set("priority", json::Value(cli.priority));
@@ -970,14 +1076,47 @@ int run_submit(const SubmitCliOptions& cli) {
                       << event.at("total").as_int() << std::flush;
         }
         const std::string& name = event.at("event").as_string();
+        if (cli.checkpoint_path && name == "checkpoint") {
+            if (const json::Value* cp = event.find("checkpoint")) {
+                // Write-then-rename: a kill mid-write leaves the previous
+                // complete checkpoint in place, never a torn file.
+                const std::string tmp = *cli.checkpoint_path + ".tmp";
+                {
+                    std::ofstream out(tmp,
+                                      std::ios::binary | std::ios::trunc);
+                    out << cp->dump() << '\n';
+                }
+                std::rename(tmp.c_str(), cli.checkpoint_path->c_str());
+            }
+        }
         if (name == "done" || name == "failed" || name == "cancelled" ||
             name == "expired") {
             early_terminal = event;
         }
     };
 
-    service::Client client(cli.host, cli.port);
-    const json::Value reply = client.request(request, on_event);
+    // Idempotent submit with retries: the key makes a resubmit after a
+    // lost connection return the SAME job instead of double-running it.
+    request.set("idempotency_key", service::idempotency_key(request));
+    service::RetryPolicy policy;
+    policy.attempts = cli.retries;
+    std::unique_ptr<service::Client> client_ptr;
+    json::Value reply;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            client_ptr = std::make_unique<service::Client>(
+                cli.host, cli.port, cli.client);
+            reply = client_ptr->request(request, on_event);
+            break;
+        } catch (const IoError&) {
+            if (attempt >= policy.attempts) {
+                throw;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(policy.delay_s(attempt)));
+        }
+    }
+    service::Client& client = *client_ptr;
     if (cli.json_out) {
         std::cout << reply.dump() << '\n' << std::flush;
     }
@@ -1035,6 +1174,14 @@ int main(int argc, char** argv) {
     // Environment-driven log threshold first, so parse/setup diagnostics
     // already honour it; --verbose below still overrides.
     log::set_level_from_env();
+    try {
+        // NANOSIM_FAILPOINTS arms injection sites before any verb runs;
+        // --failpoints flags below layer on top.
+        failpoints::arm_from_env();
+    } catch (const SimError& e) {
+        std::cerr << "nanosim: NANOSIM_FAILPOINTS: " << e.what() << '\n';
+        return 2;
+    }
     // Verb dispatch: "sweep" runs a campaign, "report" runs the deck's
     // cards and prints structured solver reports, "run" (or a bare deck
     // path, for compatibility) runs the deck's own analysis cards.
@@ -1115,6 +1262,9 @@ int main(int argc, char** argv) {
     }
     cli->report = report_verb;
     try {
+        if (cli->failpoints) {
+            failpoints::arm_from_spec(*cli->failpoints);
+        }
         start_telemetry(cli->trace_path, cli->metrics_path, cli->report);
         // One persistent session: every analysis below shares its cached
         // stamp pattern + symbolic factorisation (the run_deck path).

@@ -138,6 +138,13 @@ struct MonteCarloSpec {
     /// Extra nodes to observe alongside `node` (per-node mean/stddev
     /// blocks in the result).
     std::vector<std::string> probes;
+    /// Emit a resumable engines::McCheckpoint through the observer every
+    /// N completed trials (0 = off).
+    int checkpoint_every = 0;
+    /// Resume a checkpointed campaign at resume->next_trial (see
+    /// engines::McOptions::resume); the spec must describe the same
+    /// campaign.
+    std::shared_ptr<const engines::McCheckpoint> resume;
     /// Base options for the per-trial transient (t_stop/noise overridden
     /// per trial); lets a spec reproduce engines::McOptions exactly.
     engines::SwecTranOptions tran;

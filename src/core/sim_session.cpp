@@ -330,8 +330,14 @@ AnalysisResult SimSession::run(const AnalysisSpec& spec,
                 report.bounds = payload.step_bounds;
                 report.min_dt = payload.min_dt_used;
                 report.max_dt = payload.max_dt_used;
+                report.rescues = payload.rescues;
+            } else if constexpr (std::is_same_v<T, engines::McResult>) {
+                report.trials = payload.stats.paths();
+                report.rescues = payload.rescues;
+                report.failed_trials =
+                    static_cast<std::uint64_t>(payload.failed_trials.size());
             } else {
-                // McResult / EmEnsembleResult: completed trials / paths.
+                // EmEnsembleResult: completed paths.
                 report.trials = payload.stats.paths();
             }
         },
@@ -567,6 +573,8 @@ SimSession::run_monte_carlo(const MonteCarloSpec& spec,
     if (spec.common.tabulate) {
         mc.tran.tables.enabled = true;
     }
+    mc.checkpoint_every = spec.checkpoint_every;
+    mc.resume = spec.resume;
     const NodeId node = circuit_->find_node(spec.node);
     for (const std::string& probe : spec.probes) {
         mc.probe_nodes.push_back(circuit_->find_node(probe));

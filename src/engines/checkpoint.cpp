@@ -1,0 +1,52 @@
+#include "engines/checkpoint.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace nanosim::engines {
+
+namespace {
+
+[[nodiscard]] McStatState capture_stat(const stochastic::RunningStats& s) {
+    return McStatState{s.count(), s.mean(), s.m2(), s.min(), s.max()};
+}
+
+[[nodiscard]] stochastic::RunningStats restore_stat(const McStatState& st) {
+    stochastic::RunningStats s;
+    s.restore(static_cast<std::size_t>(st.n), st.mean, st.m2, st.min, st.max);
+    return s;
+}
+
+} // namespace
+
+McEnsembleState capture_ensemble(const stochastic::EnsembleStats& stats) {
+    McEnsembleState out;
+    out.per_point.reserve(stats.points());
+    for (std::size_t i = 0; i < stats.points(); ++i) {
+        out.per_point.push_back(capture_stat(stats.at(i)));
+    }
+    out.peak = capture_stat(stats.peak_stats());
+    out.peaks = stats.peaks();
+    out.paths = stats.paths();
+    return out;
+}
+
+void restore_ensemble(stochastic::EnsembleStats& stats,
+                      const McEnsembleState& state) {
+    if (state.per_point.size() != stats.points()) {
+        throw AnalysisError(
+            "mc checkpoint: ensemble state has " +
+            std::to_string(state.per_point.size()) + " points, grid has " +
+            std::to_string(stats.points()));
+    }
+    std::vector<stochastic::RunningStats> per_point;
+    per_point.reserve(state.per_point.size());
+    for (const McStatState& st : state.per_point) {
+        per_point.push_back(restore_stat(st));
+    }
+    stats.restore(std::move(per_point), restore_stat(state.peak), state.peaks,
+                  static_cast<std::size_t>(state.paths));
+}
+
+} // namespace nanosim::engines

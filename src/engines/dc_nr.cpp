@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "devices/sources.hpp"
 #include "engines/options_common.hpp"
 #include "linalg/vecops.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 #include "util/log.hpp"
 
 namespace nanosim::engines {
@@ -93,12 +95,58 @@ DcResult solve_op_nr(const mna::MnaAssembler& assembler,
             }
         }
 
-        linalg::Vector x_new = mna::solve_system(g, rhs);
+        linalg::Vector x_new;
+        bool solved = false;
+        try {
+            if (failpoints::enabled()) {
+                static auto& fp = failpoints::site("dc.singular");
+                if (fp.fire()) {
+                    throw SingularMatrixError("fail-point dc.singular fired");
+                }
+            }
+            x_new = mna::solve_system(g, rhs);
+            solved = true;
+        } catch (const SingularMatrixError&) {
+            // gmin rescue: retry with an escalating diagonal
+            // regularisation — a structurally singular operating point
+            // (floating node) solves at a tiny leak, and a diagnosed
+            // AnalysisError replaces the raw pivot failure otherwise.
+            for (const double gmin : {1e-9, 1e-6, 1e-3}) {
+                linalg::Triplets g2 = g;
+                for (int k = 0; k < assembler.num_nodes(); ++k) {
+                    g2.add(static_cast<std::size_t>(k),
+                           static_cast<std::size_t>(k), gmin);
+                }
+                try {
+                    x_new = mna::solve_system(g2, rhs);
+                    solved = true;
+                    break;
+                } catch (const SingularMatrixError&) {
+                }
+            }
+            if (!solved) {
+                throw AnalysisError(
+                    "solve_op_nr: singular system at iteration " +
+                    std::to_string(it) + "; gmin rescue exhausted");
+            }
+        }
         if (options.damping < 1.0) {
             for (std::size_t i = 0; i < n; ++i) {
                 x_new[i] = result.x[i] +
                            options.damping * (x_new[i] - result.x[i]);
             }
+        }
+
+        // A NaN/Inf iterate (poisoned RHS, overflowed companion model)
+        // must read as divergence — max_abs_diff's max() quietly drops
+        // NaN operands, so an unchecked iterate could "converge" on
+        // garbage.
+        if (!std::all_of(x_new.begin(), x_new.end(),
+                         [](double v) { return std::isfinite(v); })) {
+            result.x = std::move(x_new);
+            result.iterations = it + 1;
+            result.residual = std::numeric_limits<double>::infinity();
+            break; // converged stays false: diagnosed non-convergence
         }
 
         const double delta = linalg::max_abs_diff(x_new, result.x);

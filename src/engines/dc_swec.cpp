@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "devices/sources.hpp"
@@ -98,6 +99,14 @@ DcResult solve_op_swec(const mna::MnaAssembler& assembler,
         result.x = std::move(x_next);
         result.iterations = step + 1;
         result.residual = delta;
+
+        // A non-finite iterate cannot settle and cannot recover — the
+        // pseudo-transient history term re-injects it forever.  Stop the
+        // march immediately as diagnosed non-convergence.
+        if (!std::isfinite(delta)) {
+            result.residual = std::numeric_limits<double>::infinity();
+            break;
+        }
 
         if (delta < options.settle_tol) {
             if (++settled >= options.settle_checks) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,7 +23,26 @@ struct Lane {
     int trial = -1;
     std::unique_ptr<SwecStepper> stepper;
     std::chrono::steady_clock::time_point t0;
+    bool failed = false; ///< rescue ladder exhausted — retire quarantined
+    std::string diagnostic;
 };
+
+/// A retired trial awaiting prefix emission: either its samples or its
+/// quarantine diagnostic.
+struct Retired {
+    McTrial trial;
+    bool failed = false;
+    std::string diagnostic;
+};
+
+[[nodiscard]] bool all_finite(const linalg::Vector& x) noexcept {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (!std::isfinite(x[i])) {
+            return false;
+        }
+    }
+    return true;
+}
 
 } // namespace
 
@@ -36,8 +56,11 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
     const int width = std::clamp(batch, 1, options.runs);
 
     // Same base-seed derivation and shared path set as the serial driver:
-    // trial k's noise is identical no matter which driver runs it.
-    const std::uint64_t base = rng.engine()();
+    // trial k's noise is identical no matter which driver runs it.  A
+    // resumed campaign reuses the checkpoint's base seed instead.
+    const std::uint64_t base = options.resume != nullptr
+                                   ? options.resume->base_seed
+                                   : rng.engine()();
     const stochastic::NoisePathSet noise =
         mc_noise_paths(assembler, options, base);
 
@@ -80,6 +103,7 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
     auto finish = [&](TranResult res) {
         McTrial t;
         t.steps_accepted = res.steps_accepted;
+        t.rescues = res.rescues;
         auto sample = [&](NodeId n) {
             const auto& wave = res.node_waves[static_cast<std::size_t>(n - 1)];
             std::vector<double> samples(out.grid.size());
@@ -101,37 +125,88 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
     const AnalysisObserver inner = cancel_only(observer);
     const AnalysisObserver* inner_ptr = observer != nullptr ? &inner : nullptr;
 
+    // Resume: restore the accumulators and start admission where the
+    // checkpoint stopped, seeding the flop tally from it.
+    FlopCounter flop_base;
+    int first = 0;
+    if (options.resume != nullptr) {
+        first = restore_mc_checkpoint(*options.resume, options, out);
+        flop_base = options.resume->flops;
+    }
+
     std::vector<Lane> lanes;
     lanes.reserve(static_cast<std::size_t>(width));
-    int next_trial = 0; ///< next trial to admit to the frontier
-    int next_emit = 0;  ///< next trial to fold into the statistics
-    std::map<int, McTrial> finished; ///< completed, awaiting prefix emission
+    int next_trial = first; ///< next trial to admit to the frontier
+    int next_emit = first;  ///< next trial to fold into the statistics
+    int admit_limit = options.runs; ///< frontier cap (checkpoint chunking)
+    std::map<int, Retired> finished; ///< retired, awaiting prefix emission
     bool cancelled = false;
 
     // Admit trials in order: trial 0 enters first, so the cold cache's
     // symbolic analysis and full factor see the same first operands as
-    // under the serial driver.
+    // under the serial driver.  A trial the `mc.trial_fail` site rejects
+    // (evaluated here, in trial order — same decisions as the serial
+    // driver) or whose initial-condition solve throws is quarantined
+    // without ever occupying a lane.
     auto admit = [&]() {
-        while (!cancelled && next_trial < options.runs &&
+        while (!cancelled && next_trial < admit_limit &&
                lanes.size() < static_cast<std::size_t>(width)) {
             Lane lane;
             lane.trial = next_trial++;
             lane.t0 = std::chrono::steady_clock::now();
-            SwecTranOptions tran = options.tran;
-            tran.noise = mc_noise_waves(noise, lane.trial);
-            lane.stepper = std::make_unique<SwecStepper>(
-                assembler, resolve_swec_tran_options(tran), *cache,
-                /*dc_through_cache=*/true);
+            try {
+                if (mc_trial_fail_injected()) {
+                    throw AnalysisError("fail-point mc.trial_fail fired");
+                }
+                SwecTranOptions tran = options.tran;
+                tran.noise = mc_noise_waves(noise, lane.trial);
+                lane.stepper = std::make_unique<SwecStepper>(
+                    assembler, resolve_swec_tran_options(tran), *cache,
+                    /*dc_through_cache=*/true);
+            } catch (const SimError& e) {
+                finished.emplace(lane.trial,
+                                 Retired{{}, true, e.what()});
+                continue;
+            }
             lanes.push_back(std::move(lane));
         }
     };
-    admit();
 
     std::vector<mna::SystemCache::EvalLane> eval_reqs;
     std::vector<mna::SystemCache::SolveLane> round;
     std::vector<std::size_t> round_lane; // lane index per round slot
 
-    while (!lanes.empty()) {
+    // A lane whose batched solve came back unusable re-stamps its own
+    // system and walks the stepper's rescue ladder; exhaustion
+    // quarantines just that lane.
+    auto accept_or_rescue = [&](Lane& lane, linalg::Vector x) {
+        if (all_finite(x)) {
+            lane.stepper->accept(std::move(x), inner_ptr);
+            return;
+        }
+        try {
+            lane.stepper->stamp();
+            lane.stepper->accept(lane.stepper->solve_rescued(), inner_ptr);
+        } catch (const SimError& e) {
+            lane.failed = true;
+            lane.diagnostic = e.what();
+        }
+    };
+
+    while (true) {
+        // Checkpoint chunking: cap admission at the next checkpoint
+        // boundary so the frontier drains there — with no trial in
+        // flight the flop tally is exactly the emitted prefix's, and the
+        // checkpoint matches the serial driver's field for field.
+        if (options.checkpoint_every > 0) {
+            const int every = options.checkpoint_every;
+            admit_limit = std::min(options.runs,
+                                   (next_emit / every + 1) * every);
+        }
+        admit();
+        if (lanes.empty() && next_emit >= options.runs) {
+            break;
+        }
         if (observer != nullptr && observer->cancelled()) {
             // Active lanes are partial trials — discarding them is what
             // the serial driver does with its one in-flight transient.
@@ -139,57 +214,99 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
             out.aborted = true;
             break;
         }
-        const obs::Span round_span("mc_round", "mc");
+        if (!lanes.empty()) {
+            const obs::Span round_span("mc_round", "mc");
 
-        // (a) Chord evaluation, batched across the frontier.
-        eval_reqs.clear();
-        for (Lane& lane : lanes) {
-            eval_reqs.push_back(lane.stepper->eval_request());
-        }
-        cache->eval_chords_batch(eval_reqs);
-        for (Lane& lane : lanes) {
-            lane.stepper->prepare();
+            // (a) Chord evaluation, batched across the frontier.
+            eval_reqs.clear();
+            for (Lane& lane : lanes) {
+                eval_reqs.push_back(lane.stepper->eval_request());
+            }
+            cache->eval_chords_batch(eval_reqs);
+            for (Lane& lane : lanes) {
+                lane.stepper->prepare();
+            }
+
+            // (b) Stamp each lane and snapshot its value plane.  Lanes
+            // the cache cannot snapshot (pattern overflow) solve inline
+            // — the stamped system is about to be overwritten by the
+            // next lane — through the stepper's rescue ladder.
+            round.clear();
+            round_lane.clear();
+            for (std::size_t i = 0; i < lanes.size(); ++i) {
+                Lane& lane = lanes[i];
+                SwecStepper& stepper = *lane.stepper;
+                stepper.stamp();
+                mna::SystemCache::SolveLane slot;
+                if (!cache->capture_plane(slot.values)) {
+                    try {
+                        stepper.accept(stepper.solve_rescued(), inner_ptr);
+                    } catch (const SimError& e) {
+                        lane.failed = true;
+                        lane.diagnostic = e.what();
+                    }
+                    continue;
+                }
+                slot.rhs = stepper.rhs();
+                round.push_back(std::move(slot));
+                round_lane.push_back(i);
+            }
+
+            // (c) One batched refactor dispatch + grouped multi-RHS
+            // solves.  A singular (or injected-failure) plane fails the
+            // whole dispatch, so replay the round lane by lane through
+            // the rescue ladder — only genuinely unsolvable lanes
+            // quarantine.
+            bool batch_failed = false;
+            try {
+                cache->solve_batch(round);
+            } catch (const SimError&) {
+                batch_failed = true;
+            }
+            if (batch_failed) {
+                for (const std::size_t i : round_lane) {
+                    Lane& lane = lanes[i];
+                    try {
+                        lane.stepper->stamp();
+                        lane.stepper->accept(lane.stepper->solve_rescued(),
+                                             inner_ptr);
+                    } catch (const SimError& e) {
+                        lane.failed = true;
+                        lane.diagnostic = e.what();
+                    }
+                }
+            } else {
+                for (std::size_t k = 0; k < round.size(); ++k) {
+                    accept_or_rescue(lanes[round_lane[k]],
+                                     std::move(round[k].x));
+                }
+            }
         }
 
-        // (b) Stamp each lane and snapshot its value plane.  Lanes the
-        // cache cannot snapshot (pattern overflow) solve inline — the
-        // stamped system is about to be overwritten by the next lane.
-        round.clear();
-        round_lane.clear();
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
-            SwecStepper& stepper = *lanes[i].stepper;
-            stepper.stamp();
-            mna::SystemCache::SolveLane slot;
-            if (!cache->capture_plane(slot.values)) {
-                stepper.accept(cache->solve(stepper.rhs()), inner_ptr);
+        // Retire finished (and quarantined) lanes into the emission
+        // buffer.
+        for (std::size_t i = 0; i < lanes.size();) {
+            Lane& lane = lanes[i];
+            if (lane.failed) {
+                finished.emplace(lane.trial,
+                                 Retired{{}, true, std::move(lane.diagnostic)});
+                lanes.erase(lanes.begin() + static_cast<std::ptrdiff_t>(i));
                 continue;
             }
-            slot.rhs = stepper.rhs();
-            round.push_back(std::move(slot));
-            round_lane.push_back(i);
-        }
-
-        // (c) One batched refactor dispatch + grouped multi-RHS solves.
-        cache->solve_batch(round);
-        for (std::size_t k = 0; k < round.size(); ++k) {
-            lanes[round_lane[k]].stepper->accept(std::move(round[k].x),
-                                                 inner_ptr);
-        }
-
-        // Retire finished lanes into the emission buffer.
-        for (std::size_t i = 0; i < lanes.size();) {
-            if (!lanes[i].stepper->done()) {
+            if (!lane.stepper->done()) {
                 ++i;
                 continue;
             }
             if (trial_hist != nullptr) {
                 trial_hist->observe(std::chrono::duration<double>(
                                         std::chrono::steady_clock::now() -
-                                        lanes[i].t0)
+                                        lane.t0)
                                         .count());
             }
-            finished.emplace(lanes[i].trial,
-                             finish(lanes[i].stepper->take_result()));
+            finished.emplace(lane.trial,
+                             Retired{finish(lane.stepper->take_result()),
+                                     false,
+                                     {}});
             lanes.erase(lanes.begin() + static_cast<std::ptrdiff_t>(i));
         }
 
@@ -206,11 +323,17 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
                 out.aborted = true;
                 break;
             }
-            McTrial& t = it->second;
-            out.stats.add_path(t.samples);
-            out.trial_steps.push_back(t.steps_accepted);
-            for (std::size_t k = 0; k < out.probes.size(); ++k) {
-                out.probes[k].stats.add_path(t.probe_samples[k]);
+            Retired& r = it->second;
+            if (r.failed) {
+                out.failed_trials.push_back(
+                    McFailedTrial{next_emit, base, std::move(r.diagnostic)});
+            } else {
+                out.stats.add_path(r.trial.samples);
+                out.trial_steps.push_back(r.trial.steps_accepted);
+                for (std::size_t k = 0; k < out.probes.size(); ++k) {
+                    out.probes[k].stats.add_path(r.trial.probe_samples[k]);
+                }
+                out.rescues += r.trial.rescues;
             }
             finished.erase(it);
             ++next_emit;
@@ -219,11 +342,18 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
                 observer->progress(static_cast<double>(next_emit) /
                                    options.runs);
             }
+            if (options.checkpoint_every > 0 &&
+                next_emit % options.checkpoint_every == 0 &&
+                next_emit < options.runs && lanes.empty()) {
+                FlopCounter so_far = flop_base;
+                so_far += scope.counter();
+                emit_mc_checkpoint(observer, base, next_emit, options, out,
+                                   so_far);
+            }
         }
         if (cancelled) {
             break;
         }
-        admit();
     }
 
     for (std::size_t j = 0; j < options.grid_points; ++j) {
@@ -236,7 +366,8 @@ McResult run_monte_carlo_batched(const mna::MnaAssembler& assembler,
             probe.stddev.append(out.grid[j], p.stddev());
         }
     }
-    out.flops = scope.counter();
+    out.flops = flop_base;
+    out.flops += scope.counter();
     return out;
 }
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 
 namespace nanosim::engines {
 
@@ -129,6 +130,7 @@ McTrial mc_realization(const mna::MnaAssembler& assembler,
     }
     McTrial out;
     out.steps_accepted = res.steps_accepted;
+    out.rescues = res.rescues;
     auto sample = [&](NodeId n) {
         const auto& wave = res.node_waves[static_cast<std::size_t>(n - 1)];
         std::vector<double> samples(grid.size());
@@ -145,6 +147,83 @@ McTrial mc_realization(const mna::MnaAssembler& assembler,
     return out;
 }
 
+bool mc_trial_fail_injected() {
+    if (!failpoints::enabled()) {
+        return false;
+    }
+    static auto& fp = failpoints::site("mc.trial_fail");
+    return fp.fire();
+}
+
+McCheckpoint make_mc_checkpoint(std::uint64_t base_seed, int next_trial,
+                                const McOptions& normalized,
+                                const McResult& partial,
+                                const FlopCounter& flops_so_far) {
+    McCheckpoint cp;
+    cp.base_seed = base_seed;
+    cp.next_trial = next_trial;
+    cp.runs = normalized.runs;
+    cp.grid_points = normalized.grid_points;
+    cp.primary = capture_ensemble(partial.stats);
+    cp.probes.reserve(partial.probes.size());
+    for (const McNodeStats& probe : partial.probes) {
+        cp.probes.push_back(capture_ensemble(probe.stats));
+    }
+    cp.trial_steps = partial.trial_steps;
+    cp.failed_trials = partial.failed_trials;
+    cp.flops = flops_so_far;
+    cp.rescues = partial.rescues;
+    return cp;
+}
+
+void emit_mc_checkpoint(const AnalysisObserver* observer,
+                        std::uint64_t base_seed, int next_trial,
+                        const McOptions& normalized, const McResult& partial,
+                        const FlopCounter& flops_so_far) {
+    if (observer == nullptr || !observer->on_checkpoint) {
+        return;
+    }
+    if (failpoints::enabled()) {
+        static auto& fp = failpoints::site("mc.checkpoint_drop");
+        if (fp.fire()) {
+            return; // lost checkpoint: resume falls back to an older one
+        }
+    }
+    observer->checkpoint(make_mc_checkpoint(base_seed, next_trial, normalized,
+                                            partial, flops_so_far));
+}
+
+int restore_mc_checkpoint(const McCheckpoint& checkpoint,
+                          const McOptions& normalized, McResult& out) {
+    if (checkpoint.runs != normalized.runs ||
+        checkpoint.grid_points != normalized.grid_points) {
+        throw AnalysisError(
+            "mc resume: checkpoint describes a different campaign (runs " +
+            std::to_string(checkpoint.runs) + " vs " +
+            std::to_string(normalized.runs) + ", grid " +
+            std::to_string(checkpoint.grid_points) + " vs " +
+            std::to_string(normalized.grid_points) + ")");
+    }
+    if (checkpoint.probes.size() != out.probes.size()) {
+        throw AnalysisError("mc resume: checkpoint has " +
+                            std::to_string(checkpoint.probes.size()) +
+                            " probes, request has " +
+                            std::to_string(out.probes.size()));
+    }
+    if (checkpoint.next_trial < 0 || checkpoint.next_trial > checkpoint.runs) {
+        throw AnalysisError("mc resume: bad next_trial " +
+                            std::to_string(checkpoint.next_trial));
+    }
+    restore_ensemble(out.stats, checkpoint.primary);
+    for (std::size_t k = 0; k < out.probes.size(); ++k) {
+        restore_ensemble(out.probes[k].stats, checkpoint.probes[k]);
+    }
+    out.trial_steps = checkpoint.trial_steps;
+    out.failed_trials = checkpoint.failed_trials;
+    out.rescues = checkpoint.rescues;
+    return checkpoint.next_trial;
+}
+
 McResult run_monte_carlo(const mna::MnaAssembler& assembler,
                          const McOptions& options_in, stochastic::Rng& rng,
                          NodeId node, const AnalysisObserver* observer,
@@ -153,8 +232,11 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
     const McOptions options = normalize_mc_options(assembler, options_in, node);
     // One base seed drawn from the caller's generator; every trial's
     // paths then come from counter-derived streams, so the parallel and
-    // batched drivers reproduce this ensemble exactly.
-    const std::uint64_t base = rng.engine()();
+    // batched drivers reproduce this ensemble exactly.  A resumed
+    // campaign reuses the checkpoint's base seed instead of drawing.
+    const std::uint64_t base = options.resume != nullptr
+                                   ? options.resume->base_seed
+                                   : rng.engine()();
     const stochastic::NoisePathSet noise =
         mc_noise_paths(assembler, options, base);
 
@@ -184,33 +266,67 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
         trial_hist = &th;
     }
 
-    for (int run = 0; run < options.runs; ++run) {
+    // Resume: restore the accumulators and continue where the checkpoint
+    // stopped.  flop_base seeds the tally so the final count matches the
+    // uninterrupted campaign (setup is uninstrumented on both sides).
+    FlopCounter flop_base;
+    int first = 0;
+    if (options.resume != nullptr) {
+        first = restore_mc_checkpoint(*options.resume, options, out);
+        flop_base = options.resume->flops;
+    }
+
+    for (int run = first; run < options.runs; ++run) {
         if (observer != nullptr && observer->cancelled()) {
             out.aborted = true;
             break;
         }
         const obs::Span trial_span("trial", "mc");
         const auto trial_t0 = std::chrono::steady_clock::now();
-        McTrial trial = mc_realization(assembler, options, noise, run, node,
-                                       out.grid, observer, cache);
+        bool cancelled_mid_trial = false;
+        try {
+            if (mc_trial_fail_injected()) {
+                throw AnalysisError("fail-point mc.trial_fail fired");
+            }
+            McTrial trial = mc_realization(assembler, options, noise, run,
+                                           node, out.grid, observer, cache);
+            if (trial.samples.empty()) { // trial cancelled mid-transient
+                cancelled_mid_trial = true;
+            } else {
+                out.stats.add_path(trial.samples);
+                out.trial_steps.push_back(trial.steps_accepted);
+                for (std::size_t k = 0; k < out.probes.size(); ++k) {
+                    out.probes[k].stats.add_path(trial.probe_samples[k]);
+                }
+                out.rescues += trial.rescues;
+            }
+        } catch (const SimError& e) {
+            // Rescue ladder exhausted: quarantine the trial (seed +
+            // diagnostic replay the failure offline) and keep going —
+            // one pathological realization must not abort the campaign.
+            out.failed_trials.push_back(
+                McFailedTrial{run, base, e.what()});
+        }
         if (trial_hist != nullptr) {
             trial_hist->observe(std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     trial_t0)
                                     .count());
         }
-        if (trial.samples.empty()) { // trial cancelled mid-transient
+        if (cancelled_mid_trial) {
             out.aborted = true;
             break;
-        }
-        out.stats.add_path(trial.samples);
-        out.trial_steps.push_back(trial.steps_accepted);
-        for (std::size_t k = 0; k < out.probes.size(); ++k) {
-            out.probes[k].stats.add_path(trial.probe_samples[k]);
         }
         if (observer != nullptr) {
             observer->trial(run + 1, options.runs);
             observer->progress(static_cast<double>(run + 1) / options.runs);
+        }
+        if (options.checkpoint_every > 0 &&
+            (run + 1) % options.checkpoint_every == 0 &&
+            run + 1 < options.runs) {
+            FlopCounter so_far = flop_base;
+            so_far += scope.counter();
+            emit_mc_checkpoint(observer, base, run + 1, options, out, so_far);
         }
     }
 
@@ -224,7 +340,8 @@ McResult run_monte_carlo(const mna::MnaAssembler& assembler,
             probe.stddev.append(out.grid[j], p.stddev());
         }
     }
-    out.flops = scope.counter();
+    out.flops = flop_base;
+    out.flops += scope.counter();
     return out;
 }
 

@@ -17,6 +17,9 @@
 #ifndef NANOSIM_ENGINES_MONTE_CARLO_HPP
 #define NANOSIM_ENGINES_MONTE_CARLO_HPP
 
+#include <memory>
+
+#include "engines/checkpoint.hpp"
 #include "engines/observer.hpp"
 #include "engines/results.hpp"
 #include "engines/tran_swec.hpp"
@@ -36,6 +39,15 @@ struct McOptions {
     /// Additional nodes to observe alongside the primary one; each gets
     /// its own mean/stddev/ensemble block in McResult::probes.
     std::vector<NodeId> probe_nodes;
+    /// Emit a resumable McCheckpoint through the observer every N
+    /// completed trials (0 = off).  All three drivers checkpoint at the
+    /// same trial boundaries, so their checkpoints are interchangeable.
+    int checkpoint_every = 0;
+    /// Resume a checkpointed campaign: restore the accumulator state and
+    /// continue at resume->next_trial.  The request must describe the
+    /// same campaign (runs/grid/probes validated; same circuit and seed
+    /// are the caller's contract — the checkpoint pins base_seed).
+    std::shared_ptr<const McCheckpoint> resume;
     /// Base options for the per-run deterministic transient (t_stop and
     /// noise are overridden per run).
     SwecTranOptions tran;
@@ -61,6 +73,12 @@ struct McResult {
     /// Accepted step count of each completed trial, in trial order —
     /// the adaptive-step fingerprint the batched driver must reproduce.
     std::vector<int> trial_steps;
+    /// Trials quarantined after the rescue ladder was exhausted (seed +
+    /// diagnostic for offline replay); the campaign continues without
+    /// them and the surviving trials stay bit-identical.
+    std::vector<McFailedTrial> failed_trials;
+    /// Rescue-ladder outcomes aggregated over every surviving trial.
+    obs::RescueCounts rescues;
     /// True when an AnalysisObserver cancelled the run; statistics cover
     /// the trials completed before the abort.
     bool aborted = false;
@@ -112,6 +130,8 @@ struct McTrial {
     /// Probe-node samples, McOptions::probe_nodes order.
     std::vector<std::vector<double>> probe_samples;
     int steps_accepted = 0;
+    /// Rescue-ladder outcomes of the inner transient.
+    obs::RescueCounts rescues;
 };
 
 /// One Monte-Carlo realization: look up trial `trial`'s noise paths, run
@@ -124,6 +144,40 @@ mc_realization(const mna::MnaAssembler& assembler, const McOptions& normalized,
                const std::vector<double>& grid,
                const AnalysisObserver* observer = nullptr,
                mna::SystemCache* cache = nullptr);
+
+// ---- checkpoint / fault-injection plumbing (shared by the drivers) ----
+
+/// Deterministic `mc.trial_fail` admission decision.  Every driver
+/// evaluates this exactly once per trial, in trial order (the parallel
+/// driver pre-evaluates before dispatch), so an armed site quarantines
+/// the same trials no matter which driver runs the campaign.
+[[nodiscard]] bool mc_trial_fail_injected();
+
+/// Snapshot a campaign in flight as a resumable checkpoint — shared by
+/// the serial/parallel/batched drivers so their checkpoints are
+/// field-for-field identical at the same trial boundary.
+[[nodiscard]] McCheckpoint
+make_mc_checkpoint(std::uint64_t base_seed, int next_trial,
+                   const McOptions& normalized, const McResult& partial,
+                   const FlopCounter& flops_so_far);
+
+/// Emit a checkpoint through the observer (no-op without a slot).  The
+/// `mc.checkpoint_drop` fail point suppresses the emission — a dropped
+/// checkpoint may only cost resume progress, never correctness.
+void emit_mc_checkpoint(const AnalysisObserver* observer,
+                        std::uint64_t base_seed, int next_trial,
+                        const McOptions& normalized, const McResult& partial,
+                        const FlopCounter& flops_so_far);
+
+/// Validate a resume checkpoint against the normalized options and
+/// restore its state into `out` (ensembles, trial ledger, rescue
+/// counts).  Flops are NOT restored — the driver seeds its tally with
+/// checkpoint.flops itself.  Returns the trial index to continue from.
+/// Throws AnalysisError when the checkpoint describes a different
+/// campaign shape.
+[[nodiscard]] int restore_mc_checkpoint(const McCheckpoint& checkpoint,
+                                        const McOptions& normalized,
+                                        McResult& out);
 
 } // namespace nanosim::engines
 

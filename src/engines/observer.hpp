@@ -32,6 +32,9 @@
 #include <chrono>
 #include <functional>
 
+#include "engines/checkpoint.hpp"
+#include "util/failpoints.hpp"
+
 namespace nanosim::engines {
 
 /// Progress / cancellation hooks; every slot is optional.
@@ -47,6 +50,13 @@ struct AnalysisObserver {
     /// iterate — the streaming-results hook (service subscribers); the
     /// pointer is only valid for the duration of the call.
     std::function<void(double, const double*, int)> on_sample;
+    /// Periodic resumable campaign state from the Monte-Carlo drivers
+    /// (every McOptions::checkpoint_every completed trials).  The
+    /// reference is only valid for the duration of the call — copy it to
+    /// persist.  Serial and batched drivers emit on the calling thread;
+    /// chunked parallel campaigns emit between chunks on the calling
+    /// thread as well.
+    std::function<void(const McCheckpoint&)> on_checkpoint;
     /// Polled cooperatively; return true to abort with a partial result.
     std::function<bool()> cancel;
 
@@ -71,6 +81,11 @@ struct AnalysisObserver {
     void sample(double t, const double* x, int n) const {
         if (on_sample) {
             on_sample(t, x, n);
+        }
+    }
+    void checkpoint(const McCheckpoint& cp) const {
+        if (on_checkpoint) {
+            on_checkpoint(cp);
         }
     }
 };
@@ -108,6 +123,12 @@ with_deadline(const AnalysisObserver* outer,
     inner.cancel = [base = std::move(base), deadline] {
         if (base && base()) {
             return true;
+        }
+        if (failpoints::enabled()) {
+            static auto& fp = failpoints::site("engines.deadline_overrun");
+            if (fp.fire()) {
+                return true; // injected: pretend the budget is exhausted
+            }
         }
         return std::chrono::steady_clock::now() >= deadline;
     };

@@ -124,6 +124,9 @@ struct TranResult {
     /// Adaptive engines attribute the winning constraint per step; the
     /// fixed-step baselines count everything under `fixed`.
     obs::StepBoundCounts step_bounds;
+    /// Rescue-ladder outcomes (dt-backoff -> gmin -> source stepping)
+    /// taken when a step failed to solve; zero on a healthy run.
+    obs::RescueCounts rescues;
     FlopCounter flops;
     /// Cached-solver instrumentation (mna::SystemCache): the accepted-step
     /// loop should show full_factors == 1 and fast_refactors ~ steps on

@@ -8,6 +8,7 @@
 #include "engines/options_common.hpp"
 #include "engines/step_control.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 
 namespace nanosim::engines {
 
@@ -198,9 +199,130 @@ void SwecStepper::stamp() {
             rhs_[i] += cx[i] / h_;
         }
     }
+    restamp_system();
+}
+
+void SwecStepper::restamp_system() {
     cache_->begin(1.0 / h_, rhs_);
     cache_->restamp_time_varying(t_ + h_);
     cache_->restamp_swec(geq_pred_);
+}
+
+namespace {
+
+bool all_finite(const linalg::Vector& x) noexcept {
+    for (const double v : x) {
+        if (!std::isfinite(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+linalg::Vector SwecStepper::solve_rescued() {
+    bool injected = false;
+    if (failpoints::enabled()) {
+        static auto& fp = failpoints::site("swec.solve_nan");
+        injected = fp.fire();
+    }
+    try {
+        linalg::Vector x = cache_->solve(rhs_);
+        if (!injected && all_finite(x)) {
+            return x; // healthy path: exactly the plain solve
+        }
+    } catch (const SingularMatrixError&) {
+        // fall through to the ladder
+    }
+    return rescue_ladder();
+}
+
+linalg::Vector SwecStepper::rescue_ladder() {
+    // Re-runs eq. 5 + stamp for the current h_, then solves; the ladder
+    // mutates h_ / the diagonal / the rhs between attempts.
+    const auto repredict_and_stamp = [this] {
+        for (std::size_t k = 0; k < nl_; ++k) {
+            double g = geq_[k];
+            if (options_.use_predictor) {
+                g += 0.5 * h_ * geq_rate_[k];
+            }
+            geq_pred_[k] = std::max(g, options_.geq_floor);
+        }
+        stamp();
+    };
+    const auto try_solve = [this](linalg::Vector* out) {
+        try {
+            linalg::Vector x = cache_->solve(rhs_);
+            if (all_finite(x)) {
+                *out = std::move(x);
+                return true;
+            }
+        } catch (const SingularMatrixError&) {
+        }
+        return false;
+    };
+
+    linalg::Vector x;
+
+    // Rung 1 — dt-backoff: a smaller step both improves (G + C/h)
+    // conditioning and shrinks the eq. 5 extrapolation error.
+    ++result_.rescues.dt_backoff_attempted;
+    for (int k = 0; k < 4 && h_ > options_.dt_min; ++k) {
+        h_ = std::max(0.5 * h_, options_.dt_min);
+        // The shortened step no longer lands on the event prepare()
+        // clipped to; later steps re-approach it through the normal clip.
+        final_step_ = false;
+        hit_breakpoint_ = false;
+        repredict_and_stamp();
+        if (try_solve(&x)) {
+            ++result_.rescues.dt_backoff_succeeded;
+            return x;
+        }
+    }
+
+    // Rung 2 — gmin stepping: regularize the node diagonal with the
+    // smallest conductance that makes the system solvable.
+    ++result_.rescues.gmin_attempted;
+    for (const double gmin : {1e-12, 1e-9, 1e-6, 1e-3}) {
+        repredict_and_stamp();
+        for (std::size_t row = 0; row < nn_; ++row) {
+            cache_->add_node_diag(static_cast<int>(row), gmin);
+        }
+        if (try_solve(&x)) {
+            ++result_.rescues.gmin_succeeded;
+            return x;
+        }
+    }
+
+    // Rung 3 — source stepping: solve against a scaled-down excitation
+    // and rescale (exact for this linear step), with the largest gmin of
+    // rung 2 keeping the matrix regular.  Catches overflow-driven
+    // non-finite solves that no conditioning fix can.
+    ++result_.rescues.source_attempted;
+    for (const double alpha : {0.5, 0.25, 0.0625}) {
+        repredict_and_stamp();
+        for (double& b : rhs_) {
+            b *= alpha;
+        }
+        restamp_system();
+        for (std::size_t row = 0; row < nn_; ++row) {
+            cache_->add_node_diag(static_cast<int>(row), 1e-3);
+        }
+        if (try_solve(&x)) {
+            const double inv = 1.0 / alpha;
+            for (double& v : x) {
+                v *= inv;
+            }
+            ++result_.rescues.source_succeeded;
+            return x;
+        }
+    }
+
+    throw AnalysisError(
+        "run_tran_swec: rescue ladder exhausted at t = " +
+        std::to_string(t_) + " s (dt-backoff, gmin stepping, and source "
+        "stepping all produced singular or non-finite solves)");
 }
 
 void SwecStepper::accept(linalg::Vector x_next,

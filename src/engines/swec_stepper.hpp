@@ -73,6 +73,15 @@ public:
     /// plane) before another lane stamps.
     void stamp();
     [[nodiscard]] const linalg::Vector& rhs() const noexcept { return rhs_; }
+    /// Phase 2.5 (serial drivers): solve the stamped system with the
+    /// numerical rescue ladder behind it.  The healthy path is exactly
+    /// `cache->solve(rhs())` plus a finiteness scan — bit-identical
+    /// results.  On a singular or non-finite solve it escalates
+    /// dt-backoff -> gmin stepping -> source stepping (counting each rung
+    /// in the result's RescueCounts) and throws AnalysisError only when
+    /// every rung is exhausted.  Requires stamp() this cycle; on return
+    /// the lane may have a smaller h_ than prepare() chose.
+    [[nodiscard]] linalg::Vector solve_rescued();
     /// Phase 3: accept the solved step — error/slope bookkeeping, state
     /// and waveform update, step-control advance, observer callbacks.
     void accept(linalg::Vector x_next, const AnalysisObserver* observer);
@@ -90,6 +99,12 @@ public:
 
 private:
     void record(double t, const linalg::Vector& state);
+    /// begin() + in-place restamps for the current rhs_/h_/geq_pred_ (the
+    /// second half of stamp(); the rescue ladder re-runs it after
+    /// mutating the step or the rhs).
+    void restamp_system();
+    /// The slow path of solve_rescued() (see its contract).
+    [[nodiscard]] linalg::Vector rescue_ladder();
 
     const mna::MnaAssembler* assembler_;
     mna::SystemCache* cache_;

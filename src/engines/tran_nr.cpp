@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 #include "util/log.hpp"
 
 namespace nanosim::engines {
@@ -42,19 +43,40 @@ struct StepSolve {
     int iterations = 0;
 };
 
+/// `gmin` > 0 regularizes every node diagonal (the gmin-stepping rescue
+/// rung); `source_scale` < 1 scales the independent sources b(t) only —
+/// the (C/h) x_n history term stays exact (source-stepping rung).
+/// `allow_inject` lets the nr.divergence fail point force a
+/// non-converged return; rescue-rung solves pass false so an armed site
+/// cannot sabotage its own rescue.
 StepSolve solve_companion(const mna::MnaAssembler& assembler,
                           mna::SystemCache& cache,
                           const NrTranOptions& options,
                           const linalg::Vector& x_n,
                           const linalg::Vector& x_guess, double t_next,
                           double h,
-                          const mna::MnaAssembler::NoiseRealization* noise) {
+                          const mna::MnaAssembler::NoiseRealization* noise,
+                          double gmin = 0.0, double source_scale = 1.0,
+                          bool allow_inject = true) {
     const auto n = static_cast<std::size_t>(assembler.unknowns());
+    const auto nn = static_cast<std::size_t>(assembler.num_nodes());
     StepSolve out;
     out.x = x_guess;
 
-    // Constant part of the rhs for this step: b(t) + (C/h) x_n.
+    if (allow_inject && failpoints::enabled()) {
+        static auto& fp = failpoints::site("nr.divergence");
+        if (fp.fire()) {
+            return out; // injected: report divergence without solving
+        }
+    }
+
+    // Constant part of the rhs for this step: scale*b(t) + (C/h) x_n.
     linalg::Vector rhs_const = cache.rhs(t_next, noise);
+    if (source_scale != 1.0) {
+        for (double& b : rhs_const) {
+            b *= source_scale;
+        }
+    }
     {
         linalg::Vector cx = assembler.c_csr().multiply(x_n);
         for (std::size_t i = 0; i < n; ++i) {
@@ -67,17 +89,93 @@ StepSolve solve_companion(const mna::MnaAssembler& assembler,
         cache.begin(1.0 / h, rhs);
         cache.restamp_time_varying(t_next);
         cache.restamp_nr(out.x);
+        if (gmin > 0.0) {
+            for (std::size_t row = 0; row < nn; ++row) {
+                cache.add_node_diag(static_cast<int>(row), gmin);
+            }
+        }
         linalg::Vector x_new = cache.solve(rhs);
         const double delta = linalg::max_abs_diff(x_new, out.x);
         const double scale = std::max(linalg::norm_inf(x_new), 1.0);
         out.x = std::move(x_new);
         out.iterations = it + 1;
+        if (!std::isfinite(delta)) {
+            break; // NaN/Inf iterate: diverged, no further NR can help
+        }
         if (delta < options.abstol + options.reltol * scale) {
             out.converged = true;
             break;
         }
     }
     return out;
+}
+
+/// Rescue rungs past dt-backoff: gmin stepping (solve with a ramped-down
+/// diagonal regularization, warm-starting each stage from the previous
+/// one) and then source stepping (ramp the independent sources up to
+/// full strength, warm-started the same way).  Returns true with the
+/// converged full-strength solve in `*out`; counts attempts/successes
+/// and NR iterations into `result`.
+bool rescue_step(const mna::MnaAssembler& assembler, mna::SystemCache& cache,
+                 const NrTranOptions& options, const linalg::Vector& x_n,
+                 const linalg::Vector& x_guess, double t_next, double h,
+                 const mna::MnaAssembler::NoiseRealization* noise,
+                 TranResult& result, StepSolve* out) {
+    // Rung 2 — gmin stepping: 1e-3 S shunts make almost any Jacobian
+    // diagonally dominant; each decade reuses the previous solution as
+    // its guess until the regularization is gone entirely.
+    ++result.rescues.gmin_attempted;
+    {
+        linalg::Vector guess = x_guess;
+        bool ok = true;
+        StepSolve stage;
+        for (const double gmin : {1e-3, 1e-6, 1e-9, 0.0}) {
+            try {
+                stage = solve_companion(assembler, cache, options, x_n,
+                                        guess, t_next, h, noise, gmin, 1.0,
+                                        /*allow_inject=*/false);
+            } catch (const SingularMatrixError&) {
+                stage = StepSolve{};
+            }
+            result.nr_iterations += stage.iterations;
+            if (!stage.converged) {
+                ok = false;
+                break;
+            }
+            guess = stage.x;
+        }
+        if (ok) {
+            ++result.rescues.gmin_succeeded;
+            *out = std::move(stage);
+            return true;
+        }
+    }
+    // Rung 3 — source stepping: ramp b(t) from quarter strength to full,
+    // the classic SPICE continuation for steps the Newton basin cannot
+    // reach directly.
+    ++result.rescues.source_attempted;
+    {
+        linalg::Vector guess = x_n;
+        bool ok = true;
+        StepSolve stage;
+        for (const double alpha : {0.25, 0.5, 0.75, 1.0}) {
+            stage = solve_companion(assembler, cache, options, x_n, guess,
+                                    t_next, h, noise, 0.0, alpha,
+                                    /*allow_inject=*/false);
+            result.nr_iterations += stage.iterations;
+            if (!stage.converged) {
+                ok = false;
+                break;
+            }
+            guess = stage.x;
+        }
+        if (ok) {
+            ++result.rescues.source_succeeded;
+            *out = std::move(stage);
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace
@@ -199,6 +297,11 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
         StepSolve step;
         int halvings = 0;
         bool accepted = false;
+        // One rescue episode per time point: dt-backoff is attempted the
+        // first time a solve DIVERGES (LTE-only halvings are ordinary
+        // step control, not rescues) and succeeds when a shrunken step
+        // converges.
+        bool convergence_failed = false;
         while (true) {
             if (options.method == Integration::backward_euler ||
                 !assembler.nonlinear_devices().empty()) {
@@ -228,7 +331,14 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
                     options.lte_tol *
                         std::max(1.0, linalg::norm_inf(step.x));
 
+            if (!step.converged && !convergence_failed) {
+                convergence_failed = true;
+                ++result.rescues.dt_backoff_attempted;
+            }
             if (step.converged && lte_ok) {
+                if (convergence_failed) {
+                    ++result.rescues.dt_backoff_succeeded;
+                }
                 accepted = true;
                 break;
             }
@@ -237,15 +347,40 @@ TranResult run_tran_nr(const mna::MnaAssembler& assembler,
             // solve is pointless).
             const double h_half = std::max(h / 2.0, options.dt_min);
             if (h_half >= h || halvings >= options.max_halvings) {
-                // Out of road.  SPICE3 behaviour: accept and march on.
-                if (options.accept_nonconverged) {
+                // dt-backoff is out of road; for a genuine divergence
+                // (not an LTE miss) escalate the rescue ladder (gmin
+                // stepping, then source stepping) before the SPICE3-style
+                // accept-or-throw fallback.
+                StepSolve rescued;
+                if (!step.converged &&
+                    rescue_step(assembler, *cache, options, x, x_pred,
+                                t + h, h, noise, result, &rescued)) {
+                    step = std::move(rescued);
+                    accepted = true;
+                    break;
+                }
+                // Out of road.  SPICE3 behaviour: accept and march on —
+                // but only a *finite* iterate.  A NaN/Inf state (poisoned
+                // stimulus, overflowed device evaluation) corrupts every
+                // later companion-history term, so it is diagnosed
+                // instead of propagated.
+                const bool finite_iterate =
+                    std::all_of(step.x.begin(), step.x.end(),
+                                [](double v) { return std::isfinite(v); });
+                if (options.accept_nonconverged && finite_iterate) {
                     ++result.nonconverged_steps;
                     accepted = true;
                     break;
                 }
                 throw ConvergenceError(
                     "run_tran_nr: step at t=" + std::to_string(t) +
-                        " failed to converge",
+                        (finite_iterate
+                             ? " failed to converge (rescue ladder "
+                               "exhausted: dt-backoff, gmin stepping, "
+                               "source stepping)"
+                             : " produced a non-finite iterate (NaN/Inf "
+                               "stimulus or device evaluation); rescue "
+                               "ladder exhausted"),
                     step.iterations, 0.0);
             }
             // The halved step lands short of t_stop (h <= t_stop - t on

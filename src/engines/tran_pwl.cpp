@@ -297,6 +297,17 @@ TranResult run_tran_pwl(const mna::MnaAssembler& assembler,
             ++result.steps_rejected;
         }
 
+        // Segment cycling is accepted and marched past (finite, merely
+        // ambiguous), but a NaN/Inf solution poisons every later step's
+        // C/h history — diagnose it instead of recording garbage.
+        if (!std::all_of(x_next.begin(), x_next.end(),
+                         [](double v) { return std::isfinite(v); })) {
+            throw AnalysisError(
+                "run_tran_pwl: non-finite solution at t=" +
+                std::to_string(t + h) +
+                " (NaN/Inf stimulus or device evaluation)");
+        }
+
         x = std::move(x_next);
         // Land on t_stop bit-exactly: t + (t_stop - t) may round off.
         t = final_step ? options.t_stop : t + h;

@@ -40,7 +40,10 @@ TranResult run_tran_swec(const mna::MnaAssembler& assembler,
         stepper.eval();
         stepper.prepare();
         stepper.stamp();
-        stepper.accept(cache->solve(stepper.rhs()), observer);
+        // solve_rescued == cache->solve(rhs) on the healthy path; on a
+        // singular/non-finite solve it walks the dt-backoff -> gmin ->
+        // source-stepping ladder before giving up.
+        stepper.accept(stepper.solve_rescued(), observer);
     }
 
     TranResult result = stepper.take_result();

@@ -41,9 +41,15 @@ double norm2(const Vector& x) {
     return std::sqrt(dot(x, x));
 }
 
+// NaN operands must poison the max, not vanish into it: std::max(m, NaN)
+// returns m, so a NaN iterate would read as a zero delta and let Newton
+// loops "converge" on garbage.  Both norms propagate NaN instead.
 double norm_inf(const Vector& x) noexcept {
     double m = 0.0;
     for (const double v : x) {
+        if (std::isnan(v)) {
+            return v;
+        }
         m = std::max(m, std::abs(v));
     }
     return m;
@@ -53,7 +59,12 @@ double max_abs_diff(const Vector& x, const Vector& y) {
     require_same_size(x, y, "max_abs_diff");
     double m = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
-        m = std::max(m, std::abs(x[i] - y[i]));
+        const double d = std::abs(x[i] - y[i]);
+        if (std::isnan(d)) {
+            count_add(x.size());
+            return d;
+        }
+        m = std::max(m, d);
     }
     count_add(x.size());
     return m;

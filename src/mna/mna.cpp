@@ -110,6 +110,34 @@ MnaAssembler::MnaAssembler(const Circuit& circuit) : circuit_(&circuit) {
     static_g_ = builder.g();
     c_ = builder.c();
     c_csr_ = linalg::CsrMatrix(c_);
+
+    // Structural-singularity guard: a node touched only by RHS-stamping
+    // devices (current/noise sources) has an identically zero matrix row
+    // — no pivoting order or rescue rung can ever solve it, and engines
+    // that regularise it away (geq/gmin floors) just grind against
+    // astronomically scaled solutions until their step control starves.
+    // Diagnose it here, by name, before any engine runs.
+    std::vector<bool> covered(static_cast<std::size_t>(num_nodes_) + 1,
+                              false);
+    for (const auto& dev : devs) {
+        const DeviceKind k = dev->kind();
+        if (k == DeviceKind::isource || k == DeviceKind::noise_source) {
+            continue;
+        }
+        for (const NodeId n : dev->terminals()) {
+            if (n > 0 && n <= num_nodes_) {
+                covered[static_cast<std::size_t>(n)] = true;
+            }
+        }
+    }
+    for (NodeId n = 1; n <= num_nodes_; ++n) {
+        if (!covered[static_cast<std::size_t>(n)]) {
+            throw SingularMatrixError(
+                "node '" + circuit.node_name(n) +
+                "' is connected only to current/noise sources; its MNA "
+                "row is structurally zero (floating node)");
+        }
+    }
 }
 
 linalg::Vector MnaAssembler::rhs(double t,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -12,11 +13,24 @@
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 #include "util/flops.hpp"
 
 namespace nanosim::mna {
 
 namespace {
+
+/// `linalg.factor_alloc` fail point: simulate an allocation failure
+/// inside a factorisation (the catch below turns real and injected
+/// bad_allocs alike into a diagnosed AnalysisError).
+void maybe_inject_factor_alloc() {
+    if (failpoints::enabled()) {
+        static auto& fp = failpoints::site("linalg.factor_alloc");
+        if (fp.fire()) {
+            throw std::bad_alloc();
+        }
+    }
+}
 
 /// Accumulate a scope's wall time into one Stats field (the per-step
 /// analyze/eval/stamp/factor/solve attribution).  steady_clock::now()
@@ -639,6 +653,23 @@ void SystemCache::add_entry(std::size_t row, std::size_t col, double value) {
 linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
     ++stats_.steps;
 
+    if (failpoints::enabled()) {
+        // `linalg.singular_pivot`: a pivot collapsed below tolerance —
+        // exactly the SingularMatrixError the factoriser raises itself.
+        static auto& fp_pivot = failpoints::site("linalg.singular_pivot");
+        if (fp_pivot.fire()) {
+            throw SingularMatrixError(
+                "fail-point linalg.singular_pivot fired");
+        }
+        // `mna.pattern_overflow`: force the escaped-the-frozen-pattern
+        // slow path (triplet solve + pattern re-freeze) with a no-op
+        // stamp — the value plane is unchanged.
+        static auto& fp_overflow = failpoints::site("mna.pattern_overflow");
+        if (fp_overflow.fire() && overflow_.empty() && n_ > 0) {
+            overflow_.push_back(linalg::Triplet{0, 0, 0.0});
+        }
+    }
+
     // Factor-time distribution (metrics on only): registered once, then
     // the cached reference is a couple of relaxed atomics per solve.
     obs::Histogram* factor_hist = nullptr;
@@ -686,8 +717,9 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
 
     if (dense_path()) {
         std::optional<linalg::DenseLu> lu;
-        {
+        try {
             const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
+            maybe_inject_factor_alloc();
             dense_.set_zero();
             for (std::size_t c = 0; c < n_; ++c) {
                 for (std::size_t p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
@@ -695,18 +727,22 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
                 }
             }
             lu.emplace(dense_, options_.pivot_tol);
+        } catch (const std::bad_alloc&) {
+            throw AnalysisError(
+                "SystemCache::solve: factor allocation failed");
         }
         ++stats_.dense_solves;
         const ScopedTimer timer(stats_.solve_s, "solve");
         return lu->solve(rhs);
     }
 
-    {
+    try {
         // The ScopedTimer bills this block's WALL time on the calling
         // thread.  The parallel refactor's per-worker durations appear
         // as "factor.level" trace spans only — summing them here would
         // report factor_s > elapsed_s on multi-core.
         const ScopedTimer timer(stats_.factor_s, "factor", factor_hist);
+        maybe_inject_factor_alloc();
         if (!lu_) {
             // The legacy (no-program) baseline also keeps the seed's
             // column-vector factor storage, so benches measuring
@@ -734,6 +770,10 @@ linalg::Vector SystemCache::solve(const linalg::Vector& rhs) {
                 c.inc();
             }
         }
+    } catch (const std::bad_alloc&) {
+        // A half-built factor must not be trusted by the next refactor.
+        lu_.reset();
+        throw AnalysisError("SystemCache::solve: factor allocation failed");
     }
     // Re-read every step: a degraded-pivot fallback re-pivots and can
     // change the factor fill (O(n) column-size sum — noise next to the

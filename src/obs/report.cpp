@@ -56,7 +56,15 @@ std::string RunReport::to_json() const {
     append_number(os, min_dt);
     os << ",\"max_dt\":";
     append_number(os, max_dt);
-    os << ",\"trials\":" << trials
+    os << ",\"rescues\":{\"dt_backoff_attempted\":"
+       << rescues.dt_backoff_attempted
+       << ",\"dt_backoff_succeeded\":" << rescues.dt_backoff_succeeded
+       << ",\"gmin_attempted\":" << rescues.gmin_attempted
+       << ",\"gmin_succeeded\":" << rescues.gmin_succeeded
+       << ",\"source_attempted\":" << rescues.source_attempted
+       << ",\"source_succeeded\":" << rescues.source_succeeded
+       << "},\"failed_trials\":" << failed_trials
+       << ",\"trials\":" << trials
        << ",\"mc_batch_width\":" << mc_batch_width
        << ",\"batched_solves\":" << batched_solves
        << ",\"shared_factor_solves\":" << shared_factor_solves
@@ -128,6 +136,26 @@ std::string RunReport::pretty() const {
             line("horizon clip", bounds.horizon);
             line("fixed step", bounds.fixed);
         }
+    }
+    if (rescues.total_attempted() > 0) {
+        os << "rescue ladder:\n";
+        const auto rung = [&os](const char* label, std::uint64_t attempted,
+                                std::uint64_t succeeded) {
+            if (attempted > 0) {
+                os << "  " << std::left << std::setw(22) << label
+                   << std::right << succeeded << " / " << attempted
+                   << " succeeded\n";
+            }
+        };
+        rung("dt backoff", rescues.dt_backoff_attempted,
+             rescues.dt_backoff_succeeded);
+        rung("gmin stepping", rescues.gmin_attempted,
+             rescues.gmin_succeeded);
+        rung("source stepping", rescues.source_attempted,
+             rescues.source_succeeded);
+    }
+    if (failed_trials > 0) {
+        count_line(os, "quarantined trials", failed_trials);
     }
     if (trials > 0) {
         count_line(os, "trials", trials);

@@ -44,6 +44,37 @@ struct StepBoundCounts {
     }
 };
 
+/// Numerical rescue-ladder outcomes (PR-10 robustness subsystem).  When a
+/// step fails to solve (NR non-convergence, singular/non-finite SWEC
+/// solve), the engines escalate dt-backoff -> gmin stepping -> source
+/// stepping before giving up; each rung counts an attempt when entered
+/// and a success when it produced an accepted step.
+struct RescueCounts {
+    std::uint64_t dt_backoff_attempted = 0;
+    std::uint64_t dt_backoff_succeeded = 0;
+    std::uint64_t gmin_attempted = 0;
+    std::uint64_t gmin_succeeded = 0;
+    std::uint64_t source_attempted = 0;
+    std::uint64_t source_succeeded = 0;
+
+    [[nodiscard]] std::uint64_t total_attempted() const noexcept {
+        return dt_backoff_attempted + gmin_attempted + source_attempted;
+    }
+    [[nodiscard]] std::uint64_t total_succeeded() const noexcept {
+        return dt_backoff_succeeded + gmin_succeeded + source_succeeded;
+    }
+
+    RescueCounts& operator+=(const RescueCounts& o) noexcept {
+        dt_backoff_attempted += o.dt_backoff_attempted;
+        dt_backoff_succeeded += o.dt_backoff_succeeded;
+        gmin_attempted += o.gmin_attempted;
+        gmin_succeeded += o.gmin_succeeded;
+        source_attempted += o.source_attempted;
+        source_succeeded += o.source_succeeded;
+        return *this;
+    }
+};
+
 /// Aggregated diagnostics for one analysis run.
 struct RunReport {
     // ---- identity -----------------------------------------------------
@@ -61,6 +92,11 @@ struct RunReport {
     StepBoundCounts bounds;              ///< per-bound winner counts
     double min_dt = 0.0;                 ///< smallest accepted step [s]
     double max_dt = 0.0;                 ///< largest accepted step [s]
+
+    // ---- robustness ---------------------------------------------------
+    RescueCounts rescues;          ///< rescue-ladder attempts per rung
+    std::uint64_t failed_trials = 0; ///< MC trials quarantined after the
+                                     ///< ladder was exhausted
 
     // ---- batch drivers ------------------------------------------------
     std::uint64_t trials = 0; ///< MC trials / EM paths / sweep points

@@ -26,6 +26,7 @@
 #include "service/session_registry.hpp"
 #include "service/wire.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 
 namespace nanosim::service {
 namespace {
@@ -115,6 +116,9 @@ struct Server::Impl {
     std::mutex jobs_mutex;
     std::map<std::uint64_t, JobRecordPtr> jobs;
     std::uint64_t next_job_id = 1;
+    /// Idempotent-submit ledger: key -> job id.  Guarded by jobs_mutex;
+    /// entries die with their job record (prune_history_locked).
+    std::map<std::string, std::uint64_t> idempotency;
 
     // ---- event publishing ----------------------------------------------
 
@@ -213,7 +217,24 @@ struct Server::Impl {
                 continue; // woke only to report expirations
             }
             if (JobRecordPtr record = record_of(job->id)) {
-                execute(record);
+                try {
+                    execute(record);
+                } catch (...) {
+                    // Absolute backstop: a job must NEVER kill a worker
+                    // (the daemon would silently lose capacity).
+                    // execute() already converts std::exception into a
+                    // failed terminal; this catches anything exotic that
+                    // escaped, including throws from the terminal
+                    // publishing itself.
+                    if (!job_phase_terminal(record->job->phase.load(
+                            std::memory_order_acquire))) {
+                        record->job->error =
+                            "internal error: job worker threw past the "
+                            "failure handler";
+                        finish_terminal(record, JobPhase::failed,
+                                        "service.jobs_failed");
+                    }
+                }
             }
         }
     }
@@ -258,7 +279,24 @@ struct Server::Impl {
 
             engines::AnalysisObserver observer =
                 make_observer(record, job);
+            if (failpoints::enabled()) {
+                static auto& fp = failpoints::site("service.worker_stall");
+                if (fp.fire()) {
+                    // Simulated wedged worker: long enough for a
+                    // deadline/heartbeat to trip, short enough for CI.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2000));
+                }
+            }
             AnalysisResult result = lease.session().run(spec, &observer);
+            if (failpoints::enabled()) {
+                static auto& fp =
+                    failpoints::site("service.result_serialize");
+                if (fp.fire()) {
+                    throw ServiceError("fail-point service.result_serialize "
+                                       "fired before encoding");
+                }
+            }
 
             if (obs::metrics_enabled()) {
                 // The acceptance-criterion counter: total symbolic/full
@@ -360,6 +398,17 @@ struct Server::Impl {
             msg.set("x", json::Value(std::move(values)));
             impl->publish(record, msg.dump());
         };
+        observer.on_checkpoint =
+            [impl, record, job](const engines::McCheckpoint& cp) {
+                // Unthrottled: the engine already paces checkpoints by
+                // checkpoint_every, and dropping one would widen the
+                // window a kill-and-resume loses.
+                json::Value msg{json::Object{}};
+                msg.set("event", "checkpoint");
+                msg.set("id", json::Value(static_cast<double>(job->id)));
+                msg.set("checkpoint", wire::checkpoint_to_json(cp));
+                impl->publish(record, msg.dump());
+            };
         return observer;
     }
 
@@ -384,6 +433,14 @@ struct Server::Impl {
                 ++it;
             }
         }
+        // Idempotency keys die with their job records.
+        for (auto it = idempotency.begin(); it != idempotency.end();) {
+            if (jobs.count(it->second) == 0) {
+                it = idempotency.erase(it);
+            } else {
+                ++it;
+            }
+        }
     }
 
     void handle_submit(const ConnectionPtr& conn, const json::Value& msg) {
@@ -391,10 +448,20 @@ struct Server::Impl {
             (void)member;
             if (key != "op" && key != "circuit" && key != "spec" &&
                 key != "priority" && key != "deadline_s" &&
-                key != "subscribe") {
+                key != "subscribe" && key != "failpoints" &&
+                key != "idempotency_key") {
                 throw ServiceError("unknown key \"" + key +
                                    "\" in submit request");
             }
+        }
+        if (const json::Value* p = msg.find("failpoints")) {
+            // Chaos-testing hook: arm the process-wide registry from the
+            // request (same spec syntax as NANOSIM_FAILPOINTS).
+            failpoints::arm_from_spec(p->as_string());
+        }
+        std::string idem_key;
+        if (const json::Value* p = msg.find("idempotency_key")) {
+            idem_key = p->as_string();
         }
         auto job = std::make_shared<Job>();
         job->circuit = wire::CircuitSource::from_json(msg.at("circuit"));
@@ -415,11 +482,59 @@ struct Server::Impl {
             p != nullptr && p->as_bool()) {
             record->subscribers.emplace_back(conn);
         }
+        std::uint64_t dup_id = 0;
         {
             const std::lock_guard<std::mutex> lock(jobs_mutex);
-            job->id = next_job_id++;
-            jobs.emplace(job->id, record);
-            prune_history_locked();
+            // Idempotent replay check and key registration share the id
+            // lock, so two racing retries of the same submit cannot both
+            // enqueue.
+            if (!idem_key.empty()) {
+                const auto it = idempotency.find(idem_key);
+                if (it != idempotency.end() &&
+                    jobs.count(it->second) > 0) {
+                    dup_id = it->second;
+                }
+            }
+            if (dup_id == 0) {
+                job->id = next_job_id++;
+                jobs.emplace(job->id, record);
+                if (!idem_key.empty()) {
+                    idempotency[idem_key] = job->id;
+                }
+                prune_history_locked();
+            }
+        }
+        if (dup_id != 0) {
+            // The first submit won; hand its id back instead of running
+            // the job twice.
+            count("service.jobs_deduped");
+            json::Value reply{json::Object{}};
+            reply.set("ok", json::Value(true));
+            reply.set("id", json::Value(static_cast<double>(dup_id)));
+            reply.set("duplicate", json::Value(true));
+            send_line(conn, reply.dump());
+            // A following resubmit is a reconnect: attach it to the
+            // ORIGINAL record (the one built above is discarded) and
+            // replay the terminal event if the job already ended —
+            // otherwise a retried client waits forever on events that
+            // fired before it reconnected.
+            if (const json::Value* p = msg.find("subscribe");
+                p != nullptr && p->as_bool()) {
+                if (const JobRecordPtr orig = record_of(dup_id)) {
+                    {
+                        const std::lock_guard<std::mutex> lock(
+                            orig->sub_mutex);
+                        orig->subscribers.emplace_back(conn);
+                    }
+                    const JobPhase phase = orig->job->phase.load(
+                        std::memory_order_acquire);
+                    if (job_phase_terminal(phase)) {
+                        send_line(conn, terminal_event_line(*orig->job,
+                                                            phase));
+                    }
+                }
+            }
+            return;
         }
         count("service.jobs_submitted");
         // Subscribing happened BEFORE the push: a worker grabbing the
@@ -428,6 +543,9 @@ struct Server::Impl {
             {
                 const std::lock_guard<std::mutex> lock(jobs_mutex);
                 jobs.erase(job->id);
+                if (!idem_key.empty()) {
+                    idempotency.erase(idem_key);
+                }
             }
             count("service.jobs_rejected");
             json::Value reply{json::Object{}};
@@ -573,11 +691,69 @@ struct Server::Impl {
         }
     }
 
+    /// True when `conn` is subscribed to at least one non-terminal job.
+    [[nodiscard]] bool has_live_subscription(const ConnectionPtr& conn) {
+        std::vector<JobRecordPtr> records;
+        {
+            const std::lock_guard<std::mutex> lock(jobs_mutex);
+            records.reserve(jobs.size());
+            for (const auto& [id, record] : jobs) {
+                (void)id;
+                records.push_back(record);
+            }
+        }
+        for (const JobRecordPtr& record : records) {
+            if (job_phase_terminal(record->job->phase.load(
+                    std::memory_order_acquire))) {
+                continue;
+            }
+            const std::lock_guard<std::mutex> lock(record->sub_mutex);
+            for (const auto& weak : record->subscribers) {
+                if (weak.lock() == conn) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
     void reader_loop(const ConnectionPtr& conn) {
         std::string buffer;
         char chunk[4096];
+        bool probed = false; // heartbeat already sent this quiet spell
         while (conn->open.load(std::memory_order_relaxed)) {
-            const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+            if (options.idle_timeout_s > 0.0) {
+                pollfd p{conn->fd, POLLIN, 0};
+                const int timeout_ms = std::max(
+                    1, static_cast<int>(options.idle_timeout_s * 1e3));
+                const int rc = ::poll(&p, 1, timeout_ms);
+                if (rc < 0) {
+                    if (errno == EINTR) {
+                        continue;
+                    }
+                    break;
+                }
+                if (rc == 0) {
+                    // Quiet interval: probe once, close on the second —
+                    // unless the connection is subscribed to a live job
+                    // (quietly RECEIVING events is not idleness; it
+                    // keeps getting heartbeats instead).
+                    if (probed && !has_live_subscription(conn)) {
+                        break;
+                    }
+                    probed = true;
+                    send_line(conn, "{\"event\":\"heartbeat\"}");
+                    continue;
+                }
+                probed = false;
+            }
+            ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+            if (failpoints::enabled() && n > 0) {
+                static auto& fp = failpoints::site("service.socket_eof");
+                if (fp.fire()) {
+                    n = 0; // simulated peer hangup mid-stream
+                }
+            }
             if (n <= 0) {
                 if (n < 0 && errno == EINTR) {
                     continue;
@@ -601,6 +777,10 @@ struct Server::Impl {
             buffer.erase(0, start);
         }
         conn->open.store(false, std::memory_order_relaxed);
+        // The fd itself is reclaimed later (reaper or stop), but the
+        // peer must see EOF NOW — without the shutdown a client blocked
+        // in recv would hang until some unrelated connection arrives.
+        ::shutdown(conn->fd, SHUT_RDWR);
     }
 
     // ---- lifecycle -----------------------------------------------------

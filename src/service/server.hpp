@@ -17,9 +17,17 @@
 //   {"op":"ping"}
 //     -> {"ok":true}
 //   {"op":"submit","circuit":{...},"spec":{...},
-//    "priority":0,"deadline_s":0,"subscribe":false}
+//    "priority":0,"deadline_s":0,"subscribe":false,
+//    "failpoints":"...","idempotency_key":"..."}
 //     -> {"ok":true,"id":N,"queued":depth}
+//     -> {"ok":true,"id":N,"duplicate":true}   (idempotency-key replay)
 //     -> {"ok":false,"error":"...","rejected":"backpressure"}  (full)
+//   "failpoints" arms the process-wide fail-point registry
+//   (util/failpoints.hpp spec syntax; chaos testing only).
+//   "idempotency_key" makes the submit retry-safe: a second submit with
+//   the same key returns the EXISTING job id instead of enqueueing a
+//   duplicate — how Client::submit_with_retry survives a connection
+//   lost between send and response.
 //   {"op":"status","id":N}
 //     -> {"ok":true,"id":N,"phase":"queued|running|done|failed|
 //         cancelled|expired","error":...}
@@ -33,8 +41,11 @@
 //        {"event":"progress","id":N,"fraction":0.42}
 //        {"event":"trial","id":N,"done":10,"total":200}
 //        {"event":"partial","id":N,"t":1e-9,"x":[...]}   (throttled)
+//        {"event":"checkpoint","id":N,"checkpoint":{...}}  (mc jobs with
+//          checkpoint_every set; the doc resumes via submit --resume)
 //        {"event":"done","id":N} | {"event":"failed","id":N,"error":..}
 //        | {"event":"cancelled","id":N} | {"event":"expired","id":N}
+//        {"event":"heartbeat"}   (idle connections, idle_timeout_s)
 //   {"op":"shutdown","drain":true}
 //     -> {"ok":true} and the server begins stopping.
 //
@@ -60,6 +71,12 @@ struct ServerOptions {
     std::size_t max_sessions = 8; ///< registry dedup capacity
     /// Finished jobs kept for status/result queries.
     std::size_t history = 256;
+    /// Per-connection read idle budget [s]; 0 = wait forever.  After one
+    /// quiet interval the server sends a {"event":"heartbeat"} probe;
+    /// after a second with no traffic (and no live subscriptions being
+    /// streamed) the connection is closed — a wedged client cannot pin
+    /// a reader thread forever.
+    double idle_timeout_s = 0.0;
 };
 
 /// The analysis service (see file comment for the protocol).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <initializer_list>
+#include <memory>
 #include <utility>
 
 #include "core/ref_circuits.hpp"
@@ -390,6 +391,8 @@ Value mc_to_json(const MonteCarloSpec& s) {
     put(obj, "threads", s.threads, d.threads);
     put(obj, "batch", s.batch, d.batch);
     if (!s.probes.empty()) obj.set("probes", strings_to_json(s.probes));
+    put(obj, "checkpoint_every", s.checkpoint_every, d.checkpoint_every);
+    if (s.resume != nullptr) obj.set("resume", checkpoint_to_json(*s.resume));
     put_block(obj, "tran", swec_tran_to_json(s.tran));
     return obj;
 }
@@ -398,7 +401,7 @@ MonteCarloSpec mc_from_json(const Value& v) {
     check_keys(v,
                {"kind", "name", "common", "node", "t_stop", "runs",
                 "noise_dt", "grid_points", "seed", "parallel", "threads",
-                "batch", "probes", "tran"},
+                "batch", "probes", "checkpoint_every", "resume", "tran"},
                "monte-carlo spec");
     MonteCarloSpec s;
     if (const Value* p = v.find("name")) s.name = p->as_string();
@@ -416,6 +419,12 @@ MonteCarloSpec mc_from_json(const Value& v) {
     if (const Value* p = v.find("probes")) {
         for (const Value& e : p->as_array())
             s.probes.push_back(e.as_string());
+    }
+    if (const Value* p = v.find("checkpoint_every"))
+        s.checkpoint_every = p->as_int();
+    if (const Value* p = v.find("resume")) {
+        s.resume = std::make_shared<const engines::McCheckpoint>(
+            checkpoint_from_json(*p));
     }
     if (const Value* p = v.find("tran")) s.tran = swec_tran_from_json(*p);
     return s;
@@ -609,6 +618,62 @@ obs::StepBoundCounts bounds_from_json(const Value& v) {
     return b;
 }
 
+Value rescues_to_json(const obs::RescueCounts& r) {
+    Value obj{Object{}};
+    obj.set("dt_backoff_attempted", u64_value(r.dt_backoff_attempted));
+    obj.set("dt_backoff_succeeded", u64_value(r.dt_backoff_succeeded));
+    obj.set("gmin_attempted", u64_value(r.gmin_attempted));
+    obj.set("gmin_succeeded", u64_value(r.gmin_succeeded));
+    obj.set("source_attempted", u64_value(r.source_attempted));
+    obj.set("source_succeeded", u64_value(r.source_succeeded));
+    return obj;
+}
+
+obs::RescueCounts rescues_from_json(const Value& v) {
+    check_keys(v,
+               {"dt_backoff_attempted", "dt_backoff_succeeded",
+                "gmin_attempted", "gmin_succeeded", "source_attempted",
+                "source_succeeded"},
+               "rescue counts");
+    obs::RescueCounts r;
+    r.dt_backoff_attempted =
+        u64_from(v.at("dt_backoff_attempted"), "dt_backoff_attempted");
+    r.dt_backoff_succeeded =
+        u64_from(v.at("dt_backoff_succeeded"), "dt_backoff_succeeded");
+    r.gmin_attempted = u64_from(v.at("gmin_attempted"), "gmin_attempted");
+    r.gmin_succeeded = u64_from(v.at("gmin_succeeded"), "gmin_succeeded");
+    r.source_attempted =
+        u64_from(v.at("source_attempted"), "source_attempted");
+    r.source_succeeded =
+        u64_from(v.at("source_succeeded"), "source_succeeded");
+    return r;
+}
+
+Value failed_trials_to_json(const std::vector<engines::McFailedTrial>& f) {
+    Array arr;
+    arr.reserve(f.size());
+    for (const engines::McFailedTrial& t : f) {
+        Value e{Object{}};
+        e.set("trial", Value(t.trial));
+        e.set("seed", u64_value(t.seed));
+        e.set("diagnostic", t.diagnostic);
+        arr.push_back(std::move(e));
+    }
+    return Value(std::move(arr));
+}
+
+std::vector<engines::McFailedTrial> failed_trials_from_json(const Value& v) {
+    std::vector<engines::McFailedTrial> out;
+    out.reserve(v.as_array().size());
+    for (const Value& e : v.as_array()) {
+        check_keys(e, {"trial", "seed", "diagnostic"}, "failed trial");
+        out.push_back(engines::McFailedTrial{
+            e.at("trial").as_int(), u64_from(e.at("seed"), "failed.seed"),
+            e.at("diagnostic").as_string()});
+    }
+    return out;
+}
+
 /// EnsembleStats travels as a SUMMARY (per-point accumulators cannot be
 /// reconstructed): path/point counts, peak statistics, per-path peaks.
 /// Parsing restores an empty accumulator of the right width — the mean
@@ -632,6 +697,92 @@ stochastic::EnsembleStats stats_from_json(const Value& v) {
     check_keys(v, {"paths", "points", "peak", "peaks"}, "ensemble stats");
     return stochastic::EnsembleStats(
         static_cast<std::size_t>(v.at("points").as_uint()));
+}
+
+// ---------------------------------------------------------------------
+// Monte-Carlo checkpoint state
+// ---------------------------------------------------------------------
+
+Value stat_state_to_json(const engines::McStatState& s) {
+    Value obj{Object{}};
+    obj.set("n", u64_value(s.n));
+    obj.set("mean", Value(s.mean));
+    obj.set("m2", Value(s.m2));
+    obj.set("min", Value(s.min));
+    obj.set("max", Value(s.max));
+    return obj;
+}
+
+engines::McStatState stat_state_from_json(const Value& v) {
+    check_keys(v, {"n", "mean", "m2", "min", "max"}, "stat state");
+    engines::McStatState s;
+    s.n = u64_from(v.at("n"), "stat.n");
+    s.mean = v.at("mean").as_number();
+    s.m2 = v.at("m2").as_number();
+    s.min = v.at("min").as_number();
+    s.max = v.at("max").as_number();
+    return s;
+}
+
+/// Raw ensemble accumulators travel as parallel per-point arrays (one
+/// entry per grid point) — compact, and every double round-trips exactly.
+Value ens_state_to_json(const engines::McEnsembleState& s) {
+    Array n;
+    Array mean;
+    Array m2;
+    Array min;
+    Array max;
+    n.reserve(s.per_point.size());
+    mean.reserve(s.per_point.size());
+    m2.reserve(s.per_point.size());
+    min.reserve(s.per_point.size());
+    max.reserve(s.per_point.size());
+    for (const engines::McStatState& p : s.per_point) {
+        n.push_back(u64_value(p.n));
+        mean.emplace_back(p.mean);
+        m2.emplace_back(p.m2);
+        min.emplace_back(p.min);
+        max.emplace_back(p.max);
+    }
+    Value obj{Object{}};
+    obj.set("n", Value(std::move(n)));
+    obj.set("mean", Value(std::move(mean)));
+    obj.set("m2", Value(std::move(m2)));
+    obj.set("min", Value(std::move(min)));
+    obj.set("max", Value(std::move(max)));
+    obj.set("peak", stat_state_to_json(s.peak));
+    obj.set("peaks", vector_to_json(s.peaks));
+    obj.set("paths", u64_value(s.paths));
+    return obj;
+}
+
+engines::McEnsembleState ens_state_from_json(const Value& v) {
+    check_keys(v, {"n", "mean", "m2", "min", "max", "peak", "peaks", "paths"},
+               "ensemble state");
+    engines::McEnsembleState s;
+    const auto& n = v.at("n").as_array();
+    const auto& mean = v.at("mean").as_array();
+    const auto& m2 = v.at("m2").as_array();
+    const auto& min = v.at("min").as_array();
+    const auto& max = v.at("max").as_array();
+    if (mean.size() != n.size() || m2.size() != n.size() ||
+        min.size() != n.size() || max.size() != n.size()) {
+        throw ServiceError("ensemble state arrays disagree in length");
+    }
+    s.per_point.reserve(n.size());
+    for (std::size_t i = 0; i < n.size(); ++i) {
+        engines::McStatState p;
+        p.n = u64_from(n[i], "ensemble.n");
+        p.mean = mean[i].as_number();
+        p.m2 = m2[i].as_number();
+        p.min = min[i].as_number();
+        p.max = max[i].as_number();
+        s.per_point.push_back(p);
+    }
+    s.peak = stat_state_from_json(v.at("peak"));
+    s.peaks = vector_from_json(v.at("peaks"));
+    s.paths = u64_from(v.at("paths"), "ensemble.paths");
+    return s;
 }
 
 // ---------------------------------------------------------------------
@@ -734,6 +885,7 @@ Value tran_result_to_json(const engines::TranResult& r) {
     obj.set("max_local_error", Value(r.max_local_error));
     obj.set("avg_local_error", Value(r.avg_local_error));
     obj.set("step_bounds", bounds_to_json(r.step_bounds));
+    obj.set("rescues", rescues_to_json(r.rescues));
     obj.set("flops", flops_to_json(r.flops));
     obj.set("solver_full_factors",
             Value(static_cast<double>(r.solver_full_factors)));
@@ -751,7 +903,7 @@ engines::TranResult tran_result_from_json(const Value& v) {
                {"node_waves", "aborted", "steps_accepted", "steps_rejected",
                 "nr_iterations", "nonconverged_steps", "min_dt_used",
                 "max_dt_used", "max_local_error", "avg_local_error",
-                "step_bounds", "flops", "solver_full_factors",
+                "step_bounds", "rescues", "flops", "solver_full_factors",
                 "solver_fast_refactors", "solver_dense_solves",
                 "solver_ordering", "solver_factor"},
                "transient result");
@@ -767,6 +919,7 @@ engines::TranResult tran_result_from_json(const Value& v) {
     r.max_local_error = v.at("max_local_error").as_number();
     r.avg_local_error = v.at("avg_local_error").as_number();
     r.step_bounds = bounds_from_json(v.at("step_bounds"));
+    r.rescues = rescues_from_json(v.at("rescues"));
     r.flops = flops_from_json(v.at("flops"));
     r.solver_full_factors =
         static_cast<std::size_t>(v.at("solver_full_factors").as_uint());
@@ -801,6 +954,8 @@ Value mc_result_to_json(const engines::McResult& r) {
     steps.reserve(r.trial_steps.size());
     for (int s : r.trial_steps) steps.emplace_back(s);
     obj.set("trial_steps", Value(std::move(steps)));
+    obj.set("failed_trials", failed_trials_to_json(r.failed_trials));
+    obj.set("rescues", rescues_to_json(r.rescues));
     obj.set("aborted", Value(r.aborted));
     obj.set("flops", flops_to_json(r.flops));
     return obj;
@@ -809,16 +964,19 @@ Value mc_result_to_json(const engines::McResult& r) {
 engines::McResult mc_result_from_json(const Value& v) {
     check_keys(v,
                {"grid", "mean", "stddev", "stats", "probes", "trial_steps",
-                "aborted", "flops"},
+                "failed_trials", "rescues", "aborted", "flops"},
                "monte-carlo result");
-    engines::McResult r{.grid = vector_from_json(v.at("grid")),
-                        .mean = wave_from_json(v.at("mean")),
-                        .stddev = wave_from_json(v.at("stddev")),
-                        .stats = stats_from_json(v.at("stats")),
-                        .probes = {},
-                        .trial_steps = {},
-                        .aborted = v.at("aborted").as_bool(),
-                        .flops = flops_from_json(v.at("flops"))};
+    engines::McResult r{
+        .grid = vector_from_json(v.at("grid")),
+        .mean = wave_from_json(v.at("mean")),
+        .stddev = wave_from_json(v.at("stddev")),
+        .stats = stats_from_json(v.at("stats")),
+        .probes = {},
+        .trial_steps = {},
+        .failed_trials = failed_trials_from_json(v.at("failed_trials")),
+        .rescues = rescues_from_json(v.at("rescues")),
+        .aborted = v.at("aborted").as_bool(),
+        .flops = flops_from_json(v.at("flops"))};
     for (const Value& e : v.at("probes").as_array()) {
         check_keys(e, {"node", "name", "mean", "stddev", "stats"},
                    "mc probe");
@@ -985,6 +1143,8 @@ obs::RunReport report_from_json(const Value& v, const AnalysisHeader& header) {
     r.bounds = bounds_from_json(v.at("step_bounds"));
     r.min_dt = v.at("min_dt").as_number();
     r.max_dt = v.at("max_dt").as_number();
+    r.rescues = rescues_from_json(v.at("rescues"));
+    r.failed_trials = u64_from(v.at("failed_trials"), "failed_trials");
     r.trials = u64_from(v.at("trials"), "trials");
     r.mc_batch_width = u64_from(v.at("mc_batch_width"), "mc_batch_width");
     r.batched_solves = u64_from(v.at("batched_solves"), "batched_solves");
@@ -1112,6 +1272,57 @@ AnalysisResult result_from_json(const Value& v) {
     }
     r.report = report_from_json(v.at("report"), r.header);
     return r;
+}
+
+// ---------------------------------------------------------------------
+// Monte-Carlo checkpoints
+// ---------------------------------------------------------------------
+
+Value checkpoint_to_json(const engines::McCheckpoint& cp) {
+    Value obj{Object{}};
+    obj.set("base_seed", u64_value(cp.base_seed));
+    obj.set("next_trial", Value(cp.next_trial));
+    obj.set("runs", Value(cp.runs));
+    obj.set("grid_points", Value(static_cast<double>(cp.grid_points)));
+    obj.set("primary", ens_state_to_json(cp.primary));
+    Array probes;
+    probes.reserve(cp.probes.size());
+    for (const engines::McEnsembleState& p : cp.probes) {
+        probes.push_back(ens_state_to_json(p));
+    }
+    obj.set("probes", Value(std::move(probes)));
+    Array steps;
+    steps.reserve(cp.trial_steps.size());
+    for (int s : cp.trial_steps) steps.emplace_back(s);
+    obj.set("trial_steps", Value(std::move(steps)));
+    obj.set("failed_trials", failed_trials_to_json(cp.failed_trials));
+    obj.set("flops", flops_to_json(cp.flops));
+    obj.set("rescues", rescues_to_json(cp.rescues));
+    return obj;
+}
+
+engines::McCheckpoint checkpoint_from_json(const Value& v) {
+    check_keys(v,
+               {"base_seed", "next_trial", "runs", "grid_points", "primary",
+                "probes", "trial_steps", "failed_trials", "flops",
+                "rescues"},
+               "mc checkpoint");
+    engines::McCheckpoint cp;
+    cp.base_seed = u64_from(v.at("base_seed"), "checkpoint.base_seed");
+    cp.next_trial = v.at("next_trial").as_int();
+    cp.runs = v.at("runs").as_int();
+    cp.grid_points = static_cast<std::size_t>(v.at("grid_points").as_uint());
+    cp.primary = ens_state_from_json(v.at("primary"));
+    for (const Value& e : v.at("probes").as_array()) {
+        cp.probes.push_back(ens_state_from_json(e));
+    }
+    for (const Value& e : v.at("trial_steps").as_array()) {
+        cp.trial_steps.push_back(e.as_int());
+    }
+    cp.failed_trials = failed_trials_from_json(v.at("failed_trials"));
+    cp.flops = flops_from_json(v.at("flops"));
+    cp.rescues = rescues_from_json(v.at("rescues"));
+    return cp;
 }
 
 // ---------------------------------------------------------------------

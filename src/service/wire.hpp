@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/analysis_spec.hpp"
+#include "engines/checkpoint.hpp"
 #include "netlist/circuit.hpp"
 #include "service/json.hpp"
 
@@ -52,6 +53,17 @@ namespace nanosim::service::wire {
 
 [[nodiscard]] json::Value result_to_json(const AnalysisResult& result);
 [[nodiscard]] AnalysisResult result_from_json(const json::Value& v);
+
+// ---- Monte-Carlo checkpoints -----------------------------------------
+
+/// Full-fidelity encoding of a resumable MC campaign state: raw Welford
+/// accumulators travel with shortest-round-trip doubles and u64s as
+/// decimal strings past 2^53, so checkpoint_from_json(checkpoint_to_json)
+/// reproduces the state bit-identically — the resume contract.  These
+/// documents ride "checkpoint" service events and the `submit --resume`
+/// path ("resume" key of an mc spec).
+[[nodiscard]] json::Value checkpoint_to_json(const engines::McCheckpoint& cp);
+[[nodiscard]] engines::McCheckpoint checkpoint_from_json(const json::Value& v);
 
 // ---- circuit source --------------------------------------------------
 

@@ -21,6 +21,15 @@ void RunningStats::add(double x) noexcept {
     m2_ += delta * (x - mean_);
 }
 
+void RunningStats::restore(std::size_t n, double mean, double m2, double min,
+                           double max) noexcept {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+}
+
 double RunningStats::variance() const noexcept {
     if (n_ < 2) {
         return 0.0;
@@ -95,6 +104,18 @@ void EnsembleStats::add_path(const std::vector<double>& path) {
     peak_.add(peak);
     peaks_.push_back(peak);
     ++paths_;
+}
+
+void EnsembleStats::restore(std::vector<RunningStats> per_point,
+                            RunningStats peak, std::vector<double> peaks,
+                            std::size_t paths) {
+    if (per_point.size() != per_point_.size()) {
+        throw AnalysisError("EnsembleStats::restore: point count mismatch");
+    }
+    per_point_ = std::move(per_point);
+    peak_ = peak;
+    peaks_ = std::move(peaks);
+    paths_ = paths;
 }
 
 std::vector<double> EnsembleStats::mean_path() const {

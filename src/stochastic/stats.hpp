@@ -29,6 +29,17 @@ public:
     /// Half-width of the ~95% confidence interval of the mean.
     [[nodiscard]] double ci95_halfwidth() const noexcept;
 
+    /// Raw second central moment sum (Welford M2) — together with
+    /// count/mean/min/max this is the complete accumulator state, exposed
+    /// so Monte-Carlo checkpoints can round-trip it bit-exactly.
+    [[nodiscard]] double m2() const noexcept { return m2_; }
+
+    /// Restore the exact accumulator state captured by count()/mean()/
+    /// m2()/min()/max().  A restored accumulator continues the original
+    /// add() sequence bit-identically (the checkpoint/resume contract).
+    void restore(std::size_t n, double mean, double m2, double min,
+                 double max) noexcept;
+
 private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
@@ -101,6 +112,13 @@ public:
     [[nodiscard]] const std::vector<double>& peaks() const noexcept {
         return peaks_;
     }
+
+    /// Restore the full aggregation state (per-point accumulators, peak
+    /// accumulator, per-path peaks, path count) captured from another
+    /// EnsembleStats — the Monte-Carlo checkpoint/resume contract.
+    /// Throws AnalysisError when per_point.size() != points().
+    void restore(std::vector<RunningStats> per_point, RunningStats peak,
+                 std::vector<double> peaks, std::size_t paths);
 
 private:
     std::vector<RunningStats> per_point_;

@@ -1,0 +1,212 @@
+#include "util/failpoints.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace nanosim::failpoints {
+namespace {
+
+/// Count of armed sites; the global gate is `armed_sites > 0`.
+std::atomic<int> g_armed{0};
+
+struct Registry {
+    std::mutex mutex;
+    // Stable addresses: unique_ptr payloads never move, entries are never
+    // erased (disarm keeps the site, it just stops firing).
+    std::map<std::string, std::unique_ptr<FailPoint>, std::less<>> sites;
+};
+
+Registry& registry() {
+    static Registry* r = new Registry(); // never destroyed: sites outlive
+    return *r;                           // static-destruction order races
+}
+
+const char* mode_name(FailPoint::Mode m) {
+    switch (m) {
+    case FailPoint::Mode::off: return "off";
+    case FailPoint::Mode::always: return "always";
+    case FailPoint::Mode::one_in_n: return "1inN";
+    case FailPoint::Mode::nth: return "nth";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool enabled() noexcept {
+    return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+bool FailPoint::fire() noexcept {
+    const Mode m = static_cast<Mode>(mode_.load(std::memory_order_relaxed));
+    if (m == Mode::off) {
+        return false;
+    }
+    const std::uint64_t eval =
+        evals_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool hit = false;
+    switch (m) {
+    case Mode::off: break;
+    case Mode::always: hit = true; break;
+    case Mode::one_in_n: {
+        const std::uint64_t n = n_.load(std::memory_order_relaxed);
+        hit = n > 0 && eval % n == 0;
+        break;
+    }
+    case Mode::nth:
+        hit = eval == n_.load(std::memory_order_relaxed);
+        break;
+    }
+    if (!hit) {
+        return false;
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+        // Resolve the counter once; the registry guarantees a stable
+        // address for the life of the process.
+        auto* c = static_cast<obs::Counter*>(
+            metric_.load(std::memory_order_acquire));
+        if (c == nullptr) {
+            c = &obs::metrics().counter("failpoint." + name_ + ".fired");
+            metric_.store(c, std::memory_order_release);
+        }
+        c->inc();
+    }
+    return true;
+}
+
+void FailPoint::set_mode(Mode mode, std::uint64_t n) noexcept {
+    n_.store(n, std::memory_order_relaxed);
+    evals_.store(0, std::memory_order_relaxed);
+    mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+FailPoint& site(const char* name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(name);
+    if (it == r.sites.end()) {
+        it = r.sites
+                 .emplace(std::string(name),
+                          std::make_unique<FailPoint>(std::string(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+namespace {
+/// Serializes arm()/disarm_all() so the armed-site count stays exact
+/// (site evaluation never takes this — only administrative calls do).
+std::mutex& arm_mutex() {
+    static std::mutex m;
+    return m;
+}
+} // namespace
+
+void arm(const std::string& name, const std::string& mode) {
+    FailPoint::Mode m;
+    std::uint64_t n = 0;
+    if (mode == "off") {
+        m = FailPoint::Mode::off;
+    } else if (mode == "always") {
+        m = FailPoint::Mode::always;
+    } else {
+        std::string digits = mode;
+        m = FailPoint::Mode::nth;
+        if (mode.rfind("1in", 0) == 0) {
+            digits = mode.substr(3);
+            m = FailPoint::Mode::one_in_n;
+        }
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            throw AnalysisError("failpoints: bad mode \"" + mode +
+                                "\" for \"" + name +
+                                "\" (want off, always, 1inN, or N)");
+        }
+        try {
+            n = std::stoull(digits);
+        } catch (const std::exception&) {
+            throw AnalysisError("failpoints: mode count out of range in \"" +
+                                mode + "\" for \"" + name + "\"");
+        }
+        if (n == 0) {
+            throw AnalysisError("failpoints: mode count must be >= 1 in \"" +
+                                mode + "\" for \"" + name + "\"");
+        }
+    }
+    FailPoint& fp = site(name.c_str());
+    std::lock_guard<std::mutex> lock(arm_mutex());
+    const bool was_armed = fp.mode() != FailPoint::Mode::off;
+    fp.set_mode(m, n);
+    const bool now_armed = m != FailPoint::Mode::off;
+    if (now_armed && !was_armed) {
+        g_armed.fetch_add(1, std::memory_order_relaxed);
+    } else if (!now_armed && was_armed) {
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void arm_from_spec(const std::string& spec) {
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty()) {
+            continue;
+        }
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw AnalysisError("failpoints: bad spec entry \"" + entry +
+                                "\" (want name=mode)");
+        }
+        arm(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+}
+
+void arm_from_env() {
+    if (const char* spec = std::getenv("NANOSIM_FAILPOINTS")) {
+        arm_from_spec(spec);
+    }
+}
+
+void disarm_all() {
+    Registry& r = registry();
+    std::scoped_lock lock(arm_mutex(), r.mutex);
+    for (auto& [name, fp] : r.sites) {
+        (void)name;
+        if (fp->mode() != FailPoint::Mode::off) {
+            fp->set_mode(FailPoint::Mode::off, 0);
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::uint64_t fired(const std::string& name) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(name);
+    return it == r.sites.end() ? 0 : it->second->fired();
+}
+
+std::vector<std::pair<std::string, std::string>> catalog() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(r.sites.size());
+    for (const auto& [name, fp] : r.sites) {
+        out.emplace_back(name, mode_name(fp->mode()));
+    }
+    return out;
+}
+
+} // namespace nanosim::failpoints
